@@ -1,0 +1,155 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation. Each benchmark prints its table once (on the
+// first iteration) and reports the headline numbers as custom metrics:
+//
+//	go test -bench=. -benchmem
+//
+// The workload scale defaults to the paper-equivalent "test" input
+// (scale 1.0); set CINNAMON_SCALE to a smaller value for quicker runs.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core/backend"
+)
+
+func scale() float64 {
+	if s := os.Getenv("CINNAMON_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1.0
+}
+
+var printOnce sync.Map
+
+func printHeader(name string) bool {
+	_, loaded := printOnce.LoadOrStore(name, true)
+	if !loaded {
+		fmt.Printf("\n===== %s =====\n", name)
+	}
+	return !loaded
+}
+
+// BenchmarkTable1 regenerates Table I: code lengths of the five use cases
+// in Cinnamon versus native Dyninst, Janus and Pin implementations.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		if printHeader("Table I: code lengths (lines)") {
+			bench.FormatTable1(os.Stdout, rows)
+		}
+		if i == 0 {
+			var cinn, frameworks int
+			for _, r := range rows {
+				cinn += r.Cinnamon
+				for _, n := range []int{r.Dyninst, r.Janus, r.Pin} {
+					if n > 0 {
+						frameworks += n
+					}
+				}
+			}
+			b.ReportMetric(float64(cinn)/float64(len(rows)), "cinnamon-lines/case")
+			b.ReportMetric(float64(frameworks)/float64(3*len(rows)-1), "native-lines/case")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: load-instruction counts reported
+// by the Cinnamon counting program under each backend across the
+// synthetic SPEC CPU 2017 suite.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig12(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader("Figure 12: load-instruction counts per backend") {
+			bench.FormatFig12(os.Stdout, rows)
+			fmt.Printf("shared-library gap (Pin > static): %v\n", bench.SharedLibGap(rows))
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(bench.SharedLibGap(rows))), "shared-lib-gap-benchmarks")
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates Figure 13: overhead of the
+// Cinnamon-generated basic-block counting tool versus the hand-written
+// native tool, per framework and benchmark.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig13(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader("Figure 13: Cinnamon overhead (%) vs native tools") {
+			bench.FormatFig13(os.Stdout, rows)
+		}
+		if i == 0 {
+			sums := bench.Summarize(rows)
+			b.ReportMetric(sums[backend.Pin].Mean, "pin-overhead-%")
+			b.ReportMetric(sums[backend.Janus].Mean, "janus-overhead-%")
+			b.ReportMetric(sums[backend.Dyninst].Mean, "dyninst-overhead-%")
+		}
+	}
+}
+
+// BenchmarkPinToolOverheads regenerates the Section VI-D numbers: Pin
+// overheads of the use-after-free and forward-CFI monitors.
+func BenchmarkPinToolOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.PinToolOverheads(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader("Section VI-D: monitoring-tool overheads on Pin") {
+			bench.FormatPinTools(os.Stdout, rows)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].Mean, "uaf-overhead-%")
+			b.ReportMetric(rows[1].Mean, "cfi-overhead-%")
+		}
+	}
+}
+
+// BenchmarkAblations reports the extra studies beyond the paper:
+// Figure 5a vs 5b counting cost, static vs dynamic constraint
+// evaluation, and each framework's base (empty-tool) cost.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if printHeader("Ablations") {
+			for _, fw := range []string{backend.Dyninst, backend.Janus, backend.Pin} {
+				rows, err := bench.AblationCounting(fw, scale())
+				if err != nil {
+					b.Fatal(err)
+				}
+				fmt.Printf("\nper-inst (fig 5a) vs per-block (fig 5b) counting, %s backend:\n", fw)
+				bench.FormatAblation(os.Stdout, "per-inst", "per-block", rows)
+			}
+			rows, err := bench.AblationConstraints(backend.Pin, scale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("\nstatic vs dynamic action constraint, pin backend:\n")
+			bench.FormatAblation(os.Stdout, "static-where", "dynamic-where", rows)
+			base, err := bench.AblationBaseCost(scale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("\nempty-tool base cost: dyninst=%.2f%% janus=%.2f%% pin=%.2f%%\n",
+				base[backend.Dyninst], base[backend.Janus], base[backend.Pin])
+		} else {
+			if _, err := bench.AblationBaseCost(scale()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package cinnamon is the public API of this reproduction of
+// "Cinnamon: A Domain-Specific Language for Binary Profiling and
+// Monitoring" (CGO 2021).
+//
+// A Cinnamon program is compiled once and can then be run against a
+// loaded binary under any of the three instrumentation-framework
+// backends, or lowered to the framework-specific C/C++ sources the
+// original compiler emits:
+//
+//	tool, err := cinnamon.Compile(src)
+//	target, err := cinnamon.LoadAssembly(appSource)
+//	report, err := tool.Run(target, cinnamon.Pin, cinnamon.RunOptions{})
+//	fmt.Print(report.ToolOutput)
+//
+// The backends are clean-room Go substrates mirroring the programming
+// models of the frameworks the paper targets:
+//
+//	cinnamon.Pin      — dynamic JIT instrumentation (sees shared libraries;
+//	                    no notion of loops)
+//	cinnamon.Dyninst  — static binary rewriting (refuses binaries with
+//	                    unrecoverable control flow)
+//	cinnamon.Janus    — hybrid: static analyzer emitting rewrite rules,
+//	                    consumed by a dynamic instrumenter
+package cinnamon
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core/backend"
+	"repro/internal/core/codegen"
+	"repro/internal/core/engine"
+	"repro/internal/obj"
+	"repro/internal/vm"
+)
+
+// Backend names.
+const (
+	Pin     = backend.Pin
+	Dyninst = backend.Dyninst
+	Janus   = backend.Janus
+)
+
+// Backends returns the supported backend names.
+func Backends() []string { return backend.Backends() }
+
+// Tool is a compiled Cinnamon program.
+type Tool struct {
+	compiled *engine.CompiledTool
+}
+
+// Compile parses and type-checks Cinnamon source.
+func Compile(src string) (*Tool, error) {
+	c, err := engine.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Tool{compiled: c}, nil
+}
+
+// Source returns the tool's Cinnamon source.
+func (t *Tool) Source() string { return t.compiled.Src }
+
+// GenerateCode emits the framework-specific C/C++ sources the Cinnamon
+// compiler produces for the named backend, as file name → content.
+func (t *Tool) GenerateCode(backendName string) (map[string]string, error) {
+	return codegen.Generate(t.compiled, backendName)
+}
+
+// Target is a loaded binary (executable plus shared libraries) with its
+// recovered control flow. A Target may be instrumented and run any number
+// of times.
+type Target struct {
+	// Prog is the control-flow view of the loaded program.
+	Prog *cfg.Program
+}
+
+// LoadModules loads assembled modules into an address space with the
+// standard runtime (malloc/free/print/exit) and recovers control flow.
+func LoadModules(mods []*obj.Module) (*Target, error) {
+	p, err := obj.Load(mods, vm.RuntimeExterns())
+	if err != nil {
+		return nil, err
+	}
+	prog, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{Prog: prog}, nil
+}
+
+// LoadAssembly assembles one or more assembly sources (the first or the
+// one marked .executable is the main program) and loads them.
+func LoadAssembly(srcs ...string) (*Target, error) {
+	mods := make([]*obj.Module, 0, len(srcs))
+	for _, s := range srcs {
+		m, err := asm.Assemble(s)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	return LoadModules(mods)
+}
+
+// RunOptions configures a tool run.
+type RunOptions struct {
+	// ToolOut receives the tool's print() output as it is produced; if
+	// nil the output is captured in Report.ToolOutput instead.
+	ToolOut io.Writer
+	// AppOut receives the application's own output (discarded if nil).
+	AppOut io.Writer
+	// Fuel bounds the number of application instructions (0 = default).
+	Fuel uint64
+	// PinLoopDetection enables the extension the paper's Section VI-E
+	// suggests: loop detection integrated into the Pin backend, making
+	// loop commands mappable to Pin transparently.
+	PinLoopDetection bool
+}
+
+// Report summarizes an instrumented run.
+type Report struct {
+	// Backend is the backend the tool ran under.
+	Backend string
+	// ToolOutput is the tool's captured print() output (empty when
+	// RunOptions.ToolOut was set).
+	ToolOutput string
+	// Cycles is the deterministic cost of the run in cycle units
+	// (application work plus instrumentation overhead).
+	Cycles uint64
+	// Insts is the number of application instructions executed.
+	Insts uint64
+	// ExitCode is the application's exit code.
+	ExitCode uint64
+}
+
+// Run instruments the target with the tool under the named backend and
+// executes it.
+func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report, error) {
+	var buf bytes.Buffer
+	out := opts.ToolOut
+	captured := false
+	if out == nil {
+		out, captured = &buf, true
+	}
+	res, err := backend.Run(t.compiled, target.Prog, backendName, backend.Options{
+		Out:              out,
+		Fuel:             opts.Fuel,
+		AppOut:           opts.AppOut,
+		PinLoopDetection: opts.PinLoopDetection,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cinnamon: run on %s: %w", backendName, err)
+	}
+	rep := &Report{
+		Backend:  backendName,
+		Cycles:   res.Cycles,
+		Insts:    res.Insts,
+		ExitCode: res.ExitCode,
+	}
+	if captured {
+		rep.ToolOutput = buf.String()
+	}
+	return rep, nil
+}
+
+// BaselineRun executes the target without any instrumentation and reports
+// its cost — the uninstrumented baseline for overhead measurements.
+func BaselineRun(target *Target, opts RunOptions) (*Report, error) {
+	machine := vm.New(target.Prog, vm.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	res, err := machine.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Backend: "none", Cycles: res.Cycles, Insts: res.Insts, ExitCode: res.ExitCode}, nil
+}

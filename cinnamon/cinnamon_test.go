@@ -1,0 +1,179 @@
+package cinnamon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const countTool = `
+uint64 inst_count = 0;
+inst I where (I.opcode == Load) {
+  before I {
+    inst_count = inst_count + 1;
+  }
+}
+exit {
+  print(inst_count);
+}
+`
+
+const app = `
+.module app
+.executable
+.entry main
+.extern print
+.func main
+  mov  r5, @buf
+  mov  r2, 0
+  mov  r3, 5
+head:
+  load r4, [r5]
+  add  r2, r2, 1
+  blt  r2, r3, head
+  mov  r1, r2
+  call print
+  halt
+.data
+buf: .quad 42
+`
+
+func TestCompileAndRunAllBackends(t *testing.T) {
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tool.Source(), "inst_count") {
+		t.Error("Source lost")
+	}
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Backends()) != 3 {
+		t.Fatalf("backends = %v", Backends())
+	}
+	for _, b := range Backends() {
+		rep, err := tool.Run(target, b, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ToolOutput != "5\n" {
+			t.Errorf("%s: output = %q, want 5", b, rep.ToolOutput)
+		}
+		if rep.Backend != b || rep.Insts == 0 || rep.Cycles == 0 {
+			t.Errorf("%s: report = %+v", b, rep)
+		}
+	}
+}
+
+func TestToolOutStreaming(t *testing.T) {
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var toolOut, appOut bytes.Buffer
+	rep, err := tool.Run(target, Pin, RunOptions{ToolOut: &toolOut, AppOut: &appOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ToolOutput != "" {
+		t.Error("captured output should be empty when streaming")
+	}
+	if toolOut.String() != "5\n" {
+		t.Errorf("streamed tool output = %q", toolOut.String())
+	}
+	if appOut.String() != "5\n" { // the app prints its own loop count
+		t.Errorf("app output = %q", appOut.String())
+	}
+}
+
+func TestBaselineRun(t *testing.T) {
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BaselineRun(target, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tool.Run(target, Dyninst, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles <= base.Cycles {
+		t.Errorf("instrumented (%d) not costlier than baseline (%d)", rep.Cycles, base.Cycles)
+	}
+	if rep.Insts != base.Insts {
+		t.Errorf("instruction counts differ: %d vs %d", rep.Insts, base.Insts)
+	}
+}
+
+func TestGenerateCode(t *testing.T) {
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Backends() {
+		files, err := tool.GenerateCode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Errorf("%s: no files", b)
+		}
+	}
+	if _, err := tool.GenerateCode("valgrind"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Compile("int x = ;"); err == nil {
+		t.Error("bad program compiled")
+	}
+	if _, err := LoadAssembly("garbage"); err == nil {
+		t.Error("bad assembly loaded")
+	}
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tool.Run(target, "valgrind", RunOptions{}); err == nil {
+		t.Error("unknown backend ran")
+	}
+}
+
+func TestTargetReusableAcrossRuns(t *testing.T) {
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := tool.Run(target, Janus, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tool.Run(target, Janus, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.ToolOutput != r2.ToolOutput {
+		t.Error("target reuse is not deterministic")
+	}
+}

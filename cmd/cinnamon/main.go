@@ -1,0 +1,141 @@
+// Command cinnamon is the Cinnamon compiler driver: it compiles a .cin
+// program and either runs it on a binary under one of the three backends
+// or emits the framework-specific C/C++ sources.
+//
+//	cinnamon -backend=pin -target=victim:uaf_bug tool.cin
+//	cinnamon -backend=janus -target=suite:mcf -scale=0.5 tool.cin
+//	cinnamon -backend=dyninst -target=app.s tool.cin
+//	cinnamon -emit=janus tool.cin
+//	cinnamon -list-programs        # built-in case studies
+//	cinnamon -backend=pin -target=victim:uaf_bug @useafterfree
+//
+// Targets: "victim:<name>" (built-in monitoring victims),
+// "suite:<name>" (synthetic SPEC CPU 2017 benchmark), or a path to an
+// assembly file. Tool arguments starting with @ name a built-in case
+// study instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/cinnamon"
+	"repro/internal/obj"
+	"repro/internal/progs"
+	"repro/internal/workload"
+)
+
+func main() {
+	backendName := flag.String("backend", "pin", "backend: pin, dyninst, janus")
+	target := flag.String("target", "", "victim:<name>, suite:<name>, or an assembly file path")
+	emit := flag.String("emit", "", "emit generated C/C++ for this backend instead of running")
+	scale := flag.Float64("scale", 0.2, "workload scale for suite targets")
+	list := flag.Bool("list-programs", false, "list built-in case-study programs and exit")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	pinLoops := flag.Bool("pin-loops", false, "enable the Pin loop-detection extension (paper §VI-E)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("built-in case studies (use as @<name>):")
+		for _, n := range progs.Names() {
+			fmt.Printf("  @%s\n", n)
+		}
+		fmt.Println("victims (use as -target=victim:<name>):")
+		var names []string
+		for n := range workload.Victims() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fail("usage: cinnamon [flags] <tool.cin | @case-study>")
+	}
+	src := readTool(flag.Arg(0))
+	tool, err := cinnamon.Compile(src)
+	check(err)
+
+	if *emit != "" {
+		files, err := tool.GenerateCode(*emit)
+		check(err)
+		var names []string
+		for n := range files {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("// ===== %s =====\n%s\n", n, files[n])
+		}
+		return
+	}
+
+	if *target == "" {
+		fail("cinnamon: -target is required to run a tool (or use -emit)")
+	}
+	tgt := loadTarget(*target, *scale)
+	report, err := tool.Run(tgt, *backendName, cinnamon.RunOptions{
+		ToolOut:          os.Stdout,
+		PinLoopDetection: *pinLoops,
+	})
+	check(err)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "backend=%s insts=%d cycles=%d exit=%d\n",
+			report.Backend, report.Insts, report.Cycles, report.ExitCode)
+	}
+}
+
+func readTool(arg string) string {
+	if strings.HasPrefix(arg, "@") {
+		src, err := progs.Source(strings.TrimPrefix(arg, "@"))
+		check(err)
+		return src
+	}
+	b, err := os.ReadFile(arg)
+	check(err)
+	return string(b)
+}
+
+func loadTarget(spec string, scale float64) *cinnamon.Target {
+	switch {
+	case strings.HasPrefix(spec, "victim:"):
+		m, err := workload.Victim(strings.TrimPrefix(spec, "victim:"))
+		check(err)
+		t, err := cinnamon.LoadModules([]*obj.Module{m})
+		check(err)
+		return t
+	case strings.HasPrefix(spec, "suite:"):
+		s, ok := workload.ByName(strings.TrimPrefix(spec, "suite:"))
+		if !ok {
+			fail("cinnamon: unknown suite benchmark %q", spec)
+		}
+		mods, err := s.Build(scale)
+		check(err)
+		t, err := cinnamon.LoadModules(mods)
+		check(err)
+		return t
+	default:
+		b, err := os.ReadFile(spec)
+		check(err)
+		t, err := cinnamon.LoadAssembly(string(b))
+		check(err)
+		return t
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

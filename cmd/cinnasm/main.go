@@ -1,0 +1,112 @@
+// Command cinnasm assembles, inspects and disassembles binaries for the
+// synthetic machine:
+//
+//	cinnasm -o app.cino app.s          # assemble to an object file
+//	cinnasm -dump app.cino             # inspect an object file
+//	cinnasm -dump app.s                # assemble and inspect
+//	cinnasm -gen mcf -scale=0.1 -dump  # inspect a generated suite binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("o", "", "write the assembled object file here")
+	dump := flag.Bool("dump", false, "print sections, symbols and disassembly")
+	gen := flag.String("gen", "", "generate this suite benchmark instead of reading a file")
+	scale := flag.Float64("scale", 0.1, "workload scale for -gen")
+	flag.Parse()
+
+	var mods []*obj.Module
+	switch {
+	case *gen != "":
+		s, ok := workload.ByName(*gen)
+		if !ok {
+			fail("cinnasm: unknown benchmark %q", *gen)
+		}
+		var err error
+		mods, err = s.Build(*scale)
+		check(err)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		check(err)
+		var m *obj.Module
+		if strings.HasSuffix(flag.Arg(0), ".cino") {
+			m, err = obj.Decode(data)
+		} else {
+			m, err = asm.Assemble(string(data))
+		}
+		check(err)
+		mods = []*obj.Module{m}
+	default:
+		fail("usage: cinnasm [-o out.cino] [-dump] <file.s|file.cino> | -gen <benchmark> -dump")
+	}
+
+	if *out != "" {
+		data, err := obj.Encode(mods[0])
+		check(err)
+		check(os.WriteFile(*out, data, 0o644))
+		fmt.Printf("wrote %s (%d bytes: %d code, %d data, %d symbols)\n",
+			*out, len(data), len(mods[0].Code), len(mods[0].Data), len(mods[0].Syms))
+	}
+	if !*dump {
+		return
+	}
+
+	p, err := obj.Load(mods, vm.RuntimeExterns())
+	check(err)
+	prog, err := cfg.Build(p)
+	check(err)
+	for _, m := range prog.Modules {
+		l := m.Loaded
+		fmt.Printf("module %s  base=%#x  code=%d bytes  data=%d bytes  executable=%v\n",
+			m.Name(), l.Base, len(l.Image), len(l.DataImage), l.Executable)
+		for _, f := range m.Funcs {
+			fmt.Printf("  func %-16s [%#x, %#x)  blocks=%d loops=%d insts=%d",
+				f.Name, f.Entry, f.End, len(f.Blocks), len(f.Loops), f.NumInsts())
+			if f.Imprecise {
+				fmt.Print("  IMPRECISE")
+			}
+			fmt.Println()
+			for _, b := range f.Blocks {
+				fmt.Printf("    block %d @ %#x:\n", b.ID, b.Start)
+				for _, in := range b.Insts {
+					fmt.Printf("      %#08x  %s\n", in.Addr, render(prog, in))
+				}
+			}
+		}
+	}
+}
+
+// render decorates direct control transfers with their symbolic targets.
+func render(prog *cfg.Program, in *isa.Inst) string {
+	s := in.String()
+	if tgt, ok := in.IsDirectTarget(); ok {
+		if name := prog.Obj.NameAt(tgt); name != "" && in.TargetSym == "" {
+			s += "  ; " + name
+		}
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures from the command line:
+//
+//	experiments -exp=table1             # Table I: code lengths
+//	experiments -exp=fig12 -scale=1.0   # Figure 12: counts per backend
+//	experiments -exp=fig13              # Figure 13: overhead vs native
+//	experiments -exp=pintools           # Section VI-D: Pin tool overheads
+//	experiments -exp=all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, all")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper-equivalent test input)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		bench.FormatTable1(os.Stdout, bench.Table1())
+		return nil
+	})
+	run("fig12", func() error {
+		rows, err := bench.Fig12(*scale)
+		if err != nil {
+			return err
+		}
+		bench.FormatFig12(os.Stdout, rows)
+		fmt.Printf("shared-library gap (Pin > static): %v\n", bench.SharedLibGap(rows))
+		return nil
+	})
+	run("fig13", func() error {
+		rows, err := bench.Fig13(*scale)
+		if err != nil {
+			return err
+		}
+		bench.FormatFig13(os.Stdout, rows)
+		return nil
+	})
+	run("pintools", func() error {
+		rows, err := bench.PinToolOverheads(*scale)
+		if err != nil {
+			return err
+		}
+		bench.FormatPinTools(os.Stdout, rows)
+		return nil
+	})
+}

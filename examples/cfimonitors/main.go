@@ -1,0 +1,133 @@
+// Control-flow-integrity monitoring (the paper's Figures 8 and 9): a
+// shadow stack protects backward edges (returns), and a valid-target
+// check protects forward edges (calls). Both catch their respective
+// attacks — a stack smash that overwrites a return address, and a
+// corrupted function pointer aimed into the middle of a function.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/cinnamon"
+)
+
+const shadowStackSrc = `
+dict<int,addr> sstack;
+int top = 0;
+
+inst I where (I.opcode == Call) {
+  before I {
+    addr fall_addr = I.nextaddr;
+    sstack[top] = fall_addr;
+    top = top + 1;
+  }
+}
+inst I where (I.opcode == Return) {
+  before I {
+    if (top > 0 && sstack[top-1] == I.trgaddr) {
+      top = top - 1;
+    } else {
+      print("ERROR");
+    }
+  }
+}
+`
+
+const forwardCFISrc = `
+vector<addr> vtable;
+file outfile("fAddr.txt");
+
+func F {
+  writeToFile(outfile, F.startAddr);
+}
+inst I where (I.opcode == Call) {
+  before I {
+    if (!vtable.has(I.trgaddr)) {
+      print("ERROR");
+    }
+  }
+}
+init {
+  line l = outfile.getline();
+  for (; l != NULL; ) {
+    vtable.add(l);
+    l = outfile.getline();
+  }
+}
+`
+
+// A buffer overflow overwrites the saved return address on the real
+// in-memory stack, diverting victim's return into evil().
+const smashSrc = `
+.module smash
+.executable
+.entry main
+.func main
+  call  victim
+  halt
+.func victim
+  sub   sp, sp, 32
+  mov   r9, @evil
+  mov   r10, 0
+  mov   r11, 5          ; writes 5 words into a 4-word buffer
+loop:
+  mul   r12, r10, 8
+  add   r13, sp, r12
+  store r9, [r13]
+  add   r10, r10, 1
+  blt   r10, r11, loop
+  add   sp, sp, 32
+  ret                   ; returns into evil
+.func evil
+  mov   r1, 666
+  halt                  ; the attacker's payload ends the program
+`
+
+// A corrupted function pointer aims an indirect call into the middle of
+// a function — not a valid entry point.
+const corruptSrc = `
+.module corrupt
+.executable
+.entry main
+.func main
+  mov   r9, @fptr
+  load  r10, [r9]
+  call  r10             ; fine: worker is a real function entry
+  mov   r11, @gadget+2
+  store r11, [r9]
+  load  r10, [r9]
+  call  r10             ; CFI violation: mid-function target
+  halt
+.func worker
+  mov   r4, 2
+  ret
+.func gadget
+  nop
+  mov   r1, 999
+  ret
+.data
+fptr: .addr worker
+`
+
+func main() {
+	check := func(toolSrc, appSrc, label string) {
+		tool, err := cinnamon.Compile(toolSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target, err := cinnamon.LoadAssembly(appSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := tool.Run(target, cinnamon.Dyninst, cinnamon.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		violations := strings.Count(report.ToolOutput, "ERROR")
+		fmt.Printf("%-28s -> %d violation(s) detected\n", label, violations)
+	}
+	check(shadowStackSrc, smashSrc, "shadow stack vs stack smash")
+	check(forwardCFISrc, corruptSrc, "forward CFI vs bad pointer")
+}

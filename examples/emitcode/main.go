@@ -1,0 +1,51 @@
+// Emitting framework code: the Cinnamon compiler's second output path.
+// Besides running tools directly, it lowers a program to the C/C++
+// sources that plug into each real framework (the paper's Figure 4
+// workflow): a Pin tool, a Dyninst mutator, and a Janus static pass with
+// its dynamic handlers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/cinnamon"
+)
+
+const toolSrc = `
+uint64 inst_count = 0;
+basicblock B {
+  uint64 local_inst_count = 0;
+  inst I where (I.opcode == Load) {
+    local_inst_count = local_inst_count + 1;
+  }
+  before B where (local_inst_count > 0) {
+    inst_count = inst_count + local_inst_count;
+  }
+}
+exit {
+  print(inst_count);
+}
+`
+
+func main() {
+	tool, err := cinnamon.Compile(toolSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, backend := range cinnamon.Backends() {
+		files, err := tool.GenerateCode(backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var names []string
+		for n := range files {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("// ================= %s (%s backend) =================\n%s\n", n, backend, files[n])
+		}
+	}
+}

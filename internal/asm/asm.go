@@ -1,0 +1,640 @@
+// Package asm implements a two-pass assembler from textual assembly to
+// obj.Module objects. All binaries in this repository — the SPEC-like
+// workload suite and the monitoring victim programs — are authored in this
+// assembly language.
+//
+// Syntax overview (comments start with ';' or '#'):
+//
+//	.module a.out          ; module name
+//	.executable            ; mark as the main program
+//	.entry main            ; program entry symbol
+//	.extern malloc         ; imported symbol
+//	.global main           ; export a symbol
+//
+//	.func main             ; begin a function (ends at the next directive)
+//	  mov   r1, 64
+//	  call  malloc
+//	  mov   r5, r0
+//	loop:                  ; function-local label
+//	  store r2, [r5+8]
+//	  add   r2, r2, 1
+//	  blt   r2, r3, loop   ; conditional branch (beq/bne/blt/ble/bgt/bge)
+//	  b     done           ; unconditional branch; "b r3" is indirect
+//	done:
+//	  ret
+//
+//	.data                  ; switch to the data section
+//	counts: .quad 0, 1, 2  ; 8-byte words
+//	table:  .addr f1, f2   ; address words (relocated)
+//	buf:    .space 64      ; zero bytes
+//	.jumptable table, 2, switch_br, recoverable
+//
+// Immediate operands may reference symbols as `@sym` or `@sym+N`, which the
+// assembler lowers to relocations patched by the loader.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates source text into a module.
+func Assemble(src string) (*obj.Module, error) {
+	a := &assembler{
+		mod:       &obj.Module{},
+		labels:    make(map[string]labelDef),
+		externs:   make(map[string]bool),
+		globals:   make(map[string]bool),
+		funcStart: -1,
+	}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	return a.mod, nil
+}
+
+// MustAssemble is Assemble for known-good sources (tests, generators); it
+// panics on error.
+func MustAssemble(src string) *obj.Module {
+	m, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type labelDef struct {
+	kind obj.SymKind
+	off  uint64
+	fn   string // enclosing function for code labels ("" for functions themselves)
+}
+
+type pendingInst struct {
+	line int
+	inst *isa.Inst
+	// refs maps operand index -> symbolic reference to patch via reloc.
+	refs map[int]symRef
+}
+
+type pendingData struct {
+	line int
+	off  uint64
+	ref  symRef
+}
+
+type symRef struct {
+	name   string
+	addend int64
+}
+
+type jumpTableDecl struct {
+	line                    int
+	table, branch, recoverS string
+	count                   int
+}
+
+type assembler struct {
+	mod     *obj.Module
+	labels  map[string]labelDef
+	externs map[string]bool
+	globals map[string]bool
+
+	insts     []pendingInst
+	dataRefs  []pendingData
+	jts       []jumpTableDecl
+	entrySym  string
+	entryLine int
+
+	curFunc   string
+	funcStart int64 // code offset where current function began, -1 if none
+	inData    bool
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) run(src string) error {
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		line := i + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Labels: one or more "name:" prefixes.
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(text[:idx])
+			if !isIdent(head) {
+				break
+			}
+			if err := a.defineLabel(line, head); err != nil {
+				return err
+			}
+			text = strings.TrimSpace(text[idx+1:])
+		}
+		if text == "" {
+			continue
+		}
+		var err error
+		if strings.HasPrefix(text, ".") {
+			err = a.directive(line, text)
+		} else if a.inData {
+			err = a.errf(line, "instruction %q in data section", text)
+		} else {
+			err = a.instruction(line, text)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	a.endFunc()
+	return a.finish()
+}
+
+func stripComment(s string) string {
+	for _, c := range []string{";", "#"} {
+		if i := strings.Index(s, c); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) defineLabel(line int, name string) error {
+	if _, dup := a.labels[name]; dup {
+		return a.errf(line, "duplicate label %q", name)
+	}
+	if a.inData {
+		a.labels[name] = labelDef{kind: obj.SymData, off: uint64(len(a.mod.Data))}
+		a.mod.Syms = append(a.mod.Syms, obj.Symbol{Name: name, Kind: obj.SymData, Off: uint64(len(a.mod.Data))})
+		return nil
+	}
+	if a.curFunc == "" {
+		return a.errf(line, "code label %q outside function", name)
+	}
+	a.labels[name] = labelDef{kind: obj.SymFunc, off: uint64(len(a.mod.Code)), fn: a.curFunc}
+	return nil
+}
+
+func (a *assembler) directive(line int, text string) error {
+	fields := strings.SplitN(text, " ", 2)
+	dir := fields[0]
+	arg := ""
+	if len(fields) == 2 {
+		arg = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".module":
+		if arg == "" {
+			return a.errf(line, ".module requires a name")
+		}
+		a.mod.Name = arg
+	case ".executable":
+		a.mod.Executable = true
+	case ".entry":
+		if !isIdent(arg) {
+			return a.errf(line, ".entry requires a symbol")
+		}
+		a.entrySym, a.entryLine = arg, line
+	case ".extern":
+		if !isIdent(arg) {
+			return a.errf(line, ".extern requires a symbol")
+		}
+		a.externs[arg] = true
+	case ".global":
+		if !isIdent(arg) {
+			return a.errf(line, ".global requires a symbol")
+		}
+		a.globals[arg] = true
+	case ".func":
+		if !isIdent(arg) {
+			return a.errf(line, ".func requires a name")
+		}
+		a.endFunc()
+		a.inData = false
+		if _, dup := a.labels[arg]; dup {
+			return a.errf(line, "duplicate symbol %q", arg)
+		}
+		a.curFunc = arg
+		a.funcStart = int64(len(a.mod.Code))
+		a.labels[arg] = labelDef{kind: obj.SymFunc, off: uint64(len(a.mod.Code))}
+	case ".data":
+		a.endFunc()
+		a.inData = true
+	case ".quad":
+		return a.dataWords(line, arg)
+	case ".addr":
+		return a.dataAddrs(line, arg)
+	case ".space":
+		n, err := parseInt(arg)
+		if err != nil || n < 0 {
+			return a.errf(line, "bad .space size %q", arg)
+		}
+		a.mod.Data = append(a.mod.Data, make([]byte, n)...)
+	case ".jumptable":
+		parts := splitArgs(arg)
+		if len(parts) != 4 {
+			return a.errf(line, ".jumptable wants table, count, branch, recoverable|unrecoverable")
+		}
+		count, err := parseInt(parts[1])
+		if err != nil || count <= 0 {
+			return a.errf(line, "bad jump table count %q", parts[1])
+		}
+		a.jts = append(a.jts, jumpTableDecl{line: line, table: parts[0], count: int(count), branch: parts[2], recoverS: parts[3]})
+	default:
+		return a.errf(line, "unknown directive %q", dir)
+	}
+	return nil
+}
+
+func (a *assembler) endFunc() {
+	if a.curFunc == "" {
+		return
+	}
+	size := uint64(len(a.mod.Code)) - uint64(a.funcStart)
+	a.mod.Syms = append(a.mod.Syms, obj.Symbol{
+		Name: a.curFunc, Kind: obj.SymFunc, Off: uint64(a.funcStart), Size: size,
+	})
+	a.curFunc, a.funcStart = "", -1
+}
+
+func (a *assembler) dataWords(line int, arg string) error {
+	if !a.inData {
+		return a.errf(line, ".quad outside data section")
+	}
+	for _, f := range splitArgs(arg) {
+		v, err := parseInt(f)
+		if err != nil {
+			return a.errf(line, "bad .quad value %q", f)
+		}
+		a.appendWord(uint64(v))
+	}
+	return nil
+}
+
+func (a *assembler) dataAddrs(line int, arg string) error {
+	if !a.inData {
+		return a.errf(line, ".addr outside data section")
+	}
+	for _, f := range splitArgs(arg) {
+		ref, err := parseSymRef(f)
+		if err != nil {
+			return a.errf(line, "bad .addr target %q: %v", f, err)
+		}
+		a.dataRefs = append(a.dataRefs, pendingData{line: line, off: uint64(len(a.mod.Data)), ref: ref})
+		a.appendWord(0)
+	}
+	return nil
+}
+
+func (a *assembler) appendWord(v uint64) {
+	for i := 0; i < 8; i++ {
+		a.mod.Data = append(a.mod.Data, byte(v>>(8*i)))
+	}
+}
+
+// condMnemonics maps branch mnemonics to their condition.
+var condMnemonics = map[string]isa.Cond{
+	"beq": isa.EQ, "bne": isa.NE, "blt": isa.LT, "ble": isa.LE, "bgt": isa.GT, "bge": isa.GE,
+}
+
+func (a *assembler) instruction(line int, text string) error {
+	if a.curFunc == "" {
+		return a.errf(line, "instruction outside function")
+	}
+	mnem := text
+	rest := ""
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		mnem, rest = text[:i], strings.TrimSpace(text[i+1:])
+	}
+	args := splitArgs(rest)
+
+	in := &isa.Inst{}
+	refs := make(map[int]symRef)
+
+	addOperand := func(s string) error {
+		op, ref, err := parseOperand(s)
+		if err != nil {
+			return err
+		}
+		if ref != nil {
+			refs[len(in.Ops)] = *ref
+		}
+		in.Ops = append(in.Ops, op)
+		return nil
+	}
+	addAll := func() error {
+		for _, s := range args {
+			if err := addOperand(s); err != nil {
+				return a.errf(line, "%v", err)
+			}
+		}
+		return nil
+	}
+
+	switch {
+	case mnem == "b":
+		in.Op = isa.Branch
+		if len(args) != 1 {
+			return a.errf(line, "b wants one target")
+		}
+		if r, ok := isa.RegByName(args[0]); ok {
+			in.Ops = append(in.Ops, isa.RegOp(r))
+		} else {
+			ref, err := parseSymRef(args[0])
+			if err != nil {
+				return a.errf(line, "bad branch target %q", args[0])
+			}
+			refs[0] = ref
+			in.Ops = append(in.Ops, isa.ImmOp(0))
+			in.TargetSym = ref.name
+		}
+	case condMnemonics[mnem] != 0:
+		in.Op = isa.Branch
+		in.Cond = condMnemonics[mnem]
+		if len(args) != 3 {
+			return a.errf(line, "%s wants rs, rt, target", mnem)
+		}
+		for i := 0; i < 2; i++ {
+			r, ok := isa.RegByName(args[i])
+			if !ok {
+				return a.errf(line, "bad register %q", args[i])
+			}
+			in.Ops = append(in.Ops, isa.RegOp(r))
+		}
+		ref, err := parseSymRef(args[2])
+		if err != nil {
+			return a.errf(line, "bad branch target %q", args[2])
+		}
+		refs[2] = ref
+		in.Ops = append(in.Ops, isa.ImmOp(0))
+		in.TargetSym = ref.name
+	case mnem == "call":
+		in.Op = isa.Call
+		if len(args) != 1 {
+			return a.errf(line, "call wants one target")
+		}
+		if r, ok := isa.RegByName(args[0]); ok {
+			in.Ops = append(in.Ops, isa.RegOp(r))
+		} else {
+			ref, err := parseSymRef(args[0])
+			if err != nil {
+				return a.errf(line, "bad call target %q", args[0])
+			}
+			refs[0] = ref
+			in.Ops = append(in.Ops, isa.ImmOp(0))
+			in.TargetSym = ref.name
+		}
+	default:
+		op, ok := isa.OpByName(mnem)
+		if !ok {
+			return a.errf(line, "unknown mnemonic %q", mnem)
+		}
+		in.Op = op
+		if err := addAll(); err != nil {
+			return err
+		}
+	}
+
+	if err := in.Validate(); err != nil {
+		return a.errf(line, "%v", err)
+	}
+	a.insts = append(a.insts, pendingInst{line: line, inst: in, refs: refs})
+
+	encoded, err := isa.Encode(a.mod.Code, in)
+	if err != nil {
+		return a.errf(line, "%v", err)
+	}
+	in.Addr = uint64(len(a.mod.Code)) // module-relative for now
+	in.Size = isa.EncodedSize(in)
+	a.mod.Code = encoded
+	return nil
+}
+
+// parseOperand parses a register, memory or immediate operand. Immediates
+// may be `@sym` or `@sym±N` references, returned as a symRef for the caller
+// to record.
+func parseOperand(s string) (isa.Operand, *symRef, error) {
+	if r, ok := isa.RegByName(s); ok {
+		return isa.RegOp(r), nil, nil
+	}
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := s[1 : len(s)-1]
+		base := inner
+		off := int64(0)
+		if i := strings.IndexAny(inner, "+-"); i > 0 {
+			base = inner[:i]
+			v, err := parseInt(inner[i:])
+			if err != nil {
+				return isa.Operand{}, nil, fmt.Errorf("bad memory offset in %q", s)
+			}
+			off = v
+		}
+		r, ok := isa.RegByName(strings.TrimSpace(base))
+		if !ok {
+			return isa.Operand{}, nil, fmt.Errorf("bad base register in %q", s)
+		}
+		return isa.MemOp(r, off), nil, nil
+	}
+	if strings.HasPrefix(s, "@") {
+		ref, err := parseSymRef(s[1:])
+		if err != nil {
+			return isa.Operand{}, nil, err
+		}
+		return isa.ImmOp(0), &ref, nil
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return isa.Operand{}, nil, fmt.Errorf("bad operand %q", s)
+	}
+	return isa.ImmOp(v), nil, nil
+}
+
+func parseSymRef(s string) (symRef, error) {
+	name := s
+	addend := int64(0)
+	if i := strings.IndexAny(s, "+-"); i > 0 {
+		name = s[:i]
+		v, err := parseInt(s[i:])
+		if err != nil {
+			return symRef{}, fmt.Errorf("bad addend in %q", s)
+		}
+		addend = v
+	}
+	if !isIdent(name) {
+		return symRef{}, fmt.Errorf("bad symbol %q", name)
+	}
+	return symRef{name: name, addend: addend}, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	} else if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+// finish resolves symbolic references into relocations and finalizes the
+// module.
+func (a *assembler) finish() error {
+	if a.mod.Name == "" {
+		a.mod.Name = "a.out"
+	}
+	for name := range a.globals {
+		found := false
+		for i := range a.mod.Syms {
+			if a.mod.Syms[i].Name == name {
+				a.mod.Syms[i].Global = true
+				found = true
+			}
+		}
+		if !found {
+			return a.errf(0, ".global %q: no such symbol", name)
+		}
+	}
+	if a.entrySym != "" {
+		def, ok := a.labels[a.entrySym]
+		if !ok || def.kind != obj.SymFunc {
+			return a.errf(a.entryLine, ".entry %q: no such function", a.entrySym)
+		}
+		a.mod.Entry = def.off
+	}
+
+	// resolveRef maps a symbolic reference to a relocation target: a local
+	// label becomes (enclosing-function, addend), a module symbol or
+	// extern stays by name.
+	resolveRef := func(line int, ref symRef) (sym string, addend int64, err error) {
+		if def, ok := a.labels[ref.name]; ok {
+			if def.fn != "" {
+				// Function-local label: relocate against the function
+				// symbol with the intra-function offset as addend.
+				fnDef := a.labels[def.fn]
+				return def.fn, int64(def.off-fnDef.off) + ref.addend, nil
+			}
+			return ref.name, ref.addend, nil
+		}
+		if a.externs[ref.name] {
+			return ref.name, ref.addend, nil
+		}
+		return "", 0, a.errf(line, "undefined symbol %q", ref.name)
+	}
+
+	for _, pi := range a.insts {
+		for opIdx, ref := range pi.refs {
+			sym, addend, err := resolveRef(pi.line, ref)
+			if err != nil {
+				return err
+			}
+			immOff, err := isa.ImmOffset(pi.inst, opIdx)
+			if err != nil {
+				return a.errf(pi.line, "internal: %v", err)
+			}
+			a.mod.Relocs = append(a.mod.Relocs, obj.Reloc{
+				Kind:   obj.RelocCode,
+				Off:    pi.inst.Addr + uint64(immOff),
+				Sym:    sym,
+				Addend: addend,
+			})
+		}
+	}
+	for _, pd := range a.dataRefs {
+		sym, addend, err := resolveRef(pd.line, pd.ref)
+		if err != nil {
+			return err
+		}
+		a.mod.Relocs = append(a.mod.Relocs, obj.Reloc{Kind: obj.RelocData, Off: pd.off, Sym: sym, Addend: addend})
+	}
+	for name := range a.externs {
+		a.mod.Imports = append(a.mod.Imports, name)
+	}
+	sort.Strings(a.mod.Imports)
+
+	for _, jt := range a.jts {
+		tdef, ok := a.labels[jt.table]
+		if !ok || tdef.kind != obj.SymData {
+			return a.errf(jt.line, ".jumptable: %q is not a data label", jt.table)
+		}
+		bdef, ok := a.labels[jt.branch]
+		if !ok || bdef.kind != obj.SymFunc {
+			return a.errf(jt.line, ".jumptable: %q is not a code label", jt.branch)
+		}
+		var recoverable bool
+		switch jt.recoverS {
+		case "recoverable":
+			recoverable = true
+		case "unrecoverable":
+			recoverable = false
+		default:
+			return a.errf(jt.line, ".jumptable: want recoverable|unrecoverable, got %q", jt.recoverS)
+		}
+		a.mod.JumpTables = append(a.mod.JumpTables, obj.JumpTable{
+			DataOff:     tdef.off,
+			Count:       jt.count,
+			BranchOff:   bdef.off,
+			Recoverable: recoverable,
+		})
+	}
+
+	return a.mod.Validate()
+}

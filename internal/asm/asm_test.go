@@ -1,0 +1,274 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+const helloSrc = `
+; A small program exercising most assembler features.
+.module a.out
+.executable
+.entry main
+.extern malloc
+.extern print
+.global main
+
+.func main
+  mov   r1, 64
+  call  malloc
+  mov   r5, r0
+  mov   r2, 0
+  mov   r3, 4
+loop:
+  store r2, [r5+8]
+  add   r2, r2, 1
+  blt   r2, r3, loop
+  mov   r1, @table
+  load  r4, [r1]
+  call  helper
+  b     done
+done:
+  halt
+
+.func helper
+  mov r1, r2
+  call print
+  ret
+
+.data
+table: .quad 7, 0x10, -3
+funcs: .addr main, helper, loop
+buf:   .space 32
+.jumptable funcs, 3, main, recoverable
+`
+
+func TestAssembleHello(t *testing.T) {
+	m, err := Assemble(helloSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "a.out" || !m.Executable {
+		t.Errorf("header: name=%q exec=%v", m.Name, m.Executable)
+	}
+	if m.Entry != 0 {
+		t.Errorf("entry = %#x, want 0", m.Entry)
+	}
+	main, ok := m.Sym("main")
+	if !ok || main.Kind != obj.SymFunc || !main.Global || main.Off != 0 {
+		t.Errorf("main symbol: %+v, ok=%v", main, ok)
+	}
+	helper, ok := m.Sym("helper")
+	if !ok || helper.Global {
+		t.Errorf("helper symbol: %+v (should not be global)", helper)
+	}
+	if main.Size == 0 || helper.Size == 0 {
+		t.Error("function sizes not set")
+	}
+	if main.Off+main.Size != helper.Off {
+		t.Errorf("main [0,%d) does not abut helper at %d", main.Size, helper.Off)
+	}
+	if len(m.Imports) != 2 || m.Imports[0] != "malloc" || m.Imports[1] != "print" {
+		t.Errorf("imports = %v", m.Imports)
+	}
+	if len(m.JumpTables) != 1 || m.JumpTables[0].Count != 3 || !m.JumpTables[0].Recoverable {
+		t.Errorf("jump tables = %+v", m.JumpTables)
+	}
+	// Data section: 3 quads + 3 addrs + 32 bytes.
+	if len(m.Data) != 3*8+3*8+32 {
+		t.Errorf("data size = %d", len(m.Data))
+	}
+	// Code decodes cleanly.
+	insts, err := isa.DecodeAll(m.Code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 16 {
+		t.Errorf("decoded %d instructions, want 16", len(insts))
+	}
+}
+
+func TestAssembleLoadRun(t *testing.T) {
+	m := MustAssemble(helloSrc)
+	externs := map[string]uint64{
+		"malloc": obj.IntrinsicBase,
+		"print":  obj.IntrinsicBase + 8,
+	}
+	p, err := obj.Load([]*obj.Module{m}, externs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Modules[0]
+	insts, err := isa.DecodeAll(l.Image, l.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// call malloc is the second instruction.
+	tgt, ok := insts[1].IsDirectTarget()
+	if !ok || tgt != obj.IntrinsicBase {
+		t.Errorf("call malloc target = %#x, want %#x", tgt, obj.IntrinsicBase)
+	}
+	// blt targets the loop label (the store instruction).
+	var blt, store *isa.Inst
+	for _, in := range insts {
+		if in.Op == isa.Store && store == nil {
+			store = in
+		}
+		if in.IsConditional() {
+			blt = in
+		}
+	}
+	if blt == nil || store == nil {
+		t.Fatal("missing blt/store")
+	}
+	if tgt, ok := blt.IsDirectTarget(); !ok || tgt != store.Addr {
+		t.Errorf("blt target = %#x, want loop at %#x", tgt, store.Addr)
+	}
+	// mov r1, @table resolves to the data symbol.
+	tableAddr, ok := l.SymAddr("table")
+	if !ok {
+		t.Fatal("table symbol missing")
+	}
+	var movTable *isa.Inst
+	for _, in := range insts {
+		if in.Op == isa.Mov && len(in.Ops) == 2 && in.Ops[1].Kind == isa.KindImm && uint64(in.Ops[1].Imm) == tableAddr {
+			movTable = in
+		}
+	}
+	if movTable == nil {
+		t.Errorf("no mov with @table address %#x", tableAddr)
+	}
+	// .addr entries: funcs[0]=main, funcs[1]=helper, funcs[2]=loop label.
+	funcsAddr, _ := l.SymAddr("funcs")
+	word := func(addr uint64) uint64 {
+		off := addr - l.DataBase
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(l.DataImage[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
+	mainAddr, _ := l.SymAddr("main")
+	helperAddr, _ := l.SymAddr("helper")
+	if word(funcsAddr) != mainAddr {
+		t.Errorf("funcs[0] = %#x, want main %#x", word(funcsAddr), mainAddr)
+	}
+	if word(funcsAddr+8) != helperAddr {
+		t.Errorf("funcs[1] = %#x, want helper %#x", word(funcsAddr+8), helperAddr)
+	}
+	if word(funcsAddr+16) != store.Addr {
+		t.Errorf("funcs[2] = %#x, want loop label %#x", word(funcsAddr+16), store.Addr)
+	}
+}
+
+func TestRoundTripThroughObjectFile(t *testing.T) {
+	m := MustAssemble(helloSrc)
+	b, err := obj.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := obj.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != m.Name || len(m2.Code) != len(m.Code) || len(m2.Relocs) != len(m.Relocs) {
+		t.Error("object round trip lost information")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", ".func f\n frob r1\n", "unknown mnemonic"},
+		{"unknown directive", ".bogus x\n", "unknown directive"},
+		{"inst outside func", "mov r1, 2\n", "outside function"},
+		{"label outside func", "x:\n mov r1, 2\n", "outside function"},
+		{"dup label", ".func f\na:\na:\n ret\n", "duplicate label"},
+		{"dup func", ".func f\n ret\n.func f\n ret\n", "duplicate symbol"},
+		{"undefined target", ".func f\n b nowhere\n", "undefined symbol"},
+		{"bad register", ".func f\n beq rq, r1, f\n", "bad register"},
+		{"bad operand count", ".func f\n mov r1\n", "invalid mov"},
+		{"bad mem operand", ".func f\n load r1, [zz+8]\n", "bad base register"},
+		{"bad entry", ".entry nope\n.func f\n ret\n", "no such function"},
+		{"bad global", ".global nope\n.func f\n ret\n", "no such symbol"},
+		{"data instruction", ".data\n mov r1, 2\n", "data section"},
+		{"quad outside data", ".func f\n ret\n.quad 1\n", "outside data"},
+		{"bad quad", ".data\n.quad zork\n", "bad .quad"},
+		{"bad space", ".data\n.space -4\n", "bad .space"},
+		{"bad jumptable args", ".jumptable a, b\n", "wants table"},
+		{"jumptable bad table", ".func f\n ret\n.jumptable f, 1, f, recoverable\n", "not a data label"},
+		{"jumptable bad branch", ".data\nt: .quad 0\n.jumptable t, 1, t, recoverable\n", "not a code label"},
+		{"jumptable bad flag", ".func f\n ret\n.data\nt: .quad 0\n.jumptable t, 1, f, maybe\n", "recoverable|unrecoverable"},
+		{"bad call target", ".func f\n call 1+2\n", "bad call target"},
+		{"bad branch target", ".func f\n b 1+2\n", "bad branch target"},
+		{"module no name", ".module\n", ".module requires"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: Assemble succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestSymRefWithAddend(t *testing.T) {
+	src := `
+.func f
+  mov r1, @tab+16
+  ret
+.data
+tab: .space 32
+`
+	m := MustAssemble(src)
+	found := false
+	for _, r := range m.Relocs {
+		if r.Sym == "tab" && r.Addend == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no reloc tab+16 in %+v", m.Relocs)
+	}
+}
+
+func TestLocalLabelRelocUsesFunctionAddend(t *testing.T) {
+	src := `
+.func f
+  nop
+top:
+  b top
+`
+	m := MustAssemble(src)
+	if len(m.Relocs) != 1 {
+		t.Fatalf("relocs = %+v", m.Relocs)
+	}
+	r := m.Relocs[0]
+	if r.Sym != "f" || r.Addend != 2 { // nop encodes to 2 bytes
+		t.Errorf("reloc = %+v, want sym f addend 2", r)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("junk\n")
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "; leading comment\n\n.func f # trailing\n  ret ; done\n"
+	m := MustAssemble(src)
+	if _, ok := m.Sym("f"); !ok {
+		t.Error("function f missing")
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core/backend"
+	"repro/internal/progs"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Ablation studies beyond the paper's figures, quantifying the design
+// choices DESIGN.md calls out:
+//
+//   - per-instruction (Figure 5a) versus per-basic-block (Figure 5b)
+//     counting — the paper's motivation for precomputed block counts;
+//   - constraint filtering — what the `where` clause saves;
+//   - framework base cost — what an *empty* tool costs on each backend
+//     (JIT translation versus static rewriting).
+
+// AblationRow is one benchmark's overhead (%) over the uninstrumented
+// baseline for two variants of a tool.
+type AblationRow struct {
+	Benchmark string
+	// A and B are overhead percentages of the two variants.
+	A, B float64
+}
+
+// ablationBenchmarks is the subset of the suite used for ablations (kept
+// small: the comparisons are per-benchmark, not suite-wide statistics).
+var ablationBenchmarks = []string{"mcf", "xz", "leela", "namd", "imagick"}
+
+// AblationCounting compares Figure 5a (per-load action) with Figure 5b
+// (per-block precomputed action) on the given backend: overhead over the
+// uninstrumented run.
+func AblationCounting(backendName string, scale float64) ([]AblationRow, error) {
+	toolA, err := compileTool(progs.InstCountBasic)
+	if err != nil {
+		return nil, err
+	}
+	toolB, err := compileTool(progs.InstCountBB)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, name := range ablationBenchmarks {
+		spec, _ := workload.ByName(name)
+		prog, err := BuildBenchmark(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		base, err := vm.New(prog, vm.Config{}).Run()
+		if err != nil {
+			return nil, err
+		}
+		resA, err := backend.Run(toolA, prog, backendName, backend.Options{Out: io.Discard})
+		if err != nil {
+			return nil, err
+		}
+		resB, err := backend.Run(toolB, prog, backendName, backend.Options{Out: io.Discard})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Benchmark: name,
+			A:         overheadPct(resA.Cycles, base.Cycles),
+			B:         overheadPct(resB.Cycles, base.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// filteredSrc selects loads with a static constraint, evaluated once at
+// instrumentation time; dynamicWhereSrc adds an (always-true) dynamic
+// constraint that must compile into a run-time guard with a materialized
+// attribute. The gap is what Section III-B6's static constraint
+// evaluation saves.
+const filteredSrc = `
+uint64 n = 0;
+inst I where (I.opcode == Load) {
+  before I {
+    n = n + 1;
+  }
+}
+exit { print(n); }
+`
+
+const unfilteredSrc = `
+uint64 n = 0;
+inst I where (I.opcode == Load) {
+  before I where (I.memaddr + 1 > 0) {
+    n = n + 1;
+  }
+}
+exit { print(n); }
+`
+
+// AblationConstraints compares a statically filtered action against one
+// whose constraint is dynamic (evaluated on every invocation): overhead
+// over the uninstrumented run on the given backend. The counts are
+// identical; the dispatch cost is not.
+func AblationConstraints(backendName string, scale float64) ([]AblationRow, error) {
+	toolF, err := engineCompile(filteredSrc)
+	if err != nil {
+		return nil, err
+	}
+	toolU, err := engineCompile(unfilteredSrc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, name := range ablationBenchmarks {
+		spec, _ := workload.ByName(name)
+		prog, err := BuildBenchmark(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		base, err := vm.New(prog, vm.Config{}).Run()
+		if err != nil {
+			return nil, err
+		}
+		resF, err := backend.Run(toolF, prog, backendName, backend.Options{Out: io.Discard})
+		if err != nil {
+			return nil, err
+		}
+		resU, err := backend.Run(toolU, prog, backendName, backend.Options{Out: io.Discard})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Benchmark: name,
+			A:         overheadPct(resF.Cycles, base.Cycles),
+			B:         overheadPct(resU.Cycles, base.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// AblationBaseCost measures what an empty tool (no commands at all)
+// costs on each backend relative to the uninstrumented run: the
+// framework's own price — JIT translation for the dynamic frameworks,
+// nearly nothing for the static rewriter.
+func AblationBaseCost(scale float64) (map[string]float64, error) {
+	empty, err := engineCompile("init { }\n")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, fw := range Frameworks {
+		var sum float64
+		n := 0
+		for _, name := range ablationBenchmarks {
+			spec, _ := workload.ByName(name)
+			prog, err := BuildBenchmark(spec, scale)
+			if err != nil {
+				return nil, err
+			}
+			base, err := vm.New(prog, vm.Config{}).Run()
+			if err != nil {
+				return nil, err
+			}
+			res, err := backend.Run(empty, prog, fw, backend.Options{Out: io.Discard})
+			if err != nil {
+				return nil, err
+			}
+			sum += overheadPct(res.Cycles, base.Cycles)
+			n++
+		}
+		out[fw] = sum / float64(n)
+	}
+	return out, nil
+}
+
+// FormatAblation renders two-variant ablation rows.
+func FormatAblation(w io.Writer, labelA, labelB string, rows []AblationRow) {
+	fmt.Fprintf(w, "%-12s %14s %14s\n", "Benchmark", labelA, labelB)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %13.2f%% %13.2f%%\n", r.Benchmark, r.A, r.B)
+	}
+}

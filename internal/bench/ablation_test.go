@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/backend"
+	"repro/internal/workload"
+)
+
+func TestAblationCounting(t *testing.T) {
+	// The paper's Figure 5b exists because per-block counting is cheaper
+	// than per-instruction counting: the precomputed-count variant must
+	// win on every backend and every benchmark.
+	for _, fw := range Frameworks {
+		rows, err := AblationCounting(fw, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.B >= r.A {
+				t.Errorf("%s/%s: per-block (%.2f%%) not cheaper than per-inst (%.2f%%)", fw, r.Benchmark, r.B, r.A)
+			}
+			if r.A <= 0 || r.B <= 0 {
+				t.Errorf("%s/%s: non-positive overheads %.2f/%.2f", fw, r.Benchmark, r.A, r.B)
+			}
+		}
+	}
+}
+
+func TestAblationConstraints(t *testing.T) {
+	// A static constraint is evaluated once at instrumentation time; a
+	// dynamic constraint becomes a per-invocation guard and costs
+	// strictly more.
+	for _, fw := range Frameworks {
+		rows, err := AblationConstraints(fw, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.A >= r.B {
+				t.Errorf("%s/%s: filtered (%.2f%%) not cheaper than unfiltered (%.2f%%)", fw, r.Benchmark, r.A, r.B)
+			}
+		}
+		var buf strings.Builder
+		FormatAblation(&buf, "static-where", "dynamic-where", rows)
+		if !strings.Contains(buf.String(), "static-where") {
+			t.Error("format lost labels")
+		}
+	}
+}
+
+func TestAblationBaseCost(t *testing.T) {
+	costs, err := AblationBaseCost(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static rewriter adds no run-time cost with an empty tool; the
+	// dynamic frameworks pay JIT translation.
+	if costs[backend.Dyninst] != 0 {
+		t.Errorf("dyninst base cost = %.3f%%, want 0", costs[backend.Dyninst])
+	}
+	if costs[backend.Pin] <= 0 || costs[backend.Janus] <= 0 {
+		t.Errorf("dynamic base costs = pin %.3f%%, janus %.3f%%; want > 0", costs[backend.Pin], costs[backend.Janus])
+	}
+	// Pin translates per trace with a bigger price than Janus's
+	// rule-scanning translator in this model.
+	if costs[backend.Pin] <= costs[backend.Janus] {
+		t.Errorf("pin base (%.3f%%) not above janus base (%.3f%%)", costs[backend.Pin], costs[backend.Janus])
+	}
+}
+
+func TestConstraintVariantsCountTheSame(t *testing.T) {
+	// Both ablation tools must report identical counts — they differ
+	// only in where the filtering happens.
+	toolF, err := engineCompile(filteredSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toolU, err := engineCompile(unfilteredSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf missing")
+	}
+	prog, err := BuildBenchmark(spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outF, outU strings.Builder
+	if _, err := backend.Run(toolF, prog, backend.Pin, backend.Options{Out: &outF}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Run(toolU, prog, backend.Pin, backend.Options{Out: &outU}); err != nil {
+		t.Fatal(err)
+	}
+	if outF.String() != outU.String() || outF.String() == "" {
+		t.Errorf("counts differ: %q vs %q", outF.String(), outU.String())
+	}
+}

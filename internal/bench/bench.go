@@ -1,0 +1,399 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section VI):
+//
+//   - Table I   — code lengths of the five use cases in Cinnamon versus
+//     native Dyninst, Janus and Pin implementations;
+//   - Figure 12 — load-instruction counts reported by the same Cinnamon
+//     counting program targeted at each backend, across the synthetic
+//     SPEC CPU 2017 suite;
+//   - Figure 13 — run-time overhead of the Cinnamon-generated
+//     basic-block counting tool versus the hand-written native tool, per
+//     framework and benchmark;
+//   - the Section VI-D text numbers — Pin overheads of the use-after-free
+//     and forward-CFI monitors.
+//
+// All measurements are deterministic cycle-unit counts from the VM's cost
+// model; see DESIGN.md for the substitution rationale.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bench/native"
+	"repro/internal/cfg"
+	"repro/internal/core/backend"
+	"repro/internal/core/engine"
+	"repro/internal/obj"
+	"repro/internal/progs"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Frameworks in the paper's column order.
+var Frameworks = []string{backend.Dyninst, backend.Janus, backend.Pin}
+
+// BuildBenchmark assembles and loads one suite benchmark at the given
+// scale. The returned program is reusable across instrumented runs.
+func BuildBenchmark(spec workload.Spec, scale float64) (*cfg.Program, error) {
+	mods, err := spec.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	p, err := obj.Load(mods, vm.RuntimeExterns())
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Build(p)
+}
+
+func compileTool(name string) (*engine.CompiledTool, error) {
+	return engine.Compile(progs.MustSource(name))
+}
+
+// ---------------------------------------------------------------------------
+// Table I — code lengths
+
+// Table1Row is one use case's line counts (-1 = not implementable).
+type Table1Row struct {
+	UseCase  string
+	Cinnamon int
+	Dyninst  int
+	Janus    int
+	Pin      int
+}
+
+// table1Cases maps Table I rows to program and native-tool names.
+var table1Cases = []struct{ label, prog, nativeName string }{
+	{"Inst count", progs.InstCountBasic, "instcount"},
+	{"Loop coverage", progs.LoopCoverage, "loopcoverage"},
+	{"Use-after-free", progs.UseAfterFree, "useafterfree"},
+	{"Shadow stack", progs.ShadowStack, "shadowstack"},
+	{"Forward CFI", progs.ForwardCFI, "forwardcfi"},
+}
+
+// Table1 computes the code-length comparison. Cinnamon counts are
+// non-blank, non-comment .cin lines; native counts are non-blank,
+// non-comment Go lines of the corresponding tool.
+func Table1() []Table1Row {
+	rows := make([]Table1Row, 0, len(table1Cases))
+	for _, c := range table1Cases {
+		row := Table1Row{
+			UseCase:  c.label,
+			Cinnamon: progs.CountLines(progs.MustSource(c.prog)),
+		}
+		count := func(framework string) int {
+			src, err := native.Source(framework, c.nativeName)
+			if err != nil {
+				return -1
+			}
+			return countGoLines(src)
+		}
+		row.Dyninst = count("dyninst")
+		row.Janus = count("janus")
+		row.Pin = count("pin")
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// countGoLines counts non-blank, non-comment Go source lines.
+func countGoLines(src string) int {
+	n := 0
+	inBlock := false
+	for _, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if inBlock {
+			if i := strings.Index(line, "*/"); i >= 0 {
+				line = strings.TrimSpace(line[i+2:])
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if i := strings.Index(line, "/*"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+			inBlock = true
+		}
+		if line != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatTable1 renders the table like the paper's Table I.
+func FormatTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s\n", "Use case", "Cinnamon", "Dyninst", "Janus", "Pin")
+	cell := func(v int) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %10s %10s %10s %10s\n", r.UseCase, cell(r.Cinnamon), cell(r.Dyninst), cell(r.Janus), cell(r.Pin))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — load-instruction counts per backend
+
+// Fig12Row is one benchmark's counts (-1 = the backend failed to process
+// the binary, as Dyninst does on several benchmarks).
+type Fig12Row struct {
+	Benchmark string
+	Counts    map[string]int64
+}
+
+// Fig12 runs the Cinnamon instruction-counting program (Figure 5a) on
+// every suite benchmark under every backend and reports the counts.
+func Fig12(scale float64) ([]Fig12Row, error) {
+	tool, err := compileTool(progs.InstCountBasic)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for _, spec := range workload.SPEC2017() {
+		prog, err := BuildBenchmark(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{Benchmark: spec.Name, Counts: make(map[string]int64)}
+		for _, fw := range Frameworks {
+			var out strings.Builder
+			_, err := backend.Run(tool, prog, fw, backend.Options{Out: &out})
+			if err != nil {
+				row.Counts[fw] = -1
+				continue
+			}
+			var n int64
+			fmt.Sscanf(out.String(), "%d", &n)
+			row.Counts[fw] = n
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig12 renders the per-backend counts.
+func FormatFig12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %10s\n", "Benchmark", "Dyninst", "Janus", "Pin", "Pin/Janus")
+	for _, r := range rows {
+		cell := func(fw string) string {
+			if r.Counts[fw] < 0 {
+				return "FAIL"
+			}
+			return fmt.Sprintf("%d", r.Counts[fw])
+		}
+		ratio := "-"
+		if r.Counts[backend.Pin] > 0 && r.Counts[backend.Janus] > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(r.Counts[backend.Pin])/float64(r.Counts[backend.Janus]))
+		}
+		fmt.Fprintf(w, "%-12s %14s %14s %14s %10s\n", r.Benchmark, cell(backend.Dyninst), cell(backend.Janus), cell(backend.Pin), ratio)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — Cinnamon vs native overhead, bb-count tool
+
+// Fig13Row is one benchmark's per-framework overhead percentages
+// (NaN = the framework failed to process the binary).
+type Fig13Row struct {
+	Benchmark string
+	Overhead  map[string]float64
+}
+
+// Fig13 measures, for every benchmark and framework, the cycle overhead
+// of the Cinnamon-generated basic-block counting tool (Figure 5b)
+// relative to the native tool hand-written against the same framework.
+func Fig13(scale float64) ([]Fig13Row, error) {
+	tool, err := compileTool(progs.InstCountBB)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig13Row
+	for _, spec := range workload.SPEC2017() {
+		prog, err := BuildBenchmark(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig13Row{Benchmark: spec.Name, Overhead: make(map[string]float64)}
+		for _, fw := range Frameworks {
+			cres, err := backend.Run(tool, prog, fw, backend.Options{Out: io.Discard})
+			if err != nil {
+				row.Overhead[fw] = math.NaN()
+				continue
+			}
+			nres, err := native.Run(fw, "instcount_bb", prog, io.Discard, 0)
+			if err != nil {
+				row.Overhead[fw] = math.NaN()
+				continue
+			}
+			row.Overhead[fw] = overheadPct(cres.Cycles, nres.Cycles)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func overheadPct(cinnamon, nativeCycles uint64) float64 {
+	return (float64(cinnamon) - float64(nativeCycles)) / float64(nativeCycles) * 100
+}
+
+// Summary aggregates overhead rows into per-framework mean and max over
+// the benchmarks each framework could run.
+type Summary struct {
+	Mean, Max float64
+	N         int
+}
+
+// Summarize computes per-framework summaries of Figure 13 rows.
+func Summarize(rows []Fig13Row) map[string]Summary {
+	out := make(map[string]Summary)
+	for _, fw := range Frameworks {
+		var sum, maxv float64
+		n := 0
+		for _, r := range rows {
+			v := r.Overhead[fw]
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			if v > maxv {
+				maxv = v
+			}
+			n++
+		}
+		s := Summary{N: n}
+		if n > 0 {
+			s.Mean = sum / float64(n)
+			s.Max = maxv
+		}
+		out[fw] = s
+	}
+	return out
+}
+
+// FormatFig13 renders the overhead table plus per-framework averages,
+// with the paper's measured averages alongside.
+func FormatFig13(w io.Writer, rows []Fig13Row) {
+	fmt.Fprintf(w, "%-12s %10s %10s %10s\n", "Benchmark", "Dyninst", "Janus", "Pin")
+	for _, r := range rows {
+		cell := func(fw string) string {
+			v := r.Overhead[fw]
+			if math.IsNaN(v) {
+				return "FAIL"
+			}
+			return fmt.Sprintf("%.2f%%", v)
+		}
+		fmt.Fprintf(w, "%-12s %10s %10s %10s\n", r.Benchmark, cell(backend.Dyninst), cell(backend.Janus), cell(backend.Pin))
+	}
+	sums := Summarize(rows)
+	fmt.Fprintf(w, "%-12s %9.2f%% %9.2f%% %9.2f%%   (paper: 0.67%%, 1.88%%, 4.75%%)\n", "average",
+		sums[backend.Dyninst].Mean, sums[backend.Janus].Mean, sums[backend.Pin].Mean)
+}
+
+// ---------------------------------------------------------------------------
+// Section VI-D — Pin overheads of the monitoring tools
+
+// PinToolRow summarizes one monitoring tool's Cinnamon-vs-native overhead
+// on Pin across the suite.
+type PinToolRow struct {
+	Tool     string
+	Mean     float64
+	Max      float64
+	PaperAvg float64
+	PaperMax float64
+}
+
+// PinToolOverheads measures the use-after-free and forward-CFI monitors
+// (Figures 7 and 9) on Pin, Cinnamon-generated versus native, across the
+// suite — the Section VI-D numbers.
+func PinToolOverheads(scale float64) ([]PinToolRow, error) {
+	cases := []struct {
+		label, prog, nativeName string
+		paperAvg, paperMax      float64
+	}{
+		{"use-after-free", progs.UseAfterFree, "useafterfree", 0.52, 1.78},
+		{"forward CFI", progs.ForwardCFI, "forwardcfi", 3.06, 11.0},
+	}
+	var rows []PinToolRow
+	for _, c := range cases {
+		tool, err := compileTool(c.prog)
+		if err != nil {
+			return nil, err
+		}
+		var sum, maxv float64
+		n := 0
+		for _, spec := range workload.SPEC2017() {
+			prog, err := BuildBenchmark(spec, scale)
+			if err != nil {
+				return nil, err
+			}
+			cres, err := backend.Run(tool, prog, backend.Pin, backend.Options{Out: io.Discard})
+			if err != nil {
+				return nil, err
+			}
+			nres, err := native.Run("pin", c.nativeName, prog, io.Discard, 0)
+			if err != nil {
+				return nil, err
+			}
+			v := overheadPct(cres.Cycles, nres.Cycles)
+			sum += v
+			if v > maxv {
+				maxv = v
+			}
+			n++
+		}
+		rows = append(rows, PinToolRow{
+			Tool: c.label, Mean: sum / float64(n), Max: maxv,
+			PaperAvg: c.paperAvg, PaperMax: c.paperMax,
+		})
+	}
+	return rows, nil
+}
+
+// FormatPinTools renders the Section VI-D comparison.
+func FormatPinTools(w io.Writer, rows []PinToolRow) {
+	fmt.Fprintf(w, "%-16s %10s %10s %16s %16s\n", "Tool (on Pin)", "avg", "max", "paper avg", "paper max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %9.2f%% %9.2f%% %15.2f%% %15.2f%%\n", r.Tool, r.Mean, r.Max, r.PaperAvg, r.PaperMax)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared-library gap helper (the Figure 12 anomaly check)
+
+// SharedLibGap returns the benchmarks whose Pin count exceeds the static
+// backends' by more than 5%, sorted.
+func SharedLibGap(rows []Fig12Row) []string {
+	var out []string
+	for _, r := range rows {
+		pinN, janusN := r.Counts[backend.Pin], r.Counts[backend.Janus]
+		if pinN > 0 && janusN > 0 && float64(pinN) > 1.05*float64(janusN) {
+			out = append(out, r.Benchmark)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// engineCompile compiles inline Cinnamon source (for ablation tools that
+// are not part of the case-study set).
+func engineCompile(src string) (*engine.CompiledTool, error) { return engine.Compile(src) }
+
+// backendRun and nativeRun are thin seams for tests.
+func backendRun(tool *engine.CompiledTool, prog *cfg.Program, fw string, out io.Writer) (*vm.Result, error) {
+	return backend.Run(tool, prog, fw, backend.Options{Out: out})
+}
+
+func nativeRun(fw, usecase string, prog *cfg.Program, out io.Writer) (*vm.Result, error) {
+	return native.Run(fw, usecase, prog, out, 0)
+}

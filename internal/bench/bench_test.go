@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core/backend"
+	"repro/internal/workload"
+)
+
+const testScale = 0.1
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// Paper Table I Cinnamon column: 10, 40, 39, 20, 17.
+	paper := map[string]int{
+		"Inst count": 10, "Loop coverage": 40, "Use-after-free": 39,
+		"Shadow stack": 20, "Forward CFI": 17,
+	}
+	for _, r := range rows {
+		// The Cinnamon program is always the shortest.
+		for fw, n := range map[string]int{"dyninst": r.Dyninst, "janus": r.Janus, "pin": r.Pin} {
+			if n < 0 {
+				if r.UseCase == "Loop coverage" && fw == "pin" {
+					continue // the paper's "-" cell
+				}
+				t.Errorf("%s/%s: missing implementation", r.UseCase, fw)
+				continue
+			}
+			if r.Cinnamon >= n {
+				t.Errorf("%s: Cinnamon (%d lines) not shorter than %s (%d lines)", r.UseCase, r.Cinnamon, fw, n)
+			}
+		}
+		// Within 2x of the paper's Cinnamon line counts.
+		want := paper[r.UseCase]
+		if r.Cinnamon < want/2 || r.Cinnamon > want*2 {
+			t.Errorf("%s: Cinnamon lines = %d, paper has %d", r.UseCase, r.Cinnamon, want)
+		}
+	}
+	var buf strings.Builder
+	FormatTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Loop coverage") || !strings.Contains(buf.String(), "-") {
+		t.Errorf("formatted table missing rows:\n%s", buf.String())
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 23 {
+		t.Fatalf("rows = %d, want 23", len(rows))
+	}
+	sharedHeavy := map[string]bool{"omnetpp": true, "exchange2": true, "bwaves": true, "fotonik3d": true}
+	dyninstFails := map[string]bool{"perlbench": true, "gcc": true, "wrf": true, "blender": true, "cam4": true}
+	for _, r := range rows {
+		pinN, janusN, dynN := r.Counts[backend.Pin], r.Counts[backend.Janus], r.Counts[backend.Dyninst]
+		if pinN <= 0 || janusN <= 0 {
+			t.Errorf("%s: pin=%d janus=%d", r.Benchmark, pinN, janusN)
+			continue
+		}
+		if dyninstFails[r.Benchmark] {
+			if dynN != -1 {
+				t.Errorf("%s: dyninst should fail, got %d", r.Benchmark, dynN)
+			}
+		} else {
+			// Static backends agree exactly.
+			if dynN != janusN {
+				t.Errorf("%s: dyninst %d != janus %d", r.Benchmark, dynN, janusN)
+			}
+		}
+		if sharedHeavy[r.Benchmark] {
+			// Pin sees substantially more (shared-library loads).
+			if float64(pinN) < 1.10*float64(janusN) {
+				t.Errorf("%s: pin %d not > 1.1x janus %d", r.Benchmark, pinN, janusN)
+			}
+		} else if pinN != janusN {
+			// No shared library: all three count identically.
+			t.Errorf("%s: pin %d != janus %d without shared libs", r.Benchmark, pinN, janusN)
+		}
+	}
+	gap := SharedLibGap(rows)
+	if len(gap) != 4 {
+		t.Errorf("shared-lib gap benchmarks = %v, want the 4 shared-heavy ones", gap)
+	}
+	var buf strings.Builder
+	FormatFig12(&buf, rows)
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Error("formatted fig12 missing Dyninst failures")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, err := Fig13(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(rows)
+	dyn, jan, pin := sums[backend.Dyninst], sums[backend.Janus], sums[backend.Pin]
+	// The paper's ordering: Pin highest, then Janus, then Dyninst.
+	if !(pin.Mean > jan.Mean && jan.Mean > dyn.Mean) {
+		t.Errorf("overhead ordering wrong: pin=%.2f janus=%.2f dyninst=%.2f", pin.Mean, jan.Mean, dyn.Mean)
+	}
+	// Magnitudes in the paper's range: Pin a few percent, Dyninst under 1%.
+	if pin.Mean < 2 || pin.Mean > 8 {
+		t.Errorf("pin mean = %.2f%%, want 2-8%% (paper: 4.75%%)", pin.Mean)
+	}
+	if jan.Mean < 0.8 || jan.Mean > 4 {
+		t.Errorf("janus mean = %.2f%%, want 0.8-4%% (paper: 1.88%%)", jan.Mean)
+	}
+	if dyn.Mean <= 0 || dyn.Mean > 2 {
+		t.Errorf("dyninst mean = %.2f%%, want 0-2%% (paper: 0.67%%)", dyn.Mean)
+	}
+	// Dyninst fails on exactly the unrecoverable benchmarks.
+	if dyn.N != 18 {
+		t.Errorf("dyninst ran %d benchmarks, want 18 (5 failures)", dyn.N)
+	}
+	if jan.N != 23 || pin.N != 23 {
+		t.Errorf("janus/pin ran %d/%d benchmarks, want 23", jan.N, pin.N)
+	}
+	// Every individual overhead is positive: generated tools never beat
+	// hand-written ones.
+	for _, r := range rows {
+		for fw, v := range r.Overhead {
+			if !math.IsNaN(v) && v <= 0 {
+				t.Errorf("%s/%s: overhead %.3f%% <= 0", r.Benchmark, fw, v)
+			}
+		}
+	}
+	var buf strings.Builder
+	FormatFig13(&buf, rows)
+	if !strings.Contains(buf.String(), "average") {
+		t.Error("formatted fig13 missing averages")
+	}
+}
+
+func TestPinToolOverheadsShape(t *testing.T) {
+	rows, err := PinToolOverheads(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mean <= 0 || r.Mean > 10 {
+			t.Errorf("%s: mean %.2f%% out of range", r.Tool, r.Mean)
+		}
+		if r.Max < r.Mean {
+			t.Errorf("%s: max %.2f%% < mean %.2f%%", r.Tool, r.Max, r.Mean)
+		}
+		if r.Max > 15 {
+			t.Errorf("%s: max %.2f%% too large", r.Tool, r.Max)
+		}
+	}
+	// The paper's ordering: forward CFI costs more than use-after-free.
+	if rows[1].Mean <= rows[0].Mean {
+		t.Errorf("CFI mean %.2f%% not above UAF mean %.2f%%", rows[1].Mean, rows[0].Mean)
+	}
+	var buf strings.Builder
+	FormatPinTools(&buf, rows)
+	if !strings.Contains(buf.String(), "forward CFI") {
+		t.Error("formatted pin tools missing rows")
+	}
+}
+
+func TestDeterministicMeasurements(t *testing.T) {
+	spec, _ := workload.ByName("leela")
+	r1, err := Fig13(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fig13(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		for fw, v := range r1[i].Overhead {
+			v2 := r2[i].Overhead[fw]
+			if v != v2 && !(math.IsNaN(v) && math.IsNaN(v2)) {
+				t.Fatalf("%s/%s: %.4f != %.4f across runs", r1[i].Benchmark, fw, v, v2)
+			}
+		}
+	}
+	_ = spec
+}
+
+func TestCinnamonAndNativeCountsAgree(t *testing.T) {
+	// Cross-validation of Figure 12 from both sides: the Cinnamon
+	// counting program and the hand-written native tools report the same
+	// numbers on the same backend.
+	spec, _ := workload.ByName("leela")
+	prog, err := BuildBenchmark(spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, err := compileTool("instcount_basic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fw := range Frameworks {
+		var cOut strings.Builder
+		if _, err := backendRun(tool, prog, fw, &cOut); err != nil {
+			t.Fatal(err)
+		}
+		var nOut strings.Builder
+		if _, err := nativeRun(fw, "instcount", prog, &nOut); err != nil {
+			t.Fatal(err)
+		}
+		if cOut.String() != nOut.String() || cOut.Len() == 0 {
+			t.Errorf("%s: cinnamon %q != native %q", fw, cOut.String(), nOut.String())
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package native contains the five case-study tools hand-written
+// directly against each instrumentation framework's API — the baselines
+// of the paper's Table I (code length) and Figure 13 (overhead of
+// Cinnamon-generated tools versus native ones).
+//
+// Each implementation lives in its own file, named
+// <framework>_<usecase>.go, so the Table I experiment can count its
+// source lines. The tools follow each framework's idiom:
+//
+//   - Pin tools register instrumentation callbacks and insert analysis
+//     calls with IARG descriptors; short, branch-free analysis routines
+//     are marked inlinable (Pin inlines them automatically);
+//   - Janus tools split into a static pass emitting rewrite rules and
+//     dynamic handlers consuming them;
+//   - Dyninst tools open the binary for editing and build snippet ASTs.
+//
+// Cost convention (see DESIGN.md): an analysis body is priced at
+// sem.StmtCost per Cinnamon-equivalent statement, exactly like the
+// interpreted actions, so measured overhead isolates the dispatch
+// mechanism rather than body accounting differences.
+package native
+
+import (
+	"embed"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/core/sem"
+	"repro/internal/vm"
+)
+
+//go:embed *.go
+var sources embed.FS
+
+// stmtCost is the per-statement body price, mirroring the Cinnamon
+// interpreter's cost model.
+const stmtCost = sem.StmtCost
+
+// UseCases lists the case-study names in Table I order.
+func UseCases() []string {
+	return []string{"instcount", "instcount_bb", "loopcoverage", "useafterfree", "shadowstack", "forwardcfi"}
+}
+
+// RunFn executes a native tool on a loaded program.
+type RunFn func(prog *cfg.Program, out io.Writer, fuel uint64) (*vm.Result, error)
+
+var registry = map[string]RunFn{}
+
+func register(framework, usecase string, fn RunFn) {
+	registry[framework+"/"+usecase] = fn
+}
+
+// Supported reports whether the use case is implementable on the
+// framework (loop coverage is not, on Pin).
+func Supported(framework, usecase string) bool {
+	_, ok := registry[framework+"/"+usecase]
+	return ok
+}
+
+// Run executes the named native tool.
+func Run(framework, usecase string, prog *cfg.Program, out io.Writer, fuel uint64) (*vm.Result, error) {
+	fn, ok := registry[framework+"/"+usecase]
+	if !ok {
+		return nil, fmt.Errorf("native: no %s implementation of %s", framework, usecase)
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	return fn(prog, out, fuel)
+}
+
+// Source returns the Go source of the named native tool (for line
+// counting).
+func Source(framework, usecase string) (string, error) {
+	b, err := sources.ReadFile(framework + "_" + usecase + ".go")
+	if err != nil {
+		return "", fmt.Errorf("native: no source for %s/%s", framework, usecase)
+	}
+	return string(b), nil
+}
+
+// Implementations lists all registered framework/usecase pairs, sorted.
+func Implementations() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

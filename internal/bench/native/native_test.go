@@ -1,0 +1,180 @@
+package native
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/obj"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func loadVictim(t *testing.T, name string) *cfg.Program {
+	t.Helper()
+	m, err := workload.Victim(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := obj.Load([]*obj.Module{m}, vm.RuntimeExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func run(t *testing.T, framework, usecase string, prog *cfg.Program) string {
+	t.Helper()
+	var out bytes.Buffer
+	if _, err := Run(framework, usecase, prog, &out, 0); err != nil {
+		t.Fatalf("%s/%s: %v", framework, usecase, err)
+	}
+	return out.String()
+}
+
+func TestRegistry(t *testing.T) {
+	// Every framework implements every use case except loop coverage on
+	// Pin ("Pin does not have a notion of loops").
+	for _, fw := range []string{"pin", "dyninst", "janus"} {
+		for _, uc := range UseCases() {
+			want := !(fw == "pin" && uc == "loopcoverage")
+			if got := Supported(fw, uc); got != want {
+				t.Errorf("Supported(%s, %s) = %v, want %v", fw, uc, got, want)
+			}
+		}
+	}
+	if _, err := Run("valgrind", "instcount", nil, nil, 0); err == nil {
+		t.Error("unknown framework accepted")
+	}
+	// 3 frameworks x 6 use cases - 1 = 17 implementations.
+	if got := len(Implementations()); got != 17 {
+		t.Errorf("implementations = %d, want 17", got)
+	}
+}
+
+func TestSourcesEmbedded(t *testing.T) {
+	for _, impl := range Implementations() {
+		parts := strings.SplitN(impl, "/", 2)
+		src, err := Source(parts[0], parts[1])
+		if err != nil {
+			t.Errorf("%s: %v", impl, err)
+			continue
+		}
+		if !strings.Contains(src, "func init() { register(") {
+			t.Errorf("%s: source does not look like a tool", impl)
+		}
+	}
+	if _, err := Source("pin", "loopcoverage"); err == nil {
+		t.Error("source for unimplemented tool found")
+	}
+}
+
+func TestInstCountToolsAgree(t *testing.T) {
+	// All native instruction counters agree on a victim program without
+	// shared libraries.
+	prog := loadVictim(t, "loopy")
+	var counts []string
+	for _, fw := range []string{"pin", "dyninst", "janus"} {
+		for _, uc := range []string{"instcount", "instcount_bb"} {
+			counts = append(counts, strings.TrimSpace(run(t, fw, uc, prog)))
+		}
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("counts disagree: %v", counts)
+		}
+	}
+	if counts[0] == "0" {
+		t.Fatal("no loads counted")
+	}
+}
+
+func TestUAFDetection(t *testing.T) {
+	for _, fw := range []string{"pin", "dyninst", "janus"} {
+		out := run(t, fw, "useafterfree", loadVictim(t, "uaf_bug"))
+		if n := strings.Count(out, "ERROR"); n != 1 {
+			t.Errorf("%s: errors = %d, want 1 (%q)", fw, n, out)
+		}
+		out = run(t, fw, "useafterfree", loadVictim(t, "uaf_clean"))
+		if out != "" {
+			t.Errorf("%s: false positive: %q", fw, out)
+		}
+	}
+}
+
+func TestShadowStackDetection(t *testing.T) {
+	for _, fw := range []string{"pin", "dyninst", "janus"} {
+		out := run(t, fw, "shadowstack", loadVictim(t, "stack_smash"))
+		if !strings.Contains(out, "ERROR") {
+			t.Errorf("%s: attack not detected", fw)
+		}
+		out = run(t, fw, "shadowstack", loadVictim(t, "stack_clean"))
+		if out != "" {
+			t.Errorf("%s: false positive: %q", fw, out)
+		}
+	}
+}
+
+func TestForwardCFIDetection(t *testing.T) {
+	for _, fw := range []string{"pin", "dyninst", "janus"} {
+		out := run(t, fw, "forwardcfi", loadVictim(t, "indirect_attack"))
+		if n := strings.Count(out, "ERROR"); n != 1 {
+			t.Errorf("%s: errors = %d, want 1 (%q)", fw, n, out)
+		}
+		out = run(t, fw, "forwardcfi", loadVictim(t, "indirect_clean"))
+		if out != "" {
+			t.Errorf("%s: false positive: %q", fw, out)
+		}
+	}
+}
+
+func TestLoopCoverage(t *testing.T) {
+	for _, fw := range []string{"dyninst", "janus"} {
+		out := run(t, fw, "loopcoverage", loadVictim(t, "loopy"))
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 4 {
+			t.Fatalf("%s: output = %q", fw, out)
+		}
+	}
+}
+
+func TestNativeCheaperThanGeneratedWouldBe(t *testing.T) {
+	// The instcount_bb native tools must run; Figure 13 compares their
+	// cycles against the Cinnamon-generated equivalents (see
+	// internal/bench). Here we only require determinism.
+	s, _ := workload.ByName("xz")
+	mods, err := s.Build(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() *cfg.Program {
+		p, err := obj.Load(mods, vm.RuntimeExterns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	for _, fw := range []string{"pin", "dyninst", "janus"} {
+		var out1, out2 bytes.Buffer
+		r1, err := Run(fw, "instcount_bb", load(), &out1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(fw, "instcount_bb", load(), &out2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Cycles != r2.Cycles || out1.String() != out2.String() {
+			t.Errorf("%s: nondeterministic native run", fw)
+		}
+	}
+}

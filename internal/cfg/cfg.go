@@ -1,0 +1,526 @@
+// Package cfg recovers control-flow structure from loaded binaries: it
+// disassembles each module, discovers basic blocks and intraprocedural
+// edges, computes dominator trees, and identifies natural loops with their
+// nesting. The resulting module → function → loop → basic block →
+// instruction hierarchy is exactly the control-flow-element (CFE) hierarchy
+// that the Cinnamon language exposes, and all three instrumentation
+// frameworks consume it.
+//
+// Indirect branches are resolved through jump-table metadata when the table
+// is marked recoverable; otherwise the function is marked imprecise, which
+// models the control-flow-recovery failures that real static frameworks
+// (notably Dyninst in the paper's evaluation) exhibit.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// Program is the control-flow view of a loaded program.
+type Program struct {
+	// Obj is the underlying loaded address space.
+	Obj *obj.Program
+	// Modules mirrors Obj.Modules (executable first).
+	Modules []*Module
+
+	instIndex  map[uint64]*isa.Inst
+	blockIndex map[uint64]*Block // keyed by start address
+}
+
+// Module is the CFE view of one loaded module.
+type Module struct {
+	// Loaded is the underlying mapped module.
+	Loaded *obj.Loaded
+	// ID is the program-wide module identifier (0 = executable).
+	ID int
+	// Funcs lists the module's functions in address order.
+	Funcs []*Func
+	// Program is the enclosing program.
+	Program *Program
+}
+
+// Name returns the module name.
+func (m *Module) Name() string { return m.Loaded.Name }
+
+// Func is a recovered function.
+type Func struct {
+	// ID is the program-wide function identifier.
+	ID int
+	// Name is the symbol name.
+	Name string
+	// Entry and End bound the function's code, [Entry, End).
+	Entry, End uint64
+	// Blocks lists the function's basic blocks in address order.
+	Blocks []*Block
+	// Loops lists the function's natural loops (outermost first, then by
+	// header address).
+	Loops []*Loop
+	// Imprecise reports that control-flow recovery was incomplete: the
+	// function contains an indirect branch whose targets could not be
+	// resolved statically.
+	Imprecise bool
+	// Module is the enclosing module.
+	Module *Module
+}
+
+// NumInsts returns the total instruction count of the function.
+func (f *Func) NumInsts() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Block is a basic block: a maximal single-entry, single-exit straight-line
+// instruction sequence.
+type Block struct {
+	// ID is the program-wide block identifier.
+	ID int
+	// Start and End bound the block's code, [Start, End).
+	Start, End uint64
+	// Insts are the block's instructions in address order.
+	Insts []*isa.Inst
+	// Succs and Preds are the intraprocedural CFG edges.
+	Succs, Preds []*Block
+	// Func is the enclosing function.
+	Func *Func
+
+	// idom is the immediate dominator (nil for the entry block).
+	idom *Block
+	// rpo is the reverse-postorder number used by the dominance
+	// computation (-1 for unreachable blocks).
+	rpo int
+}
+
+// Last returns the block's final instruction.
+func (b *Block) Last() *isa.Inst { return b.Insts[len(b.Insts)-1] }
+
+// Idom returns the block's immediate dominator (nil for the function entry
+// and for unreachable blocks).
+func (b *Block) Idom() *Block { return b.idom }
+
+// Dominates reports whether b dominates o (reflexively).
+func (b *Block) Dominates(o *Block) bool {
+	for n := o; n != nil; n = n.idom {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Edge is a directed intraprocedural CFG edge.
+type Edge struct {
+	From, To *Block
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	// ID is the program-wide loop identifier.
+	ID int
+	// Header is the loop header block (the target of the back edges).
+	Header *Block
+	// Blocks is the loop body including the header, in address order.
+	Blocks []*Block
+	// Parent is the innermost enclosing loop, if any.
+	Parent *Loop
+	// Depth is the nesting depth (1 = outermost).
+	Depth int
+	// Entries are edges from outside the loop to the header.
+	Entries []Edge
+	// Backs are the back edges (from inside the loop to the header).
+	Backs []Edge
+	// Exits are edges from inside the loop to blocks outside it.
+	Exits []Edge
+	// Func is the enclosing function.
+	Func *Func
+
+	blockSet map[*Block]bool
+}
+
+// Contains reports whether the block belongs to the loop body.
+func (l *Loop) Contains(b *Block) bool { return l.blockSet[b] }
+
+// Build recovers control flow for every module of a loaded program.
+func Build(p *obj.Program) (*Program, error) {
+	prog := &Program{
+		Obj:        p,
+		instIndex:  make(map[uint64]*isa.Inst),
+		blockIndex: make(map[uint64]*Block),
+	}
+	var funcID, blockID, loopID int
+	for modID, l := range p.Modules {
+		m := &Module{Loaded: l, ID: modID, Program: prog}
+		for _, sym := range l.Funcs() {
+			f, err := buildFunc(prog, m, l, sym, &blockID, &loopID)
+			if err != nil {
+				return nil, err
+			}
+			f.ID = funcID
+			funcID++
+			m.Funcs = append(m.Funcs, f)
+		}
+		prog.Modules = append(prog.Modules, m)
+	}
+	return prog, nil
+}
+
+// InstAt returns the decoded instruction starting at addr, or nil.
+func (p *Program) InstAt(addr uint64) *isa.Inst { return p.instIndex[addr] }
+
+// BlockStarting returns the basic block whose first instruction is at addr,
+// or nil.
+func (p *Program) BlockStarting(addr uint64) *Block { return p.blockIndex[addr] }
+
+// FuncContaining returns the function whose extent contains addr, or nil.
+func (p *Program) FuncContaining(addr uint64) *Func {
+	for _, m := range p.Modules {
+		if !m.Loaded.ContainsCode(addr) {
+			continue
+		}
+		i := sort.Search(len(m.Funcs), func(i int) bool { return m.Funcs[i].Entry > addr })
+		if i == 0 {
+			return nil
+		}
+		f := m.Funcs[i-1]
+		if addr >= f.Entry && addr < f.End {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncByName returns the named function, searching modules in load order.
+func (p *Program) FuncByName(name string) *Func {
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			if f.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// BlockContaining returns the basic block whose extent contains addr, or
+// nil.
+func (p *Program) BlockContaining(addr uint64) *Block {
+	f := p.FuncContaining(addr)
+	if f == nil {
+		return nil
+	}
+	i := sort.Search(len(f.Blocks), func(i int) bool { return f.Blocks[i].Start > addr })
+	if i == 0 {
+		return nil
+	}
+	b := f.Blocks[i-1]
+	if addr >= b.Start && addr < b.End {
+		return b
+	}
+	return nil
+}
+
+func buildFunc(prog *Program, m *Module, l *obj.Loaded, sym obj.Symbol, blockID, loopID *int) (*Func, error) {
+	f := &Func{
+		Name:   sym.Name,
+		Entry:  l.Base + sym.Off,
+		End:    l.Base + sym.Off + sym.Size,
+		Module: m,
+	}
+	code := l.Image[sym.Off : sym.Off+sym.Size]
+	insts, err := isa.DecodeAll(code, f.Entry)
+	if err != nil {
+		return nil, fmt.Errorf("cfg: %s/%s: %w", l.Name, sym.Name, err)
+	}
+	if len(insts) == 0 {
+		return f, nil
+	}
+	for _, in := range insts {
+		prog.instIndex[in.Addr] = in
+	}
+
+	// Resolve jump tables belonging to this function's indirect branches.
+	jtTargets := make(map[uint64][]uint64) // branch addr -> targets
+	for _, jt := range l.JumpTables {
+		braddr := l.Base + jt.BranchOff
+		if braddr < f.Entry || braddr >= f.End {
+			continue
+		}
+		if !jt.Recoverable {
+			f.Imprecise = true
+			continue
+		}
+		var targets []uint64
+		for i := 0; i < jt.Count; i++ {
+			off := jt.DataOff + uint64(i)*8
+			var v uint64
+			for k := 0; k < 8; k++ {
+				v |= uint64(l.DataImage[off+uint64(k)]) << (8 * k)
+			}
+			targets = append(targets, v)
+		}
+		jtTargets[braddr] = targets
+	}
+
+	// Leaders: function entry, branch targets within the function, and
+	// instructions following block-ending instructions.
+	leaders := map[uint64]bool{f.Entry: true}
+	for _, in := range insts {
+		if tgt, ok := in.IsDirectTarget(); ok && in.Op == isa.Branch {
+			if tgt >= f.Entry && tgt < f.End {
+				leaders[tgt] = true
+			}
+		}
+		if in.Op == isa.Branch && in.IsIndirect() {
+			if targets, ok := jtTargets[in.Addr]; ok {
+				for _, t := range targets {
+					if t >= f.Entry && t < f.End {
+						leaders[t] = true
+					}
+				}
+			} else {
+				f.Imprecise = true
+			}
+		}
+		if in.EndsBlock() {
+			if next := in.Next(); next < f.End {
+				leaders[next] = true
+			}
+		}
+	}
+
+	// Carve blocks.
+	byStart := make(map[uint64]*Block)
+	var cur *Block
+	for _, in := range insts {
+		if leaders[in.Addr] || cur == nil {
+			cur = &Block{ID: *blockID, Start: in.Addr, Func: f}
+			*blockID++
+			f.Blocks = append(f.Blocks, cur)
+			byStart[in.Addr] = cur
+			prog.blockIndex[in.Addr] = cur
+		}
+		cur.Insts = append(cur.Insts, in)
+		cur.End = in.Next()
+		if in.EndsBlock() {
+			cur = nil
+		}
+	}
+
+	// Wire edges.
+	addEdge := func(from, to *Block) {
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	for _, b := range f.Blocks {
+		last := b.Last()
+		switch {
+		case last.Op == isa.Branch && last.IsIndirect():
+			for _, t := range jtTargets[last.Addr] {
+				if tb := byStart[t]; tb != nil {
+					addEdge(b, tb)
+				}
+			}
+		case last.Op == isa.Branch:
+			tgt, _ := last.IsDirectTarget()
+			if tb := byStart[tgt]; tb != nil {
+				addEdge(b, tb)
+			}
+			if last.IsConditional() {
+				if fb := byStart[last.Next()]; fb != nil {
+					addEdge(b, fb)
+				}
+			}
+		case last.Op == isa.Return || last.Op == isa.Halt:
+			// No intraprocedural successor.
+		default:
+			// Fallthrough into the next block.
+			if fb := byStart[last.Next()]; fb != nil {
+				addEdge(b, fb)
+			}
+		}
+	}
+
+	computeDominators(f)
+	findLoops(f, loopID)
+	return f, nil
+}
+
+// computeDominators fills in immediate dominators using the iterative
+// algorithm of Cooper, Harvey and Kennedy over a reverse-postorder
+// numbering.
+func computeDominators(f *Func) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	entry := f.Blocks[0]
+	for _, b := range f.Blocks {
+		b.rpo = -1
+		b.idom = nil
+	}
+	// Postorder DFS from the entry.
+	var order []*Block
+	seen := make(map[*Block]bool, len(f.Blocks))
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(entry)
+	// Reverse postorder numbering.
+	rpo := make([]*Block, len(order))
+	for i, b := range order {
+		n := len(order) - 1 - i
+		b.rpo = n
+		rpo[n] = b
+	}
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for a.rpo > b.rpo {
+				a = a.idom
+			}
+			for b.rpo > a.rpo {
+				b = b.idom
+			}
+		}
+		return a
+	}
+
+	entry.idom = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if p.rpo < 0 || p.idom == nil {
+					continue // unreachable or unprocessed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && b.idom != newIdom {
+				b.idom = newIdom
+				changed = true
+			}
+		}
+	}
+	entry.idom = nil // by convention the entry has no immediate dominator
+}
+
+// findLoops identifies natural loops from back edges (t→h where h
+// dominates t), merging loops that share a header, and computes nesting.
+func findLoops(f *Func, loopID *int) {
+	type rawLoop struct {
+		header *Block
+		blocks map[*Block]bool
+		backs  []Edge
+	}
+	byHeader := make(map[*Block]*rawLoop)
+	var headers []*Block
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if s.rpo >= 0 && b.rpo >= 0 && s.Dominates(b) {
+				// b→s is a back edge with header s.
+				rl := byHeader[s]
+				if rl == nil {
+					rl = &rawLoop{header: s, blocks: map[*Block]bool{s: true}}
+					byHeader[s] = rl
+					headers = append(headers, s)
+				}
+				rl.backs = append(rl.backs, Edge{From: b, To: s})
+				// Collect the natural loop body: all blocks that reach
+				// b without passing through s.
+				stack := []*Block{b}
+				for len(stack) > 0 {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if rl.blocks[n] {
+						continue
+					}
+					rl.blocks[n] = true
+					stack = append(stack, n.Preds...)
+				}
+			}
+		}
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i].Start < headers[j].Start })
+
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		rl := byHeader[h]
+		l := &Loop{Header: h, Func: f, Backs: rl.backs, blockSet: rl.blocks}
+		for b := range rl.blocks {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Slice(l.Blocks, func(i, j int) bool { return l.Blocks[i].Start < l.Blocks[j].Start })
+		// Entry edges: predecessors of the header from outside the loop.
+		for _, p := range h.Preds {
+			if !rl.blocks[p] {
+				l.Entries = append(l.Entries, Edge{From: p, To: h})
+			}
+		}
+		// Exit edges: successors outside the loop.
+		for _, b := range l.Blocks {
+			for _, s := range b.Succs {
+				if !rl.blocks[s] {
+					l.Exits = append(l.Exits, Edge{From: b, To: s})
+				}
+			}
+		}
+		loops = append(loops, l)
+	}
+
+	// Nesting: the parent of loop L is the smallest loop that strictly
+	// contains L's header and is not L itself.
+	for _, l := range loops {
+		var parent *Loop
+		for _, o := range loops {
+			if o == l || !o.blockSet[l.Header] {
+				continue
+			}
+			// o contains l's header; prefer the smallest such loop.
+			if o.blockSet[l.Header] && len(o.Blocks) > len(l.Blocks) {
+				if parent == nil || len(o.Blocks) < len(parent.Blocks) {
+					parent = o
+				}
+			}
+		}
+		l.Parent = parent
+	}
+	var depth func(*Loop) int
+	depth = func(l *Loop) int {
+		if l.Parent == nil {
+			return 1
+		}
+		return depth(l.Parent) + 1
+	}
+	// Sort outermost-first, then by header address, and assign IDs.
+	for _, l := range loops {
+		l.Depth = depth(l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Depth != loops[j].Depth {
+			return loops[i].Depth < loops[j].Depth
+		}
+		return loops[i].Header.Start < loops[j].Header.Start
+	})
+	for _, l := range loops {
+		l.ID = *loopID
+		*loopID++
+	}
+	f.Loops = loops
+}

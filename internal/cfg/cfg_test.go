@@ -1,0 +1,455 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+)
+
+func load(t *testing.T, srcs ...string) *Program {
+	t.Helper()
+	mods := make([]*obj.Module, 0, len(srcs))
+	for _, s := range srcs {
+		m, err := asm.Assemble(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	p, err := obj.Load(mods, map[string]uint64{"malloc": obj.IntrinsicBase, "print": obj.IntrinsicBase + 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+const loopSrc = `
+.module a.out
+.executable
+.entry main
+.func main
+  mov r1, 0
+  mov r2, 10
+head:
+  add r1, r1, 1
+  blt r1, r2, head
+  halt
+`
+
+func TestSimpleLoop(t *testing.T) {
+	p := load(t, loopSrc)
+	if len(p.Modules) != 1 {
+		t.Fatalf("modules = %d", len(p.Modules))
+	}
+	m := p.Modules[0]
+	if m.Name() != "a.out" || m.ID != 0 {
+		t.Errorf("module = %q id=%d", m.Name(), m.ID)
+	}
+	if len(m.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+	f := m.Funcs[0]
+	if f.Name != "main" || f.Imprecise {
+		t.Errorf("func = %q imprecise=%v", f.Name, f.Imprecise)
+	}
+	// Blocks: [mov,mov], [add,blt], [halt].
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	if f.NumInsts() != 5 {
+		t.Errorf("NumInsts = %d, want 5", f.NumInsts())
+	}
+	b0, b1, b2 := f.Blocks[0], f.Blocks[1], f.Blocks[2]
+	if len(b0.Succs) != 1 || b0.Succs[0] != b1 {
+		t.Errorf("b0 succs = %v", b0.Succs)
+	}
+	if len(b1.Succs) != 2 {
+		t.Errorf("b1 succs = %d, want 2 (loop + fallthrough)", len(b1.Succs))
+	}
+	if len(b2.Succs) != 0 {
+		t.Errorf("b2 succs = %v", b2.Succs)
+	}
+	// Dominators: b0 has no idom; b1's idom is b0; b2's idom is b1.
+	if b0.Idom() != nil || b1.Idom() != b0 || b2.Idom() != b1 {
+		t.Errorf("idoms: %v %v %v", b0.Idom(), b1.Idom(), b2.Idom())
+	}
+	if !b0.Dominates(b2) || b2.Dominates(b0) {
+		t.Error("Dominates wrong")
+	}
+	// One loop with header b1 and a self back edge.
+	if len(f.Loops) != 1 {
+		t.Fatalf("loops = %d", len(f.Loops))
+	}
+	l := f.Loops[0]
+	if l.Header != b1 || l.Depth != 1 || l.Parent != nil {
+		t.Errorf("loop: header=%v depth=%d parent=%v", l.Header, l.Depth, l.Parent)
+	}
+	if len(l.Blocks) != 1 || !l.Contains(b1) || l.Contains(b0) {
+		t.Errorf("loop blocks = %v", l.Blocks)
+	}
+	if len(l.Entries) != 1 || l.Entries[0].From != b0 {
+		t.Errorf("loop entries = %v", l.Entries)
+	}
+	if len(l.Backs) != 1 || l.Backs[0].From != b1 {
+		t.Errorf("loop backs = %v", l.Backs)
+	}
+	if len(l.Exits) != 1 || l.Exits[0].To != b2 {
+		t.Errorf("loop exits = %v", l.Exits)
+	}
+}
+
+const nestedSrc = `
+.module a.out
+.executable
+.entry main
+.func main
+  mov r1, 0
+outer:
+  mov r2, 0
+inner:
+  add r2, r2, 1
+  blt r2, r4, inner
+  add r1, r1, 1
+  blt r1, r5, outer
+  halt
+`
+
+func TestNestedLoops(t *testing.T) {
+	p := load(t, nestedSrc)
+	f := p.Modules[0].Funcs[0]
+	if len(f.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(f.Loops))
+	}
+	outer, inner := f.Loops[0], f.Loops[1]
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d, %d", outer.Depth, inner.Depth)
+	}
+	if inner.Parent != outer || outer.Parent != nil {
+		t.Errorf("parents wrong: inner=%v outer=%v", inner.Parent, outer.Parent)
+	}
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		t.Errorf("outer (%d blocks) should contain inner (%d blocks)", len(outer.Blocks), len(inner.Blocks))
+	}
+	for _, b := range inner.Blocks {
+		if !outer.Contains(b) {
+			t.Errorf("outer loop missing inner block %#x", b.Start)
+		}
+	}
+	// Loop IDs are distinct and assigned.
+	if outer.ID == inner.ID {
+		t.Error("duplicate loop IDs")
+	}
+	// Headers dominate all their loop blocks.
+	for _, l := range f.Loops {
+		for _, b := range l.Blocks {
+			if !l.Header.Dominates(b) {
+				t.Errorf("loop header %#x does not dominate member %#x", l.Header.Start, b.Start)
+			}
+		}
+	}
+}
+
+const diamondSrc = `
+.module a.out
+.executable
+.entry main
+.func main
+  beq r1, r2, left
+  mov r3, 1
+  b join
+left:
+  mov r3, 2
+join:
+  halt
+`
+
+func TestDiamondDominators(t *testing.T) {
+	p := load(t, diamondSrc)
+	f := p.Modules[0].Funcs[0]
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	entry := f.Blocks[0]
+	join := f.Blocks[3]
+	if join.Idom() != entry {
+		t.Errorf("join idom = %v, want entry", join.Idom())
+	}
+	if len(f.Loops) != 0 {
+		t.Errorf("loops = %d, want 0", len(f.Loops))
+	}
+}
+
+const callSrc = `
+.module a.out
+.executable
+.entry main
+.extern print
+.func main
+  call helper
+  call print
+  halt
+.func helper
+  mov r1, 3
+  ret
+`
+
+func TestCallsDoNotSplitBlocks(t *testing.T) {
+	p := load(t, callSrc)
+	m := p.Modules[0]
+	if len(m.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+	main := m.Funcs[0]
+	if len(main.Blocks) != 1 {
+		t.Errorf("main blocks = %d, want 1 (calls do not end blocks)", len(main.Blocks))
+	}
+	helper := p.FuncByName("helper")
+	if helper == nil || len(helper.Blocks) != 1 {
+		t.Fatalf("helper = %+v", helper)
+	}
+	if p.FuncByName("nothing") != nil {
+		t.Error("FuncByName(nothing) found something")
+	}
+	// Function IDs are unique.
+	if main.ID == helper.ID {
+		t.Error("duplicate func IDs")
+	}
+}
+
+const switchSrc = `
+.module a.out
+.executable
+.entry main
+.func main
+  mov  r1, @table
+  mul  r2, r3, 8
+  add  r1, r1, r2
+  load r4, [r1]
+sw:
+  b    r4
+case0:
+  mov r5, 0
+  halt
+case1:
+  mov r5, 1
+  halt
+.data
+table: .addr case0, case1
+.jumptable table, 2, sw, recoverable
+`
+
+func TestRecoverableJumpTable(t *testing.T) {
+	p := load(t, switchSrc)
+	f := p.Modules[0].Funcs[0]
+	if f.Imprecise {
+		t.Error("recoverable table marked imprecise")
+	}
+	// The indirect-branch block must have two successors.
+	var sw *Block
+	for _, b := range f.Blocks {
+		if b.Last().IsIndirect() {
+			sw = b
+		}
+	}
+	if sw == nil {
+		t.Fatal("no indirect branch block")
+	}
+	if len(sw.Succs) != 2 {
+		t.Errorf("switch succs = %d, want 2", len(sw.Succs))
+	}
+}
+
+func TestUnrecoverableJumpTable(t *testing.T) {
+	src := strings.Replace(switchSrc, "recoverable", "unrecoverable", 1)
+	p := load(t, src)
+	f := p.Modules[0].Funcs[0]
+	if !f.Imprecise {
+		t.Error("unrecoverable table not marked imprecise")
+	}
+}
+
+func TestIndirectBranchWithoutTable(t *testing.T) {
+	src := `
+.module a.out
+.executable
+.entry main
+.func main
+  b r4
+`
+	p := load(t, src)
+	if !p.Modules[0].Funcs[0].Imprecise {
+		t.Error("tableless indirect branch not marked imprecise")
+	}
+}
+
+const libSrc = `
+.module libshared
+.global libfn
+.func libfn
+  mov r1, 9
+  ret
+`
+
+func TestMultiModule(t *testing.T) {
+	mainSrc := `
+.module a.out
+.executable
+.entry main
+.extern libfn
+.func main
+  call libfn
+  halt
+`
+	p := load(t, mainSrc, libSrc)
+	if len(p.Modules) != 2 {
+		t.Fatalf("modules = %d", len(p.Modules))
+	}
+	if p.Modules[0].Name() != "a.out" || p.Modules[1].Name() != "libshared" {
+		t.Errorf("module order: %q, %q", p.Modules[0].Name(), p.Modules[1].Name())
+	}
+	lib := p.FuncByName("libfn")
+	if lib == nil || lib.Module.ID != 1 {
+		t.Fatalf("libfn = %+v", lib)
+	}
+	// Block IDs unique program-wide.
+	seen := map[int]bool{}
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				if seen[b.ID] {
+					t.Errorf("duplicate block ID %d", b.ID)
+				}
+				seen[b.ID] = true
+			}
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	p := load(t, loopSrc)
+	f := p.Modules[0].Funcs[0]
+	b1 := f.Blocks[1]
+	if got := p.BlockStarting(b1.Start); got != b1 {
+		t.Errorf("BlockStarting = %v", got)
+	}
+	if got := p.BlockContaining(b1.Start + 1); got != b1 && got != nil {
+		// +1 is mid-instruction; containment is by extent.
+		t.Errorf("BlockContaining = %v", got)
+	}
+	if got := p.FuncContaining(f.Entry + 3); got != f {
+		t.Errorf("FuncContaining = %v", got)
+	}
+	if got := p.FuncContaining(0x5); got != nil {
+		t.Errorf("FuncContaining(0x5) = %v", got)
+	}
+	if got := p.InstAt(f.Entry); got == nil {
+		t.Error("InstAt(entry) = nil")
+	}
+	if got := p.InstAt(f.Entry + 1); got != nil {
+		t.Error("InstAt(mid-inst) != nil")
+	}
+}
+
+// genStructured emits a random structured function body (nested loops and
+// conditionals) and returns the assembly text.
+func genStructured(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString(".module a.out\n.executable\n.entry main\n.func main\n  mov r1, 0\n")
+	label := 0
+	var emit func(depth int)
+	emit = func(depth int) {
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			switch choice := r.Intn(4); {
+			case choice == 0 && depth < 3: // loop
+				l := label
+				label++
+				fmt.Fprintf(&b, "loop%d:\n  add r2, r2, 1\n", l)
+				emit(depth + 1)
+				fmt.Fprintf(&b, "  blt r2, r3, loop%d\n", l)
+			case choice == 1 && depth < 3: // if/else diamond
+				l := label
+				label++
+				fmt.Fprintf(&b, "  beq r2, r3, else%d\n", l)
+				emit(depth + 1)
+				fmt.Fprintf(&b, "  b end%d\nelse%d:\n  sub r2, r2, 1\nend%d:\n  nop\n", l, l, l)
+			default:
+				fmt.Fprintf(&b, "  add r%d, r%d, %d\n", 4+r.Intn(4), 4+r.Intn(4), r.Intn(100))
+			}
+		}
+	}
+	emit(0)
+	b.WriteString("  halt\n")
+	return b.String()
+}
+
+func TestRandomStructuredInvariants(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := genStructured(r)
+		p := load(t, src)
+		f := p.Modules[0].Funcs[0]
+		entry := f.Blocks[0]
+		for _, blk := range f.Blocks {
+			if blk.rpo < 0 {
+				continue // unreachable
+			}
+			// Invariant: the entry dominates every reachable block.
+			if !entry.Dominates(blk) {
+				t.Fatalf("seed %d: entry does not dominate %#x", seed, blk.Start)
+			}
+			// Invariant: the idom is a strict dominator.
+			if id := blk.Idom(); id != nil && !id.Dominates(blk) {
+				t.Fatalf("seed %d: idom of %#x does not dominate it", seed, blk.Start)
+			}
+			// Invariant: preds/succs are symmetric.
+			for _, s := range blk.Succs {
+				found := false
+				for _, pb := range s.Preds {
+					if pb == blk {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: asymmetric edge %#x -> %#x", seed, blk.Start, s.Start)
+				}
+			}
+		}
+		for _, l := range f.Loops {
+			// Invariant: headers dominate members; back edges come from
+			// inside; exits lead outside.
+			for _, blk := range l.Blocks {
+				if !l.Header.Dominates(blk) {
+					t.Fatalf("seed %d: loop header does not dominate member", seed)
+				}
+			}
+			for _, e := range l.Backs {
+				if !l.Contains(e.From) || e.To != l.Header {
+					t.Fatalf("seed %d: bad back edge", seed)
+				}
+			}
+			for _, e := range l.Exits {
+				if !l.Contains(e.From) || l.Contains(e.To) {
+					t.Fatalf("seed %d: bad exit edge", seed)
+				}
+			}
+			for _, e := range l.Entries {
+				if l.Contains(e.From) || e.To != l.Header {
+					t.Fatalf("seed %d: bad entry edge", seed)
+				}
+			}
+			// Invariant: nesting depth is consistent with parents.
+			if l.Parent != nil && l.Depth != l.Parent.Depth+1 {
+				t.Fatalf("seed %d: bad depth", seed)
+			}
+		}
+	}
+}

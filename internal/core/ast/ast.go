@@ -1,0 +1,398 @@
+// Package ast defines the abstract syntax tree of the Cinnamon language,
+// mirroring the grammar in Figure 3 of the paper: a program is a sequence
+// of global declarations, command blocks over control-flow elements, and
+// init/exit blocks; commands contain analysis statements, nested commands
+// and actions; actions contain C-style statements.
+package ast
+
+import (
+	"repro/internal/core/token"
+)
+
+// Node is any syntax-tree node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// EType identifies a control-flow-element type.
+type EType int
+
+// Control-flow-element types, outermost to innermost.
+const (
+	Module EType = iota
+	Func
+	Loop
+	BasicBlock
+	Inst
+)
+
+var etypeNames = [...]string{"module", "func", "loop", "basicblock", "inst"}
+
+func (e EType) String() string { return etypeNames[e] }
+
+// Level returns the nesting level of the element type (module outermost =
+// 0). Commands may only nest strictly downward.
+func (e EType) Level() int { return int(e) }
+
+// Trigger identifies an action trigger point.
+type Trigger int
+
+// Trigger points. For instructions, Before/After; for blocks, functions
+// and loops, Entry/Exit (the paper's examples also spell block entry as
+// "before", which the parser accepts and canonicalizes); Iter applies to
+// loops only.
+const (
+	Before Trigger = iota
+	After
+	Entry
+	Exit
+	Iter
+)
+
+var triggerNames = [...]string{"before", "after", "entry", "exit", "iter"}
+
+func (t Trigger) String() string { return triggerNames[t] }
+
+// TypeSpec is a parsed type specification: a named base type, optionally
+// with dict/vector parameters or a static array length.
+type TypeSpec struct {
+	P token.Pos
+	// Kind is the type keyword token (TINT, TDICT, ...).
+	Kind token.Kind
+	// Key and Elem are the dict key/value or vector element types.
+	Key, Elem *TypeSpec
+	// ArrayLen is the static array length (0 = not an array). Arrays are
+	// declared with a bracket suffix on the declarator: `int hits[16];`.
+	ArrayLen int
+}
+
+func (t *TypeSpec) Pos() token.Pos { return t.P }
+
+// VarDecl is a variable declaration with an optional initializer.
+// File declarations use constructor syntax: `file outfile("name");` —
+// the file name lands in Args.
+type VarDecl struct {
+	P    token.Pos
+	Type *TypeSpec
+	Name string
+	Init Expr   // nil if none
+	Args []Expr // constructor arguments (file declarations)
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.P }
+
+// Program is a parsed Cinnamon program. Items preserves source order of
+// declarations, commands and init/exit blocks (command order is
+// semantically significant: mapping happens in program order).
+type Program struct {
+	Items []TopItem
+}
+
+// TopItem is a top-level program item: *VarDecl, *Command, *InitBlock or
+// *ExitBlock.
+type TopItem interface{ Node }
+
+// InitBlock is the program's init block: code instrumented to run before
+// the first application instruction.
+type InitBlock struct {
+	P    token.Pos
+	Body []Stmt
+}
+
+func (b *InitBlock) Pos() token.Pos { return b.P }
+
+// ExitBlock is the program's exit block: code instrumented to run after
+// the application's last instruction.
+type ExitBlock struct {
+	P    token.Pos
+	Body []Stmt
+}
+
+func (b *ExitBlock) Pos() token.Pos { return b.P }
+
+// Command is a command block: it selects instances of a control-flow
+// element (optionally filtered by a where-constraint) and contains, in
+// source order, analysis statements, nested commands and actions.
+type Command struct {
+	P     token.Pos
+	EType EType
+	// Var is the name binding the selected CFE instance.
+	Var string
+	// Where is the selection constraint (nil if none). It is evaluated
+	// at analysis/instrumentation time and must therefore be static.
+	Where Expr
+	Body  []CmdItem
+}
+
+func (c *Command) Pos() token.Pos { return c.P }
+
+// CmdItem is an item inside a command body: a Stmt (analysis code), a
+// nested *Command, or an *Action.
+type CmdItem interface{ Node }
+
+// Action is instrumentation code attached to a trigger point of a CFE.
+type Action struct {
+	P       token.Pos
+	Trigger Trigger
+	// Target names the CFE variable the action is attached to; it must
+	// be the variable of an enclosing command.
+	Target string
+	// Where is the action constraint (nil if none). Static constraints
+	// are evaluated at instrumentation time; dynamic constraints compile
+	// into a run-time guard around the body.
+	Where Expr
+	Body  []Stmt
+}
+
+func (a *Action) Pos() token.Pos { return a.P }
+
+// Stmt is a statement node.
+type Stmt interface{ Node }
+
+// DeclStmt is a declaration statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+func (s *DeclStmt) Pos() token.Pos { return s.Decl.P }
+
+// AssignStmt is `lvalue = expr;`.
+type AssignStmt struct {
+	P   token.Pos
+	LHS Expr
+	RHS Expr
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.P }
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	X Expr
+}
+
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+
+// IfStmt is `if (cond) { ... } else { ... }`.
+type IfStmt struct {
+	P    token.Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil if no else
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.P }
+
+// ForStmt is `for (init?; cond?; post?) { ... }`.
+type ForStmt struct {
+	P    token.Pos
+	Init Stmt // nil, *DeclStmt or *AssignStmt
+	Cond Expr // nil means true
+	Post Stmt // nil or *AssignStmt
+	Body []Stmt
+}
+
+func (s *ForStmt) Pos() token.Pos { return s.P }
+
+// Expr is an expression node.
+type Expr interface{ Node }
+
+// Ident is a name reference.
+type Ident struct {
+	P    token.Pos
+	Name string
+}
+
+func (e *Ident) Pos() token.Pos { return e.P }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	P   token.Pos
+	Val int64
+}
+
+func (e *IntLit) Pos() token.Pos { return e.P }
+
+// StringLit is a string literal.
+type StringLit struct {
+	P   token.Pos
+	Val string
+}
+
+func (e *StringLit) Pos() token.Pos { return e.P }
+
+// CharLit is a character literal.
+type CharLit struct {
+	P   token.Pos
+	Val byte
+}
+
+func (e *CharLit) Pos() token.Pos { return e.P }
+
+// BoolLit is true/false.
+type BoolLit struct {
+	P   token.Pos
+	Val bool
+}
+
+func (e *BoolLit) Pos() token.Pos { return e.P }
+
+// NullLit is NULL.
+type NullLit struct {
+	P token.Pos
+}
+
+func (e *NullLit) Pos() token.Pos { return e.P }
+
+// OpcodeLit is an opcode keyword used as a value (Load, Call, ...).
+type OpcodeLit struct {
+	P    token.Pos
+	Name string
+}
+
+func (e *OpcodeLit) Pos() token.Pos { return e.P }
+
+// BinaryExpr is `x op y`.
+type BinaryExpr struct {
+	P    token.Pos
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.P }
+
+// UnaryExpr is `!x` or `-x`.
+type UnaryExpr struct {
+	P  token.Pos
+	Op token.Kind
+	X  Expr
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.P }
+
+// IndexExpr is `x[i]` (dict, vector or array indexing).
+type IndexExpr struct {
+	P     token.Pos
+	X     Expr
+	Index Expr
+}
+
+func (e *IndexExpr) Pos() token.Pos { return e.P }
+
+// FieldExpr is `x.name`: CFE attribute access (I.opcode) or the receiver
+// part of a method call (v.add).
+type FieldExpr struct {
+	P    token.Pos
+	X    Expr
+	Name string
+}
+
+func (e *FieldExpr) Pos() token.Pos { return e.P }
+
+// CallExpr is `f(args)` for builtins (print, writeToFile) or
+// `recv.method(args)` for container/file methods.
+type CallExpr struct {
+	P    token.Pos
+	Fun  Expr // *Ident or *FieldExpr
+	Args []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.P }
+
+// IsTypeExpr is `x IsType mem|reg|const`: the storage-type test on an
+// instruction operand.
+type IsTypeExpr struct {
+	P token.Pos
+	X Expr
+	// OpType is the storage keyword token (KMEM, KREG, KCONST).
+	OpType token.Kind
+}
+
+func (e *IsTypeExpr) Pos() token.Pos { return e.P }
+
+// Walk calls fn for every node in the expression tree rooted at e,
+// parents before children. It is used by semantic analysis to classify
+// expressions and collect attribute uses.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *FieldExpr:
+		Walk(x.X, fn)
+	case *CallExpr:
+		Walk(x.Fun, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *IsTypeExpr:
+		Walk(x.X, fn)
+	}
+}
+
+// WalkStmts calls fn for every statement in the list, recursing into
+// nested statement bodies, and visits every expression with exprFn (both
+// may be nil).
+func WalkStmts(stmts []Stmt, fn func(Stmt), exprFn func(Expr)) {
+	walkExpr := func(e Expr) {
+		if exprFn != nil {
+			Walk(e, exprFn)
+		}
+	}
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		if s == nil {
+			return
+		}
+		if fn != nil {
+			fn(s)
+		}
+		switch x := s.(type) {
+		case *DeclStmt:
+			walkExpr(x.Decl.Init)
+			for _, a := range x.Decl.Args {
+				walkExpr(a)
+			}
+		case *AssignStmt:
+			walkExpr(x.LHS)
+			walkExpr(x.RHS)
+		case *ExprStmt:
+			walkExpr(x.X)
+		case *IfStmt:
+			walkExpr(x.Cond)
+			for _, t := range x.Then {
+				walk(t)
+			}
+			for _, t := range x.Else {
+				walk(t)
+			}
+		case *ForStmt:
+			walk(x.Init)
+			walkExpr(x.Cond)
+			walk(x.Post)
+			for _, t := range x.Body {
+				walk(t)
+			}
+		}
+	}
+	for _, s := range stmts {
+		walk(s)
+	}
+}
+
+// CountStmts returns the number of statements in the list, counting
+// nested bodies once (a static size measure used for the cost model and
+// for Table I line counting cross-checks).
+func CountStmts(stmts []Stmt) int {
+	n := 0
+	WalkStmts(stmts, func(Stmt) { n++ }, nil)
+	return n
+}

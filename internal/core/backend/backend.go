@@ -1,0 +1,560 @@
+// Package backend maps compiled Cinnamon tools onto the three
+// instrumentation frameworks — Pin, Dyninst and Janus — implementing the
+// engine.Placer interface for each. This is the code-generator half of
+// the Cinnamon compiler in executable form: each placer realizes actions
+// with the target framework's native mechanism (analysis calls, snippets,
+// rewrite rules + clean calls) and its cost model.
+//
+// The cost asymmetries measured in the paper's Figure 13 live here:
+//
+//   - Pin: Cinnamon encapsulates every action in a callback invoked by a
+//     clean call (never inlined), while hand-written Pin tools register
+//     short analysis routines that Pin inlines.
+//   - Janus: DynamoRIO inlines clean calls whose callback is simple
+//     enough, which Cinnamon's generated callbacks often are; only the
+//     rule-decoding glue and payload marshalling remain.
+//   - Dyninst: both Cinnamon and native tools insert snippets; Cinnamon
+//     pays only a small generic-marshalling surcharge.
+package backend
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/core/engine"
+	"repro/internal/core/interp"
+	"repro/internal/core/sem"
+	"repro/internal/core/value"
+	"repro/internal/dyninst"
+	"repro/internal/isa"
+	"repro/internal/janus"
+	"repro/internal/pin"
+	"repro/internal/vm"
+)
+
+// Per-backend glue costs (cycle units): the extra work of Cinnamon's
+// generated callback encapsulation compared to a hand-written tool —
+// argument unpacking, generic marshalling, rule decoding.
+const (
+	PinGlue     = 2
+	DyninstGlue = 2
+	JanusGlue   = 4
+)
+
+// Names of the supported backends.
+const (
+	Pin     = "pin"
+	Dyninst = "dyninst"
+	Janus   = "janus"
+)
+
+// Backends lists the supported backend names.
+func Backends() []string { return []string{Pin, Dyninst, Janus} }
+
+// Options configures a tool run.
+type Options struct {
+	// Out receives the tool's print() output.
+	Out io.Writer
+	// FS is the tool's file system (fresh in-memory FS if nil).
+	FS *interp.FS
+	// Fuel bounds application instructions (0 = default).
+	Fuel uint64
+	// AppOut receives the application's output (discarded if nil).
+	AppOut io.Writer
+	// PinLoopDetection enables the extension suggested in the paper's
+	// Section VI-E: integrate a loop-detection technique into the Pin
+	// backend so loop commands become mappable. Loop trigger points are
+	// realized as edge instrumentation derived from the detected loops,
+	// at clean-call cost plus a per-firing detection surcharge.
+	PinLoopDetection bool
+}
+
+// PinLoopDetectCost is the extra per-firing price of the Pin loop
+// detection extension (maintaining the block-trace state a dynamic
+// loop detector needs).
+const PinLoopDetectCost = 6
+
+// Run compiles the tool onto the named backend, executes the program
+// under it, and returns the machine result.
+func Run(tool *engine.CompiledTool, prog *cfg.Program, backendName string, opts Options) (*vm.Result, error) {
+	switch backendName {
+	case Pin:
+		return runPin(tool, prog, opts)
+	case Dyninst:
+		return runDyninst(tool, prog, opts)
+	case Janus:
+		return runJanus(tool, prog, opts)
+	}
+	return nil, fmt.Errorf("cinnamon: unknown backend %q (have %s)", backendName, strings.Join(Backends(), ", "))
+}
+
+// ResolveDynAttr materializes a dynamic attribute value from the machine
+// context: the framework-independent accessor behind Cinnamon's uniform
+// dot-operator interface.
+func ResolveDynAttr(c *vm.Ctx, attr string) uint64 {
+	switch attr {
+	case "memaddr", "srcaddr", "dstaddr":
+		v, _ := c.MemAddr()
+		return v
+	case "rtnval":
+		return c.RetVal()
+	case "trgaddr":
+		v, _ := c.Target()
+		return v
+	}
+	if strings.HasPrefix(attr, "arg") {
+		if n, err := strconv.Atoi(attr[3:]); err == nil && n >= 1 && n <= isa.MaxArgRegs {
+			return c.CallArg(n)
+		}
+	}
+	return 0
+}
+
+// dynValues builds the interpreter's dynamic-attribute map from raw
+// materialized words.
+func dynValues(attrs []sem.DynAttr, words []uint64) map[string]value.Value {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]value.Value, len(attrs))
+	for i, a := range attrs {
+		m[a.Var+"."+a.Attr] = value.UintVal(words[i])
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Pin backend
+
+type pinPlacer struct {
+	p    *pin.Pin
+	prog *cfg.Program
+	// loopDetection enables the Section VI-E extension (see
+	// Options.PinLoopDetection).
+	loopDetection bool
+
+	before, after map[uint64][]pinPlacement
+	blocks        map[uint64][]pinPlacement
+	edges         []pinEdge
+}
+
+type pinEdge struct {
+	from, to uint64
+	p        pinPlacement
+}
+
+type pinPlacement struct {
+	routine pin.Routine
+	args    []pin.Arg
+}
+
+func (pl *pinPlacer) Name() string           { return Pin }
+func (pl *pinPlacer) Modules() []*cfg.Module { return pl.prog.Modules }
+func (pl *pinPlacer) SupportsLoops() bool    { return pl.loopDetection }
+func (pl *pinPlacer) PlaceInit(fn func())    { pl.p.VM().OnStart(func(*vm.Ctx) { fn() }) }
+func (pl *pinPlacer) PlaceFini(fn func())    { pl.p.AddFiniFunction(fn) }
+
+// pinArgs maps the action's dynamic attributes to IARG descriptors — the
+// interface between the static and dynamic contexts for this framework.
+func pinArgs(attrs []sem.DynAttr) ([]pin.Arg, error) {
+	args := make([]pin.Arg, 0, len(attrs))
+	for _, a := range attrs {
+		switch {
+		case a.Attr == "memaddr" || a.Attr == "srcaddr" || a.Attr == "dstaddr":
+			args = append(args, pin.MemoryEA())
+		case a.Attr == "rtnval":
+			args = append(args, pin.RetVal())
+		case a.Attr == "trgaddr":
+			args = append(args, pin.BranchTarget())
+		case strings.HasPrefix(a.Attr, "arg"):
+			n, err := strconv.Atoi(a.Attr[3:])
+			if err != nil {
+				return nil, fmt.Errorf("cinnamon: bad call-argument attribute %q", a.Attr)
+			}
+			args = append(args, pin.FuncArg(n))
+		default:
+			return nil, fmt.Errorf("cinnamon: no Pin IARG mapping for dynamic attribute %q", a.Attr)
+		}
+	}
+	return args, nil
+}
+
+func (pl *pinPlacer) placement(a *engine.Action) (pinPlacement, error) {
+	args, err := pinArgs(a.Info.DynAttrs)
+	if err != nil {
+		return pinPlacement{}, err
+	}
+	attrs := a.Info.DynAttrs
+	exec := a.Exec
+	routine := pin.Routine{
+		Fn:   func(words []uint64) { exec(dynValues(attrs, words)) },
+		Cost: a.Info.Cost + PinGlue,
+		// Cinnamon's generated callbacks are generic encapsulations;
+		// Pin's automatic inlining never applies to them.
+		Inlinable: false,
+	}
+	return pinPlacement{routine: routine, args: args}, nil
+}
+
+func (pl *pinPlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
+	p, err := pl.placement(a)
+	if err != nil {
+		return err
+	}
+	pl.before[in.Addr] = append(pl.before[in.Addr], p)
+	return nil
+}
+
+func (pl *pinPlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
+	p, err := pl.placement(a)
+	if err != nil {
+		return err
+	}
+	pl.after[in.Addr] = append(pl.after[in.Addr], p)
+	return nil
+}
+
+func (pl *pinPlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
+	p, err := pl.placement(a)
+	if err != nil {
+		return err
+	}
+	pl.blocks[b.Start] = append(pl.blocks[b.Start], p)
+	return nil
+}
+
+func (pl *pinPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
+	if !pl.loopDetection {
+		return fmt.Errorf("cinnamon: pin backend cannot instrument CFG edges (no loop support)")
+	}
+	p, err := pl.placement(a)
+	if err != nil {
+		return err
+	}
+	// The detection surcharge models the run-time bookkeeping a dynamic
+	// loop detector performs on top of the clean call.
+	p.routine.Cost += PinLoopDetectCost
+	pl.edges = append(pl.edges, pinEdge{from.Start, to.Start, p})
+	return nil
+}
+
+func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
+	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	pl := &pinPlacer{
+		p: p, prog: prog,
+		loopDetection: opts.PinLoopDetection,
+		before:        make(map[uint64][]pinPlacement),
+		after:         make(map[uint64][]pinPlacement),
+		blocks:        make(map[uint64][]pinPlacement),
+	}
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS})
+	if err != nil {
+		return nil, err
+	}
+	// The generated Pin tool: one instruction-mode callback that looks up
+	// the placements computed by the analysis stage, plus a trace-mode
+	// callback for block-entry actions.
+	var cbErr error
+	record := func(err error) {
+		if err != nil && cbErr == nil {
+			cbErr = err
+		}
+	}
+	p.INSAddInstrumentFunction(func(ins pin.INS) {
+		for _, plc := range pl.before[ins.Address()] {
+			record(ins.InsertCall(pin.IPointBefore, plc.routine, plc.args...))
+		}
+		for _, plc := range pl.after[ins.Address()] {
+			record(ins.InsertCall(pin.IPointAfter, plc.routine, plc.args...))
+		}
+	})
+	p.TraceAddInstrumentFunction(func(tr pin.TRACE) {
+		for _, bbl := range tr.BBLs() {
+			for _, plc := range pl.blocks[bbl.Address()] {
+				record(bbl.InsertCall(plc.routine, plc.args...))
+			}
+		}
+	})
+	// The loop-detection extension realizes loop trigger points through
+	// edge instrumentation on the machine underneath Pin.
+	for _, e := range pl.edges {
+		e := e
+		cost := pin.CleanCallCost + e.p.routine.Cost + uint64(len(e.p.args))*pin.ArgCost
+		record(p.VM().AddEdge(e.from, e.to, cost, func(c *vm.Ctx) {
+			words := make([]uint64, len(e.p.args))
+			e.p.routine.Fn(words)
+		}))
+	}
+	res, err := p.Run()
+	if err != nil {
+		return nil, err
+	}
+	if cbErr != nil {
+		return nil, cbErr
+	}
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Dyninst backend
+
+type dyninstPlacer struct {
+	be   *dyninst.BinaryEdit
+	prog *cfg.Program
+}
+
+func (pl *dyninstPlacer) Name() string        { return Dyninst }
+func (pl *dyninstPlacer) SupportsLoops() bool { return true }
+func (pl *dyninstPlacer) PlaceInit(fn func()) { pl.be.OnInit(fn) }
+func (pl *dyninstPlacer) PlaceFini(fn func()) { pl.be.OnFini(fn) }
+
+// Modules returns only the executable: the static rewriter does not touch
+// shared libraries.
+func (pl *dyninstPlacer) Modules() []*cfg.Module { return pl.prog.Modules[:1] }
+
+// dyninstSnippet builds the snippet call for an action: dynamic
+// attributes become snippet argument expressions.
+func dyninstSnippet(a *engine.Action) (dyninst.Snippet, error) {
+	args := make([]dyninst.Snippet, 0, len(a.Info.DynAttrs))
+	for _, da := range a.Info.DynAttrs {
+		switch {
+		case da.Attr == "memaddr" || da.Attr == "srcaddr" || da.Attr == "dstaddr":
+			args = append(args, dyninst.EffectiveAddressExpr{})
+		case da.Attr == "rtnval":
+			args = append(args, dyninst.RetExpr{})
+		case da.Attr == "trgaddr":
+			args = append(args, dyninst.BranchTargetExpr{})
+		case strings.HasPrefix(da.Attr, "arg"):
+			n, err := strconv.Atoi(da.Attr[3:])
+			if err != nil {
+				return nil, fmt.Errorf("cinnamon: bad call-argument attribute %q", da.Attr)
+			}
+			args = append(args, dyninst.ParamExpr{N: n})
+		default:
+			return nil, fmt.Errorf("cinnamon: no Dyninst snippet mapping for dynamic attribute %q", da.Attr)
+		}
+	}
+	attrs := a.Info.DynAttrs
+	exec := a.Exec
+	return dyninst.FuncCallExpr{
+		Fn:   func(words []uint64) { exec(dynValues(attrs, words)) },
+		Args: args,
+		Cost: a.Info.Cost + DyninstGlue,
+	}, nil
+}
+
+func (pl *dyninstPlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
+	return pl.placeInst(in, a, dyninst.CallBefore)
+}
+
+func (pl *dyninstPlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
+	return pl.placeInst(in, a, dyninst.CallAfter)
+}
+
+func (pl *dyninstPlacer) placeInst(in *isa.Inst, a *engine.Action, when dyninst.CallWhen) error {
+	s, err := dyninstSnippet(a)
+	if err != nil {
+		return err
+	}
+	pt, err := pl.be.Image().InstPoint(in.Addr)
+	if err != nil {
+		return err
+	}
+	return pl.be.InsertSnippet(s, pt, when)
+}
+
+func (pl *dyninstPlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
+	s, err := dyninstSnippet(a)
+	if err != nil {
+		return err
+	}
+	pt, err := pl.be.Image().BlockEntryPoint(b.Start)
+	if err != nil {
+		return err
+	}
+	return pl.be.InsertSnippet(s, pt, dyninst.CallBefore)
+}
+
+func (pl *dyninstPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
+	s, err := dyninstSnippet(a)
+	if err != nil {
+		return err
+	}
+	pt, err := pl.be.Image().EdgePoint(from.Start, to.Start)
+	if err != nil {
+		return err
+	}
+	return pl.be.InsertSnippet(s, pt, dyninst.CallBefore)
+}
+
+func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
+	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	if err != nil {
+		return nil, err
+	}
+	pl := &dyninstPlacer{be: be, prog: prog}
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS})
+	if err != nil {
+		return nil, err
+	}
+	res, err := be.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Janus backend
+
+type janusPlacer struct {
+	prog     *cfg.Program
+	rules    []janus.Rule
+	handlers map[janus.HandlerID]janus.Handler
+	next     janus.HandlerID
+	initFns  []func()
+	finiFns  []func()
+}
+
+func (pl *janusPlacer) Name() string        { return Janus }
+func (pl *janusPlacer) SupportsLoops() bool { return true }
+func (pl *janusPlacer) PlaceInit(fn func()) { pl.initFns = append(pl.initFns, fn) }
+func (pl *janusPlacer) PlaceFini(fn func()) { pl.finiFns = append(pl.finiFns, fn) }
+
+// Modules returns only the executable: the Janus static analyzer only
+// annotates the main binary, so shared-library code is never
+// instrumented.
+func (pl *janusPlacer) Modules() []*cfg.Module { return pl.prog.Modules[:1] }
+
+// register encapsulates the action as a dynamic handler and returns its
+// rewrite-rule payload. The payload carries one word per captured
+// analysis value (the data a rewrite rule transports to its handler);
+// dynamic attributes are read from the machine context by the handler
+// itself.
+func (pl *janusPlacer) register(a *engine.Action) (janus.HandlerID, []uint64) {
+	id := pl.next
+	pl.next++
+	attrs := a.Info.DynAttrs
+	exec := a.Exec
+	pl.handlers[id] = janus.Handler{
+		Fn: func(c *vm.Ctx, _ []uint64) {
+			var dyn map[string]value.Value
+			if len(attrs) > 0 {
+				dyn = make(map[string]value.Value, len(attrs))
+				for _, da := range attrs {
+					dyn[da.Var+"."+da.Attr] = value.UintVal(ResolveDynAttr(c, da.Attr))
+				}
+			}
+			exec(dyn)
+		},
+		Cost: a.Info.Cost + JanusGlue,
+		// DynamoRIO inlines clean calls with simple callbacks.
+		Inlinable: a.Info.Simple,
+	}
+	return id, make([]uint64, a.NumCaptured)
+}
+
+func (pl *janusPlacer) blockOf(addr uint64) uint64 {
+	if b := pl.prog.BlockContaining(addr); b != nil {
+		return b.Start
+	}
+	return addr
+}
+
+func (pl *janusPlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
+	id, data := pl.register(a)
+	pl.rules = append(pl.rules, janus.Rule{
+		BlockAddr: pl.blockOf(in.Addr), InstAddr: in.Addr,
+		Trigger: janus.TriggerBefore, Handler: id, Data: data,
+	})
+	return nil
+}
+
+func (pl *janusPlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
+	switch in.Op {
+	case isa.Branch, isa.Return, isa.Halt:
+		// The compiler backend validates trigger points eagerly
+		// (Section III-B6: "throw an error if not"); the dynamic side
+		// would otherwise silently skip the rule.
+		return fmt.Errorf("cinnamon: after-trigger invalid on %s at %#x", in.Op, in.Addr)
+	}
+	id, data := pl.register(a)
+	pl.rules = append(pl.rules, janus.Rule{
+		BlockAddr: pl.blockOf(in.Addr), InstAddr: in.Addr,
+		Trigger: janus.TriggerAfter, Handler: id, Data: data,
+	})
+	return nil
+}
+
+func (pl *janusPlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
+	id, data := pl.register(a)
+	pl.rules = append(pl.rules, janus.Rule{
+		BlockAddr: b.Start, Trigger: janus.TriggerBlockEntry, Handler: id, Data: data,
+	})
+	return nil
+}
+
+func (pl *janusPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
+	id, data := pl.register(a)
+	pl.rules = append(pl.rules, janus.Rule{
+		BlockAddr: to.Start, Aux: from.Start,
+		Trigger: janus.TriggerEdge, Handler: id, Data: data,
+	})
+	return nil
+}
+
+func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
+	pl := &janusPlacer{prog: prog, handlers: make(map[janus.HandlerID]janus.Handler), next: 1}
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS})
+	if err != nil {
+		return nil, err
+	}
+	const (
+		hInit janus.HandlerID = 60000 + iota
+		hFini
+	)
+	initFns, finiFns := pl.initFns, pl.finiFns
+	pl.handlers[hInit] = janus.Handler{Fn: func(*vm.Ctx, []uint64) {
+		for _, fn := range initFns {
+			fn()
+		}
+	}}
+	pl.handlers[hFini] = janus.Handler{Fn: func(*vm.Ctx, []uint64) {
+		for _, fn := range finiFns {
+			fn()
+		}
+	}}
+	rules := append([]janus.Rule{}, pl.rules...)
+	if len(initFns) > 0 {
+		rules = append(rules, janus.Rule{Trigger: janus.TriggerInit, Handler: hInit})
+	}
+	if len(finiFns) > 0 {
+		rules = append(rules, janus.Rule{Trigger: janus.TriggerFini, Handler: hFini})
+	}
+	jt := &janus.Tool{
+		Name: "cinnamon",
+		StaticPass: func(sa *janus.StaticAnalyzer) {
+			for _, r := range rules {
+				sa.EmitRule(r)
+			}
+		},
+		Handlers: pl.handlers,
+	}
+	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,596 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/sem"
+)
+
+// ---------------------------------------------------------------------------
+// Pin
+
+// pinIARG maps a dynamic attribute to its IARG descriptor list.
+func pinIARG(da sem.DynAttr) string {
+	switch {
+	case da.Attr == "memaddr" || da.Attr == "srcaddr":
+		return "IARG_MEMORYREAD_EA"
+	case da.Attr == "dstaddr":
+		return "IARG_MEMORYWRITE_EA"
+	case da.Attr == "rtnval":
+		return "IARG_FUNCRET_EXITPOINT_VALUE"
+	case da.Attr == "trgaddr":
+		return "IARG_BRANCH_TARGET_ADDR"
+	case strings.HasPrefix(da.Attr, "arg"):
+		return fmt.Sprintf("IARG_FUNCARG_ENTRYPOINT_VALUE, %s", da.Attr[3:])
+	}
+	return "IARG_INVALID"
+}
+
+// insertArgs renders the IARG list for an action call site.
+func (g *generator) insertArgs(u actionUnit) string {
+	var parts []string
+	for _, name := range g.capturedVars(u) {
+		// Captured analysis values: either a command-scope variable or a
+		// static attribute spelled var_attr.
+		expr := name
+		if i := strings.IndexByte(name, '_'); i > 0 && g.isCFEVar(u, name[:i]) {
+			expr = fmt.Sprintf("cnm::%s(%s)", name[i+1:], name[:i])
+		}
+		parts = append(parts, "IARG_UINT64, "+expr)
+	}
+	for _, da := range u.info.DynAttrs {
+		parts = append(parts, pinIARG(da))
+	}
+	parts = append(parts, "IARG_END")
+	return strings.Join(parts, ", ")
+}
+
+func (g *generator) isCFEVar(u actionUnit, name string) bool {
+	// The CFE variables in scope are the enclosing command chain's; a
+	// conservative check against all command variables suffices for
+	// rendering.
+	found := false
+	var scan func(c *ast.Command)
+	scan = func(c *ast.Command) {
+		if c.Var == name {
+			found = true
+		}
+		for _, item := range c.Body {
+			if nc, ok := item.(*ast.Command); ok {
+				scan(nc)
+			}
+		}
+	}
+	for _, c := range g.info.Commands {
+		scan(c)
+	}
+	return found
+}
+
+func (g *generator) pin() (map[string]string, error) {
+	w := &writer{}
+	g.header(w, "Pin tool (dynamic instrumentation).", []string{"\"pin.H\"", "<cstdint>", "<map>", "<vector>", "<string>"})
+	g.globals(w)
+	g.actionFunctions(w)
+	g.initExitFunctions(w)
+
+	var instCmds, bbCmds, funcCmds, modCmds []*ast.Command
+	for _, cmd := range g.info.Commands {
+		switch cmd.EType {
+		case ast.Inst:
+			instCmds = append(instCmds, cmd)
+		case ast.BasicBlock:
+			bbCmds = append(bbCmds, cmd)
+		case ast.Func:
+			funcCmds = append(funcCmds, cmd)
+		case ast.Loop:
+			return nil, fmt.Errorf("codegen: pin has no notion of loops; loop command %q cannot be mapped", cmd.Var)
+		case ast.Module:
+			modCmds = append(modCmds, cmd)
+		}
+	}
+
+	if len(instCmds) > 0 {
+		w.line("// Instruction-mode instrumentation (one callback for all inst commands).")
+		w.line("VOID InstrumentINS(INS %s_raw, VOID*) {", instCmds[0].Var)
+		w.indent++
+		for _, cmd := range instCmds {
+			w.line("{")
+			w.indent++
+			w.line("INS %s = %s_raw;", cmd.Var, instCmds[0].Var)
+			g.pinCmdBody(w, cmd)
+			w.indent--
+			w.line("}")
+		}
+		w.indent--
+		w.line("}")
+		w.blank()
+	}
+	if len(bbCmds) > 0 {
+		w.line("// Trace-mode instrumentation (basic-block commands).")
+		w.line("VOID InstrumentTRACE(TRACE trace, VOID*) {")
+		w.indent++
+		for _, cmd := range bbCmds {
+			w.line("for (BBL %s = TRACE_BblHead(trace); BBL_Valid(%s); %s = BBL_Next(%s)) {",
+				cmd.Var, cmd.Var, cmd.Var, cmd.Var)
+			w.indent++
+			g.pinCmdBody(w, cmd)
+			w.indent--
+			w.line("}")
+		}
+		w.indent--
+		w.line("}")
+		w.blank()
+	}
+	if len(funcCmds) > 0 {
+		w.line("// Routine-mode instrumentation (function commands; needs symbols).")
+		w.line("VOID InstrumentRTN(RTN %s, VOID*) {", funcCmds[0].Var)
+		w.indent++
+		w.line("RTN_Open(%s);", funcCmds[0].Var)
+		for _, cmd := range funcCmds {
+			if cmd.Var != funcCmds[0].Var {
+				w.line("RTN %s = %s;", cmd.Var, funcCmds[0].Var)
+			}
+			g.pinCmdBody(w, cmd)
+		}
+		w.line("RTN_Close(%s);", funcCmds[0].Var)
+		w.indent--
+		w.line("}")
+		w.blank()
+	}
+	if len(modCmds) > 0 {
+		w.line("// Image-mode instrumentation (module commands).")
+		w.line("VOID InstrumentIMG(IMG %s, VOID*) {", modCmds[0].Var)
+		w.indent++
+		for _, cmd := range modCmds {
+			g.pinCmdBody(w, cmd)
+		}
+		w.indent--
+		w.line("}")
+		w.blank()
+	}
+
+	w.line("VOID Fini(INT32 code, VOID*) {")
+	w.indent++
+	for i := range g.info.Exits {
+		w.line("cnm_exit_%d();", i+1)
+	}
+	w.indent--
+	w.line("}")
+	w.blank()
+	w.line("int main(int argc, char* argv[]) {")
+	w.indent++
+	w.line("PIN_InitSymbols();")
+	w.line("if (PIN_Init(argc, argv)) return 1;")
+	if len(instCmds) > 0 {
+		w.line("INS_AddInstrumentFunction(InstrumentINS, 0);")
+	}
+	if len(bbCmds) > 0 {
+		w.line("TRACE_AddInstrumentFunction(InstrumentTRACE, 0);")
+	}
+	if len(funcCmds) > 0 {
+		w.line("RTN_AddInstrumentFunction(InstrumentRTN, 0);")
+	}
+	if len(modCmds) > 0 {
+		w.line("IMG_AddInstrumentFunction(InstrumentIMG, 0);")
+	}
+	for i := range g.info.Inits {
+		w.line("cnm_init_%d();", i+1)
+	}
+	w.line("PIN_AddFiniFunction(Fini, 0);")
+	w.line("PIN_StartProgram();")
+	w.line("return 0;")
+	w.indent--
+	w.line("}")
+	return map[string]string{"pin_tool.cpp": w.b.String()}, nil
+}
+
+// pinCmdBody emits a command's constraint guard, analysis statements,
+// nested commands and insert-call sites inside the Pin instrumentation
+// callback for its granularity.
+func (g *generator) pinCmdBody(w *writer, cmd *ast.Command) {
+	close := 0
+	if cmd.Where != nil {
+		w.line("if (%s) {", g.expr(cmd.Where, exprCtx{}))
+		w.indent++
+		close++
+	}
+	for _, item := range cmd.Body {
+		switch it := item.(type) {
+		case *ast.Command:
+			// Nested command: iterate the sub-elements of the current
+			// CFE (instructions of a block or routine).
+			iter := fmt.Sprintf("for (INS %s = BBL_InsHead(%s); INS_Valid(%s); %s = INS_Next(%s)) {",
+				it.Var, cmd.Var, it.Var, it.Var, it.Var)
+			if cmd.EType == ast.Func {
+				iter = fmt.Sprintf("for (INS %s = RTN_InsHead(%s); INS_Valid(%s); %s = INS_Next(%s)) {",
+					it.Var, cmd.Var, it.Var, it.Var, it.Var)
+			}
+			w.line("%s", iter)
+			w.indent++
+			g.pinCmdBody(w, it)
+			w.indent--
+			w.line("}")
+		case *ast.Action:
+			g.pinInsert(w, it)
+		case ast.Stmt:
+			g.stmt(w, it, exprCtx{})
+		}
+	}
+	for ; close > 0; close-- {
+		w.indent--
+		w.line("}")
+	}
+}
+
+func (g *generator) pinInsert(w *writer, act *ast.Action) {
+	u := g.unitOf(act)
+	close := 0
+	if act.Where != nil && !u.info.WhereDynamic {
+		w.line("if (%s) {", g.expr(act.Where, exprCtx{}))
+		w.indent++
+		close++
+	}
+	args := g.insertArgs(u)
+	switch u.info.TargetEType {
+	case ast.Inst:
+		point := "IPOINT_BEFORE"
+		if u.info.Canonical == ast.After {
+			point = "IPOINT_AFTER"
+		}
+		w.line("INS_InsertCall(%s, %s, (AFUNPTR)cnm_action_%d, %s);", act.Target, point, u.id, args)
+	case ast.BasicBlock:
+		if u.info.Canonical == ast.Entry {
+			w.line("BBL_InsertCall(%s, IPOINT_BEFORE, (AFUNPTR)cnm_action_%d, %s);", act.Target, u.id, args)
+		} else {
+			w.line("INS_InsertCall(BBL_InsTail(%s), IPOINT_BEFORE, (AFUNPTR)cnm_action_%d, %s);", act.Target, u.id, args)
+		}
+	case ast.Func:
+		point := "IPOINT_BEFORE"
+		where := "RTN_InsHead(" + act.Target + ")"
+		if u.info.Canonical == ast.Exit {
+			where = "RTN_InsTail(" + act.Target + ")"
+		}
+		w.line("INS_InsertCall(%s, %s, (AFUNPTR)cnm_action_%d, %s);", where, point, u.id, args)
+	}
+	for ; close > 0; close-- {
+		w.indent--
+		w.line("}")
+	}
+}
+
+func (g *generator) unitOf(act *ast.Action) actionUnit {
+	for _, u := range g.actions {
+		if u.act == act {
+			return u
+		}
+	}
+	return actionUnit{}
+}
+
+// ---------------------------------------------------------------------------
+// Dyninst
+
+func dyninstArgExpr(da sem.DynAttr) string {
+	switch {
+	case da.Attr == "memaddr" || da.Attr == "srcaddr" || da.Attr == "dstaddr":
+		return "new BPatch_effectiveAddressExpr()"
+	case da.Attr == "rtnval":
+		return "new BPatch_retExpr()"
+	case da.Attr == "trgaddr":
+		return "new BPatch_dynamicTargetExpr()"
+	case strings.HasPrefix(da.Attr, "arg"):
+		return fmt.Sprintf("new BPatch_paramExpr(%s)", da.Attr[3:])
+	}
+	return "nullptr"
+}
+
+func (g *generator) dyninst() (map[string]string, error) {
+	w := &writer{}
+	g.header(w, "Dyninst mutator (static binary rewriting).", []string{
+		"\"BPatch.h\"", "\"BPatch_binaryEdit.h\"", "\"BPatch_function.h\"",
+		"\"BPatch_point.h\"", "\"BPatch_flowGraph.h\"", "<cstdint>", "<map>", "<vector>", "<string>",
+	})
+	g.globals(w)
+	g.actionFunctions(w)
+	g.initExitFunctions(w)
+
+	w.line("static BPatch bpatch;")
+	w.blank()
+	w.line("// insert_action wires one callback call at a point, with its arguments.")
+	w.line("static void insert_action(BPatch_binaryEdit* app, const char* fn,")
+	w.line("                          std::vector<BPatch_snippet*>& args,")
+	w.line("                          BPatch_point* point, BPatch_callWhen when) {")
+	w.indent++
+	w.line("std::vector<BPatch_function*> fs;")
+	w.line("app->getImage()->findFunction(fn, fs);")
+	w.line("BPatch_funcCallExpr call(*fs[0], args);")
+	w.line("app->insertSnippet(call, *point, when);")
+	w.indent--
+	w.line("}")
+	w.blank()
+
+	w.line("int main(int argc, char* argv[]) {")
+	w.indent++
+	w.line("BPatch_binaryEdit* app = bpatch.openBinary(argv[1]);")
+	w.line("BPatch_image* image = app->getImage();")
+	w.line("std::vector<BPatch_function*>* funcs = image->getProcedures();")
+	for i := range g.info.Inits {
+		w.line("cnm_init_%d(); // instrumented into _init of the rewritten binary", i+1)
+	}
+	w.blank()
+	for _, cmd := range g.info.Commands {
+		g.dyninstCmd(w, cmd, "")
+		w.blank()
+	}
+	for i := range g.info.Exits {
+		w.line("cnm_exit_%d(); // instrumented into _fini of the rewritten binary", i+1)
+	}
+	w.line("app->writeFile(argv[2]);")
+	w.line("return 0;")
+	w.indent--
+	w.line("}")
+	return map[string]string{"dyninst_mutator.cpp": w.b.String()}, nil
+}
+
+// dyninstCmd emits the iteration code for one command. parent names the
+// enclosing CFE variable ("" at top level).
+func (g *generator) dyninstCmd(w *writer, cmd *ast.Command, parent string) {
+	var open int
+	enter := func(format string, args ...any) {
+		w.line(format, args...)
+		w.indent++
+		open++
+	}
+	switch cmd.EType {
+	case ast.Module:
+		enter("{ BPatch_module* %s = image->getModules()->at(0); // executable module", cmd.Var)
+	case ast.Func:
+		enter("for (BPatch_function* %s : *funcs) {", cmd.Var)
+	case ast.Loop:
+		if parent == "" {
+			enter("for (BPatch_function* f_ : *funcs) {")
+			enter("for (BPatch_basicBlockLoop* %s : *f_->getCFG()->getLoops()) {", cmd.Var)
+		} else {
+			enter("for (BPatch_basicBlockLoop* %s : *%s->getCFG()->getLoops()) {", cmd.Var, parent)
+		}
+	case ast.BasicBlock:
+		if parent == "" {
+			enter("for (BPatch_function* f_ : *funcs) {")
+			enter("for (BPatch_basicBlock* %s : f_->getCFG()->getAllBasicBlocks()) {", cmd.Var)
+		} else {
+			enter("for (BPatch_basicBlock* %s : %s_blocks()) {", cmd.Var, parent)
+		}
+	case ast.Inst:
+		if parent == "" {
+			enter("for (BPatch_function* f_ : *funcs) {")
+			enter("for (BPatch_instruction* %s : cnm::instructions(f_)) {", cmd.Var)
+		} else {
+			enter("for (BPatch_instruction* %s : cnm::instructions(%s)) {", cmd.Var, parent)
+		}
+	}
+	if cmd.Where != nil {
+		enter("if (%s) {", g.expr(cmd.Where, exprCtx{}))
+	}
+	for _, item := range cmd.Body {
+		switch it := item.(type) {
+		case *ast.Command:
+			g.dyninstCmd(w, it, cmd.Var)
+		case *ast.Action:
+			g.dyninstInsert(w, it)
+		case ast.Stmt:
+			g.stmt(w, it, exprCtx{})
+		}
+	}
+	for ; open > 0; open-- {
+		w.indent--
+		w.line("}")
+	}
+}
+
+func (g *generator) dyninstInsert(w *writer, act *ast.Action) {
+	u := g.unitOf(act)
+	close := 0
+	if act.Where != nil && !u.info.WhereDynamic {
+		w.line("if (%s) {", g.expr(act.Where, exprCtx{}))
+		w.indent++
+		close++
+	}
+	w.line("{")
+	w.indent++
+	w.line("std::vector<BPatch_snippet*> args;")
+	for _, name := range g.capturedVars(u) {
+		expr := name
+		if i := strings.IndexByte(name, '_'); i > 0 && g.isCFEVar(u, name[:i]) {
+			expr = fmt.Sprintf("cnm::%s(%s)", name[i+1:], name[:i])
+		}
+		w.line("args.push_back(new BPatch_constExpr((uint64_t)(%s)));", expr)
+	}
+	for _, da := range u.info.DynAttrs {
+		w.line("args.push_back(%s);", dyninstArgExpr(da))
+	}
+	var point, when string
+	switch u.info.TargetEType {
+	case ast.Inst:
+		point = fmt.Sprintf("cnm::point_at(%s)", act.Target)
+		when = "BPatch_callBefore"
+		if u.info.Canonical == ast.After {
+			when = "BPatch_callAfter"
+		}
+	case ast.BasicBlock:
+		if u.info.Canonical == ast.Entry {
+			point = fmt.Sprintf("%s->findEntryPoint()", act.Target)
+		} else {
+			point = fmt.Sprintf("%s->findExitPoint()", act.Target)
+		}
+		when = "BPatch_callBefore"
+	case ast.Func:
+		loc := "BPatch_entry"
+		if u.info.Canonical == ast.Exit {
+			loc = "BPatch_exit"
+		}
+		point = fmt.Sprintf("(*%s->findPoint(%s))[0]", act.Target, loc)
+		when = "BPatch_callBefore"
+	case ast.Loop:
+		loc := map[ast.Trigger]string{ast.Entry: "loopEntry", ast.Exit: "loopExit", ast.Iter: "loopBackEdge"}[u.info.Canonical]
+		point = fmt.Sprintf("cnm::loop_points(%s, %s)", act.Target, loc)
+		when = "BPatch_callBefore"
+	}
+	w.line("insert_action(app, \"cnm_action_%d\", args, %s, %s);", u.id, point, when)
+	w.indent--
+	w.line("}")
+	for ; close > 0; close-- {
+		w.indent--
+		w.line("}")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Janus
+
+func (g *generator) janus() (map[string]string, error) {
+	// Static pass: walks the CFG and emits rewrite rules. Handlers:
+	// decode rules and run the actions as clean calls.
+	sp := &writer{}
+	g.header(sp, "Janus static analyzer pass (emits rewrite rules).", []string{"\"janus.h\"", "\"IO.h\"", "\"Analysis.h\"", "<cstdint>"})
+	sp.line("// Rule opcodes: one per Cinnamon action.")
+	for _, u := range g.actions {
+		sp.line("static const RuleOp CNM_RULE_%d = (RuleOp)(CUSTOM_RULE_START + %d);", u.id, u.id)
+	}
+	sp.blank()
+	sp.line("void cnm_static_pass(JanusContext* jc) {")
+	sp.indent++
+	for _, cmd := range g.info.Commands {
+		g.janusCmd(sp, cmd, "")
+	}
+	sp.indent--
+	sp.line("}")
+
+	h := &writer{}
+	g.header(h, "Janus dynamic handlers (clean calls inserted at block translation).", []string{"\"janus_api.h\"", "<cstdint>", "<map>", "<vector>", "<string>"})
+	g.globals(h)
+	g.actionFunctions(h)
+	g.initExitFunctions(h)
+	h.line("// Handler table: decode each rewrite rule and insert a clean call.")
+	h.line("void cnm_handle_rule(JANUS_CONTEXT) {")
+	h.indent++
+	h.line("RRule* rule = get_rule(janus_context);")
+	h.line("instr_t* trigger = get_trigger_instruction(bb, rule);")
+	h.line("switch (rule->opcode) {")
+	for _, u := range g.actions {
+		h.line("case CNM_RULE_%d:", u.id)
+		h.indent++
+		var args []string
+		for i := range g.capturedVars(u) {
+			args = append(args, fmt.Sprintf("OPND_CREATE_INT64(rule->data[%d])", i))
+		}
+		for _, da := range u.info.DynAttrs {
+			args = append(args, fmt.Sprintf("cnm::dynamic_opnd_%s(drcontext, trigger)", da.Attr))
+		}
+		argStr := ""
+		if len(args) > 0 {
+			argStr = ", " + strings.Join(args, ", ")
+		}
+		h.line("dr_insert_clean_call(drcontext, bb, trigger, (void*)cnm_action_%d, false, %d%s);",
+			u.id, len(args), argStr)
+		h.line("break;")
+		h.indent--
+	}
+	h.line("}")
+	h.indent--
+	h.line("}")
+	return map[string]string{
+		"janus_static_pass.cpp": sp.b.String(),
+		"janus_handlers.cpp":    h.b.String(),
+	}, nil
+}
+
+func (g *generator) janusCmd(w *writer, cmd *ast.Command, parent string) {
+	var open int
+	enter := func(format string, args ...any) {
+		w.line(format, args...)
+		w.indent++
+		open++
+	}
+	switch cmd.EType {
+	case ast.Module:
+		enter("{ JanusModule* %s = &jc->program; // main binary", cmd.Var)
+	case ast.Func:
+		if parent == "" {
+			enter("for (Function& %s : jc->functions) {", cmd.Var)
+		} else {
+			enter("for (Function& %s : %s.functions) {", cmd.Var, parent)
+		}
+	case ast.Loop:
+		if parent == "" {
+			enter("for (Loop& %s : jc->loops) {", cmd.Var)
+		} else {
+			enter("for (Loop& %s : %s.loops) {", cmd.Var, parent)
+		}
+	case ast.BasicBlock:
+		if parent == "" {
+			enter("for (Function& f_ : jc->functions) {")
+			enter("for (BasicBlock& %s : f_.blocks) {", cmd.Var)
+		} else {
+			enter("for (BasicBlock& %s : %s.blocks) {", cmd.Var, parent)
+		}
+	case ast.Inst:
+		if parent == "" {
+			enter("for (Function& f_ : jc->functions) {")
+			enter("for (BasicBlock& b_ : f_.blocks) {")
+			enter("for (Instruction& %s : b_.instrs) {", cmd.Var)
+		} else {
+			enter("for (Instruction& %s : %s.instrs) {", cmd.Var, parent)
+		}
+	}
+	if cmd.Where != nil {
+		enter("if (%s) {", g.expr(cmd.Where, exprCtx{}))
+	}
+	for _, item := range cmd.Body {
+		switch it := item.(type) {
+		case *ast.Command:
+			g.janusCmd(w, it, cmd.Var)
+		case *ast.Action:
+			g.janusEmitRule(w, it)
+		case ast.Stmt:
+			g.stmt(w, it, exprCtx{})
+		}
+	}
+	for ; open > 0; open-- {
+		w.indent--
+		w.line("}")
+	}
+}
+
+func (g *generator) janusEmitRule(w *writer, act *ast.Action) {
+	u := g.unitOf(act)
+	close := 0
+	if act.Where != nil && !u.info.WhereDynamic {
+		w.line("if (%s) {", g.expr(act.Where, exprCtx{}))
+		w.indent++
+		close++
+	}
+	trigger := map[ast.Trigger]string{
+		ast.Before: "PRE_INSERT", ast.After: "POST_INSERT",
+		ast.Entry: "BLOCK_ENTRY", ast.Exit: "BLOCK_EXIT", ast.Iter: "LOOP_ITER",
+	}[u.info.Canonical]
+	var data []string
+	for _, name := range g.capturedVars(u) {
+		expr := name
+		if i := strings.IndexByte(name, '_'); i > 0 && g.isCFEVar(u, name[:i]) {
+			expr = fmt.Sprintf("cnm::%s(%s)", name[i+1:], name[:i])
+		}
+		data = append(data, fmt.Sprintf("(uint64_t)(%s)", expr))
+	}
+	dataStr := ""
+	if len(data) > 0 {
+		dataStr = ", {" + strings.Join(data, ", ") + "}"
+	}
+	w.line("cnm::emit_rule(jc, CNM_RULE_%d, %s, %s%s);", u.id, trigger, u.act.Target, dataStr)
+	for ; close > 0; close-- {
+		w.indent--
+		w.line("}")
+	}
+}

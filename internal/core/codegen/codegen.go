@@ -1,0 +1,492 @@
+// Package codegen emits the framework-specific C/C++ tool sources that
+// the Cinnamon compiler produces in the paper's workflow (Figure 4): the
+// front end parses Cinnamon into an AST, and a per-framework code
+// generator emits analysis passes, handler passes and the boilerplate
+// that plugs into Pin, Dyninst or Janus.
+//
+// In this repository the same compiled tool is also executed directly by
+// the engine/backend packages; the generated C/C++ is the inspectable
+// artifact (golden-tested under testdata/) showing what would be handed
+// to a C++ compiler in the original toolchain:
+//
+//   - actions become callback functions, with captured analysis data and
+//     materialized dynamic attributes as parameters;
+//   - commands become framework iteration code guarded by their
+//     constraints;
+//   - attribute accesses lower to utility-library accessor calls (the
+//     paper's Section IV-A), hiding each framework's low-level code.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/engine"
+	"repro/internal/core/sem"
+	"repro/internal/core/token"
+	"repro/internal/core/types"
+)
+
+// Generate emits the C/C++ sources of the tool for the named backend
+// ("pin", "dyninst" or "janus"), as a map from file name to content.
+func Generate(tool *engine.CompiledTool, backendName string) (map[string]string, error) {
+	g := &generator{tool: tool, info: tool.Info}
+	g.collect()
+	var files map[string]string
+	var err error
+	switch backendName {
+	case "pin":
+		files, err = g.pin()
+	case "dyninst":
+		files, err = g.dyninst()
+	case "janus":
+		files, err = g.janus()
+	default:
+		return nil, fmt.Errorf("codegen: unknown backend %q", backendName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	files["cnm_runtime.h"] = runtimeHeader(backendName)
+	return files, nil
+}
+
+type actionUnit struct {
+	id   int
+	act  *ast.Action
+	info *sem.ActionInfo
+	cmd  *ast.Command
+}
+
+type generator struct {
+	tool    *engine.CompiledTool
+	info    *sem.Info
+	actions []actionUnit
+}
+
+// collect numbers every action in program order.
+func (g *generator) collect() {
+	id := 1
+	var walk func(cmd *ast.Command)
+	walk = func(cmd *ast.Command) {
+		for _, item := range cmd.Body {
+			switch it := item.(type) {
+			case *ast.Command:
+				walk(it)
+			case *ast.Action:
+				g.actions = append(g.actions, actionUnit{id: id, act: it, info: g.info.Actions[it], cmd: cmd})
+				id++
+			}
+		}
+	}
+	for _, cmd := range g.info.Commands {
+		walk(cmd)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Type and expression lowering (framework independent)
+
+func cppType(t *types.Type) string {
+	switch t.Kind {
+	case types.Int:
+		return "int64_t"
+	case types.UInt64:
+		return "uint64_t"
+	case types.Char:
+		return "char"
+	case types.Bool:
+		return "bool"
+	case types.Addr:
+		return "uintptr_t"
+	case types.String, types.Line:
+		return "std::string"
+	case types.Opcode:
+		return "cnm::Opcode"
+	case types.Operand:
+		return "cnm::Operand"
+	case types.Dict:
+		return fmt.Sprintf("std::map<%s, %s>", cppType(t.Key), cppType(t.Elem))
+	case types.Vector:
+		return fmt.Sprintf("std::vector<%s>", cppType(t.Elem))
+	case types.Array:
+		return cppType(t.Elem) // length carried by the declarator
+	case types.File:
+		return "cnm::File"
+	}
+	return "void"
+}
+
+var opcodeConst = map[string]string{
+	"Call": "CNM_OP_CALL", "Mov": "CNM_OP_MOV", "Load": "CNM_OP_LOAD",
+	"Store": "CNM_OP_STORE", "Branch": "CNM_OP_BRANCH", "Return": "CNM_OP_RETURN",
+	"Add": "CNM_OP_ADD", "Sub": "CNM_OP_SUB", "Mul": "CNM_OP_MUL",
+	"Div": "CNM_OP_DIV", "GetPtr": "CNM_OP_GETPTR", "Nop": "CNM_OP_NOP",
+	"Halt": "CNM_OP_HALT",
+}
+
+// exprCtx says how CFE attribute accesses lower: in analysis context they
+// become utility accessor calls on the handle variable; in an action they
+// become the materialized callback parameters.
+type exprCtx struct {
+	inAction bool
+}
+
+func (g *generator) expr(e ast.Expr, ctx exprCtx) string {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *ast.StringLit:
+		return fmt.Sprintf("%q", x.Val)
+	case *ast.CharLit:
+		return fmt.Sprintf("'%c'", x.Val)
+	case *ast.BoolLit:
+		if x.Val {
+			return "true"
+		}
+		return "false"
+	case *ast.NullLit:
+		return "CNM_NULL"
+	case *ast.OpcodeLit:
+		return opcodeConst[x.Name]
+	case *ast.Ident:
+		return x.Name
+	case *ast.FieldExpr:
+		return g.attrAccess(x, ctx)
+	case *ast.IndexExpr:
+		return fmt.Sprintf("%s[%s]", g.expr(x.X, ctx), g.expr(x.Index, ctx))
+	case *ast.CallExpr:
+		return g.call(x, ctx)
+	case *ast.IsTypeExpr:
+		fn := map[token.Kind]string{token.KMEM: "cnm::is_mem", token.KREG: "cnm::is_reg", token.KCONST: "cnm::is_const"}[x.OpType]
+		return fmt.Sprintf("%s(%s)", fn, g.expr(x.X, ctx))
+	case *ast.UnaryExpr:
+		op := "!"
+		if x.Op == token.MINUS {
+			op = "-"
+		}
+		return fmt.Sprintf("%s%s", op, g.parenExpr(x.X, ctx))
+	case *ast.BinaryExpr:
+		return fmt.Sprintf("%s %s %s", g.parenExpr(x.X, ctx), cppOp(x.Op), g.parenExpr(x.Y, ctx))
+	}
+	return "/*?*/"
+}
+
+func (g *generator) parenExpr(e ast.Expr, ctx exprCtx) string {
+	switch e.(type) {
+	case *ast.BinaryExpr, *ast.IsTypeExpr:
+		return "(" + g.expr(e, ctx) + ")"
+	}
+	return g.expr(e, ctx)
+}
+
+func cppOp(k token.Kind) string { return k.String() }
+
+// attrAccess lowers I.attr. In analysis code, attributes become accessor
+// calls from the utility library; in actions, dynamic attributes become
+// the callback parameters (var_attr) while static ones were baked in as
+// captured constants by the analysis pass.
+func (g *generator) attrAccess(x *ast.FieldExpr, ctx exprCtx) string {
+	recv, ok := x.X.(*ast.Ident)
+	if !ok {
+		return "/*?*/"
+	}
+	name := strings.ToLower(x.Name)
+	if g.info.DynamicExprs[x] {
+		return fmt.Sprintf("%s_%s", recv.Name, name)
+	}
+	if ctx.inAction {
+		// Static attribute inside an action: passed as a captured
+		// argument by the analysis pass.
+		return fmt.Sprintf("%s_%s", recv.Name, name)
+	}
+	return fmt.Sprintf("cnm::%s(%s)", name, recv.Name)
+}
+
+func (g *generator) call(x *ast.CallExpr, ctx exprCtx) string {
+	args := make([]string, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = g.expr(a, ctx)
+	}
+	switch fun := x.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "print":
+			return fmt.Sprintf("cnm::print(%s)", strings.Join(args, ", "))
+		case "writeToFile":
+			return fmt.Sprintf("cnm::write_to_file(%s)", strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%s(%s)", fun.Name, strings.Join(args, ", "))
+	case *ast.FieldExpr:
+		recv := g.expr(fun.X, ctx)
+		switch fun.Name {
+		case "add":
+			return fmt.Sprintf("%s.push_back(%s)", recv, strings.Join(args, ", "))
+		case "has":
+			return fmt.Sprintf("cnm::contains(%s, %s)", recv, strings.Join(args, ", "))
+		case "size":
+			return fmt.Sprintf("%s.size()", recv)
+		case "getline":
+			return fmt.Sprintf("%s.getline()", recv)
+		}
+		return fmt.Sprintf("%s.%s(%s)", recv, fun.Name, strings.Join(args, ", "))
+	}
+	return "/*?*/"
+}
+
+// ---------------------------------------------------------------------------
+// Statement lowering
+
+type writer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (w *writer) line(format string, args ...any) {
+	w.b.WriteString(strings.Repeat("    ", w.indent))
+	fmt.Fprintf(&w.b, format, args...)
+	w.b.WriteByte('\n')
+}
+
+func (w *writer) blank() { w.b.WriteByte('\n') }
+
+func (g *generator) stmts(w *writer, stmts []ast.Stmt, ctx exprCtx) {
+	for _, s := range stmts {
+		g.stmt(w, s, ctx)
+	}
+}
+
+func (g *generator) stmt(w *writer, s ast.Stmt, ctx exprCtx) {
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		w.line("%s", g.declString(st.Decl, ctx)+";")
+	case *ast.AssignStmt:
+		w.line("%s = %s;", g.expr(st.LHS, ctx), g.expr(st.RHS, ctx))
+	case *ast.ExprStmt:
+		w.line("%s;", g.expr(st.X, ctx))
+	case *ast.IfStmt:
+		w.line("if (%s) {", g.expr(st.Cond, ctx))
+		w.indent++
+		g.stmts(w, st.Then, ctx)
+		w.indent--
+		if len(st.Else) > 0 {
+			w.line("} else {")
+			w.indent++
+			g.stmts(w, st.Else, ctx)
+			w.indent--
+		}
+		w.line("}")
+	case *ast.ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = g.simpleStmtString(st.Init, ctx)
+		}
+		if st.Cond != nil {
+			cond = g.expr(st.Cond, ctx)
+		}
+		if st.Post != nil {
+			post = g.simpleStmtString(st.Post, ctx)
+		}
+		w.line("for (%s; %s; %s) {", init, cond, post)
+		w.indent++
+		g.stmts(w, st.Body, ctx)
+		w.indent--
+		w.line("}")
+	}
+}
+
+func (g *generator) simpleStmtString(s ast.Stmt, ctx exprCtx) string {
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		return g.declString(st.Decl, ctx)
+	case *ast.AssignStmt:
+		return fmt.Sprintf("%s = %s", g.expr(st.LHS, ctx), g.expr(st.RHS, ctx))
+	case *ast.ExprStmt:
+		return g.expr(st.X, ctx)
+	}
+	return ""
+}
+
+func (g *generator) declString(d *ast.VarDecl, ctx exprCtx) string {
+	t := g.info.DeclTypes[d]
+	out := fmt.Sprintf("%s %s", cppType(t), d.Name)
+	if t.Kind == types.Array {
+		out += fmt.Sprintf("[%d]", t.Len)
+	}
+	if t.Kind == types.File && len(d.Args) == 1 {
+		return fmt.Sprintf("%s %s(%s)", cppType(t), d.Name, g.expr(d.Args[0], ctx))
+	}
+	if d.Init != nil {
+		out += " = " + g.expr(d.Init, ctx)
+	} else if t.IsNumeric() {
+		out += " = 0"
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared sections
+
+func (g *generator) header(w *writer, what string, includes []string) {
+	w.line("// Generated by the Cinnamon compiler — do not edit.")
+	w.line("// %s", what)
+	w.blank()
+	for _, inc := range includes {
+		w.line("#include %s", inc)
+	}
+	w.line("#include \"cnm_runtime.h\" // Cinnamon utility library (accessors, print, files)")
+	w.blank()
+}
+
+func (g *generator) globals(w *writer) {
+	if len(g.info.Globals) == 0 {
+		return
+	}
+	w.line("// Tool globals (shared between all instrumented code).")
+	for _, d := range g.info.Globals {
+		w.line("static %s;", g.declString(d, exprCtx{}))
+	}
+	w.blank()
+}
+
+// actionParams lists an action's callback parameters: first the captured
+// analysis values (sorted), then the materialized dynamic attributes.
+func (g *generator) actionParams(u actionUnit) []string {
+	var params []string
+	for _, name := range g.capturedVars(u) {
+		params = append(params, "uint64_t "+name)
+	}
+	for _, da := range u.info.DynAttrs {
+		params = append(params, fmt.Sprintf("uint64_t %s_%s", da.Var, da.Attr))
+	}
+	return params
+}
+
+// capturedVars approximates the analysis values captured by the action:
+// command-scope variables referenced in its body (static CFE attributes
+// used inside the action are also captured, spelled var_attr).
+func (g *generator) capturedVars(u actionUnit) []string {
+	seen := map[string]bool{}
+	globals := map[string]bool{}
+	for _, d := range g.info.Globals {
+		globals[d.Name] = true
+	}
+	locals := map[string]bool{}
+	ast.WalkStmts(u.act.Body, func(s ast.Stmt) {
+		if ds, ok := s.(*ast.DeclStmt); ok {
+			locals[ds.Decl.Name] = true
+		}
+	}, nil)
+	var names []string
+	visit := func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.FieldExpr:
+			if g.info.DynamicExprs[x] {
+				return
+			}
+			if id, ok := x.X.(*ast.Ident); ok {
+				n := fmt.Sprintf("%s_%s", id.Name, strings.ToLower(x.Name))
+				if !seen[n] {
+					seen[n] = true
+					names = append(names, n)
+				}
+			}
+		case *ast.Ident:
+			if globals[x.Name] || locals[x.Name] || seen[x.Name] {
+				return
+			}
+			// CFE handles themselves never appear bare in action code
+			// except as attribute receivers, which FieldExpr handles.
+			if x.Name == u.cmd.Var {
+				return
+			}
+			if g.isCommandLocal(u, x.Name) {
+				seen[x.Name] = true
+				names = append(names, x.Name)
+			}
+		}
+	}
+	ast.WalkStmts(u.act.Body, nil, visit)
+	if u.act.Where != nil {
+		ast.Walk(u.act.Where, visit)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// isCommandLocal reports whether name is declared as analysis data in the
+// action's enclosing command chain.
+func (g *generator) isCommandLocal(u actionUnit, name string) bool {
+	found := false
+	var scan func(cmd *ast.Command) bool
+	scan = func(cmd *ast.Command) bool {
+		inChain := cmd == u.cmd
+		for _, item := range cmd.Body {
+			switch it := item.(type) {
+			case *ast.DeclStmt:
+				if it.Decl.Name == name {
+					found = true
+				}
+			case *ast.Command:
+				if scan(it) {
+					inChain = true
+				}
+			}
+		}
+		return inChain
+	}
+	for _, cmd := range g.info.Commands {
+		scan(cmd)
+	}
+	return found
+}
+
+// actionFunctions emits one callback function per action.
+func (g *generator) actionFunctions(w *writer) {
+	for _, u := range g.actions {
+		params := g.actionParams(u)
+		w.line("// Action %d: %s %s of command `%s %s` (%s).",
+			u.id, u.info.Canonical, u.act.Target, u.cmd.EType, u.cmd.Var, describeWhere(u))
+		w.line("static void cnm_action_%d(%s) {", u.id, strings.Join(params, ", "))
+		w.indent++
+		if u.act.Where != nil && u.info.WhereDynamic {
+			w.line("if (!(%s)) return; // dynamic constraint", g.expr(u.act.Where, exprCtx{inAction: true}))
+		}
+		g.stmts(w, u.act.Body, exprCtx{inAction: true})
+		w.indent--
+		w.line("}")
+		w.blank()
+	}
+}
+
+func describeWhere(u actionUnit) string {
+	if u.act.Where == nil {
+		return "unconditional"
+	}
+	if u.info.WhereDynamic {
+		return "dynamic constraint"
+	}
+	return "static constraint"
+}
+
+// initExitFunctions emits the program init/exit callbacks.
+func (g *generator) initExitFunctions(w *writer) {
+	for i, b := range g.info.Inits {
+		w.line("static void cnm_init_%d() {", i+1)
+		w.indent++
+		g.stmts(w, b.Body, exprCtx{})
+		w.indent--
+		w.line("}")
+		w.blank()
+	}
+	for i, b := range g.info.Exits {
+		w.line("static void cnm_exit_%d() {", i+1)
+		w.indent++
+		g.stmts(w, b.Body, exprCtx{})
+		w.indent--
+		w.line("}")
+		w.blank()
+	}
+}

@@ -1,0 +1,207 @@
+package codegen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core/engine"
+	"repro/internal/progs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func generate(t *testing.T, progName, backendName string) map[string]string {
+	t.Helper()
+	tool, err := engine.Compile(progs.MustSource(progName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := Generate(tool, backendName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestGoldenFiles(t *testing.T) {
+	backendsFor := func(name string) []string {
+		if name == progs.LoopCoverage {
+			// Pin has no loops; codegen refuses, like the paper.
+			return []string{"dyninst", "janus"}
+		}
+		return []string{"pin", "dyninst", "janus"}
+	}
+	for _, progName := range progs.Names() {
+		for _, b := range backendsFor(progName) {
+			t.Run(progName+"/"+b, func(t *testing.T) {
+				files := generate(t, progName, b)
+				if len(files) == 0 {
+					t.Fatal("no files generated")
+				}
+				for fname, content := range files {
+					golden := filepath.Join("testdata", progName+"_"+b+"_"+fname+".golden")
+					if *update {
+						if err := os.MkdirAll("testdata", 0o755); err != nil {
+							t.Fatal(err)
+						}
+						if err := os.WriteFile(golden, []byte(content), 0o644); err != nil {
+							t.Fatal(err)
+						}
+						continue
+					}
+					want, err := os.ReadFile(golden)
+					if err != nil {
+						t.Fatalf("missing golden file (run with -update): %v", err)
+					}
+					if string(want) != content {
+						t.Errorf("%s: generated code differs from golden file;\nre-run with -update and review the diff", golden)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPinRejectsLoopCommands(t *testing.T) {
+	tool, err := engine.Compile(progs.MustSource(progs.LoopCoverage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(tool, "pin"); err == nil || !strings.Contains(err.Error(), "no notion of loops") {
+		t.Fatalf("err = %v, want loop rejection", err)
+	}
+}
+
+func TestUnknownBackend(t *testing.T) {
+	tool, err := engine.Compile(progs.MustSource(progs.InstCountBasic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(tool, "valgrind"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestGeneratedPinToolShape(t *testing.T) {
+	files := generate(t, progs.UseAfterFree, "pin")
+	src := files["pin_tool.cpp"]
+	for _, want := range []string{
+		"INS_AddInstrumentFunction",
+		"PIN_StartProgram",
+		"IARG_FUNCARG_ENTRYPOINT_VALUE, 1",
+		"IARG_FUNCRET_EXITPOINT_VALUE",
+		"IARG_MEMORYREAD_EA",
+		"cnm_action_1",
+		"IPOINT_AFTER",
+		`cnm::trgname(I) == "malloc"`,
+		"std::map<uintptr_t, int64_t> freed",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("pin tool missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedDyninstToolShape(t *testing.T) {
+	files := generate(t, progs.InstCountBB, "dyninst")
+	src := files["dyninst_mutator.cpp"]
+	for _, want := range []string{
+		"BPatch_binaryEdit* app = bpatch.openBinary",
+		"BPatch_funcCallExpr",
+		"insert_action",
+		"local_inst_count",
+		"app->writeFile",
+		"findEntryPoint",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("dyninst mutator missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedJanusToolShape(t *testing.T) {
+	files := generate(t, progs.InstCountBB, "janus")
+	static, handlers := files["janus_static_pass.cpp"], files["janus_handlers.cpp"]
+	for _, want := range []string{
+		"cnm_static_pass(JanusContext* jc)",
+		"cnm::emit_rule(jc, CNM_RULE_1",
+		"for (BasicBlock& B : f_.blocks)",
+	} {
+		if !strings.Contains(static, want) {
+			t.Errorf("janus static pass missing %q", want)
+		}
+	}
+	for _, want := range []string{
+		"dr_insert_clean_call",
+		"cnm_action_1",
+		"get_trigger_instruction",
+		"OPND_CREATE_INT64(rule->data[0])",
+	} {
+		if !strings.Contains(handlers, want) {
+			t.Errorf("janus handlers missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedForwardCFIUsesFiles(t *testing.T) {
+	files := generate(t, progs.ForwardCFI, "dyninst")
+	src := files["dyninst_mutator.cpp"]
+	for _, want := range []string{
+		"cnm::write_to_file(outfile, cnm::startaddr(F))",
+		"cnm_init_1",
+		"outfile.getline()",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("forward CFI mutator missing %q", want)
+		}
+	}
+}
+
+func TestModuleCommandCodegen(t *testing.T) {
+	tool, err := engine.Compile(`
+uint64 n = 0;
+module M {
+  n = n + 1;
+}
+exit { print(n); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"pin", "dyninst", "janus"} {
+		files, err := Generate(tool, b)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		for name, content := range files {
+			if strings.Contains(content, "/*?*/") {
+				t.Errorf("%s/%s contains unlowered expressions", b, name)
+			}
+		}
+	}
+}
+
+func TestRuntimeHeaderEmitted(t *testing.T) {
+	tool, err := engine.Compile(`inst I { before I { print(1); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"pin", "dyninst", "janus"} {
+		files, err := Generate(tool, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, ok := files["cnm_runtime.h"]
+		if !ok {
+			t.Fatalf("%s: cnm_runtime.h missing", b)
+		}
+		for _, want := range []string{"namespace cnm", "CNM_OP_LOAD", "print"} {
+			if !strings.Contains(hdr, want) {
+				t.Errorf("%s header missing %q", b, want)
+			}
+		}
+	}
+}

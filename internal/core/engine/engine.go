@@ -1,0 +1,426 @@
+// Package engine implements Cinnamon's instrumentation stage: it walks
+// the control-flow-element hierarchy of a loaded binary, executes each
+// command's analysis code and constraints, and hands fully compiled
+// actions to a backend Placer for insertion into the target framework.
+//
+// This is the executable equivalent of the paper's generated analysis
+// passes: for every command, the generated code "traverses the list of
+// CFEs based on the constraints specified by the command and executes any
+// analysis code", then emits the framework-specific instrumentation for
+// each action (rewrite rules for Janus, snippets for Dyninst, analysis
+// calls for Pin).
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/core/ast"
+	"repro/internal/core/interp"
+	"repro/internal/core/parser"
+	"repro/internal/core/sem"
+	"repro/internal/core/value"
+	"repro/internal/isa"
+)
+
+// CompiledTool is a parsed and semantically checked Cinnamon program.
+type CompiledTool struct {
+	Prog *ast.Program
+	Info *sem.Info
+	Src  string
+}
+
+// Compile parses and checks Cinnamon source.
+func Compile(src string) (*CompiledTool, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledTool{Prog: prog, Info: info, Src: src}, nil
+}
+
+// Action is a compiled action ready for placement: an executable closure
+// over the captured analysis data, plus the metadata a backend needs to
+// price and marshal it.
+type Action struct {
+	// Info is the action's semantic analysis result (trigger, dynamic
+	// attributes, cost estimate, inlinability).
+	Info *sem.ActionInfo
+	// Exec runs the action body with the materialized dynamic attribute
+	// values (keyed "I.memaddr"). Runtime failures are recorded on the
+	// Instance.
+	Exec func(dyn map[string]value.Value)
+	// NumCaptured is the number of scalar analysis values captured into
+	// the action's closure (the data a real backend would pass as
+	// callback arguments).
+	NumCaptured int
+}
+
+// Placer is the backend interface: it receives compiled actions at
+// concrete program points and realizes them in a target framework.
+type Placer interface {
+	// Name identifies the backend ("pin", "dyninst", "janus").
+	Name() string
+	// Modules returns the modules this backend instruments (dynamic
+	// frameworks see every module; static ones only the executable).
+	Modules() []*cfg.Module
+	// SupportsLoops reports whether loop trigger points exist in this
+	// framework (false for Pin, which has no notion of loops).
+	SupportsLoops() bool
+	PlaceInstBefore(in *isa.Inst, a *Action) error
+	PlaceInstAfter(in *isa.Inst, a *Action) error
+	PlaceBlockEntry(b *cfg.Block, a *Action) error
+	PlaceEdge(from, to *cfg.Block, a *Action) error
+	// PlaceInit and PlaceFini install program start/end code.
+	PlaceInit(fn func())
+	PlaceFini(fn func())
+}
+
+// Options configures an instrumentation run.
+type Options struct {
+	// Out receives the tool's print() output.
+	Out io.Writer
+	// FS is the tool file system (fresh in-memory FS if nil).
+	FS *interp.FS
+}
+
+// Instance is the instrumented tool: its shared globals and any runtime
+// errors recorded by actions during execution.
+type Instance struct {
+	interp  *interp.Interp
+	globals *interp.Env
+	errs    []error
+}
+
+// Err returns the first runtime error an action recorded, if any.
+func (i *Instance) Err() error {
+	if len(i.errs) > 0 {
+		return i.errs[0]
+	}
+	return nil
+}
+
+func (i *Instance) record(err error) {
+	if err != nil {
+		i.errs = append(i.errs, err)
+	}
+}
+
+type engineRun struct {
+	tool   *CompiledTool
+	placer Placer
+	prog   *cfg.Program
+	in     *interp.Interp
+	glob   *interp.Env
+	inst   *Instance
+}
+
+// Instrument runs the analysis stage of the tool over the program and
+// places every action via the placer. The placer's framework must be run
+// afterwards to execute the instrumented program.
+func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Options) (*Instance, error) {
+	// Preflight: backends without loop support reject loop commands (the
+	// paper's loop-coverage tool "could not be translated to Pin in its
+	// original form").
+	if !placer.SupportsLoops() {
+		var loopErr error
+		var scan func(cmds []*ast.Command)
+		scan = func(cmds []*ast.Command) {
+			for _, c := range cmds {
+				if c.EType == ast.Loop && loopErr == nil {
+					loopErr = fmt.Errorf("cinnamon: %s: backend %q has no notion of loops; loop commands cannot be mapped",
+						c.Pos(), placer.Name())
+				}
+				var nested []*ast.Command
+				for _, item := range c.Body {
+					if nc, ok := item.(*ast.Command); ok {
+						nested = append(nested, nc)
+					}
+				}
+				scan(nested)
+			}
+		}
+		scan(tool.Info.Commands)
+		if loopErr != nil {
+			return nil, loopErr
+		}
+	}
+
+	it := interp.New(tool.Info, opts.Out, opts.FS)
+	glob := interp.NewEnv(nil)
+	for _, d := range tool.Info.Globals {
+		if err := it.DeclareGlobal(glob, d); err != nil {
+			return nil, err
+		}
+	}
+	inst := &Instance{interp: it, globals: glob}
+	e := &engineRun{tool: tool, placer: placer, prog: prog, in: it, glob: glob, inst: inst}
+
+	// Commands map in program order; within a command, per-module in
+	// load order, per-CFE in address order.
+	for _, cmd := range tool.Info.Commands {
+		for _, mod := range placer.Modules() {
+			if err := e.runCommand(cmd, domain{module: mod}, glob); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, b := range tool.Info.Inits {
+		body := b.Body
+		placer.PlaceInit(func() {
+			inst.record(it.ExecStmts(interp.NewEnv(glob), body))
+		})
+	}
+	for _, b := range tool.Info.Exits {
+		body := b.Body
+		placer.PlaceFini(func() {
+			inst.record(it.ExecStmts(interp.NewEnv(glob), body))
+		})
+	}
+	return inst, nil
+}
+
+// domain is the iteration space of a command: a whole module for
+// top-level commands, or the CFE instance of the enclosing command.
+type domain struct {
+	module *cfg.Module
+	parent *value.CFERef
+}
+
+func (e *engineRun) runCommand(cmd *ast.Command, dom domain, env *interp.Env) error {
+	refs, err := e.instances(cmd.EType, dom)
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		cmdEnv := interp.NewEnv(env)
+		cmdEnv.Define(cmd.Var, value.CFEVal(ref))
+		if cmd.Where != nil {
+			v, err := e.in.Eval(cmdEnv, cmd.Where)
+			if err != nil {
+				return err
+			}
+			if !v.AsBool() {
+				continue
+			}
+		}
+		for _, item := range cmd.Body {
+			switch it := item.(type) {
+			case *ast.Command:
+				if err := e.runCommand(it, domain{parent: ref}, cmdEnv); err != nil {
+					return err
+				}
+			case *ast.Action:
+				if err := e.placeAction(it, cmdEnv); err != nil {
+					return err
+				}
+			case ast.Stmt:
+				if err := e.in.ExecStmt(cmdEnv, it); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// instances enumerates the CFE instances of type et within the domain.
+func (e *engineRun) instances(et ast.EType, dom domain) ([]*value.CFERef, error) {
+	mk := func(r value.CFERef) *value.CFERef {
+		r.Prog = e.prog
+		return &r
+	}
+	var out []*value.CFERef
+	addFuncChildren := func(f *cfg.Func) {
+		switch et {
+		case ast.Loop:
+			for _, l := range f.Loops {
+				out = append(out, mk(value.CFERef{Kind: ast.Loop, Loop: l, Func: f}))
+			}
+		case ast.BasicBlock:
+			for _, b := range f.Blocks {
+				out = append(out, mk(value.CFERef{Kind: ast.BasicBlock, Block: b, Func: f}))
+			}
+		case ast.Inst:
+			for _, b := range f.Blocks {
+				for _, in := range b.Insts {
+					out = append(out, mk(value.CFERef{Kind: ast.Inst, Inst: in, Block: b, Func: f}))
+				}
+			}
+		}
+	}
+	switch {
+	case dom.module != nil:
+		if et == ast.Module {
+			return []*value.CFERef{mk(value.CFERef{Kind: ast.Module, Module: dom.module})}, nil
+		}
+		if et == ast.Func {
+			for _, f := range dom.module.Funcs {
+				out = append(out, mk(value.CFERef{Kind: ast.Func, Func: f}))
+			}
+			return out, nil
+		}
+		for _, f := range dom.module.Funcs {
+			addFuncChildren(f)
+		}
+		return out, nil
+	case dom.parent != nil:
+		p := dom.parent
+		switch p.Kind {
+		case ast.Module:
+			return e.instances(et, domain{module: p.Module})
+		case ast.Func:
+			addFuncChildren(p.Func)
+			return out, nil
+		case ast.Loop:
+			switch et {
+			case ast.Loop:
+				for _, l := range p.Func.Loops {
+					if l.Parent == p.Loop {
+						out = append(out, mk(value.CFERef{Kind: ast.Loop, Loop: l, Func: p.Func}))
+					}
+				}
+			case ast.BasicBlock:
+				for _, b := range p.Loop.Blocks {
+					out = append(out, mk(value.CFERef{Kind: ast.BasicBlock, Block: b, Func: p.Func}))
+				}
+			case ast.Inst:
+				for _, b := range p.Loop.Blocks {
+					for _, in := range b.Insts {
+						out = append(out, mk(value.CFERef{Kind: ast.Inst, Inst: in, Block: b, Func: p.Func}))
+					}
+				}
+			}
+			return out, nil
+		case ast.BasicBlock:
+			if et == ast.Inst {
+				for _, in := range p.Block.Insts {
+					out = append(out, mk(value.CFERef{Kind: ast.Inst, Inst: in, Block: p.Block, Func: p.Func}))
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("cinnamon: internal: invalid command domain for %s", et)
+}
+
+func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
+	ai := e.tool.Info.Actions[act]
+	if ai == nil {
+		return fmt.Errorf("cinnamon: internal: unchecked action at %s", act.Pos())
+	}
+	slot := env.Lookup(act.Target)
+	if slot == nil || slot.Kind != value.KCFE {
+		return fmt.Errorf("cinnamon: internal: action target %q unbound", act.Target)
+	}
+	ref := slot.CFE
+
+	// Static constraints filter at instrumentation time; dynamic ones
+	// compile into a run-time guard.
+	if act.Where != nil && !ai.WhereDynamic {
+		v, err := e.in.Eval(env, act.Where)
+		if err != nil {
+			return err
+		}
+		if !v.AsBool() {
+			return nil
+		}
+	}
+
+	// Capture the enclosing analysis scopes by value (globals shared).
+	snap := interp.Snapshot(env, e.glob)
+	captured := 0
+	for range snapVars(snap) {
+		captured++
+	}
+
+	in := e.in
+	inst := e.inst
+	where := act.Where
+	dynWhere := ai.WhereDynamic
+	body := act.Body
+	a := &Action{
+		Info:        ai,
+		NumCaptured: captured,
+		Exec: func(dyn map[string]value.Value) {
+			runEnv := interp.NewEnv(snap)
+			runEnv.SetDyn(dyn)
+			if dynWhere && where != nil {
+				v, err := in.Eval(runEnv, where)
+				if err != nil {
+					inst.record(err)
+					return
+				}
+				if !v.AsBool() {
+					return
+				}
+			}
+			if err := in.ExecStmts(runEnv, body); err != nil {
+				inst.record(err)
+			}
+		},
+	}
+
+	switch ai.TargetEType {
+	case ast.Inst:
+		if ai.Canonical == ast.Before {
+			return e.placer.PlaceInstBefore(ref.Inst, a)
+		}
+		return e.placer.PlaceInstAfter(ref.Inst, a)
+	case ast.BasicBlock:
+		if ai.Canonical == ast.Entry {
+			return e.placer.PlaceBlockEntry(ref.Block, a)
+		}
+		// Block exit: immediately before the block's terminating
+		// instruction.
+		return e.placer.PlaceInstBefore(ref.Block.Last(), a)
+	case ast.Func:
+		f := ref.Func
+		if len(f.Blocks) == 0 {
+			return nil
+		}
+		if ai.Canonical == ast.Entry {
+			return e.placer.PlaceBlockEntry(f.Blocks[0], a)
+		}
+		// Function exit: before every return (and halt, for the program
+		// entry function).
+		for _, b := range f.Blocks {
+			last := b.Last()
+			if last.Op == isa.Return || last.Op == isa.Halt {
+				if err := e.placer.PlaceInstBefore(last, a); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case ast.Loop:
+		l := ref.Loop
+		var edges []cfg.Edge
+		switch ai.Canonical {
+		case ast.Entry:
+			edges = l.Entries
+		case ast.Exit:
+			edges = l.Exits
+		case ast.Iter:
+			edges = l.Backs
+		}
+		for _, ed := range edges {
+			if err := e.placer.PlaceEdge(ed.From, ed.To, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("cinnamon: internal: unplaceable action at %s", act.Pos())
+}
+
+// snapVars iterates the variables captured in a snapshot frame. It lives
+// behind a tiny interface to keep interp.Env encapsulated.
+func snapVars(env *interp.Env) map[string]struct{} {
+	return env.VarNames()
+}

@@ -1,0 +1,276 @@
+// Package lexer tokenizes Cinnamon source text.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cinnamon: %s: %s", e.Pos, e.Msg) }
+
+// Lexer produces tokens from source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	err  *Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input and returns the token stream terminated
+// by an EOF token.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var toks []token.Token
+	for {
+		t := lx.Next()
+		if lx.err != nil {
+			return nil, lx.err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) token.Token {
+	if l.err == nil {
+		l.err = &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	return token.Token{Kind: token.ILLEGAL, Pos: pos}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peek2() == '/') {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := token.Pos{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+	switch {
+	case isLetter(c):
+		start := l.pos - 1
+		for l.pos < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := token.Keywords[word]; ok {
+			return token.Token{Kind: k, Pos: pos, Lit: word}
+		}
+		if token.Opcodes[word] {
+			return token.Token{Kind: token.OPCODE, Pos: pos, Lit: word}
+		}
+		return token.Token{Kind: token.IDENT, Pos: pos, Lit: word}
+	case isDigit(c):
+		start := l.pos - 1
+		if c == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+			l.advance()
+			for l.pos < len(l.src) && isHex(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return token.Token{Kind: token.INT, Pos: pos, Lit: l.src[start:l.pos]}
+	case c == '"':
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return l.errorf(pos, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return l.errorf(pos, "unterminated string literal")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				default:
+					return l.errorf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return l.errorf(pos, "newline in string literal")
+			}
+			sb.WriteByte(ch)
+		}
+		return token.Token{Kind: token.STRING, Pos: pos, Lit: sb.String()}
+	case c == '\'':
+		if l.pos >= len(l.src) {
+			return l.errorf(pos, "unterminated char literal")
+		}
+		ch := l.advance()
+		if ch == '\\' {
+			if l.pos >= len(l.src) {
+				return l.errorf(pos, "unterminated char literal")
+			}
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				ch = '\n'
+			case 't':
+				ch = '\t'
+			case '\\', '\'':
+				ch = esc
+			default:
+				return l.errorf(pos, "unknown escape \\%c", esc)
+			}
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return l.errorf(pos, "unterminated char literal")
+		}
+		return token.Token{Kind: token.CHAR, Pos: pos, Lit: string(ch)}
+	}
+
+	two := func(second byte, yes, no token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: yes, Pos: pos}
+		}
+		return token.Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		return two('=', token.LE, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		return two('=', token.GE, token.GT)
+	case '&':
+		return two('&', token.LAND, token.AMP)
+	case '|':
+		return two('|', token.LOR, token.PIPE)
+	case '^':
+		return token.Token{Kind: token.CARET, Pos: pos}
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	}
+	return l.errorf(pos, "unexpected character %q", c)
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

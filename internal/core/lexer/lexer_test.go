@@ -1,0 +1,196 @@
+package lexer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks, err := Tokenize(`inst I where (I.opcode == Load) { before I { x = x + 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{
+		token.INST, token.IDENT, token.WHERE, token.LPAREN, token.IDENT,
+		token.DOT, token.IDENT, token.EQ, token.OPCODE, token.RPAREN,
+		token.LBRACE, token.BEFORE, token.IDENT, token.LBRACE,
+		token.IDENT, token.ASSIGN, token.IDENT, token.PLUS, token.INT,
+		token.SEMICOLON, token.RBRACE, token.RBRACE, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := `= == ! != < <= > >= << >> && || & | ^ + - * / % ( ) { } [ ] , ; .`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{
+		token.ASSIGN, token.EQ, token.NOT, token.NEQ, token.LT, token.LE,
+		token.GT, token.GE, token.SHL, token.SHR, token.LAND, token.LOR,
+		token.AMP, token.PIPE, token.CARET, token.PLUS, token.MINUS,
+		token.STAR, token.SLASH, token.PERCENT, token.LPAREN, token.RPAREN,
+		token.LBRACE, token.RBRACE, token.LBRACKET, token.RBRACKET,
+		token.COMMA, token.SEMICOLON, token.DOT, token.EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	toks, err := Tokenize(`42 0x1F "hi\n\"q\"\t\\" 'a' '\n' '\\' true false NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Lit != "42" || toks[1].Lit != "0x1F" {
+		t.Errorf("ints = %q, %q", toks[0].Lit, toks[1].Lit)
+	}
+	if toks[2].Lit != "hi\n\"q\"\t\\" {
+		t.Errorf("string = %q", toks[2].Lit)
+	}
+	if toks[3].Lit != "a" || toks[4].Lit != "\n" || toks[5].Lit != "\\" {
+		t.Errorf("chars = %q %q %q", toks[3].Lit, toks[4].Lit, toks[5].Lit)
+	}
+	if toks[6].Kind != token.TRUE || toks[7].Kind != token.FALSE || toks[8].Kind != token.NULL {
+		t.Error("keyword literals wrong")
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("x // line comment\n/* block\ncomment */ y /* unterminated ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(toks)
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestOpcodesAndKeywords(t *testing.T) {
+	toks, err := Tokenize("Load Call GetPtr loadx inst basicblock dict vector IsType mem reg const")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.OPCODE || toks[0].Lit != "Load" {
+		t.Errorf("Load = %v", toks[0])
+	}
+	if toks[1].Kind != token.OPCODE || toks[2].Kind != token.OPCODE {
+		t.Error("opcode keywords wrong")
+	}
+	if toks[3].Kind != token.IDENT {
+		t.Errorf("loadx should be IDENT, got %v", toks[3])
+	}
+	wantKinds := []token.Kind{token.INST, token.BASICBLOCK, token.TDICT, token.TVECTOR,
+		token.ISTYPE, token.KMEM, token.KREG, token.KCONST}
+	for i, k := range wantKinds {
+		if toks[4+i].Kind != k {
+			t.Errorf("token %d = %v, want %v", 4+i, toks[4+i].Kind, k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		"\"newline\nin string\"",
+		`'x`,
+		`'\q'`,
+		`@`,
+		"`",
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("%q: no error", src)
+		}
+	}
+}
+
+// TestQuickNeverPanics feeds random byte soup to the lexer: it must
+// always return (tokens or an error), never panic or loop.
+func TestQuickNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Tokenize(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Also printable-ASCII soup, which reaches deeper paths.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		var b strings.Builder
+		for n := 0; n < 64; n++ {
+			b.WriteByte(byte(32 + r.Intn(95)))
+		}
+		_, _ = Tokenize(b.String())
+	}
+}
+
+func TestTokenStringsAndPrecedence(t *testing.T) {
+	if token.LOR.Precedence() >= token.LAND.Precedence() {
+		t.Error("|| must bind looser than &&")
+	}
+	if token.PLUS.Precedence() >= token.STAR.Precedence() {
+		t.Error("+ must bind looser than *")
+	}
+	if token.EQ.Precedence() >= token.LT.Precedence() {
+		t.Error("== must bind looser than <")
+	}
+	if token.IDENT.Precedence() != 0 {
+		t.Error("non-operator has precedence")
+	}
+	tok := token.Token{Kind: token.IDENT, Lit: "x"}
+	if tok.String() != `identifier("x")` {
+		t.Errorf("token string = %v", tok)
+	}
+	if !token.INST.IsCFEKeyword() || token.IDENT.IsCFEKeyword() {
+		t.Error("IsCFEKeyword wrong")
+	}
+	if !token.ITER.IsTriggerKeyword() || token.IF.IsTriggerKeyword() {
+		t.Error("IsTriggerKeyword wrong")
+	}
+	if !token.TDICT.IsTypeKeyword() || token.INST.IsTypeKeyword() {
+		t.Error("IsTypeKeyword wrong")
+	}
+}

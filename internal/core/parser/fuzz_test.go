@@ -1,0 +1,67 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics feeds the parser random byte soup and
+// random token-shaped soup: it must always return a program or an error,
+// never panic or hang.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// words that commonly appear in Cinnamon programs; random sequences of
+// them reach much deeper into the parser than raw bytes.
+var soupWords = []string{
+	"inst", "basicblock", "func", "loop", "module", "before", "after",
+	"entry", "exit", "iter", "init", "where", "if", "else", "for",
+	"int", "uint64", "addr", "bool", "dict", "vector", "file", "line",
+	"IsType", "mem", "reg", "const", "NULL", "true", "false",
+	"Load", "Call", "I", "B", "x", "y", "print",
+	"{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "==", "!=",
+	"<", ">", "&&", "||", "+", "-", "*", "/", "%", "!",
+	"0", "1", "42", `"s"`, "'c'",
+}
+
+func TestTokenSoupNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		n := 1 + r.Intn(40)
+		var b strings.Builder
+		for k := 0; k < n; k++ {
+			b.WriteString(soupWords[r.Intn(len(soupWords))])
+			b.WriteByte(' ')
+		}
+		_, _ = Parse(b.String())
+	}
+}
+
+// TestMutatedCaseStudiesNeverPanic mutates valid programs byte by byte;
+// every mutation must parse or fail cleanly.
+func TestMutatedCaseStudiesNeverPanic(t *testing.T) {
+	base := `
+uint64 n = 0;
+inst I where (I.opcode == Load) {
+  before I { n = n + 1; }
+}
+exit { print(n); }
+`
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		mut := []byte(base)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			mut[r.Intn(len(mut))] = byte(32 + r.Intn(95))
+		}
+		_, _ = Parse(string(mut))
+	}
+}

@@ -1,0 +1,631 @@
+// Package parser builds the Cinnamon AST from source text, implementing
+// the grammar of Figure 3 of the paper with a recursive-descent parser.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/lexer"
+	"repro/internal/core/token"
+)
+
+// Error is a parse error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cinnamon: %s: %s", e.Pos, e.Msg) }
+
+// Parse parses a complete Cinnamon program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) peek() token.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf(t.Pos, "expected %s, found %s", k, t)
+	}
+	return p.next(), nil
+}
+
+// splitShr turns a SHR token into two GT tokens; needed when closing
+// nested type parameters such as dict<addr,vector<int>>.
+func (p *parser) splitShr() {
+	t := p.cur()
+	p.toks[p.pos] = token.Token{Kind: token.GT, Pos: t.Pos}
+	rest := append([]token.Token{{Kind: token.GT, Pos: token.Pos{Line: t.Pos.Line, Col: t.Pos.Col + 1}}}, p.toks[p.pos+1:]...)
+	p.toks = append(p.toks[:p.pos+1], rest...)
+}
+
+func (p *parser) program() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for p.cur().Kind != token.EOF {
+		item, err := p.topItem()
+		if err != nil {
+			return nil, err
+		}
+		prog.Items = append(prog.Items, item)
+	}
+	return prog, nil
+}
+
+func (p *parser) topItem() (ast.TopItem, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == token.INIT:
+		p.next()
+		body, err := p.stmtBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.InitBlock{P: t.Pos, Body: body}, nil
+	case t.Kind == token.EXIT && p.peek().Kind == token.LBRACE:
+		p.next()
+		body, err := p.stmtBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ExitBlock{P: t.Pos, Body: body}, nil
+	case t.Kind.IsCFEKeyword():
+		return p.command()
+	case t.Kind.IsTypeKeyword():
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	return nil, p.errorf(t.Pos, "expected declaration, command, init or exit block; found %s", t)
+}
+
+var cfeByToken = map[token.Kind]ast.EType{
+	token.INST:       ast.Inst,
+	token.BASICBLOCK: ast.BasicBlock,
+	token.FUNC:       ast.Func,
+	token.LOOP:       ast.Loop,
+	token.MODULE:     ast.Module,
+}
+
+func (p *parser) command() (*ast.Command, error) {
+	t := p.next() // CFE keyword
+	cmd := &ast.Command{P: t.Pos, EType: cfeByToken[t.Kind]}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	cmd.Var = name.Lit
+	if p.cur().Kind == token.WHERE {
+		cmd.Where, err = p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != token.RBRACE {
+		if p.cur().Kind == token.EOF {
+			return nil, p.errorf(p.cur().Pos, "unterminated command body")
+		}
+		item, err := p.cmdItem()
+		if err != nil {
+			return nil, err
+		}
+		cmd.Body = append(cmd.Body, item)
+	}
+	p.next() // }
+	return cmd, nil
+}
+
+func (p *parser) whereClause() (ast.Expr, error) {
+	p.next() // where
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) cmdItem() (ast.CmdItem, error) {
+	t := p.cur()
+	switch {
+	case t.Kind.IsCFEKeyword():
+		return p.command()
+	case t.Kind.IsTriggerKeyword():
+		return p.action()
+	default:
+		return p.stmt()
+	}
+}
+
+var triggerByToken = map[token.Kind]ast.Trigger{
+	token.BEFORE: ast.Before,
+	token.AFTER:  ast.After,
+	token.ENTRY:  ast.Entry,
+	token.EXIT:   ast.Exit,
+	token.ITER:   ast.Iter,
+}
+
+func (p *parser) action() (*ast.Action, error) {
+	t := p.next() // trigger keyword
+	act := &ast.Action{P: t.Pos, Trigger: triggerByToken[t.Kind]}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	act.Target = name.Lit
+	if p.cur().Kind == token.WHERE {
+		act.Where, err = p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+	}
+	act.Body, err = p.stmtBlock()
+	if err != nil {
+		return nil, err
+	}
+	return act, nil
+}
+
+func (p *parser) stmtBlock() ([]ast.Stmt, error) {
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	var stmts []ast.Stmt
+	for p.cur().Kind != token.RBRACE {
+		if p.cur().Kind == token.EOF {
+			return nil, p.errorf(p.cur().Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind.IsTypeKeyword():
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DeclStmt{Decl: d}, nil
+	case t.Kind == token.IF:
+		return p.ifStmt()
+	case t.Kind == token.FOR:
+		return p.forStmt()
+	}
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStmt parses an assignment or expression statement (without the
+// trailing semicolon).
+func (p *parser) simpleStmt() (ast.Stmt, error) {
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == token.ASSIGN {
+		pos := p.next().Pos
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.IndexExpr, *ast.FieldExpr:
+		default:
+			return nil, p.errorf(pos, "invalid assignment target")
+		}
+		return &ast.AssignStmt{P: pos, LHS: e, RHS: rhs}, nil
+	}
+	return &ast.ExprStmt{X: e}, nil
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.stmtBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.IfStmt{P: t.Pos, Cond: cond, Then: then}
+	if p.cur().Kind == token.ELSE {
+		p.next()
+		if p.cur().Kind == token.IF {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = []ast.Stmt{nested}
+		} else {
+			s.Else, err = p.stmtBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (ast.Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	s := &ast.ForStmt{P: t.Pos}
+	// Init clause.
+	if p.cur().Kind != token.SEMICOLON {
+		if p.cur().Kind.IsTypeKeyword() {
+			d, err := p.varDeclNoSemi()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ast.DeclStmt{Decl: d}
+		} else {
+			st, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = st
+		}
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	// Condition.
+	if p.cur().Kind != token.SEMICOLON {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	// Post clause.
+	if p.cur().Kind != token.RPAREN {
+		st, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = st
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) varDecl() (*ast.VarDecl, error) {
+	d, err := p.varDeclNoSemi()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) varDeclNoSemi() (*ast.VarDecl, error) {
+	ts, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &ast.VarDecl{P: ts.P, Type: ts, Name: name.Lit}
+	// Static array suffix: `int hits[16]`.
+	if p.cur().Kind == token.LBRACKET {
+		p.next()
+		n, err := p.expect(token.INT)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(n.Lit, 0, 32)
+		if err != nil || v <= 0 {
+			return nil, p.errorf(n.Pos, "invalid array length %q", n.Lit)
+		}
+		ts.ArrayLen = int(v)
+		if _, err := p.expect(token.RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	switch p.cur().Kind {
+	case token.ASSIGN:
+		p.next()
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	case token.LPAREN:
+		// Constructor syntax, e.g. file outfile("fAddr.txt").
+		p.next()
+		for p.cur().Kind != token.RPAREN {
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Args = append(d.Args, arg)
+			if p.cur().Kind == token.COMMA {
+				p.next()
+			}
+		}
+		p.next() // )
+	}
+	return d, nil
+}
+
+func (p *parser) typeSpec() (*ast.TypeSpec, error) {
+	t := p.cur()
+	if !t.Kind.IsTypeKeyword() {
+		return nil, p.errorf(t.Pos, "expected type, found %s", t)
+	}
+	p.next()
+	ts := &ast.TypeSpec{P: t.Pos, Kind: t.Kind}
+	switch t.Kind {
+	case token.TDICT:
+		if _, err := p.expect(token.LT); err != nil {
+			return nil, err
+		}
+		key, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.COMMA); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.closeTypeParams(); err != nil {
+			return nil, err
+		}
+		ts.Key, ts.Elem = key, elem
+	case token.TVECTOR:
+		if _, err := p.expect(token.LT); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.closeTypeParams(); err != nil {
+			return nil, err
+		}
+		ts.Elem = elem
+	}
+	return ts, nil
+}
+
+func (p *parser) closeTypeParams() error {
+	if p.cur().Kind == token.SHR {
+		p.splitShr()
+	}
+	_, err := p.expect(token.GT)
+	return err
+}
+
+// expr parses an expression with precedence climbing.
+func (p *parser) expr() (ast.Expr, error) {
+	return p.binaryExpr(1)
+}
+
+func (p *parser) binaryExpr(minPrec int) (ast.Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec := op.Kind.Precedence()
+		if prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		if op.Kind == token.ISTYPE {
+			st := p.cur()
+			switch st.Kind {
+			case token.KMEM, token.KREG, token.KCONST:
+				p.next()
+				lhs = &ast.IsTypeExpr{P: op.Pos, X: lhs, OpType: st.Kind}
+				continue
+			}
+			return nil, p.errorf(st.Pos, "expected mem, reg or const after IsType, found %s", st)
+		}
+		rhs, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{P: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (ast.Expr, error) {
+	t := p.cur()
+	if t.Kind == token.NOT || t.Kind == token.MINUS {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{P: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (ast.Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case token.DOT:
+			pos := p.next().Pos
+			// Attribute names may collide with keywords (I.addr, B.size),
+			// so any word token is accepted after the dot.
+			name := p.cur()
+			if name.Kind != token.IDENT && name.Lit == "" {
+				return nil, p.errorf(name.Pos, "expected attribute name, found %s", name)
+			}
+			p.next()
+			e = &ast.FieldExpr{P: pos, X: e, Name: name.Lit}
+		case token.LBRACKET:
+			pos := p.next().Pos
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBRACKET); err != nil {
+				return nil, err
+			}
+			e = &ast.IndexExpr{P: pos, X: e, Index: idx}
+		case token.LPAREN:
+			switch e.(type) {
+			case *ast.Ident, *ast.FieldExpr:
+			default:
+				return nil, p.errorf(p.cur().Pos, "cannot call this expression")
+			}
+			pos := p.next().Pos
+			call := &ast.CallExpr{P: pos, Fun: e}
+			for p.cur().Kind != token.RPAREN {
+				if p.cur().Kind == token.EOF {
+					return nil, p.errorf(p.cur().Pos, "unterminated argument list")
+				}
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.cur().Kind == token.COMMA {
+					p.next()
+				} else if p.cur().Kind != token.RPAREN {
+					return nil, p.errorf(p.cur().Pos, "expected , or ) in argument list")
+				}
+			}
+			p.next() // )
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		return &ast.Ident{P: t.Pos, Name: t.Lit}, nil
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseUint(t.Lit, 0, 64)
+		if err != nil {
+			return nil, p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{P: t.Pos, Val: int64(v)}, nil
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{P: t.Pos, Val: t.Lit}, nil
+	case token.CHAR:
+		p.next()
+		return &ast.CharLit{P: t.Pos, Val: t.Lit[0]}, nil
+	case token.TRUE, token.FALSE:
+		p.next()
+		return &ast.BoolLit{P: t.Pos, Val: t.Kind == token.TRUE}, nil
+	case token.NULL:
+		p.next()
+		return &ast.NullLit{P: t.Pos}, nil
+	case token.OPCODE:
+		p.next()
+		return &ast.OpcodeLit{P: t.Pos, Name: t.Lit}, nil
+	case token.LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf(t.Pos, "unexpected %s in expression", t)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/token"
+	"repro/internal/progs"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestParseAllCaseStudies(t *testing.T) {
+	for _, name := range progs.Names() {
+		src := progs.MustSource(name)
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseInstCountBasic(t *testing.T) {
+	prog := parse(t, progs.MustSource(progs.InstCountBasic))
+	if len(prog.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(prog.Items))
+	}
+	decl, ok := prog.Items[0].(*ast.VarDecl)
+	if !ok || decl.Name != "inst_count" || decl.Type.Kind != token.TUINT64 {
+		t.Fatalf("item 0 = %#v", prog.Items[0])
+	}
+	if _, ok := decl.Init.(*ast.IntLit); !ok {
+		t.Errorf("initializer = %#v", decl.Init)
+	}
+	cmd, ok := prog.Items[1].(*ast.Command)
+	if !ok || cmd.EType != ast.Inst || cmd.Var != "I" {
+		t.Fatalf("item 1 = %#v", prog.Items[1])
+	}
+	where, ok := cmd.Where.(*ast.BinaryExpr)
+	if !ok || where.Op != token.EQ {
+		t.Fatalf("where = %#v", cmd.Where)
+	}
+	if f, ok := where.X.(*ast.FieldExpr); !ok || f.Name != "opcode" {
+		t.Errorf("where lhs = %#v", where.X)
+	}
+	if o, ok := where.Y.(*ast.OpcodeLit); !ok || o.Name != "Load" {
+		t.Errorf("where rhs = %#v", where.Y)
+	}
+	if len(cmd.Body) != 1 {
+		t.Fatalf("command body = %d items", len(cmd.Body))
+	}
+	act, ok := cmd.Body[0].(*ast.Action)
+	if !ok || act.Trigger != ast.Before || act.Target != "I" || len(act.Body) != 1 {
+		t.Fatalf("action = %#v", cmd.Body[0])
+	}
+	if _, ok := prog.Items[2].(*ast.ExitBlock); !ok {
+		t.Fatalf("item 2 = %#v", prog.Items[2])
+	}
+}
+
+func TestParseNestedCommandAndActionConstraint(t *testing.T) {
+	prog := parse(t, progs.MustSource(progs.InstCountBB))
+	cmd := prog.Items[1].(*ast.Command)
+	if cmd.EType != ast.BasicBlock {
+		t.Fatalf("etype = %v", cmd.EType)
+	}
+	if len(cmd.Body) != 3 {
+		t.Fatalf("body = %d items", len(cmd.Body))
+	}
+	if _, ok := cmd.Body[0].(*ast.DeclStmt); !ok {
+		t.Errorf("body[0] = %#v", cmd.Body[0])
+	}
+	nested, ok := cmd.Body[1].(*ast.Command)
+	if !ok || nested.EType != ast.Inst {
+		t.Fatalf("body[1] = %#v", cmd.Body[1])
+	}
+	act, ok := cmd.Body[2].(*ast.Action)
+	if !ok || act.Where == nil {
+		t.Fatalf("body[2] = %#v", cmd.Body[2])
+	}
+}
+
+func TestParseTypesAndFiles(t *testing.T) {
+	prog := parse(t, `
+dict<addr,int> freed;
+dict<addr,vector<int>> nested;
+vector<addr> vtable;
+file outfile("fAddr.txt");
+int hits[16];
+`)
+	if len(prog.Items) != 5 {
+		t.Fatalf("items = %d", len(prog.Items))
+	}
+	d0 := prog.Items[0].(*ast.VarDecl)
+	if d0.Type.Kind != token.TDICT || d0.Type.Key.Kind != token.TADDR || d0.Type.Elem.Kind != token.TINT {
+		t.Errorf("dict type = %#v", d0.Type)
+	}
+	d1 := prog.Items[1].(*ast.VarDecl)
+	if d1.Type.Elem.Kind != token.TVECTOR || d1.Type.Elem.Elem.Kind != token.TINT {
+		t.Errorf("nested type = %#v (>> splitting failed?)", d1.Type)
+	}
+	d3 := prog.Items[3].(*ast.VarDecl)
+	if d3.Type.Kind != token.TFILE || len(d3.Args) != 1 {
+		t.Errorf("file decl = %#v", d3)
+	}
+	if s, ok := d3.Args[0].(*ast.StringLit); !ok || s.Val != "fAddr.txt" {
+		t.Errorf("file arg = %#v", d3.Args[0])
+	}
+	d4 := prog.Items[4].(*ast.VarDecl)
+	if d4.Type.ArrayLen != 16 {
+		t.Errorf("array len = %d", d4.Type.ArrayLen)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+inst I {
+  before I {
+    int x = 1;
+    x = x + 2;
+    if (x > 2) {
+      print(x);
+    } else if (x == 1) {
+      print(0);
+    } else {
+      print(1);
+    }
+    for (int i = 0; i < 10; i = i + 1) {
+      x = x * 2;
+    }
+    for (; x > 0; ) {
+      x = x - 1;
+    }
+  }
+}
+`
+	prog := parse(t, src)
+	act := prog.Items[0].(*ast.Command).Body[0].(*ast.Action)
+	if len(act.Body) != 5 {
+		t.Fatalf("stmts = %d, want 5", len(act.Body))
+	}
+	ifs, ok := act.Body[2].(*ast.IfStmt)
+	if !ok || len(ifs.Else) != 1 {
+		t.Fatalf("if stmt = %#v", act.Body[2])
+	}
+	if _, ok := ifs.Else[0].(*ast.IfStmt); !ok {
+		t.Errorf("else-if = %#v", ifs.Else[0])
+	}
+	forس, ok := act.Body[3].(*ast.ForStmt)
+	if !ok || forس.Init == nil || forس.Cond == nil || forس.Post == nil {
+		t.Fatalf("for stmt = %#v", act.Body[3])
+	}
+	for2 := act.Body[4].(*ast.ForStmt)
+	if for2.Init != nil || for2.Post != nil || for2.Cond == nil {
+		t.Errorf("for2 = %#v", for2)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	src := `
+inst I where (I.opcode == Call && I.trgname == "malloc" || !done) {
+  before I {
+    x = a + b * c - d / e % f;
+    y = (a + b) * c;
+    z = tab[i+1];
+    w = v.has(I.trgaddr);
+    t = I.op1 IsType mem;
+    u = -a < b << 2;
+    s = NULL;
+  }
+}
+`
+	prog := parse(t, src)
+	cmd := prog.Items[0].(*ast.Command)
+	or, ok := cmd.Where.(*ast.BinaryExpr)
+	if !ok || or.Op != token.LOR {
+		t.Fatalf("where = %#v", cmd.Where)
+	}
+	and, ok := or.X.(*ast.BinaryExpr)
+	if !ok || and.Op != token.LAND {
+		t.Fatalf("where lhs = %#v", or.X)
+	}
+	if u, ok := or.Y.(*ast.UnaryExpr); !ok || u.Op != token.NOT {
+		t.Errorf("where rhs = %#v", or.Y)
+	}
+	body := cmd.Body[0].(*ast.Action).Body
+	// x = a + b*c - d/e%f: top is (a + b*c) - (d/e%f)
+	x := body[0].(*ast.AssignStmt).RHS.(*ast.BinaryExpr)
+	if x.Op != token.MINUS {
+		t.Errorf("precedence wrong: %#v", x)
+	}
+	// z = tab[i+1]
+	z := body[2].(*ast.AssignStmt).RHS.(*ast.IndexExpr)
+	if _, ok := z.Index.(*ast.BinaryExpr); !ok {
+		t.Errorf("index = %#v", z.Index)
+	}
+	// w = v.has(...)
+	w := body[3].(*ast.AssignStmt).RHS.(*ast.CallExpr)
+	if f, ok := w.Fun.(*ast.FieldExpr); !ok || f.Name != "has" {
+		t.Errorf("method call = %#v", w.Fun)
+	}
+	// t = I.op1 IsType mem
+	ti := body[4].(*ast.AssignStmt).RHS.(*ast.IsTypeExpr)
+	if ti.OpType != token.KMEM {
+		t.Errorf("IsType = %#v", ti)
+	}
+	// u = (-a) < (b << 2)
+	ue := body[5].(*ast.AssignStmt).RHS.(*ast.BinaryExpr)
+	if ue.Op != token.LT {
+		t.Errorf("shift precedence wrong: %#v", ue)
+	}
+	if _, ok := body[6].(*ast.AssignStmt).RHS.(*ast.NullLit); !ok {
+		t.Errorf("NULL literal = %#v", body[6])
+	}
+}
+
+func TestParseInitVsExitAmbiguity(t *testing.T) {
+	src := `
+loop L {
+  entry L { x = 1; }
+  exit L { x = 0; }
+}
+exit {
+  print(x);
+}
+`
+	prog := parse(t, src)
+	cmd := prog.Items[0].(*ast.Command)
+	if len(cmd.Body) != 2 {
+		t.Fatalf("command body = %d", len(cmd.Body))
+	}
+	if a := cmd.Body[1].(*ast.Action); a.Trigger != ast.Exit || a.Target != "L" {
+		t.Errorf("loop exit action = %#v", a)
+	}
+	if _, ok := prog.Items[1].(*ast.ExitBlock); !ok {
+		t.Errorf("top-level exit = %#v", prog.Items[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"garbage", "@@", "unexpected character"},
+		{"top junk", "xyzzy;", "expected declaration"},
+		{"missing var", "inst { }", "expected identifier"},
+		{"unterminated command", "inst I {", "unterminated"},
+		{"bad istype", "inst I { before I { x = y IsType frob; } }", "expected mem, reg or const"},
+		{"bad assignment", "inst I { before I { 3 = x; } }", "invalid assignment target"},
+		{"call non-callable", "inst I { before I { 3(); } }", "cannot call"},
+		{"missing semicolon", "int x = 1", "expected ;"},
+		{"bad array len", "int x[0];", "invalid array length"},
+		{"bad dict", "dict<int> d;", "expected ,"},
+		{"unterminated args", "inst I { before I { print(1; } }", "expected , or )"},
+		{"unterminated string", `int x = 1; inst I { before I { print("abc); } }`, "unterminated string"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parse succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	prog := parse(t, progs.MustSource(progs.UseAfterFree))
+	var cmds int
+	for _, item := range prog.Items {
+		if _, ok := item.(*ast.Command); ok {
+			cmds++
+		}
+	}
+	if cmds != 3 {
+		t.Errorf("commands = %d, want 3", cmds)
+	}
+	// Statement counting over the malloc command's after action.
+	cmd := prog.Items[3].(*ast.Command) // first command after 3 decls
+	var after *ast.Action
+	for _, it := range cmd.Body {
+		if a, ok := it.(*ast.Action); ok && a.Trigger == ast.After {
+			after = a
+		}
+	}
+	if after == nil {
+		t.Fatal("no after action")
+	}
+	// addr base_addr = ...; for(init; cond; post) { assign } ; freed[...] = 0
+	// counts: decl, for, for-init, for-post, assign-in-body, assign = 6
+	if got := ast.CountStmts(after.Body); got != 6 {
+		t.Errorf("CountStmts = %d, want 6", got)
+	}
+}
+
+func TestProgsLineCounts(t *testing.T) {
+	// Sanity-check the Table I metric: the case studies should be within
+	// the same order of magnitude as the paper's Cinnamon column
+	// (10, 40, 39, 20, 17 lines).
+	wants := map[string]struct{ lo, hi int }{
+		progs.InstCountBasic: {8, 12},
+		progs.InstCountBB:    {12, 18},
+		progs.LoopCoverage:   {30, 45},
+		progs.UseAfterFree:   {30, 45},
+		progs.ShadowStack:    {15, 25},
+		progs.ForwardCFI:     {15, 25},
+	}
+	for name, want := range wants {
+		n := progs.CountLines(progs.MustSource(name))
+		if n < want.lo || n > want.hi {
+			t.Errorf("%s: %d lines, want %d..%d", name, n, want.lo, want.hi)
+		}
+	}
+}

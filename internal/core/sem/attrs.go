@@ -1,0 +1,116 @@
+package sem
+
+import (
+	"strings"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/types"
+)
+
+// Attr describes one control-flow-element attribute accessible through
+// the dot operator (I.opcode, F.startAddr, ...). Attribute name lookup is
+// case-insensitive, so the paper's mixed spellings (startAddr) resolve.
+type Attr struct {
+	// Name is the canonical (lower-case) attribute name.
+	Name string
+	// Type is the attribute's value type.
+	Type *types.Type
+	// Dynamic marks attributes that only exist in the dynamic context
+	// (effective addresses, call arguments, return values, resolved
+	// indirect targets). Dynamic attributes are legal only inside
+	// actions; the backends materialize them per invocation.
+	Dynamic bool
+	// AfterOnly marks attributes only meaningful in after-trigger
+	// actions (the return value of a call).
+	AfterOnly bool
+}
+
+func attr(name string, k types.Kind) Attr {
+	return Attr{Name: name, Type: types.Basic(k)}
+}
+
+func dynAttr(name string, k types.Kind) Attr {
+	return Attr{Name: name, Type: types.Basic(k), Dynamic: true}
+}
+
+var instAttrs = buildAttrMap([]Attr{
+	attr("opcode", types.Opcode),
+	attr("addr", types.Addr),
+	attr("size", types.Int),
+	attr("nextaddr", types.Addr),
+	attr("id", types.Int),
+	attr("numops", types.Int),
+	attr("op1", types.Operand),
+	attr("op2", types.Operand),
+	attr("op3", types.Operand),
+	attr("trgname", types.String),
+	dynAttr("memaddr", types.Addr),
+	dynAttr("srcaddr", types.Addr),
+	dynAttr("dstaddr", types.Addr),
+	dynAttr("arg1", types.UInt64),
+	dynAttr("arg2", types.UInt64),
+	dynAttr("arg3", types.UInt64),
+	dynAttr("arg4", types.UInt64),
+	dynAttr("arg5", types.UInt64),
+	dynAttr("arg6", types.UInt64),
+	dynAttr("trgaddr", types.Addr),
+	{Name: "rtnval", Type: types.Basic(types.UInt64), Dynamic: true, AfterOnly: true},
+})
+
+var blockAttrs = buildAttrMap([]Attr{
+	attr("id", types.Int),
+	attr("startaddr", types.Addr),
+	attr("endaddr", types.Addr),
+	attr("size", types.Int),
+	attr("ninsts", types.Int),
+})
+
+var funcAttrs = buildAttrMap([]Attr{
+	attr("id", types.Int),
+	attr("name", types.String),
+	attr("startaddr", types.Addr),
+	attr("endaddr", types.Addr),
+	attr("ninsts", types.Int),
+	attr("nblocks", types.Int),
+	attr("nloops", types.Int),
+})
+
+var loopAttrs = buildAttrMap([]Attr{
+	attr("id", types.Int),
+	attr("startaddr", types.Addr),
+	attr("depth", types.Int),
+	attr("nblocks", types.Int),
+})
+
+var moduleAttrs = buildAttrMap([]Attr{
+	attr("id", types.Int),
+	attr("name", types.String),
+	attr("nfuncs", types.Int),
+	attr("isexecutable", types.Bool),
+})
+
+func buildAttrMap(attrs []Attr) map[string]Attr {
+	m := make(map[string]Attr, len(attrs))
+	for _, a := range attrs {
+		m[a.Name] = a
+	}
+	return m
+}
+
+var attrsByEType = map[ast.EType]map[string]Attr{
+	ast.Inst:       instAttrs,
+	ast.BasicBlock: blockAttrs,
+	ast.Func:       funcAttrs,
+	ast.Loop:       loopAttrs,
+	ast.Module:     moduleAttrs,
+}
+
+// LookupAttr resolves a (case-insensitive) attribute name on a CFE type.
+func LookupAttr(e ast.EType, name string) (Attr, bool) {
+	a, ok := attrsByEType[e][strings.ToLower(name)]
+	return a, ok
+}
+
+// Attrs returns the attribute table of a CFE type (for documentation and
+// codegen).
+func Attrs(e ast.EType) map[string]Attr { return attrsByEType[e] }

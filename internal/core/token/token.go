@@ -1,0 +1,230 @@
+// Package token defines the lexical vocabulary of the Cinnamon language:
+// token kinds, source positions, keyword tables, and operator precedence.
+//
+// The vocabulary follows the grammar in Figure 3 of the paper: C-style
+// identifiers, literals and operators; control-flow-element keywords
+// (inst, basicblock, func, loop, module); trigger points (before, after,
+// entry, exit, iter, init); opcode keywords (Call, Mov, Load, ...);
+// storage-type keywords (mem, reg, const) and the IsType builtin.
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // inst_count
+	INT    // 42, 0x1f
+	STRING // "fAddr.txt"
+	CHAR   // 'a'
+
+	// Operators and delimiters.
+	ASSIGN    // =
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	PERCENT   // %
+	AMP       // &
+	PIPE      // |
+	CARET     // ^
+	SHL       // <<
+	SHR       // >>
+	LAND      // &&
+	LOR       // ||
+	NOT       // !
+	EQ        // ==
+	NEQ       // !=
+	LT        // <
+	LE        // <=
+	GT        // >
+	GE        // >=
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	DOT       // .
+
+	// Keywords: control flow elements.
+	INST
+	BASICBLOCK
+	FUNC
+	LOOP
+	MODULE
+
+	// Keywords: trigger points and program blocks.
+	BEFORE
+	AFTER
+	ENTRY
+	EXIT
+	ITER
+	INIT
+
+	// Keywords: statements and constraints.
+	IF
+	ELSE
+	FOR
+	WHERE
+
+	// Keywords: types.
+	TINT
+	TUINT64
+	TCHAR
+	TBOOL
+	TADDR
+	TSTRING
+	TLINE
+	TDICT
+	TVECTOR
+	TFILE
+
+	// Keywords: special expressions.
+	ISTYPE
+	KMEM
+	KREG
+	KCONST
+	NULL
+	TRUE
+	FALSE
+
+	// Keywords: opcodes.
+	OPCODE // one token kind; the literal carries which opcode
+
+	numKinds
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "identifier", INT: "integer",
+	STRING: "string", CHAR: "char",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>",
+	LAND: "&&", LOR: "||", NOT: "!",
+	EQ: "==", NEQ: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMICOLON: ";", DOT: ".",
+	INST: "inst", BASICBLOCK: "basicblock", FUNC: "func", LOOP: "loop", MODULE: "module",
+	BEFORE: "before", AFTER: "after", ENTRY: "entry", EXIT: "exit", ITER: "iter", INIT: "init",
+	IF: "if", ELSE: "else", FOR: "for", WHERE: "where",
+	TINT: "int", TUINT64: "uint64", TCHAR: "char", TBOOL: "bool", TADDR: "addr",
+	TSTRING: "string", TLINE: "line", TDICT: "dict", TVECTOR: "vector", TFILE: "file",
+	ISTYPE: "IsType", KMEM: "mem", KREG: "reg", KCONST: "const",
+	NULL: "NULL", TRUE: "true", FALSE: "false",
+	OPCODE: "opcode",
+}
+
+// String returns a printable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to kinds. Opcode keywords are handled
+// separately (see Opcodes).
+var Keywords = map[string]Kind{
+	"inst": INST, "basicblock": BASICBLOCK, "func": FUNC, "loop": LOOP, "module": MODULE,
+	"before": BEFORE, "after": AFTER, "entry": ENTRY, "exit": EXIT, "iter": ITER, "init": INIT,
+	"if": IF, "else": ELSE, "for": FOR, "where": WHERE,
+	"int": TINT, "uint64": TUINT64, "char": TCHAR, "bool": TBOOL, "addr": TADDR,
+	"string": TSTRING, "line": TLINE, "dict": TDICT, "vector": TVECTOR, "file": TFILE,
+	"IsType": ISTYPE, "mem": KMEM, "reg": KREG, "const": KCONST,
+	"NULL": NULL, "true": TRUE, "false": FALSE,
+}
+
+// Opcodes is the set of opcode keywords, spelled capitalized as in the
+// paper's grammar. The lexer produces an OPCODE token whose literal is
+// the spelling.
+var Opcodes = map[string]bool{
+	"Call": true, "Mov": true, "Load": true, "Store": true, "Branch": true,
+	"Return": true, "Add": true, "Sub": true, "Mul": true, "Div": true,
+	"GetPtr": true, "Nop": true, "Halt": true,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // raw literal for IDENT/INT/STRING/CHAR/OPCODE
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, CHAR, OPCODE:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence of the kind (higher
+// binds tighter), or 0 if the kind is not a binary operator. IsType binds
+// like a comparison.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case PIPE:
+		return 3
+	case CARET:
+		return 4
+	case AMP:
+		return 5
+	case EQ, NEQ:
+		return 6
+	case LT, LE, GT, GE, ISTYPE:
+		return 7
+	case SHL, SHR:
+		return 8
+	case PLUS, MINUS:
+		return 9
+	case STAR, SLASH, PERCENT:
+		return 10
+	}
+	return 0
+}
+
+// IsTypeKeyword reports whether the kind starts a type specification.
+func (k Kind) IsTypeKeyword() bool {
+	switch k {
+	case TINT, TUINT64, TCHAR, TBOOL, TADDR, TSTRING, TLINE, TDICT, TVECTOR, TFILE:
+		return true
+	}
+	return false
+}
+
+// IsCFEKeyword reports whether the kind names a control-flow element.
+func (k Kind) IsCFEKeyword() bool {
+	switch k {
+	case INST, BASICBLOCK, FUNC, LOOP, MODULE:
+		return true
+	}
+	return false
+}
+
+// IsTriggerKeyword reports whether the kind names an action trigger point.
+func (k Kind) IsTriggerKeyword() bool {
+	switch k {
+	case BEFORE, AFTER, ENTRY, EXIT, ITER:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction encoding
+//
+// Instructions are variable length:
+//
+//	byte 0      opcode
+//	byte 1      cond<<4 | numOperands
+//	operands    1 kind byte followed by a kind-specific payload:
+//	              reg:  1 byte register number
+//	              imm:  8 bytes little-endian two's-complement value
+//	              mem:  1 byte base register + 8 bytes little-endian offset
+//
+// Immediates are always full 8-byte words so that the loader can patch
+// relocated control-transfer targets in place without re-encoding.
+
+// MaxInstSize is the largest possible encoded instruction size in bytes.
+const MaxInstSize = 2 + 4*(1+9)
+
+const headerSize = 2
+
+// EncodedSize returns the encoded size of the instruction in bytes.
+func EncodedSize(i *Inst) uint32 {
+	n := uint32(headerSize)
+	for _, op := range i.Ops {
+		switch op.Kind {
+		case KindReg:
+			n += 2
+		case KindImm:
+			n += 9
+		case KindMem:
+			n += 10
+		}
+	}
+	return n
+}
+
+// ImmOffset returns the byte offset, within the encoded instruction, of the
+// 8-byte immediate payload of operand n. It is used by the assembler to
+// record relocation sites for direct control-transfer targets. It returns an
+// error if operand n is not an immediate or memory-offset operand.
+func ImmOffset(i *Inst, n int) (uint32, error) {
+	if n < 0 || n >= len(i.Ops) {
+		return 0, fmt.Errorf("isa: operand %d out of range", n)
+	}
+	off := uint32(headerSize)
+	for k := 0; k < n; k++ {
+		switch i.Ops[k].Kind {
+		case KindReg:
+			off += 2
+		case KindImm:
+			off += 9
+		case KindMem:
+			off += 10
+		}
+	}
+	switch i.Ops[n].Kind {
+	case KindImm:
+		return off + 1, nil // skip kind byte
+	case KindMem:
+		return off + 2, nil // skip kind and base bytes
+	}
+	return 0, fmt.Errorf("isa: operand %d of %s has no immediate payload", n, i.Op)
+}
+
+// Encode appends the encoded form of the instruction to dst and returns the
+// extended slice. The instruction is validated first.
+func Encode(dst []byte, i *Inst) ([]byte, error) {
+	if err := i.Validate(); err != nil {
+		return dst, err
+	}
+	if len(i.Ops) > 4 {
+		return dst, fmt.Errorf("isa: too many operands (%d)", len(i.Ops))
+	}
+	dst = append(dst, byte(i.Op), byte(i.Cond)<<4|byte(len(i.Ops)))
+	var buf [8]byte
+	for _, op := range i.Ops {
+		dst = append(dst, byte(op.Kind))
+		switch op.Kind {
+		case KindReg:
+			dst = append(dst, byte(op.Reg))
+		case KindImm:
+			binary.LittleEndian.PutUint64(buf[:], uint64(op.Imm))
+			dst = append(dst, buf[:]...)
+		case KindMem:
+			dst = append(dst, byte(op.Base))
+			binary.LittleEndian.PutUint64(buf[:], uint64(op.Off))
+			dst = append(dst, buf[:]...)
+		}
+	}
+	return dst, nil
+}
+
+// Decode decodes one instruction from code, which must start at the
+// instruction boundary. addr is the absolute address of the instruction
+// (stored in the result). Decode returns the instruction and the number of
+// bytes consumed.
+func Decode(code []byte, addr uint64) (*Inst, uint32, error) {
+	if len(code) < headerSize {
+		return nil, 0, fmt.Errorf("isa: truncated instruction at %#x", addr)
+	}
+	op := Op(code[0])
+	if !op.Valid() {
+		return nil, 0, fmt.Errorf("isa: invalid opcode %#x at %#x", code[0], addr)
+	}
+	cond := Cond(code[1] >> 4)
+	nops := int(code[1] & 0xf)
+	if !cond.Valid() {
+		return nil, 0, fmt.Errorf("isa: invalid condition %#x at %#x", code[1]>>4, addr)
+	}
+	if nops > 4 {
+		return nil, 0, fmt.Errorf("isa: invalid operand count %d at %#x", nops, addr)
+	}
+	inst := &Inst{Addr: addr, Op: op, Cond: cond}
+	if nops > 0 {
+		inst.Ops = make([]Operand, 0, nops)
+	}
+	pos := headerSize
+	for n := 0; n < nops; n++ {
+		if pos >= len(code) {
+			return nil, 0, fmt.Errorf("isa: truncated operand %d at %#x", n, addr)
+		}
+		kind := OperandKind(code[pos])
+		pos++
+		var o Operand
+		switch kind {
+		case KindReg:
+			if pos+1 > len(code) {
+				return nil, 0, fmt.Errorf("isa: truncated register operand at %#x", addr)
+			}
+			o = RegOp(Reg(code[pos]))
+			pos++
+		case KindImm:
+			if pos+8 > len(code) {
+				return nil, 0, fmt.Errorf("isa: truncated immediate operand at %#x", addr)
+			}
+			o = ImmOp(int64(binary.LittleEndian.Uint64(code[pos:])))
+			pos += 8
+		case KindMem:
+			if pos+9 > len(code) {
+				return nil, 0, fmt.Errorf("isa: truncated memory operand at %#x", addr)
+			}
+			o = MemOp(Reg(code[pos]), int64(binary.LittleEndian.Uint64(code[pos+1:])))
+			pos += 9
+		default:
+			return nil, 0, fmt.Errorf("isa: invalid operand kind %#x at %#x", code[pos-1], addr)
+		}
+		inst.Ops = append(inst.Ops, o)
+	}
+	inst.Size = uint32(pos)
+	if err := inst.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("isa: decode at %#x: %w", addr, err)
+	}
+	return inst, inst.Size, nil
+}
+
+// DecodeAll decodes a full code image starting at base, returning the
+// instructions in address order. It fails on the first malformed
+// instruction.
+func DecodeAll(code []byte, base uint64) ([]*Inst, error) {
+	var insts []*Inst
+	for pos := uint64(0); pos < uint64(len(code)); {
+		inst, n, err := Decode(code[pos:], base+pos)
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, inst)
+		pos += uint64(n)
+	}
+	return insts, nil
+}

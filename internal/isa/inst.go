@@ -1,0 +1,289 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OperandKind classifies an instruction operand. It corresponds directly to
+// the Cinnamon storage abstractions mem, reg and const that programs test
+// with the IsType builtin.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	// KindReg is a register operand.
+	KindReg
+	// KindImm is an immediate (constant) operand. For direct Branch and
+	// Call instructions the immediate holds the absolute target address
+	// after relocation.
+	KindImm
+	// KindMem is a memory operand of the form [base+off].
+	KindMem
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"none", "reg", "imm", "mem"}
+
+// String returns the lower-case kind name ("reg", "imm", "mem").
+func (k OperandKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind?%d", uint8(k))
+}
+
+// Valid reports whether k is a defined operand kind.
+func (k OperandKind) Valid() bool { return k > KindNone && k < numKinds }
+
+// Operand is a single instruction operand.
+type Operand struct {
+	Kind OperandKind
+	// Reg is the register for KindReg operands.
+	Reg Reg
+	// Imm is the immediate value for KindImm operands (absolute target
+	// address for direct control transfers).
+	Imm int64
+	// Base and Off describe a KindMem operand: the effective address is
+	// the value of Base plus Off.
+	Base Reg
+	Off  int64
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// MemOp returns a memory operand [base+off].
+func MemOp(base Reg, off int64) Operand { return Operand{Kind: KindMem, Base: base, Off: off} }
+
+// String renders the operand in assembler syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.String()
+	case KindImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case KindMem:
+		if o.Off == 0 {
+			return fmt.Sprintf("[%s]", o.Base)
+		}
+		return fmt.Sprintf("[%s%+d]", o.Base, o.Off)
+	}
+	return "<none>"
+}
+
+// Inst is a decoded machine instruction.
+type Inst struct {
+	// Addr is the absolute address the instruction was decoded from
+	// (zero for instructions that have not been placed yet).
+	Addr uint64
+	// Size is the encoded size in bytes (zero until encoded or decoded).
+	Size uint32
+	// Op is the opcode and Cond the branch condition (Always except for
+	// conditional branches).
+	Op   Op
+	Cond Cond
+	// Ops are the operands in semantic order, destination first:
+	//
+	//	Mov     rd, rs|imm
+	//	Load    rd, [rb+off]
+	//	Store   rs, [rb+off]
+	//	ALU     rd, rs, rt|imm
+	//	GetPtr  rd, rb, ri|imm, imm
+	//	Branch  (cond) rs, rt, target   |   target   |   reg
+	//	Call    target | reg
+	Ops []Operand
+	// TargetSym is the symbolic name of a direct Call or Branch target as
+	// written in assembly. It is not encoded in the instruction bytes;
+	// the assembler lowers it to a relocation and the loader patches the
+	// immediate operand. Disassembled instructions recover the name from
+	// the symbol table when available.
+	TargetSym string
+}
+
+// NumOps returns the number of operands.
+func (i *Inst) NumOps() int { return len(i.Ops) }
+
+// Operand returns operand n (0-based), or a zero Operand if out of range.
+func (i *Inst) Operand(n int) Operand {
+	if n < 0 || n >= len(i.Ops) {
+		return Operand{}
+	}
+	return i.Ops[n]
+}
+
+// IsDirectTarget reports whether the instruction is a direct control
+// transfer (Branch or Call with an immediate target) and returns the target
+// address.
+func (i *Inst) IsDirectTarget() (uint64, bool) {
+	switch i.Op {
+	case Branch:
+		if n := len(i.Ops); n > 0 && i.Ops[n-1].Kind == KindImm {
+			return uint64(i.Ops[n-1].Imm), true
+		}
+	case Call:
+		if len(i.Ops) == 1 && i.Ops[0].Kind == KindImm {
+			return uint64(i.Ops[0].Imm), true
+		}
+	}
+	return 0, false
+}
+
+// IsIndirect reports whether the instruction is an indirect control
+// transfer (register-target Branch or Call).
+func (i *Inst) IsIndirect() bool {
+	switch i.Op {
+	case Branch:
+		return len(i.Ops) == 1 && i.Ops[0].Kind == KindReg
+	case Call:
+		return len(i.Ops) == 1 && i.Ops[0].Kind == KindReg
+	}
+	return false
+}
+
+// IsConditional reports whether the instruction is a conditional branch.
+func (i *Inst) IsConditional() bool { return i.Op == Branch && i.Cond != Always }
+
+// EndsBlock reports whether the instruction terminates a basic block.
+func (i *Inst) EndsBlock() bool {
+	switch i.Op {
+	case Branch, Return, Halt:
+		return true
+	}
+	// Calls do not end basic blocks in this ISA's CFG model (as in most
+	// binary-analysis frameworks, a call is treated as falling through).
+	return false
+}
+
+// Next returns the address of the instruction that follows this one in the
+// instruction stream.
+func (i *Inst) Next() uint64 { return i.Addr + uint64(i.Size) }
+
+// MemOperand returns the first memory operand and true, or a zero operand
+// and false if the instruction has none.
+func (i *Inst) MemOperand() (Operand, bool) {
+	for _, op := range i.Ops {
+		if op.Kind == KindMem {
+			return op, true
+		}
+	}
+	return Operand{}, false
+}
+
+// Validate checks that the operand shapes match the opcode. Instructions
+// produced by the assembler always validate; the encoder rejects
+// instructions that do not.
+func (i *Inst) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("isa: invalid %s instruction: %s", i.Op, fmt.Sprintf(format, args...))
+	}
+	kinds := func(ks ...OperandKind) bool {
+		if len(i.Ops) != len(ks) {
+			return false
+		}
+		for n, k := range ks {
+			if i.Ops[n].Kind != k {
+				return false
+			}
+		}
+		return true
+	}
+	if !i.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(i.Op))
+	}
+	if !i.Cond.Valid() {
+		return fail("invalid condition %d", uint8(i.Cond))
+	}
+	if i.Cond != Always && i.Op != Branch {
+		return fail("condition on non-branch")
+	}
+	for n, op := range i.Ops {
+		switch op.Kind {
+		case KindReg:
+			if !op.Reg.Valid() {
+				return fail("operand %d: bad register", n)
+			}
+		case KindMem:
+			if !op.Base.Valid() {
+				return fail("operand %d: bad base register", n)
+			}
+		case KindImm:
+		default:
+			return fail("operand %d: bad kind", n)
+		}
+	}
+	switch i.Op {
+	case Nop, Return, Halt:
+		if len(i.Ops) != 0 {
+			return fail("want no operands, have %d", len(i.Ops))
+		}
+	case Mov:
+		if !kinds(KindReg, KindReg) && !kinds(KindReg, KindImm) {
+			return fail("want rd, rs|imm")
+		}
+	case Load:
+		if !kinds(KindReg, KindMem) {
+			return fail("want rd, [rb+off]")
+		}
+	case Store:
+		if !kinds(KindReg, KindMem) {
+			return fail("want rs, [rb+off]")
+		}
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr:
+		if !kinds(KindReg, KindReg, KindReg) && !kinds(KindReg, KindReg, KindImm) {
+			return fail("want rd, rs, rt|imm")
+		}
+	case GetPtr:
+		if !kinds(KindReg, KindReg, KindReg, KindImm) && !kinds(KindReg, KindReg, KindImm, KindImm) {
+			return fail("want rd, rb, ri|imm, imm")
+		}
+	case Branch:
+		switch {
+		case i.Cond == Always && kinds(KindImm): // direct unconditional
+		case i.Cond == Always && kinds(KindReg): // indirect
+		case i.Cond != Always && kinds(KindReg, KindReg, KindImm): // conditional direct
+		default:
+			return fail("want target | reg | rs, rt, target (conditional)")
+		}
+	case Call:
+		if !kinds(KindImm) && !kinds(KindReg) {
+			return fail("want target | reg")
+		}
+	default:
+		return fail("unhandled opcode")
+	}
+	return nil
+}
+
+// String renders the instruction in assembler syntax, e.g.
+// "blt r2, r3, 65632" or "call malloc".
+func (i *Inst) String() string {
+	var b strings.Builder
+	switch {
+	case i.Op == Branch && i.Cond != Always:
+		fmt.Fprintf(&b, "b%s", i.Cond)
+	case i.Op == Branch:
+		b.WriteString("b")
+	default:
+		b.WriteString(i.Op.String())
+	}
+	for n, op := range i.Ops {
+		if n == 0 {
+			b.WriteString(" ")
+		} else {
+			b.WriteString(", ")
+		}
+		// Render symbolic targets when known.
+		if op.Kind == KindImm && i.TargetSym != "" && n == len(i.Ops)-1 && (i.Op == Call || i.Op == Branch) {
+			b.WriteString(i.TargetSym)
+			continue
+		}
+		b.WriteString(op.String())
+	}
+	return b.String()
+}

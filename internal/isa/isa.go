@@ -1,0 +1,257 @@
+// Package isa defines the instruction set architecture of the synthetic
+// 64-bit machine that every other subsystem in this repository targets.
+//
+// The ISA is a RISC-like, variable-length-encoded instruction set whose
+// opcode vocabulary deliberately mirrors the opcode abstraction exposed by
+// the Cinnamon language (Call, Mov, Load, Store, Branch, Return, Add, Sub,
+// Mul, Div, GetPtr). It stands in for x86-64 in the original paper: Cinnamon
+// abstracts the concrete ISA behind opcodes and storage types, so any
+// encodable ISA exercises the same decode, control-flow-recovery and
+// operand-attribute code paths.
+//
+// Machine model:
+//
+//   - 18 registers: r0..r15 general purpose, sp (stack pointer) and fp
+//     (frame pointer). By convention r0 carries return values, r1..r6 carry
+//     the first six call arguments.
+//   - 64-bit words, little-endian memory.
+//   - A real in-memory call stack: Call pushes the return address at [sp-8]
+//     and decrements sp; Return pops it. This makes stack-smashing attacks
+//     (and therefore shadow-stack monitoring) expressible.
+package isa
+
+import "fmt"
+
+// Reg identifies a machine register.
+type Reg uint8
+
+// Register names. R0..R15 are general purpose; SP and FP are the stack and
+// frame pointers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	SP
+	FP
+
+	// NumRegs is the size of the architectural register file.
+	NumRegs = 18
+)
+
+// RetReg is the register that carries a function's return value.
+const RetReg = R0
+
+// ArgReg returns the register carrying call argument i (1-based, up to
+// MaxArgRegs). It panics if i is out of range.
+func ArgReg(i int) Reg {
+	if i < 1 || i > MaxArgRegs {
+		panic(fmt.Sprintf("isa: argument register index %d out of range [1,%d]", i, MaxArgRegs))
+	}
+	return Reg(i) // r1..r6
+}
+
+// MaxArgRegs is the number of register-passed call arguments.
+const MaxArgRegs = 6
+
+var regNames = [NumRegs]string{
+	"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+	"sp", "fp",
+}
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// RegByName maps an assembler register name to its Reg. The second result
+// reports whether the name is known.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The control-transfer group (Branch, Call, Return) matches the
+// Cinnamon opcode abstraction: conditional, unconditional and indirect
+// branches all carry opcode Branch, and direct/indirect calls both carry
+// Call.
+const (
+	Nop Op = iota
+	// Mov rd, rs|imm — register or immediate move.
+	Mov
+	// Load rd, [rb+off] — 64-bit load from memory.
+	Load
+	// Store rs, [rb+off] — 64-bit store to memory.
+	Store
+	// Add/Sub/Mul/Div/Rem rd, rs, rt|imm — integer arithmetic. Div and Rem
+	// trap on a zero divisor.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	// And/Or/Xor/Shl/Shr rd, rs, rt|imm — bitwise operations.
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	// GetPtr rd, rb, ri, imm — address arithmetic (rd = rb + ri + imm),
+	// the ISA's analogue of x86 LEA / LLVM getelementptr.
+	GetPtr
+	// Branch — control transfer within a function. Direct form takes an
+	// immediate absolute target; the indirect form takes a register.
+	// Conditional forms compare two register operands under Cond.
+	Branch
+	// Call — function call. Direct form takes an immediate absolute target,
+	// indirect form a register. Pushes the return address on the stack.
+	Call
+	// Return — pops the return address from the stack and jumps to it.
+	Return
+	// Halt — stops the machine (end of program).
+	Halt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop:    "nop",
+	Mov:    "mov",
+	Load:   "load",
+	Store:  "store",
+	Add:    "add",
+	Sub:    "sub",
+	Mul:    "mul",
+	Div:    "div",
+	Rem:    "rem",
+	And:    "and",
+	Or:     "or",
+	Xor:    "xor",
+	Shl:    "shl",
+	Shr:    "shr",
+	GetPtr: "getptr",
+	Branch: "branch",
+	Call:   "call",
+	Return: "ret",
+	Halt:   "halt",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// OpByName maps an assembler mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name && n != "" {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// IsControlFlow reports whether the opcode transfers control.
+func (o Op) IsControlFlow() bool {
+	switch o {
+	case Branch, Call, Return, Halt:
+		return true
+	}
+	return false
+}
+
+// IsMemAccess reports whether the opcode reads or writes data memory.
+func (o Op) IsMemAccess() bool { return o == Load || o == Store }
+
+// IsArith reports whether the opcode is an ALU operation (including moves
+// and address arithmetic).
+func (o Op) IsArith() bool {
+	switch o {
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, GetPtr, Mov:
+		return true
+	}
+	return false
+}
+
+// Cond is a branch condition. Comparisons are signed.
+type Cond uint8
+
+// Branch conditions. Always makes the branch unconditional.
+const (
+	Always Cond = iota
+	EQ
+	NE
+	LT
+	LE
+	GT
+	GE
+
+	numConds
+)
+
+var condNames = [numConds]string{"", "eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the condition suffix used in assembler mnemonics
+// ("" for Always).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond?%d", uint8(c))
+}
+
+// Valid reports whether c is a defined condition.
+func (c Cond) Valid() bool { return c < numConds }
+
+// Holds evaluates the condition for the signed comparison a ? b.
+func (c Cond) Holds(a, b int64) bool {
+	switch c {
+	case Always:
+		return true
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	}
+	return false
+}

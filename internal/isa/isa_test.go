@@ -1,0 +1,387 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		reg  Reg
+		name string
+	}{
+		{R0, "r0"}, {R7, "r7"}, {R15, "r15"}, {SP, "sp"}, {FP, "fp"},
+	}
+	for _, c := range cases {
+		if got := c.reg.String(); got != c.name {
+			t.Errorf("%d.String() = %q, want %q", c.reg, got, c.name)
+		}
+		r, ok := RegByName(c.name)
+		if !ok || r != c.reg {
+			t.Errorf("RegByName(%q) = %v, %v; want %v, true", c.name, r, ok, c.reg)
+		}
+	}
+	if _, ok := RegByName("r99"); ok {
+		t.Error("RegByName(r99) succeeded, want failure")
+	}
+	if Reg(200).Valid() {
+		t.Error("Reg(200).Valid() = true")
+	}
+}
+
+func TestArgReg(t *testing.T) {
+	for i := 1; i <= MaxArgRegs; i++ {
+		if got := ArgReg(i); got != Reg(i) {
+			t.Errorf("ArgReg(%d) = %v, want r%d", i, got, i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ArgReg(7) did not panic")
+		}
+	}()
+	ArgReg(7)
+}
+
+func TestOpNames(t *testing.T) {
+	for op := Nop; op < numOps; op++ {
+		name := op.String()
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", name, got, ok, op)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("OpByName(frobnicate) succeeded")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !Branch.IsControlFlow() || !Call.IsControlFlow() || !Return.IsControlFlow() || !Halt.IsControlFlow() {
+		t.Error("control-flow opcodes not classified as such")
+	}
+	if Add.IsControlFlow() || Load.IsControlFlow() {
+		t.Error("non-control-flow opcode classified as control flow")
+	}
+	if !Load.IsMemAccess() || !Store.IsMemAccess() || Add.IsMemAccess() {
+		t.Error("IsMemAccess misclassifies")
+	}
+	if !Add.IsArith() || !GetPtr.IsArith() || !Mov.IsArith() || Load.IsArith() {
+		t.Error("IsArith misclassifies")
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		cond Cond
+		a, b int64
+		want bool
+	}{
+		{Always, 0, 0, true},
+		{EQ, 3, 3, true}, {EQ, 3, 4, false},
+		{NE, 3, 4, true}, {NE, 3, 3, false},
+		{LT, -1, 0, true}, {LT, 0, 0, false},
+		{LE, 0, 0, true}, {LE, 1, 0, false},
+		{GT, 1, 0, true}, {GT, 0, 0, false},
+		{GE, 0, 0, true}, {GE, -1, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.cond.Holds(c.a, c.b); got != c.want {
+			t.Errorf("%v.Holds(%d, %d) = %v, want %v", c.cond, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []*Inst{
+		{Op: Nop},
+		{Op: Mov, Ops: []Operand{RegOp(R1), ImmOp(42)}},
+		{Op: Mov, Ops: []Operand{RegOp(R1), RegOp(R2)}},
+		{Op: Load, Ops: []Operand{RegOp(R1), MemOp(SP, 8)}},
+		{Op: Store, Ops: []Operand{RegOp(R1), MemOp(FP, -8)}},
+		{Op: Add, Ops: []Operand{RegOp(R1), RegOp(R2), RegOp(R3)}},
+		{Op: Add, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(1)}},
+		{Op: GetPtr, Ops: []Operand{RegOp(R1), RegOp(R2), RegOp(R3), ImmOp(16)}},
+		{Op: GetPtr, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(8), ImmOp(16)}},
+		{Op: Branch, Ops: []Operand{ImmOp(0x1000)}},
+		{Op: Branch, Ops: []Operand{RegOp(R5)}},
+		{Op: Branch, Cond: LT, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(0x1000)}},
+		{Op: Call, Ops: []Operand{ImmOp(0x2000)}},
+		{Op: Call, Ops: []Operand{RegOp(R9)}},
+		{Op: Return},
+		{Op: Halt},
+	}
+	for _, in := range valid {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", in, err)
+		}
+	}
+	invalid := []*Inst{
+		{Op: Op(99)},
+		{Op: Mov, Ops: []Operand{RegOp(R1)}},
+		{Op: Mov, Ops: []Operand{ImmOp(1), RegOp(R1)}},
+		{Op: Load, Ops: []Operand{RegOp(R1), RegOp(R2)}},
+		{Op: Add, Cond: EQ, Ops: []Operand{RegOp(R1), RegOp(R2), RegOp(R3)}},
+		{Op: Branch, Cond: LT, Ops: []Operand{ImmOp(0x1000)}},
+		{Op: Call, Ops: []Operand{MemOp(R1, 0)}},
+		{Op: Return, Ops: []Operand{RegOp(R0)}},
+		{Op: Mov, Ops: []Operand{RegOp(Reg(77)), ImmOp(0)}},
+		{Op: Load, Ops: []Operand{RegOp(R1), MemOp(Reg(77), 0)}},
+	}
+	for _, in := range invalid {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", in)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insts := []*Inst{
+		{Op: Nop},
+		{Op: Mov, Ops: []Operand{RegOp(R1), ImmOp(-42)}},
+		{Op: Load, Ops: []Operand{RegOp(R3), MemOp(SP, 1<<40)}},
+		{Op: Store, Ops: []Operand{RegOp(R3), MemOp(FP, -(1 << 40))}},
+		{Op: Div, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(7)}},
+		{Op: Branch, Cond: GE, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(0x10_0000)}},
+		{Op: Call, Ops: []Operand{ImmOp(0xdead_beef)}},
+		{Op: Return},
+	}
+	var code []byte
+	var err error
+	for _, in := range insts {
+		code, err = Encode(code, in)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", in, err)
+		}
+	}
+	got, err := DecodeAll(code, 0x4000)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(insts))
+	}
+	addr := uint64(0x4000)
+	for n, in := range insts {
+		g := got[n]
+		if g.Op != in.Op || g.Cond != in.Cond || len(g.Ops) != len(in.Ops) {
+			t.Errorf("inst %d: decoded %s, want %s", n, g, in)
+		}
+		for k := range in.Ops {
+			if g.Ops[k] != in.Ops[k] {
+				t.Errorf("inst %d operand %d: decoded %+v, want %+v", n, k, g.Ops[k], in.Ops[k])
+			}
+		}
+		if g.Addr != addr {
+			t.Errorf("inst %d: addr %#x, want %#x", n, g.Addr, addr)
+		}
+		if g.Size != EncodedSize(in) {
+			t.Errorf("inst %d: size %d, want %d", n, g.Size, EncodedSize(in))
+		}
+		addr += uint64(g.Size)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{byte(Mov)}},
+		{"bad opcode", []byte{0xff, 0}},
+		{"bad cond", []byte{byte(Branch), 0xf1, byte(KindImm), 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"bad operand count", []byte{byte(Mov), 0x0f}},
+		{"truncated reg", []byte{byte(Mov), 2, byte(KindReg)}},
+		{"truncated imm", []byte{byte(Mov), 2, byte(KindReg), 1, byte(KindImm), 0, 0}},
+		{"bad kind", []byte{byte(Mov), 2, 0x09, 1}},
+		{"shape mismatch", []byte{byte(Return), 1, byte(KindReg), 0}},
+	}
+	for _, c := range cases {
+		if _, _, err := Decode(c.code, 0); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", c.name)
+		}
+	}
+}
+
+// randInst produces a random valid instruction for property testing.
+func randInst(r *rand.Rand) *Inst {
+	reg := func() Operand { return RegOp(Reg(r.Intn(NumRegs))) }
+	imm := func() Operand { return ImmOp(int64(r.Uint64())) }
+	mem := func() Operand { return MemOp(Reg(r.Intn(NumRegs)), int64(r.Uint64())) }
+	switch r.Intn(10) {
+	case 0:
+		return &Inst{Op: Nop}
+	case 1:
+		if r.Intn(2) == 0 {
+			return &Inst{Op: Mov, Ops: []Operand{reg(), reg()}}
+		}
+		return &Inst{Op: Mov, Ops: []Operand{reg(), imm()}}
+	case 2:
+		return &Inst{Op: Load, Ops: []Operand{reg(), mem()}}
+	case 3:
+		return &Inst{Op: Store, Ops: []Operand{reg(), mem()}}
+	case 4:
+		ops := []Op{Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr}
+		third := reg()
+		if r.Intn(2) == 0 {
+			third = imm()
+		}
+		return &Inst{Op: ops[r.Intn(len(ops))], Ops: []Operand{reg(), reg(), third}}
+	case 5:
+		return &Inst{Op: GetPtr, Ops: []Operand{reg(), reg(), reg(), imm()}}
+	case 6:
+		switch r.Intn(3) {
+		case 0:
+			return &Inst{Op: Branch, Ops: []Operand{imm()}}
+		case 1:
+			return &Inst{Op: Branch, Ops: []Operand{reg()}}
+		default:
+			return &Inst{Op: Branch, Cond: Cond(1 + r.Intn(int(numConds)-1)), Ops: []Operand{reg(), reg(), imm()}}
+		}
+	case 7:
+		if r.Intn(2) == 0 {
+			return &Inst{Op: Call, Ops: []Operand{imm()}}
+		}
+		return &Inst{Op: Call, Ops: []Operand{reg()}}
+	case 8:
+		return &Inst{Op: Return}
+	default:
+		return &Inst{Op: Halt}
+	}
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, addr uint64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		code, err := Encode(nil, in)
+		if err != nil {
+			t.Logf("Encode(%s): %v", in, err)
+			return false
+		}
+		if uint32(len(code)) != EncodedSize(in) {
+			t.Logf("EncodedSize mismatch for %s: %d vs %d", in, len(code), EncodedSize(in))
+			return false
+		}
+		out, n, err := Decode(code, addr)
+		if err != nil || n != uint32(len(code)) {
+			t.Logf("Decode(%s): n=%d err=%v", in, n, err)
+			return false
+		}
+		if out.Op != in.Op || out.Cond != in.Cond || len(out.Ops) != len(in.Ops) {
+			return false
+		}
+		for k := range in.Ops {
+			if out.Ops[k] != in.Ops[k] {
+				return false
+			}
+		}
+		return out.Addr == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmOffset(t *testing.T) {
+	in := &Inst{Op: Branch, Cond: LT, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(0)}}
+	off, err := ImmOffset(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header(2) + reg(2) + reg(2) + kind byte(1) = 7
+	if off != 7 {
+		t.Errorf("ImmOffset = %d, want 7", off)
+	}
+	if _, err := ImmOffset(in, 0); err == nil {
+		t.Error("ImmOffset on register operand succeeded")
+	}
+	if _, err := ImmOffset(in, 9); err == nil {
+		t.Error("ImmOffset out of range succeeded")
+	}
+	ld := &Inst{Op: Load, Ops: []Operand{RegOp(R1), MemOp(SP, 0)}}
+	off, err = ImmOffset(ld, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header(2) + reg(2) + kind(1) + base(1) = 6
+	if off != 6 {
+		t.Errorf("ImmOffset(mem) = %d, want 6", off)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   *Inst
+		want string
+	}{
+		{&Inst{Op: Mov, Ops: []Operand{RegOp(R1), ImmOp(5)}}, "mov r1, 5"},
+		{&Inst{Op: Load, Ops: []Operand{RegOp(R2), MemOp(SP, 16)}}, "load r2, [sp+16]"},
+		{&Inst{Op: Load, Ops: []Operand{RegOp(R2), MemOp(SP, 0)}}, "load r2, [sp]"},
+		{&Inst{Op: Branch, Cond: LT, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(64)}}, "blt r1, r2, 64"},
+		{&Inst{Op: Call, Ops: []Operand{ImmOp(64)}, TargetSym: "malloc"}, "call malloc"},
+		{&Inst{Op: Return}, "ret"},
+		{&Inst{Op: Branch, Ops: []Operand{RegOp(R3)}}, "b r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	call := &Inst{Op: Call, Ops: []Operand{ImmOp(0x100)}}
+	if tgt, ok := call.IsDirectTarget(); !ok || tgt != 0x100 {
+		t.Errorf("IsDirectTarget(call) = %#x, %v", tgt, ok)
+	}
+	icall := &Inst{Op: Call, Ops: []Operand{RegOp(R1)}}
+	if !icall.IsIndirect() {
+		t.Error("indirect call not detected")
+	}
+	if _, ok := icall.IsDirectTarget(); ok {
+		t.Error("indirect call reported direct target")
+	}
+	cb := &Inst{Op: Branch, Cond: EQ, Ops: []Operand{RegOp(R1), RegOp(R2), ImmOp(0x80)}}
+	if tgt, ok := cb.IsDirectTarget(); !ok || tgt != 0x80 {
+		t.Errorf("IsDirectTarget(cond branch) = %#x, %v", tgt, ok)
+	}
+	if !cb.IsConditional() {
+		t.Error("conditional branch not detected")
+	}
+	if !cb.EndsBlock() {
+		t.Error("branch should end block")
+	}
+	if call.EndsBlock() {
+		t.Error("call should not end block")
+	}
+	ld := &Inst{Op: Load, Ops: []Operand{RegOp(R1), MemOp(SP, 4)}}
+	if op, ok := ld.MemOperand(); !ok || op.Base != SP || op.Off != 4 {
+		t.Errorf("MemOperand = %+v, %v", op, ok)
+	}
+	if _, ok := call.MemOperand(); ok {
+		t.Error("call reported mem operand")
+	}
+	ld.Addr, ld.Size = 100, 12
+	if ld.Next() != 112 {
+		t.Errorf("Next = %d, want 112", ld.Next())
+	}
+	if got := ld.Operand(0); got.Kind != KindReg {
+		t.Errorf("Operand(0) = %+v", got)
+	}
+	if got := ld.Operand(5); got.Kind != KindNone {
+		t.Errorf("Operand(5) = %+v, want none", got)
+	}
+	if ld.NumOps() != 2 {
+		t.Errorf("NumOps = %d", ld.NumOps())
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if got := (Operand{}).String(); !strings.Contains(got, "none") {
+		t.Errorf("zero operand string = %q", got)
+	}
+}

@@ -1,0 +1,258 @@
+// Package janus is a clean-room, Go reimplementation of the programming
+// model of Janus, the hybrid static/dynamic binary modification framework
+// built on DynamoRIO. It is one of the three backend substrates the
+// Cinnamon compiler targets.
+//
+// Janus splits a tool into two halves:
+//
+//   - a *static analyzer* that walks the executable's recovered control
+//     flow ahead of time and annotates instructions and basic blocks with
+//     *rewrite rules* — compact records naming a dynamic handler and
+//     carrying payload words of static analysis data;
+//   - a *dynamic instrumenter* (DynamoRIO underneath) that translates the
+//     binary one basic block at a time and, before a block first executes,
+//     decodes its rewrite rules and inserts clean calls to the registered
+//     handlers, passing the payload words as arguments.
+//
+// Fidelity notes, matching the paper:
+//
+//   - the static analyzer only sees the main executable, so rules (and
+//     therefore instrumentation) never cover shared-library code — Janus's
+//     counts match Dyninst's, not Pin's, in Figure 12;
+//   - clean calls whose handler is simple enough are inlined by the
+//     dynamic translator (as DynamoRIO does), which is why Janus sits
+//     between Pin and Dyninst in the Figure 13 overhead ordering;
+//   - static analysis data reaches handlers as rule payload words, the
+//     exact mechanism Cinnamon uses to pass analysis results to actions.
+package janus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/vm"
+)
+
+// Dispatch cost model (cycle units).
+const (
+	// CleanCallCost is charged per non-inlined handler invocation
+	// (DynamoRIO clean call: full context switch into the tool).
+	CleanCallCost = 30
+	// InlinedCallCost is charged when the dynamic translator can inline
+	// the clean call (simple, branch-free handler).
+	InlinedCallCost = 10
+	// ArgCost is charged per payload word materialized for a handler.
+	ArgCost = 2
+	// BlockTranslationCost is the one-time cost of translating a basic
+	// block and scanning its rewrite rules.
+	BlockTranslationCost = 300
+)
+
+// Trigger says where, relative to the annotated location, the handler is
+// invoked.
+type Trigger uint8
+
+// Rule triggers.
+const (
+	// TriggerBefore / TriggerAfter bracket a single instruction. After a
+	// call instruction, TriggerAfter fires at the fall-through once the
+	// callee returns.
+	TriggerBefore Trigger = iota
+	TriggerAfter
+	// TriggerBlockEntry fires when the annotated basic block is entered.
+	TriggerBlockEntry
+	// TriggerEdge fires when the intraprocedural edge (Aux -> block) is
+	// traversed; Aux holds the source block address.
+	TriggerEdge
+	// TriggerInit / TriggerFini fire before the first and after the last
+	// application instruction.
+	TriggerInit
+	TriggerFini
+)
+
+// Rule is a rewrite rule: the static analyzer's annotation on a location
+// in the binary, consumed by the dynamic instrumenter.
+type Rule struct {
+	// BlockAddr is the start address of the annotated basic block.
+	BlockAddr uint64
+	// InstAddr is the annotated instruction (for before/after triggers).
+	InstAddr uint64
+	// Aux is trigger-specific (source block address for TriggerEdge).
+	Aux uint64
+	// Trigger selects the invocation point.
+	Trigger Trigger
+	// Handler names the dynamic handler to invoke.
+	Handler HandlerID
+	// Data is the static-analysis payload passed to the handler.
+	Data []uint64
+}
+
+// HandlerID names a registered dynamic handler.
+type HandlerID uint16
+
+// HandlerFn is a dynamic handler. It receives the machine context and the
+// rule's payload words.
+type HandlerFn func(c *vm.Ctx, data []uint64)
+
+// Handler couples a handler function with its cost properties. Cost is
+// the body's work in cycle units; Inlinable marks handlers simple enough
+// for DynamoRIO's clean-call inlining.
+type Handler struct {
+	Fn        HandlerFn
+	Cost      uint64
+	Inlinable bool
+}
+
+func (h Handler) dispatchCost(nargs int) uint64 {
+	base := CleanCallCost
+	if h.Inlinable {
+		base = InlinedCallCost
+	}
+	return uint64(base) + uint64(nargs)*ArgCost + h.Cost
+}
+
+// StaticAnalyzer is the ahead-of-time half of a Janus run. Tools walk the
+// executable's control flow through it and emit rewrite rules.
+type StaticAnalyzer struct {
+	prog  *cfg.Program
+	rules []Rule
+}
+
+// Executable returns the main executable module — the only code the
+// static analyzer can see.
+func (sa *StaticAnalyzer) Executable() *cfg.Module { return sa.prog.Modules[0] }
+
+// Program exposes the loaded program for address lookups.
+func (sa *StaticAnalyzer) Program() *cfg.Program { return sa.prog }
+
+// EmitRule appends a rewrite rule.
+func (sa *StaticAnalyzer) EmitRule(r Rule) { sa.rules = append(sa.rules, r) }
+
+// RuleTable is the static analyzer's output, indexed by basic block for
+// the dynamic instrumenter.
+type RuleTable struct {
+	byBlock map[uint64][]Rule
+	global  []Rule // init/fini rules
+	n       int
+}
+
+// NumRules returns the total number of rules in the table.
+func (rt *RuleTable) NumRules() int { return rt.n }
+
+// RulesFor returns the rules annotated on the block starting at addr.
+func (rt *RuleTable) RulesFor(addr uint64) []Rule { return rt.byBlock[addr] }
+
+func buildTable(rules []Rule) *RuleTable {
+	rt := &RuleTable{byBlock: make(map[uint64][]Rule), n: len(rules)}
+	for _, r := range rules {
+		switch r.Trigger {
+		case TriggerInit, TriggerFini:
+			rt.global = append(rt.global, r)
+		default:
+			rt.byBlock[r.BlockAddr] = append(rt.byBlock[r.BlockAddr], r)
+		}
+	}
+	// Deterministic order within a block: by instruction address, then
+	// emission order (stable sort).
+	for _, rs := range rt.byBlock {
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].InstAddr < rs[j].InstAddr })
+	}
+	return rt
+}
+
+// Tool is a complete Janus tool: a static pass plus dynamic handlers.
+type Tool struct {
+	// Name identifies the tool.
+	Name string
+	// StaticPass walks the binary and emits rewrite rules.
+	StaticPass func(sa *StaticAnalyzer)
+	// Handlers maps handler IDs to dynamic handlers.
+	Handlers map[HandlerID]Handler
+}
+
+// Config parameterizes a Janus run.
+type Config struct {
+	// Fuel bounds application instructions (0 = default).
+	Fuel uint64
+	// AppOut receives the application's output (discarded if nil).
+	AppOut io.Writer
+}
+
+// Run executes the program under Janus: the tool's static pass runs
+// first, producing the rule table; then the dynamic instrumenter executes
+// the program, translating blocks on first execution and instrumenting
+// them according to their rules.
+func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
+	sa := &StaticAnalyzer{prog: prog}
+	if tool.StaticPass != nil {
+		tool.StaticPass(sa)
+	}
+	rt := buildTable(sa.rules)
+
+	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut})
+	// The dynamic instrumenter: translate one block at a time, decode the
+	// block's rewrite rules, insert clean calls.
+	err := machine.SetTranslator(func(b *cfg.Block) {
+		machine.Charge(BlockTranslationCost)
+		for _, r := range rt.RulesFor(b.Start) {
+			r := r
+			h, ok := tool.Handlers[r.Handler]
+			if !ok {
+				// Unknown handler: rule is ignored (real Janus logs and
+				// skips). Nothing to insert.
+				continue
+			}
+			cost := h.dispatchCost(len(r.Data))
+			fn := func(ctx *vm.Ctx) { h.Fn(ctx, r.Data) }
+			var ierr error
+			switch r.Trigger {
+			case TriggerBefore:
+				ierr = machine.AddBefore(r.InstAddr, cost, fn)
+			case TriggerAfter:
+				ierr = machine.AddAfter(r.InstAddr, cost, fn)
+			case TriggerBlockEntry:
+				ierr = machine.AddBlockEntry(r.BlockAddr, cost, fn)
+			case TriggerEdge:
+				ierr = machine.AddEdge(r.Aux, r.BlockAddr, cost, fn)
+			}
+			if ierr != nil {
+				// Rules that cannot be applied are skipped, as the
+				// dynamic side of real Janus does with stale rules.
+				continue
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rt.global {
+		r := r
+		h, ok := tool.Handlers[r.Handler]
+		if !ok {
+			continue
+		}
+		switch r.Trigger {
+		case TriggerInit:
+			machine.OnStart(func(ctx *vm.Ctx) { h.Fn(ctx, r.Data) })
+		case TriggerFini:
+			machine.OnEnd(func(ctx *vm.Ctx) { h.Fn(ctx, r.Data) })
+		}
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("janus: %s: %w", tool.Name, err)
+	}
+	return res, nil
+}
+
+// AnalyzeOnly runs just the static pass and returns the rule table
+// (useful for tests and for inspecting what a tool annotates).
+func AnalyzeOnly(prog *cfg.Program, tool *Tool) *RuleTable {
+	sa := &StaticAnalyzer{prog: prog}
+	if tool.StaticPass != nil {
+		tool.StaticPass(sa)
+	}
+	return buildTable(sa.rules)
+}

@@ -1,0 +1,301 @@
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Object file serialization
+//
+// The on-disk format is a simple tagged binary layout:
+//
+//	magic    "CINO"
+//	version  u32 (currently 1)
+//	name     string
+//	flags    u8  (bit 0: executable)
+//	entry    u64
+//	code     bytes
+//	data     bytes
+//	syms     u32 count, then per symbol: name, kind u8, off u64, size u64, global u8
+//	relocs   u32 count, then per reloc: kind u8, off u64, sym string, addend u64
+//	imports  u32 count, then per import: string
+//	jumptabs u32 count, then per table: dataoff u64, count u32, branchoff u64, recoverable u8
+//
+// Strings and byte sections are length-prefixed with u32. All integers are
+// little-endian.
+
+// Magic identifies a serialized module.
+var Magic = [4]byte{'C', 'I', 'N', 'O'}
+
+const formatVersion = 1
+
+type writer struct {
+	buf bytes.Buffer
+}
+
+func (w *writer) u8(v uint8) { w.buf.WriteByte(v) }
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *writer) str(s string) { w.u32(uint32(len(s))); w.buf.WriteString(s) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf.Write(b)
+}
+
+// Encode serializes the module to the object file format.
+func Encode(m *Module) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var w writer
+	w.buf.Write(Magic[:])
+	w.u32(formatVersion)
+	w.str(m.Name)
+	var flags uint8
+	if m.Executable {
+		flags |= 1
+	}
+	w.u8(flags)
+	w.u64(m.Entry)
+	w.bytes(m.Code)
+	w.bytes(m.Data)
+	w.u32(uint32(len(m.Syms)))
+	for _, s := range m.Syms {
+		w.str(s.Name)
+		w.u8(uint8(s.Kind))
+		w.u64(s.Off)
+		w.u64(s.Size)
+		if s.Global {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	w.u32(uint32(len(m.Relocs)))
+	for _, r := range m.Relocs {
+		w.u8(uint8(r.Kind))
+		w.u64(r.Off)
+		w.str(r.Sym)
+		w.u64(uint64(r.Addend))
+	}
+	w.u32(uint32(len(m.Imports)))
+	for _, imp := range m.Imports {
+		w.str(imp)
+	}
+	w.u32(uint32(len(m.JumpTables)))
+	for _, jt := range m.JumpTables {
+		w.u64(jt.DataOff)
+		w.u32(uint32(jt.Count))
+		w.u64(jt.BranchOff)
+		if jt.Recoverable {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	return w.buf.Bytes(), nil
+}
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) need(n int) error {
+	if r.pos+n > len(r.b) {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(int(n)); err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.pos:])
+	r.pos += int(n)
+	return b, nil
+}
+
+// Decode parses a module from its serialized object file form.
+func Decode(data []byte) (*Module, error) {
+	r := &reader{b: data}
+	if err := r.need(4); err != nil {
+		return nil, fmt.Errorf("obj: truncated object: %w", err)
+	}
+	if !bytes.Equal(r.b[:4], Magic[:]) {
+		return nil, fmt.Errorf("obj: bad magic %q", r.b[:4])
+	}
+	r.pos = 4
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("obj: unsupported format version %d", ver)
+	}
+	m := &Module{}
+	wrap := func(err error) (*Module, error) { return nil, fmt.Errorf("obj: corrupt object: %w", err) }
+	if m.Name, err = r.str(); err != nil {
+		return wrap(err)
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return wrap(err)
+	}
+	m.Executable = flags&1 != 0
+	if m.Entry, err = r.u64(); err != nil {
+		return wrap(err)
+	}
+	if m.Code, err = r.bytes(); err != nil {
+		return wrap(err)
+	}
+	if m.Data, err = r.bytes(); err != nil {
+		return wrap(err)
+	}
+	nsyms, err := r.u32()
+	if err != nil {
+		return wrap(err)
+	}
+	for i := uint32(0); i < nsyms; i++ {
+		var s Symbol
+		if s.Name, err = r.str(); err != nil {
+			return wrap(err)
+		}
+		k, err := r.u8()
+		if err != nil {
+			return wrap(err)
+		}
+		s.Kind = SymKind(k)
+		if s.Off, err = r.u64(); err != nil {
+			return wrap(err)
+		}
+		if s.Size, err = r.u64(); err != nil {
+			return wrap(err)
+		}
+		g, err := r.u8()
+		if err != nil {
+			return wrap(err)
+		}
+		s.Global = g != 0
+		m.Syms = append(m.Syms, s)
+	}
+	nrelocs, err := r.u32()
+	if err != nil {
+		return wrap(err)
+	}
+	for i := uint32(0); i < nrelocs; i++ {
+		var rel Reloc
+		k, err := r.u8()
+		if err != nil {
+			return wrap(err)
+		}
+		rel.Kind = RelocKind(k)
+		if rel.Off, err = r.u64(); err != nil {
+			return wrap(err)
+		}
+		if rel.Sym, err = r.str(); err != nil {
+			return wrap(err)
+		}
+		add, err := r.u64()
+		if err != nil {
+			return wrap(err)
+		}
+		rel.Addend = int64(add)
+		m.Relocs = append(m.Relocs, rel)
+	}
+	nimports, err := r.u32()
+	if err != nil {
+		return wrap(err)
+	}
+	for i := uint32(0); i < nimports; i++ {
+		imp, err := r.str()
+		if err != nil {
+			return wrap(err)
+		}
+		m.Imports = append(m.Imports, imp)
+	}
+	njt, err := r.u32()
+	if err != nil {
+		return wrap(err)
+	}
+	for i := uint32(0); i < njt; i++ {
+		var jt JumpTable
+		if jt.DataOff, err = r.u64(); err != nil {
+			return wrap(err)
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return wrap(err)
+		}
+		jt.Count = int(cnt)
+		if jt.BranchOff, err = r.u64(); err != nil {
+			return wrap(err)
+		}
+		rec, err := r.u8()
+		if err != nil {
+			return wrap(err)
+		}
+		jt.Recoverable = rec != 0
+		m.JumpTables = append(m.JumpTables, jt)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

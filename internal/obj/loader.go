@@ -1,0 +1,243 @@
+package obj
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Address-space layout of a loaded program.
+const (
+	// BaseAddr is where the first (executable) module is mapped.
+	BaseAddr uint64 = 0x10000
+	// ModuleAlign is the alignment between consecutive modules.
+	ModuleAlign uint64 = 0x10000
+	// HeapBase and HeapLimit bound the runtime heap (malloc arena).
+	HeapBase  uint64 = 0x4000_0000
+	HeapLimit uint64 = 0x5000_0000
+	// StackTop is the initial stack pointer; the stack grows down.
+	StackTop uint64 = 0x7fff_ff00
+	// StackLimit is the lowest legal stack address.
+	StackLimit uint64 = 0x7fe0_0000
+	// IntrinsicBase is the start of the pseudo-address region where
+	// runtime intrinsics (malloc, free, print, ...) live. A Call whose
+	// target falls in this region is handled by the VM runtime rather
+	// than executed as code.
+	IntrinsicBase uint64 = 0xffff_0000
+)
+
+// Loaded is a module mapped at its load address with relocations applied.
+type Loaded struct {
+	*Module
+	// Base is the absolute address of the code section.
+	Base uint64
+	// DataBase is the absolute address of the data section.
+	DataBase uint64
+	// Image is the relocated copy of the code section.
+	Image []byte
+	// DataImage is the relocated copy of the data section.
+	DataImage []byte
+}
+
+// CodeEnd returns the first address past the code section.
+func (l *Loaded) CodeEnd() uint64 { return l.Base + uint64(len(l.Image)) }
+
+// DataEnd returns the first address past the data section.
+func (l *Loaded) DataEnd() uint64 { return l.DataBase + uint64(len(l.DataImage)) }
+
+// ContainsCode reports whether addr falls inside the module's code section.
+func (l *Loaded) ContainsCode(addr uint64) bool { return addr >= l.Base && addr < l.CodeEnd() }
+
+// SymAddr returns the absolute address of the named symbol in this module.
+func (l *Loaded) SymAddr(name string) (uint64, bool) {
+	s, ok := l.Sym(name)
+	if !ok {
+		return 0, false
+	}
+	return l.symAbs(s), true
+}
+
+func (l *Loaded) symAbs(s Symbol) uint64 {
+	if s.Kind == SymData {
+		return l.DataBase + s.Off
+	}
+	return l.Base + s.Off
+}
+
+// Program is a fully loaded address space: the executable module plus the
+// shared-library modules it links against.
+type Program struct {
+	// Modules lists the loaded modules; Modules[0] is the executable.
+	Modules []*Loaded
+	// Externs maps runtime-provided symbol names (e.g. "malloc") to their
+	// intrinsic pseudo-addresses.
+	Externs map[string]uint64
+
+	funcIndex []funcEntry // sorted by address, for reverse lookup
+}
+
+type funcEntry struct {
+	addr, end uint64
+	name      string
+	mod       *Loaded
+}
+
+// Load maps the given modules into a fresh address space and applies all
+// relocations. Exactly one module must be executable; it becomes
+// Modules[0]. externs provides runtime symbols (each assigned an address in
+// the intrinsic region by the caller).
+func Load(mods []*Module, externs map[string]uint64) (*Program, error) {
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("obj: no modules to load")
+	}
+	ordered := make([]*Module, 0, len(mods))
+	var exe *Module
+	for _, m := range mods {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if m.Executable {
+			if exe != nil {
+				return nil, fmt.Errorf("obj: multiple executable modules (%s, %s)", exe.Name, m.Name)
+			}
+			exe = m
+		}
+	}
+	if exe == nil {
+		return nil, fmt.Errorf("obj: no executable module")
+	}
+	ordered = append(ordered, exe)
+	for _, m := range mods {
+		if m != exe {
+			ordered = append(ordered, m)
+		}
+	}
+
+	p := &Program{Externs: externs}
+	next := BaseAddr
+	for _, m := range ordered {
+		l := &Loaded{Module: m, Base: next}
+		l.Image = make([]byte, len(m.Code))
+		copy(l.Image, m.Code)
+		l.DataBase = align(next+uint64(len(m.Code)), 16)
+		l.DataImage = make([]byte, len(m.Data))
+		copy(l.DataImage, m.Data)
+		next = align(l.DataBase+uint64(len(m.Data))+1, ModuleAlign)
+		p.Modules = append(p.Modules, l)
+	}
+
+	// Build the global (exported) symbol table.
+	globals := make(map[string]uint64)
+	for _, l := range p.Modules {
+		for _, s := range l.Syms {
+			if s.Global {
+				if _, dup := globals[s.Name]; dup {
+					return nil, fmt.Errorf("obj: duplicate global symbol %q", s.Name)
+				}
+				globals[s.Name] = l.symAbs(s)
+			}
+		}
+	}
+
+	// Apply relocations.
+	for _, l := range p.Modules {
+		for _, r := range l.Relocs {
+			target, err := p.resolve(l, r.Sym, globals)
+			if err != nil {
+				return nil, fmt.Errorf("obj: %s: %w", l.Name, err)
+			}
+			word := uint64(int64(target) + r.Addend)
+			switch r.Kind {
+			case RelocCode:
+				binary.LittleEndian.PutUint64(l.Image[r.Off:], word)
+			case RelocData:
+				binary.LittleEndian.PutUint64(l.DataImage[r.Off:], word)
+			default:
+				return nil, fmt.Errorf("obj: %s: unknown relocation kind %d", l.Name, r.Kind)
+			}
+		}
+	}
+
+	// Build the reverse function index.
+	for _, l := range p.Modules {
+		for _, s := range l.Syms {
+			if s.Kind != SymFunc {
+				continue
+			}
+			p.funcIndex = append(p.funcIndex, funcEntry{
+				addr: l.Base + s.Off,
+				end:  l.Base + s.Off + s.Size,
+				name: s.Name,
+				mod:  l,
+			})
+		}
+	}
+	sort.Slice(p.funcIndex, func(i, j int) bool { return p.funcIndex[i].addr < p.funcIndex[j].addr })
+	return p, nil
+}
+
+func (p *Program) resolve(l *Loaded, sym string, globals map[string]uint64) (uint64, error) {
+	if s, ok := l.Sym(sym); ok {
+		return l.symAbs(s), nil
+	}
+	if addr, ok := globals[sym]; ok {
+		return addr, nil
+	}
+	if addr, ok := p.Externs[sym]; ok {
+		return addr, nil
+	}
+	return 0, fmt.Errorf("unresolved symbol %q", sym)
+}
+
+func align(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// Executable returns the main module.
+func (p *Program) Executable() *Loaded { return p.Modules[0] }
+
+// Entry returns the absolute address of the program entry point.
+func (p *Program) Entry() uint64 {
+	exe := p.Executable()
+	return exe.Base + exe.Entry
+}
+
+// ModuleAt returns the module whose code section contains addr.
+func (p *Program) ModuleAt(addr uint64) (*Loaded, bool) {
+	for _, l := range p.Modules {
+		if l.ContainsCode(addr) {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// FuncAt returns the name and entry address of the function containing
+// addr, using the symbol-table extents.
+func (p *Program) FuncAt(addr uint64) (name string, entry uint64, ok bool) {
+	i := sort.Search(len(p.funcIndex), func(i int) bool { return p.funcIndex[i].addr > addr })
+	if i == 0 {
+		return "", 0, false
+	}
+	fe := p.funcIndex[i-1]
+	if addr >= fe.addr && addr < fe.end {
+		return fe.name, fe.addr, true
+	}
+	return "", 0, false
+}
+
+// NameAt returns the symbolic name of a call target address: a function
+// entry, or a runtime intrinsic. It returns "" if the address names
+// nothing.
+func (p *Program) NameAt(addr uint64) string {
+	for name, a := range p.Externs {
+		if a == addr {
+			return name
+		}
+	}
+	if name, entry, ok := p.FuncAt(addr); ok && entry == addr {
+		return name
+	}
+	return ""
+}
+
+// IsIntrinsic reports whether addr falls in the runtime intrinsic region.
+func IsIntrinsic(addr uint64) bool { return addr >= IntrinsicBase }

@@ -1,0 +1,211 @@
+// Package obj defines the binary object format of the synthetic machine:
+// modules with code and data sections, symbols, relocations and imports,
+// a byte-level serialization of that format, and a loader that maps a main
+// executable plus its shared-library modules into a single address space.
+//
+// A module corresponds to the Cinnamon `module` control-flow element: the
+// executable is one module, and every shared library it links against is a
+// separate module. This distinction matters for reproducing Figure 12 of
+// the paper, where the dynamic (Pin-style) backend observes instructions in
+// shared libraries that the static backends never instrument.
+package obj
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SymKind classifies a symbol.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	// SymFunc marks a function entry point in the code section.
+	SymFunc SymKind = iota
+	// SymData marks an object in the data section.
+	SymData
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymData:
+		return "data"
+	}
+	return fmt.Sprintf("symkind?%d", uint8(k))
+}
+
+// Symbol is a named location in a module.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	// Off is the section-relative offset (code section for SymFunc, data
+	// section for SymData).
+	Off uint64
+	// Size is the extent of the symbol in bytes. For functions this spans
+	// the function body; CFG recovery uses it to bound disassembly.
+	Size uint64
+	// Global marks the symbol as visible to other modules (exported).
+	Global bool
+}
+
+// RelocKind classifies a relocation.
+type RelocKind uint8
+
+// Relocation kinds. All relocations patch an 8-byte little-endian word in
+// the code or data section.
+const (
+	// RelocCode patches an immediate operand inside an instruction in the
+	// code section with the absolute address of the target symbol.
+	RelocCode RelocKind = iota
+	// RelocData patches an 8-byte word in the data section with the
+	// absolute address of the target symbol.
+	RelocData
+)
+
+func (k RelocKind) String() string {
+	switch k {
+	case RelocCode:
+		return "code"
+	case RelocData:
+		return "data"
+	}
+	return fmt.Sprintf("relockind?%d", uint8(k))
+}
+
+// Reloc records that the 8 bytes at Off (relative to the section selected
+// by Kind) must be patched with the absolute address of Sym (plus Addend)
+// once the module and its dependencies are loaded.
+type Reloc struct {
+	Kind RelocKind
+	Off  uint64
+	// Sym is the target symbol name. It may be local to the module or
+	// imported from another module (or from the runtime, e.g. "malloc").
+	Sym    string
+	Addend int64
+}
+
+// JumpTable describes a table of code addresses in the data section used by
+// an indirect branch. Real binary frameworks recover jump tables through
+// heuristic analysis that sometimes fails; this repository models that by
+// letting the workload generator mark some tables as unrecoverable, which
+// the Dyninst-style static backend refuses (reproducing the benchmarks the
+// paper could not run under Dyninst).
+type JumpTable struct {
+	// DataOff is the offset of the table in the data section.
+	DataOff uint64
+	// Count is the number of 8-byte entries.
+	Count int
+	// BranchOff is the code-section offset of the indirect branch that
+	// consumes the table.
+	BranchOff uint64
+	// Recoverable reports whether static analysis is assumed able to
+	// recover the table's targets.
+	Recoverable bool
+}
+
+// Module is a relocatable binary object: one executable or shared library.
+type Module struct {
+	// Name identifies the module ("a.out", "libshared", ...).
+	Name string
+	// Executable marks the main program module (as opposed to a shared
+	// library). Exactly one module of a loaded program is executable.
+	Executable bool
+	// Entry is the code-section offset of the program entry point
+	// (meaningful only for executable modules).
+	Entry uint64
+	// Code and Data are the section images, relative to offset zero.
+	Code []byte
+	Data []byte
+	// Syms lists the module's symbols (functions and data objects).
+	Syms []Symbol
+	// Relocs lists the relocations to apply at load time.
+	Relocs []Reloc
+	// Imports names the external symbols the module references; each must
+	// be resolved from another module's global symbols or from the
+	// runtime at load time.
+	Imports []string
+	// JumpTables lists the module's indirect-branch tables.
+	JumpTables []JumpTable
+}
+
+// Sym returns the module's symbol with the given name.
+func (m *Module) Sym(name string) (Symbol, bool) {
+	for _, s := range m.Syms {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// Funcs returns the module's function symbols sorted by code offset.
+func (m *Module) Funcs() []Symbol {
+	var fns []Symbol
+	for _, s := range m.Syms {
+		if s.Kind == SymFunc {
+			fns = append(fns, s)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Off < fns[j].Off })
+	return fns
+}
+
+// Validate performs structural checks on the module: symbols and
+// relocations must lie within their sections and symbol names must be
+// unique.
+func (m *Module) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("obj: module has no name")
+	}
+	seen := make(map[string]bool, len(m.Syms))
+	for _, s := range m.Syms {
+		if s.Name == "" {
+			return fmt.Errorf("obj: %s: unnamed symbol", m.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("obj: %s: duplicate symbol %q", m.Name, s.Name)
+		}
+		seen[s.Name] = true
+		limit := uint64(len(m.Code))
+		if s.Kind == SymData {
+			limit = uint64(len(m.Data))
+		}
+		if s.Off > limit || s.Off+s.Size > limit {
+			return fmt.Errorf("obj: %s: symbol %q [%#x,+%d) outside section (size %d)", m.Name, s.Name, s.Off, s.Size, limit)
+		}
+	}
+	for _, r := range m.Relocs {
+		limit := uint64(len(m.Code))
+		if r.Kind == RelocData {
+			limit = uint64(len(m.Data))
+		}
+		if r.Off+8 > limit {
+			return fmt.Errorf("obj: %s: relocation at %#x outside %s section", m.Name, r.Off, r.Kind)
+		}
+		if r.Sym == "" {
+			return fmt.Errorf("obj: %s: relocation at %#x has no symbol", m.Name, r.Off)
+		}
+	}
+	for _, jt := range m.JumpTables {
+		if jt.DataOff+uint64(jt.Count)*8 > uint64(len(m.Data)) {
+			return fmt.Errorf("obj: %s: jump table at %#x outside data section", m.Name, jt.DataOff)
+		}
+	}
+	if m.Executable && m.Entry >= uint64(len(m.Code)) && len(m.Code) > 0 {
+		return fmt.Errorf("obj: %s: entry %#x outside code section", m.Name, m.Entry)
+	}
+	return nil
+}
+
+// HasUnrecoverableControlFlow reports whether the module contains an
+// indirect-branch jump table that static analysis cannot recover.
+func (m *Module) HasUnrecoverableControlFlow() bool {
+	for _, jt := range m.JumpTables {
+		if !jt.Recoverable {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,278 @@
+package obj
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// buildModule assembles a tiny module by hand: one function that calls an
+// imported symbol, plus a data word relocated to the function.
+func buildModule(t *testing.T, name string, exec bool) *Module {
+	t.Helper()
+	var code []byte
+	var err error
+	call := &isa.Inst{Op: isa.Call, Ops: []isa.Operand{isa.ImmOp(0)}}
+	code, err = isa.Encode(code, call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callSite, err := isa.ImmOffset(call, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err = isa.Encode(code, &isa.Inst{Op: isa.Halt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 16)
+	return &Module{
+		Name:       name,
+		Executable: exec,
+		Code:       code,
+		Data:       data,
+		Syms: []Symbol{
+			{Name: "main", Kind: SymFunc, Off: 0, Size: uint64(len(code)), Global: true},
+			{Name: "tab", Kind: SymData, Off: 0, Size: 16},
+		},
+		Relocs: []Reloc{
+			{Kind: RelocCode, Off: uint64(callSite), Sym: "helper"},
+			{Kind: RelocData, Off: 8, Sym: "main", Addend: 4},
+		},
+		Imports: []string{"helper"},
+	}
+}
+
+func helperModule(t *testing.T) *Module {
+	t.Helper()
+	code, err := isa.Encode(nil, &isa.Inst{Op: isa.Return})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Module{
+		Name: "libhelper",
+		Code: code,
+		Syms: []Symbol{{Name: "helper", Kind: SymFunc, Off: 0, Size: uint64(len(code)), Global: true}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := buildModule(t, "a.out", true)
+	m.JumpTables = []JumpTable{{DataOff: 0, Count: 2, BranchOff: 0, Recoverable: true}}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.Executable != m.Executable || got.Entry != m.Entry {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if string(got.Code) != string(m.Code) || string(got.Data) != string(m.Data) {
+		t.Error("section mismatch")
+	}
+	if len(got.Syms) != len(m.Syms) || got.Syms[0] != m.Syms[0] || got.Syms[1] != m.Syms[1] {
+		t.Errorf("symbols mismatch: %+v", got.Syms)
+	}
+	if len(got.Relocs) != 2 || got.Relocs[0] != m.Relocs[0] || got.Relocs[1] != m.Relocs[1] {
+		t.Errorf("relocs mismatch: %+v", got.Relocs)
+	}
+	if len(got.Imports) != 1 || got.Imports[0] != "helper" {
+		t.Errorf("imports mismatch: %v", got.Imports)
+	}
+	if len(got.JumpTables) != 1 || got.JumpTables[0] != m.JumpTables[0] {
+		t.Errorf("jump tables mismatch: %+v", got.JumpTables)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := buildModule(t, "a.out", true)
+	good, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE0000")},
+		{"truncated", good[:len(good)/2]},
+		{"bad version", append(append([]byte{}, Magic[:]...), 0xff, 0, 0, 0)},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Corrupt object files must produce errors, never panics.
+	m := buildModule(t, "a.out", true)
+	good, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos int, b byte) bool {
+		if len(good) == 0 {
+			return true
+		}
+		mut := make([]byte, len(good))
+		copy(mut, good)
+		if pos < 0 {
+			pos = -pos
+		}
+		mut[pos%len(mut)] ^= b
+		_, _ = Decode(mut) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  *Module
+	}{
+		{"no name", &Module{}},
+		{"dup symbol", &Module{Name: "m", Code: make([]byte, 8), Syms: []Symbol{
+			{Name: "f", Kind: SymFunc}, {Name: "f", Kind: SymFunc},
+		}}},
+		{"unnamed symbol", &Module{Name: "m", Syms: []Symbol{{}}}},
+		{"symbol out of range", &Module{Name: "m", Code: make([]byte, 4), Syms: []Symbol{
+			{Name: "f", Kind: SymFunc, Off: 2, Size: 10},
+		}}},
+		{"reloc out of range", &Module{Name: "m", Code: make([]byte, 4), Relocs: []Reloc{
+			{Kind: RelocCode, Off: 0, Sym: "x"},
+		}}},
+		{"reloc no symbol", &Module{Name: "m", Code: make([]byte, 16), Relocs: []Reloc{
+			{Kind: RelocCode, Off: 0},
+		}}},
+		{"jump table out of range", &Module{Name: "m", Data: make([]byte, 8), JumpTables: []JumpTable{
+			{DataOff: 0, Count: 4},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.mod.Validate(); err == nil {
+			t.Errorf("%s: Validate = nil, want error", c.name)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	main := buildModule(t, "a.out", true)
+	lib := helperModule(t)
+	externs := map[string]uint64{"print": IntrinsicBase + 8}
+	p, err := Load([]*Module{lib, main}, externs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Executable().Name != "a.out" {
+		t.Errorf("executable = %s, want a.out (reordered first)", p.Executable().Name)
+	}
+	if p.Modules[0].Base != BaseAddr {
+		t.Errorf("exe base = %#x, want %#x", p.Modules[0].Base, BaseAddr)
+	}
+	if p.Entry() != BaseAddr {
+		t.Errorf("entry = %#x, want %#x", p.Entry(), BaseAddr)
+	}
+	// The code relocation must point at the helper in the library module.
+	libMod := p.Modules[1]
+	helperAddr, ok := libMod.SymAddr("helper")
+	if !ok {
+		t.Fatal("helper symbol missing")
+	}
+	insts, err := isa.DecodeAll(p.Modules[0].Image, p.Modules[0].Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, ok := insts[0].IsDirectTarget()
+	if !ok || tgt != helperAddr {
+		t.Errorf("call target = %#x, want %#x", tgt, helperAddr)
+	}
+	// The data relocation must hold main+4.
+	word := binary.LittleEndian.Uint64(p.Modules[0].DataImage[8:])
+	if word != BaseAddr+4 {
+		t.Errorf("data reloc = %#x, want %#x", word, BaseAddr+4)
+	}
+	// Reverse lookups.
+	if mod, ok := p.ModuleAt(BaseAddr + 1); !ok || mod.Name != "a.out" {
+		t.Errorf("ModuleAt = %v, %v", mod, ok)
+	}
+	if _, ok := p.ModuleAt(0x2); ok {
+		t.Error("ModuleAt(0x2) succeeded")
+	}
+	name, entry, ok := p.FuncAt(BaseAddr + 2)
+	if !ok || name != "main" || entry != BaseAddr {
+		t.Errorf("FuncAt = %q, %#x, %v", name, entry, ok)
+	}
+	if got := p.NameAt(helperAddr); got != "helper" {
+		t.Errorf("NameAt(helper) = %q", got)
+	}
+	if got := p.NameAt(IntrinsicBase + 8); got != "print" {
+		t.Errorf("NameAt(intrinsic) = %q", got)
+	}
+	if got := p.NameAt(helperAddr + 1); got != "" {
+		t.Errorf("NameAt(mid-func) = %q, want empty", got)
+	}
+	if !IsIntrinsic(IntrinsicBase) || IsIntrinsic(BaseAddr) {
+		t.Error("IsIntrinsic misclassifies")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	main := buildModule(t, "a.out", true)
+	main2 := buildModule(t, "b.out", true)
+	lib := helperModule(t)
+
+	if _, err := Load(nil, nil); err == nil {
+		t.Error("Load(nil) succeeded")
+	}
+	if _, err := Load([]*Module{lib}, nil); err == nil {
+		t.Error("Load without executable succeeded")
+	}
+	if _, err := Load([]*Module{main, main2, lib}, nil); err == nil {
+		t.Error("Load with two executables succeeded")
+	}
+	// Unresolved import.
+	if _, err := Load([]*Module{main}, nil); err == nil {
+		t.Error("Load with unresolved symbol succeeded")
+	}
+	// Duplicate global.
+	lib2 := helperModule(t)
+	lib2.Name = "libhelper2"
+	if _, err := Load([]*Module{main, lib, lib2}, nil); err == nil {
+		t.Error("Load with duplicate global succeeded")
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m := buildModule(t, "a.out", true)
+	fns := m.Funcs()
+	if len(fns) != 1 || fns[0].Name != "main" {
+		t.Errorf("Funcs = %+v", fns)
+	}
+	if _, ok := m.Sym("nope"); ok {
+		t.Error("Sym(nope) succeeded")
+	}
+	if m.HasUnrecoverableControlFlow() {
+		t.Error("module reported unrecoverable control flow")
+	}
+	m.JumpTables = append(m.JumpTables, JumpTable{Recoverable: false})
+	if !m.HasUnrecoverableControlFlow() {
+		t.Error("unrecoverable jump table not detected")
+	}
+	if SymFunc.String() != "func" || SymData.String() != "data" {
+		t.Error("SymKind strings wrong")
+	}
+	if RelocCode.String() != "code" || RelocData.String() != "data" {
+		t.Error("RelocKind strings wrong")
+	}
+}

@@ -1,0 +1,43 @@
+package vm
+
+import "repro/internal/isa"
+
+// The cycle model. All costs are expressed in abstract "units"
+// (UnitsPerCycle units = one nominal machine cycle) so that framework
+// dispatch mechanisms can be priced at sub-cycle granularity relative to
+// each other. Overhead percentages in the experiments are ratios of unit
+// counts, so the absolute scale is immaterial; only the relative costs
+// shape the results.
+const (
+	// UnitsPerCycle is the number of cost units in one nominal cycle.
+	UnitsPerCycle = 10
+
+	unitsBase   = 1 * UnitsPerCycle // simple ALU op, mov, nop, branch
+	unitsMem    = 2 * UnitsPerCycle // load, store
+	unitsMul    = 3 * UnitsPerCycle
+	unitsDiv    = 8 * UnitsPerCycle
+	unitsCall   = 2 * UnitsPerCycle // call, return (stack traffic)
+	unitsGetPtr = 1 * UnitsPerCycle
+)
+
+// instCost returns the execution cost of an instruction in units.
+func instCost(op isa.Op) uint64 {
+	switch op {
+	case isa.Load, isa.Store:
+		return unitsMem
+	case isa.Mul:
+		return unitsMul
+	case isa.Div, isa.Rem:
+		return unitsDiv
+	case isa.Call, isa.Return:
+		return unitsCall
+	case isa.GetPtr:
+		return unitsGetPtr
+	default:
+		return unitsBase
+	}
+}
+
+// IntrinsicCost is the cost charged for a runtime intrinsic call
+// (malloc, free, print), standing in for the library work.
+const IntrinsicCost = 20 * UnitsPerCycle

@@ -1,0 +1,161 @@
+package vm
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// When identifies the trigger point at which a probe fires.
+type When uint8
+
+// Trigger points.
+const (
+	BeforeInst When = iota
+	AfterInst
+	AtBlockEntry
+	AtEdge
+	AtStart
+	AtEnd
+)
+
+// Ctx is the machine context handed to probes. It exposes the dynamic
+// state that instrumentation callbacks may inspect: registers, memory,
+// effective addresses, call arguments and return values, and resolved
+// control-transfer targets. It corresponds to the dynamic context of a
+// control-flow element in Cinnamon terms.
+//
+// A Ctx is only valid for the duration of the probe invocation.
+type Ctx struct {
+	vm    *VM
+	inst  *isa.Inst
+	block *cfg.Block
+	when  When
+}
+
+// VM returns the machine (frameworks use it to install further probes
+// during just-in-time translation).
+func (c *Ctx) VM() *VM { return c.vm }
+
+// Inst returns the instruction the probe is attached to (nil for start/end
+// hooks).
+func (c *Ctx) Inst() *isa.Inst { return c.inst }
+
+// Block returns the basic block currently executing (nil in start/end
+// hooks before any block runs).
+func (c *Ctx) Block() *cfg.Block { return c.block }
+
+// When returns the trigger point of this invocation.
+func (c *Ctx) When() When { return c.when }
+
+// Reg returns the current value of a register.
+func (c *Ctx) Reg(r isa.Reg) uint64 { return c.vm.regs[r] }
+
+// Mem64 reads a 64-bit word of application memory.
+func (c *Ctx) Mem64(addr uint64) uint64 { return c.vm.mem.Read64(addr) }
+
+// EffAddr computes the effective address of a memory operand under the
+// current register state.
+func (c *Ctx) EffAddr(op isa.Operand) uint64 {
+	return c.vm.regs[op.Base] + uint64(op.Off)
+}
+
+// MemAddr returns the effective address of the instruction's first memory
+// operand (the address a Load reads or a Store writes). ok is false if the
+// instruction has no memory operand.
+func (c *Ctx) MemAddr() (addr uint64, ok bool) {
+	if c.inst == nil {
+		return 0, false
+	}
+	op, ok := c.inst.MemOperand()
+	if !ok {
+		return 0, false
+	}
+	return c.EffAddr(op), true
+}
+
+// CallArg returns the i-th call argument (1-based), read from the argument
+// registers.
+func (c *Ctx) CallArg(i int) uint64 { return c.vm.regs[isa.ArgReg(i)] }
+
+// RetVal returns the function return value register.
+func (c *Ctx) RetVal() uint64 { return c.vm.regs[isa.RetReg] }
+
+// Target resolves the control-transfer target of the current instruction:
+// the immediate of a direct branch/call, the register value of an indirect
+// one, or — for a return — the address on top of the stack. ok is false
+// for non-control-flow instructions.
+func (c *Ctx) Target() (uint64, bool) {
+	in := c.inst
+	if in == nil {
+		return 0, false
+	}
+	switch in.Op {
+	case isa.Branch, isa.Call:
+		if tgt, ok := in.IsDirectTarget(); ok {
+			return tgt, true
+		}
+		if in.IsIndirect() {
+			return c.vm.regs[in.Ops[0].Reg], true
+		}
+	case isa.Return:
+		return c.vm.mem.Read64(c.vm.regs[isa.SP]), true
+	}
+	return 0, false
+}
+
+// TargetName returns the symbolic name of the instruction's
+// control-transfer target: a function name or a runtime intrinsic name
+// ("malloc", "free", ...). It returns "" when the target is unnamed or the
+// instruction transfers no control.
+func (c *Ctx) TargetName() string {
+	tgt, ok := c.Target()
+	if !ok {
+		return ""
+	}
+	return c.vm.Prog.Obj.NameAt(tgt)
+}
+
+// FallAddr returns the address of the instruction following the current
+// one (a call's return address).
+func (c *Ctx) FallAddr() uint64 {
+	if c.inst == nil {
+		return 0
+	}
+	return c.inst.Next()
+}
+
+// PrevBlock returns the start address of the previously executing block
+// (used by edge-conditioned instrumentation).
+func (c *Ctx) PrevBlock() uint64 { return c.vm.curBlock }
+
+// Depth returns the current call depth.
+func (c *Ctx) Depth() int { return c.vm.depth }
+
+// Charge adds instrumentation cost in cycle units.
+func (c *Ctx) Charge(units uint64) { c.vm.cycles += units }
+
+// Func returns the function containing the current instruction, or nil.
+func (c *Ctx) Func() *cfg.Func {
+	if c.block != nil {
+		return c.block.Func
+	}
+	if c.inst != nil {
+		return c.vm.Prog.FuncContaining(c.inst.Addr)
+	}
+	return nil
+}
+
+// Module returns the module containing the current instruction, or nil.
+func (c *Ctx) Module() *cfg.Module {
+	if f := c.Func(); f != nil {
+		return f.Module
+	}
+	return nil
+}
+
+// StackTop returns the current stack pointer.
+func (c *Ctx) StackTop() uint64 { return c.vm.regs[isa.SP] }
+
+// HeapRange returns the bounds of the runtime heap arena.
+func (c *Ctx) HeapRange() (lo, hi uint64) { return obj.HeapBase, obj.HeapLimit }

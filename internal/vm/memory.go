@@ -1,0 +1,101 @@
+package vm
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged 64-bit address space. Pages are allocated
+// lazily on first access, so loads from untouched memory read zero — the
+// machine is deliberately permissive, because the monitoring case studies
+// (shadow stack, use-after-free) rely on the hardware happily performing
+// the accesses that the tools are meant to detect.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+
+	// One-entry cache of the last page touched; instruction streams and
+	// stack traffic are strongly local.
+	lastKey  uint64
+	lastPage *[pageSize]byte
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64) *[pageSize]byte {
+	key := addr >> pageShift
+	if m.lastPage != nil && m.lastKey == key {
+		return m.lastPage
+	}
+	p := m.pages[key]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	m.lastKey, m.lastPage = key, p
+	return p
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint64) byte {
+	return m.page(addr)[addr&pageMask]
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.page(addr)[addr&pageMask] = v
+}
+
+// Read64 reads a little-endian 64-bit word.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & pageMask
+	if off <= pageSize-8 {
+		p := m.page(addr)
+		return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
+			uint64(p[off+4])<<32 | uint64(p[off+5])<<40 | uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 writes a little-endian 64-bit word.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & pageMask
+	if off <= pageSize-8 {
+		p := m.page(addr)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		p[off+4] = byte(v >> 32)
+		p[off+5] = byte(v >> 40)
+		p[off+6] = byte(v >> 48)
+		p[off+7] = byte(v >> 56)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		m.Write8(addr+uint64(i), c)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Read8(addr + uint64(i))
+	}
+	return out
+}

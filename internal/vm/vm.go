@@ -1,0 +1,564 @@
+// Package vm implements the execution substrate: an emulator for the
+// synthetic ISA with a deterministic cycle model, a small runtime
+// (malloc/free/print/exit intrinsics), and an instrumentation probe
+// interface that the three binary frameworks build on.
+//
+// Probes come in four flavours, matching the trigger points that binary
+// instrumentation frameworks expose:
+//
+//   - instruction before/after probes (after-probes on calls fire at the
+//     call's fall-through, i.e. once the callee has returned, so the
+//     return value is observable — Pin's IPOINT_AFTER semantics);
+//   - block-entry probes, fired whenever execution enters a basic block;
+//   - edge probes, fired when an intraprocedural CFG edge is traversed
+//     (used to detect loop entry, iteration and exit);
+//   - program start/end hooks for init/fini code.
+//
+// A translator hook is invoked the first time each basic block is about to
+// execute; dynamic frameworks (Pin, Janus's DynamoRIO side) use it to
+// instrument code just in time, paying a per-block translation cost.
+//
+// Every probe carries a dispatch cost in cycle units, charged when it
+// fires; this is how the frameworks' differing instrumentation mechanisms
+// (clean calls, inlined clean calls, trampoline snippets) are priced.
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// Runtime intrinsic pseudo-addresses.
+const (
+	addrMalloc = obj.IntrinsicBase + 0x00
+	addrFree   = obj.IntrinsicBase + 0x10
+	addrPrint  = obj.IntrinsicBase + 0x20
+	addrExit   = obj.IntrinsicBase + 0x30
+)
+
+// RuntimeExterns returns the extern symbol table providing the VM runtime
+// intrinsics; pass it to obj.Load.
+func RuntimeExterns() map[string]uint64 {
+	return map[string]uint64{
+		"malloc": addrMalloc,
+		"free":   addrFree,
+		"print":  addrPrint,
+		"exit":   addrExit,
+	}
+}
+
+// ProbeFn is an instrumentation callback.
+type ProbeFn func(*Ctx)
+
+type probe struct {
+	fn   ProbeFn
+	cost uint64
+}
+
+// TrapError reports a machine fault (invalid code address, division by
+// zero, heap exhaustion, ...).
+type TrapError struct {
+	PC  uint64
+	Msg string
+}
+
+func (e *TrapError) Error() string { return fmt.Sprintf("vm: trap at %#x: %s", e.PC, e.Msg) }
+
+// Result summarizes a completed execution.
+type Result struct {
+	// Cycles is the total cost in units (application + instrumentation).
+	Cycles uint64
+	// Insts is the number of application instructions executed.
+	Insts uint64
+	// ExitCode is the value passed to the exit intrinsic (0 for Halt).
+	ExitCode uint64
+	// Allocs and Frees count malloc/free intrinsic calls.
+	Allocs, Frees uint64
+}
+
+const (
+	flagBefore = 1 << iota
+	flagAfter
+	flagBlockEntry
+	flagEdgeTo
+	flagTranslated
+)
+
+type modExec struct {
+	base   uint64
+	insts  []*isa.Inst  // indexed by addr-base; nil at non-instruction offsets
+	blocks []*cfg.Block // indexed by addr-base; nil at non-block-start offsets
+	flags  []uint8
+}
+
+// Config parameterizes a VM.
+type Config struct {
+	// Fuel bounds the number of application instructions executed
+	// (default 2e9). Exceeding it is a trap.
+	Fuel uint64
+	// AppOut receives the application's print output (default: discard).
+	AppOut io.Writer
+}
+
+// VM is a single-use machine: create, instrument, Run once.
+type VM struct {
+	// Prog is the control-flow view of the loaded program.
+	Prog *cfg.Program
+
+	mem   *Memory
+	regs  [isa.NumRegs]uint64
+	pc    uint64
+	mods  []*modExec
+	lastM *modExec
+
+	cycles   uint64
+	insts    uint64
+	fuel     uint64
+	depth    int
+	halted   bool
+	exitCode uint64
+	allocs   uint64
+	frees    uint64
+	heapNext uint64
+
+	appOut io.Writer
+
+	before, after, blockEntry map[uint64][]probe
+	edges                     map[[2]uint64][]probe
+	translator                func(*cfg.Block)
+	startHooks, endHooks      []ProbeFn
+
+	curBlock     uint64
+	blockStack   []frameBlock
+	suppressEdge bool
+	pending      []pendingAfter
+
+	ctx Ctx
+}
+
+type pendingAfter struct {
+	fall   uint64
+	depth  int
+	probes []probe
+	inst   *isa.Inst
+}
+
+type frameBlock struct {
+	addr uint64
+	blk  *cfg.Block
+}
+
+// New builds a VM for the program. The module images are copied into
+// memory; registers are zeroed; sp is initialized to the stack top.
+func New(prog *cfg.Program, cfgv Config) *VM {
+	if cfgv.Fuel == 0 {
+		cfgv.Fuel = 2_000_000_000
+	}
+	if cfgv.AppOut == nil {
+		cfgv.AppOut = io.Discard
+	}
+	v := &VM{
+		Prog:         prog,
+		mem:          NewMemory(),
+		fuel:         cfgv.Fuel,
+		appOut:       cfgv.AppOut,
+		heapNext:     obj.HeapBase,
+		before:       make(map[uint64][]probe),
+		after:        make(map[uint64][]probe),
+		blockEntry:   make(map[uint64][]probe),
+		edges:        make(map[[2]uint64][]probe),
+		suppressEdge: true,
+	}
+	v.ctx.vm = v
+	for _, m := range prog.Modules {
+		l := m.Loaded
+		me := &modExec{
+			base:   l.Base,
+			insts:  make([]*isa.Inst, len(l.Image)),
+			blocks: make([]*cfg.Block, len(l.Image)),
+			flags:  make([]uint8, len(l.Image)),
+		}
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				me.blocks[b.Start-l.Base] = b
+				for _, in := range b.Insts {
+					me.insts[in.Addr-l.Base] = in
+				}
+			}
+		}
+		v.mods = append(v.mods, me)
+		v.mem.WriteBytes(l.Base, l.Image)
+		v.mem.WriteBytes(l.DataBase, l.DataImage)
+	}
+	v.regs[isa.SP] = obj.StackTop
+	v.regs[isa.FP] = obj.StackTop
+	v.pc = prog.Obj.Entry()
+	return v
+}
+
+func (v *VM) modFor(addr uint64) *modExec {
+	if m := v.lastM; m != nil && addr >= m.base && addr-m.base < uint64(len(m.insts)) {
+		return m
+	}
+	for _, m := range v.mods {
+		if addr >= m.base && addr-m.base < uint64(len(m.insts)) {
+			v.lastM = m
+			return m
+		}
+	}
+	return nil
+}
+
+// AddBefore installs a probe fired before the instruction at addr
+// executes. cost is charged on each firing.
+func (v *VM) AddBefore(addr uint64, cost uint64, fn ProbeFn) error {
+	m := v.modFor(addr)
+	if m == nil || m.insts[addr-m.base] == nil {
+		return fmt.Errorf("vm: no instruction at %#x", addr)
+	}
+	v.before[addr] = append(v.before[addr], probe{fn, cost})
+	m.flags[addr-m.base] |= flagBefore
+	return nil
+}
+
+// AddAfter installs a probe fired after the instruction at addr executes.
+// For calls the probe fires at the fall-through, once the callee returns.
+// After-probes are invalid on branches, returns and halts (there is no
+// well-defined "after" point), matching the restrictions real frameworks
+// impose.
+func (v *VM) AddAfter(addr uint64, cost uint64, fn ProbeFn) error {
+	m := v.modFor(addr)
+	if m == nil || m.insts[addr-m.base] == nil {
+		return fmt.Errorf("vm: no instruction at %#x", addr)
+	}
+	switch m.insts[addr-m.base].Op {
+	case isa.Branch, isa.Return, isa.Halt:
+		return fmt.Errorf("vm: after-probe invalid on %s at %#x", m.insts[addr-m.base].Op, addr)
+	}
+	v.after[addr] = append(v.after[addr], probe{fn, cost})
+	m.flags[addr-m.base] |= flagAfter
+	return nil
+}
+
+// AddBlockEntry installs a probe fired whenever execution enters the basic
+// block starting at addr.
+func (v *VM) AddBlockEntry(addr uint64, cost uint64, fn ProbeFn) error {
+	m := v.modFor(addr)
+	if m == nil || m.blocks[addr-m.base] == nil {
+		return fmt.Errorf("vm: no basic block starting at %#x", addr)
+	}
+	v.blockEntry[addr] = append(v.blockEntry[addr], probe{fn, cost})
+	m.flags[addr-m.base] |= flagBlockEntry
+	return nil
+}
+
+// AddEdge installs a probe fired when the intraprocedural edge from the
+// block starting at `from` to the block starting at `to` is traversed.
+func (v *VM) AddEdge(from, to uint64, cost uint64, fn ProbeFn) error {
+	m := v.modFor(to)
+	if m == nil || m.blocks[to-m.base] == nil {
+		return fmt.Errorf("vm: no basic block starting at %#x", to)
+	}
+	if mf := v.modFor(from); mf == nil || mf.blocks[from-mf.base] == nil {
+		return fmt.Errorf("vm: no basic block starting at %#x", from)
+	}
+	v.edges[[2]uint64{from, to}] = append(v.edges[[2]uint64{from, to}], probe{fn, cost})
+	m.flags[to-m.base] |= flagEdgeTo
+	return nil
+}
+
+// SetTranslator installs the just-in-time translation hook, called once per
+// basic block immediately before its first execution. Dynamic frameworks
+// instrument blocks from this hook. Only one translator may be installed.
+func (v *VM) SetTranslator(fn func(*cfg.Block)) error {
+	if v.translator != nil {
+		return fmt.Errorf("vm: translator already installed")
+	}
+	v.translator = fn
+	return nil
+}
+
+// OnStart registers a hook run before the first instruction.
+func (v *VM) OnStart(fn ProbeFn) { v.startHooks = append(v.startHooks, fn) }
+
+// OnEnd registers a hook run after the program halts.
+func (v *VM) OnEnd(fn ProbeFn) { v.endHooks = append(v.endHooks, fn) }
+
+// Charge adds instrumentation cost (in units) to the cycle counter.
+func (v *VM) Charge(units uint64) { v.cycles += units }
+
+// Cycles returns the cycle-unit count so far.
+func (v *VM) Cycles() uint64 { return v.cycles }
+
+// Mem returns the machine memory (frameworks use it for snippet
+// evaluation).
+func (v *VM) Mem() *Memory { return v.mem }
+
+// Reg returns the current value of a register.
+func (v *VM) Reg(r isa.Reg) uint64 { return v.regs[r] }
+
+func (v *VM) trap(format string, args ...any) error {
+	return &TrapError{PC: v.pc, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
+	c := &v.ctx
+	saveInst, saveWhen := c.inst, c.when
+	c.inst, c.when = in, when
+	for _, p := range ps {
+		v.cycles += p.cost
+		p.fn(c)
+	}
+	c.inst, c.when = saveInst, saveWhen
+}
+
+// Run executes the program to completion and returns the execution
+// summary.
+func (v *VM) Run() (*Result, error) {
+	if v.halted {
+		return nil, fmt.Errorf("vm: Run called twice")
+	}
+	for _, fn := range v.startHooks {
+		v.ctx.when = AtStart
+		fn(&v.ctx)
+	}
+	for !v.halted {
+		if v.insts >= v.fuel {
+			return nil, v.trap("out of fuel after %d instructions", v.insts)
+		}
+		// Fire pending call-after probes whose fall-through we reached.
+		for len(v.pending) > 0 {
+			top := v.pending[len(v.pending)-1]
+			if top.fall != v.pc || top.depth != v.depth {
+				break
+			}
+			v.pending = v.pending[:len(v.pending)-1]
+			v.fire(top.probes, top.inst, AfterInst)
+		}
+
+		m := v.modFor(v.pc)
+		if m == nil {
+			return nil, v.trap("execution outside code")
+		}
+		off := v.pc - m.base
+		in := m.insts[off]
+		if in == nil {
+			return nil, v.trap("not an instruction boundary")
+		}
+
+		if blk := m.blocks[off]; blk != nil {
+			if v.translator != nil && m.flags[off]&flagTranslated == 0 {
+				m.flags[off] |= flagTranslated
+				v.ctx.block = blk
+				v.translator(blk)
+			}
+			flags := m.flags[off]
+			if !v.suppressEdge && flags&flagEdgeTo != 0 {
+				if ps := v.edges[[2]uint64{v.curBlock, v.pc}]; ps != nil {
+					v.ctx.block = blk
+					v.fire(ps, in, AtEdge)
+				}
+			}
+			v.curBlock = v.pc
+			v.ctx.block = blk
+			if flags&flagBlockEntry != 0 {
+				v.fire(v.blockEntry[v.pc], in, AtBlockEntry)
+			}
+		}
+		v.suppressEdge = false
+
+		flags := m.flags[off]
+		if flags&flagBefore != 0 {
+			v.fire(v.before[v.pc], in, BeforeInst)
+		}
+
+		depthBefore := v.depth
+		if err := v.exec(in); err != nil {
+			return nil, err
+		}
+		v.cycles += instCost(in.Op)
+		v.insts++
+
+		if flags&flagAfter != 0 {
+			if in.Op == isa.Call {
+				v.pending = append(v.pending, pendingAfter{
+					fall: in.Next(), depth: depthBefore, probes: v.after[in.Addr], inst: in,
+				})
+			} else {
+				v.fire(v.after[in.Addr], in, AfterInst)
+			}
+		}
+	}
+	for _, fn := range v.endHooks {
+		v.ctx.when = AtEnd
+		v.ctx.inst = nil
+		fn(&v.ctx)
+	}
+	return &Result{
+		Cycles:   v.cycles,
+		Insts:    v.insts,
+		ExitCode: v.exitCode,
+		Allocs:   v.allocs,
+		Frees:    v.frees,
+	}, nil
+}
+
+func (v *VM) operandVal(op isa.Operand) uint64 {
+	switch op.Kind {
+	case isa.KindReg:
+		return v.regs[op.Reg]
+	case isa.KindImm:
+		return uint64(op.Imm)
+	case isa.KindMem:
+		return v.mem.Read64(v.regs[op.Base] + uint64(op.Off))
+	}
+	return 0
+}
+
+func (v *VM) exec(in *isa.Inst) error {
+	next := in.Next()
+	switch in.Op {
+	case isa.Nop:
+		v.pc = next
+	case isa.Mov:
+		v.regs[in.Ops[0].Reg] = v.operandVal(in.Ops[1])
+		v.pc = next
+	case isa.Load:
+		ea := v.regs[in.Ops[1].Base] + uint64(in.Ops[1].Off)
+		v.regs[in.Ops[0].Reg] = v.mem.Read64(ea)
+		v.pc = next
+	case isa.Store:
+		ea := v.regs[in.Ops[1].Base] + uint64(in.Ops[1].Off)
+		v.mem.Write64(ea, v.regs[in.Ops[0].Reg])
+		v.pc = next
+	case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Rem, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr:
+		a := v.regs[in.Ops[1].Reg]
+		b := v.operandVal(in.Ops[2])
+		var r uint64
+		switch in.Op {
+		case isa.Add:
+			r = a + b
+		case isa.Sub:
+			r = a - b
+		case isa.Mul:
+			r = a * b
+		case isa.Div:
+			if b == 0 {
+				return v.trap("division by zero")
+			}
+			r = uint64(int64(a) / int64(b))
+		case isa.Rem:
+			if b == 0 {
+				return v.trap("division by zero")
+			}
+			r = uint64(int64(a) % int64(b))
+		case isa.And:
+			r = a & b
+		case isa.Or:
+			r = a | b
+		case isa.Xor:
+			r = a ^ b
+		case isa.Shl:
+			r = a << (b & 63)
+		case isa.Shr:
+			r = a >> (b & 63)
+		}
+		v.regs[in.Ops[0].Reg] = r
+		v.pc = next
+	case isa.GetPtr:
+		v.regs[in.Ops[0].Reg] = v.regs[in.Ops[1].Reg] + v.operandVal(in.Ops[2]) + uint64(in.Ops[3].Imm)
+		v.pc = next
+	case isa.Branch:
+		taken := true
+		var target uint64
+		if in.Cond != isa.Always {
+			taken = in.Cond.Holds(int64(v.regs[in.Ops[0].Reg]), int64(v.regs[in.Ops[1].Reg]))
+			target = uint64(in.Ops[2].Imm)
+		} else if in.Ops[0].Kind == isa.KindReg {
+			target = v.regs[in.Ops[0].Reg]
+		} else {
+			target = uint64(in.Ops[0].Imm)
+		}
+		if taken {
+			v.pc = target
+		} else {
+			v.pc = next
+		}
+	case isa.Call:
+		var target uint64
+		if in.Ops[0].Kind == isa.KindReg {
+			target = v.regs[in.Ops[0].Reg]
+		} else {
+			target = uint64(in.Ops[0].Imm)
+		}
+		if obj.IsIntrinsic(target) {
+			if err := v.intrinsic(target); err != nil {
+				return err
+			}
+			v.pc = next
+			return nil
+		}
+		sp := v.regs[isa.SP] - 8
+		v.regs[isa.SP] = sp
+		v.mem.Write64(sp, next)
+		v.blockStack = append(v.blockStack, frameBlock{v.curBlock, v.ctx.block})
+		v.depth++
+		if v.depth > 100000 {
+			return v.trap("call depth exceeded")
+		}
+		v.pc = target
+		v.suppressEdge = true
+	case isa.Return:
+		sp := v.regs[isa.SP]
+		v.pc = v.mem.Read64(sp)
+		v.regs[isa.SP] = sp + 8
+		if n := len(v.blockStack); n > 0 {
+			v.curBlock = v.blockStack[n-1].addr
+			v.ctx.block = v.blockStack[n-1].blk
+			v.blockStack = v.blockStack[:n-1]
+		} else {
+			v.curBlock = 0
+			v.ctx.block = nil
+		}
+		if v.depth > 0 {
+			v.depth--
+		}
+	case isa.Halt:
+		v.halted = true
+	default:
+		return v.trap("unimplemented opcode %s", in.Op)
+	}
+	return nil
+}
+
+func (v *VM) intrinsic(addr uint64) error {
+	v.cycles += IntrinsicCost
+	switch addr {
+	case addrMalloc:
+		size := v.regs[isa.R1]
+		if size == 0 {
+			size = 1
+		}
+		size = (size + 15) &^ 15
+		if v.heapNext+size > obj.HeapLimit {
+			return v.trap("heap exhausted")
+		}
+		v.regs[isa.R0] = v.heapNext
+		v.heapNext += size
+		v.allocs++
+	case addrFree:
+		v.frees++
+	case addrPrint:
+		fmt.Fprintf(v.appOut, "%d\n", int64(v.regs[isa.R1]))
+	case addrExit:
+		v.exitCode = v.regs[isa.R1]
+		v.halted = true
+	default:
+		return v.trap("unknown intrinsic %#x", addr)
+	}
+	return nil
+}

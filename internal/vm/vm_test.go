@@ -1,0 +1,734 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+func build(t *testing.T, srcs ...string) *cfg.Program {
+	t.Helper()
+	mods := make([]*obj.Module, 0, len(srcs))
+	for _, s := range srcs {
+		m, err := asm.Assemble(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	p, err := obj.Load(mods, RuntimeExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func run(t *testing.T, prog *cfg.Program) (*VM, *Result, string) {
+	t.Helper()
+	var out bytes.Buffer
+	v := New(prog, Config{AppOut: &out})
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, res, out.String()
+}
+
+const sumSrc = `
+.module a.out
+.executable
+.entry main
+.extern print
+.func main
+  mov r1, 0
+  mov r2, 0
+  mov r3, 10
+head:
+  add r1, r1, r2
+  add r2, r2, 1
+  blt r2, r3, head
+  call print
+  halt
+`
+
+func TestSumLoop(t *testing.T) {
+	prog := build(t, sumSrc)
+	_, res, out := run(t, prog)
+	if out != "45\n" {
+		t.Errorf("output = %q, want 45", out)
+	}
+	// 3 movs + 10*(add,add,blt) + call + halt = 35 instructions.
+	if res.Insts != 35 {
+		t.Errorf("insts = %d, want 35", res.Insts)
+	}
+	if res.Cycles == 0 || res.ExitCode != 0 {
+		t.Errorf("cycles=%d exit=%d", res.Cycles, res.ExitCode)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	src := `
+.module a.out
+.executable
+.entry main
+.extern print
+.func main
+  mov r2, 100
+  mov r3, 7
+  div r1, r2, r3      ; 14
+  call print
+  rem r1, r2, r3      ; 2
+  call print
+  mul r1, r2, r3      ; 700
+  call print
+  sub r1, r2, r3      ; 93
+  call print
+  and r1, r2, 12      ; 4
+  call print
+  or  r1, r2, 3       ; 103
+  call print
+  xor r1, r2, 5       ; 97
+  call print
+  shl r1, r2, 2       ; 400
+  call print
+  shr r1, r2, 2       ; 25
+  call print
+  getptr r1, r2, r3, 9 ; 116
+  call print
+  mov r5, -4
+  mov r6, 2
+  div r1, r5, r6      ; -2 signed
+  call print
+  halt
+`
+	prog := build(t, src)
+	_, _, out := run(t, prog)
+	want := "14\n2\n700\n93\n4\n103\n97\n400\n25\n116\n-2\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestMallocStoreLoad(t *testing.T) {
+	src := `
+.module a.out
+.executable
+.entry main
+.extern malloc
+.extern free
+.extern print
+.func main
+  mov   r1, 64
+  call  malloc
+  mov   r5, r0
+  mov   r2, 1234
+  store r2, [r5+16]
+  load  r1, [r5+16]
+  call  print
+  mov   r1, r5
+  call  free
+  halt
+`
+	prog := build(t, src)
+	_, res, out := run(t, prog)
+	if out != "1234\n" {
+		t.Errorf("output = %q", out)
+	}
+	if res.Allocs != 1 || res.Frees != 1 {
+		t.Errorf("allocs=%d frees=%d", res.Allocs, res.Frees)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	// fib(10) = 55 via naive recursion.
+	src := `
+.module a.out
+.executable
+.entry main
+.extern print
+.func main
+  mov  r1, 10
+  call fib
+  mov  r1, r0
+  call print
+  halt
+.func fib
+  mov  r7, 2
+  blt  r1, r7, base
+  sub  sp, sp, 16
+  store r1, [sp]
+  sub  r1, r1, 1
+  call fib
+  store r0, [sp+8]
+  load r1, [sp]
+  sub  r1, r1, 2
+  call fib
+  load r7, [sp+8]
+  add  r0, r0, r7
+  add  sp, sp, 16
+  ret
+base:
+  mov  r0, r1
+  ret
+`
+	prog := build(t, src)
+	_, _, out := run(t, prog)
+	if out != "55\n" {
+		t.Errorf("fib out = %q, want 55", out)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	src := `
+.module a.out
+.executable
+.entry main
+.extern exit
+.func main
+  mov r1, 42
+  call exit
+  halt
+`
+	prog := build(t, src)
+	_, res, _ := run(t, prog)
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", res.ExitCode)
+	}
+}
+
+func TestCrossModuleCall(t *testing.T) {
+	lib := `
+.module libshared
+.global double
+.func double
+  add r0, r1, r1
+  ret
+`
+	main := `
+.module a.out
+.executable
+.entry main
+.extern double
+.extern print
+.func main
+  mov r1, 21
+  call double
+  mov r1, r0
+  call print
+  halt
+`
+	prog := build(t, main, lib)
+	_, _, out := run(t, prog)
+	if out != "42\n" {
+		t.Errorf("out = %q, want 42", out)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"div by zero", ".module a.out\n.executable\n.entry main\n.func main\n mov r2, 0\n div r1, r1, r2\n halt\n", "division by zero"},
+		{"rem by zero", ".module a.out\n.executable\n.entry main\n.func main\n mov r2, 0\n rem r1, r1, r2\n halt\n", "division by zero"},
+		{"bad jump", ".module a.out\n.executable\n.entry main\n.func main\n mov r2, 5\n b r2\n halt\n", "outside code"},
+		{"mid-inst jump", ".module a.out\n.executable\n.entry main\n.func main\n mov r2, @main+1\n b r2\n halt\n", "instruction boundary"},
+	}
+	for _, c := range cases {
+		prog := build(t, c.src)
+		v := New(prog, Config{})
+		_, err := v.Run()
+		if err == nil {
+			t.Errorf("%s: Run succeeded, want trap", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+		var trap *TrapError
+		if !strings.Contains(err.Error(), "trap") {
+			t.Errorf("%s: not a trap error: %T", c.name, trap)
+		}
+	}
+}
+
+func TestFuel(t *testing.T) {
+	src := ".module a.out\n.executable\n.entry main\n.func main\nspin:\n b spin\n"
+	prog := build(t, src)
+	v := New(prog, Config{Fuel: 100})
+	if _, err := v.Run(); err == nil || !strings.Contains(err.Error(), "fuel") {
+		t.Errorf("err = %v, want fuel trap", err)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	src := `
+.module a.out
+.executable
+.entry main
+.extern malloc
+.func main
+loop:
+  mov r1, 0x1000000
+  call malloc
+  b loop
+`
+	prog := build(t, src)
+	v := New(prog, Config{})
+	if _, err := v.Run(); err == nil || !strings.Contains(err.Error(), "heap exhausted") {
+		t.Errorf("err = %v, want heap trap", err)
+	}
+}
+
+func TestBeforeAfterProbes(t *testing.T) {
+	prog := build(t, sumSrc)
+	f := prog.FuncByName("main")
+	// Probe the first add (loop body).
+	var addInst *isa.Inst
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == isa.Add && addInst == nil {
+				addInst = in
+			}
+		}
+	}
+	v := New(prog, Config{})
+	var before, after int
+	if err := v.AddBefore(addInst.Addr, 5, func(c *Ctx) {
+		before++
+		if c.Inst() != addInst || c.When() != BeforeInst {
+			t.Error("bad ctx in before probe")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddAfter(addInst.Addr, 5, func(c *Ctx) { after++ }); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 10 || after != 10 {
+		t.Errorf("before=%d after=%d, want 10", before, after)
+	}
+	// Probe cost charged: 10*(5+5) = 100 extra units vs bare run.
+	bare := New(prog, Config{})
+	bres, err := bare.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != bres.Cycles+100 {
+		t.Errorf("cycles = %d, want %d", res.Cycles, bres.Cycles+100)
+	}
+}
+
+func TestAfterCallSeesReturnValue(t *testing.T) {
+	src := `
+.module a.out
+.executable
+.entry main
+.extern malloc
+.func main
+  mov r0, 0
+  mov r1, 32
+  call malloc
+  halt
+`
+	prog := build(t, src)
+	var callInst *isa.Inst
+	for _, b := range prog.FuncByName("main").Blocks {
+		for _, in := range b.Insts {
+			if in.Op == isa.Call {
+				callInst = in
+			}
+		}
+	}
+	v := New(prog, Config{})
+	var sawBefore, sawAfter uint64
+	sawBefore, sawAfter = 1, 1
+	if err := v.AddBefore(callInst.Addr, 0, func(c *Ctx) {
+		sawBefore = c.RetVal()
+		if c.CallArg(1) != 32 {
+			t.Errorf("CallArg(1) = %d, want 32", c.CallArg(1))
+		}
+		if got := c.TargetName(); got != "malloc" {
+			t.Errorf("TargetName = %q, want malloc", got)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddAfter(callInst.Addr, 0, func(c *Ctx) {
+		sawAfter = c.RetVal()
+		if c.Inst() != callInst {
+			t.Error("after-probe inst mismatch")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sawBefore != 0 {
+		t.Errorf("before-call retval = %#x, want 0", sawBefore)
+	}
+	if sawAfter != obj.HeapBase {
+		t.Errorf("after-call retval = %#x, want heap base %#x", sawAfter, obj.HeapBase)
+	}
+}
+
+func TestAfterRealCallFiresAfterReturn(t *testing.T) {
+	src := `
+.module a.out
+.executable
+.entry main
+.func main
+  call helper
+  halt
+.func helper
+  mov r0, 77
+  ret
+`
+	prog := build(t, src)
+	var callInst *isa.Inst
+	for _, b := range prog.FuncByName("main").Blocks {
+		for _, in := range b.Insts {
+			if in.Op == isa.Call {
+				callInst = in
+			}
+		}
+	}
+	v := New(prog, Config{})
+	var got uint64
+	if err := v.AddAfter(callInst.Addr, 0, func(c *Ctx) { got = c.RetVal() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Errorf("after-call retval = %d, want 77", got)
+	}
+}
+
+func TestBlockEntryAndEdgeProbes(t *testing.T) {
+	prog := build(t, sumSrc)
+	f := prog.FuncByName("main")
+	if len(f.Loops) != 1 {
+		t.Fatalf("loops = %d", len(f.Loops))
+	}
+	loop := f.Loops[0]
+	v := New(prog, Config{})
+	var headEntries, iters, entries, exits int
+	if err := v.AddBlockEntry(loop.Header.Start, 0, func(c *Ctx) {
+		headEntries++
+		if c.Block() != loop.Header {
+			t.Error("block ctx mismatch")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range loop.Backs {
+		if err := v.AddEdge(e.From.Start, e.To.Start, 0, func(c *Ctx) { iters++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range loop.Entries {
+		if err := v.AddEdge(e.From.Start, e.To.Start, 0, func(c *Ctx) { entries++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range loop.Exits {
+		if err := v.AddEdge(e.From.Start, e.To.Start, 0, func(c *Ctx) { exits++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if headEntries != 10 {
+		t.Errorf("header entries = %d, want 10", headEntries)
+	}
+	if iters != 9 {
+		t.Errorf("back-edge traversals = %d, want 9", iters)
+	}
+	if entries != 1 || exits != 1 {
+		t.Errorf("entries=%d exits=%d, want 1, 1", entries, exits)
+	}
+}
+
+func TestTranslatorCalledOncePerBlock(t *testing.T) {
+	prog := build(t, sumSrc)
+	v := New(prog, Config{})
+	counts := map[uint64]int{}
+	if err := v.SetTranslator(func(b *cfg.Block) { counts[b.Start]++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetTranslator(func(b *cfg.Block) {}); err == nil {
+		t.Error("second SetTranslator succeeded")
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName("main")
+	if len(counts) != len(f.Blocks) {
+		t.Errorf("translated %d blocks, want %d", len(counts), len(f.Blocks))
+	}
+	for addr, n := range counts {
+		if n != 1 {
+			t.Errorf("block %#x translated %d times", addr, n)
+		}
+	}
+}
+
+func TestTranslatorCanInstrument(t *testing.T) {
+	prog := build(t, sumSrc)
+	v := New(prog, Config{})
+	execBlocks := 0
+	if err := v.SetTranslator(func(b *cfg.Block) {
+		if err := v.AddBlockEntry(b.Start, 0, func(c *Ctx) { execBlocks++ }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Block executions: entry(1) + loop body(10) + exit(1) = 12.
+	if execBlocks != 12 {
+		t.Errorf("block executions = %d, want 12", execBlocks)
+	}
+}
+
+func TestStartEndHooks(t *testing.T) {
+	prog := build(t, sumSrc)
+	v := New(prog, Config{})
+	var events []When
+	v.OnStart(func(c *Ctx) { events = append(events, c.When()) })
+	v.OnEnd(func(c *Ctx) { events = append(events, c.When()) })
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != AtStart || events[1] != AtEnd {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestProbeRegistrationErrors(t *testing.T) {
+	prog := build(t, sumSrc)
+	f := prog.FuncByName("main")
+	var branch *isa.Inst
+	for _, b := range f.Blocks {
+		if b.Last().Op == isa.Branch {
+			branch = b.Last()
+		}
+	}
+	v := New(prog, Config{})
+	if err := v.AddBefore(0x3, 0, func(*Ctx) {}); err == nil {
+		t.Error("AddBefore on bad addr succeeded")
+	}
+	if err := v.AddAfter(branch.Addr, 0, func(*Ctx) {}); err == nil {
+		t.Error("AddAfter on branch succeeded")
+	}
+	if err := v.AddBlockEntry(branch.Addr, 0, func(*Ctx) {}); err == nil {
+		t.Error("AddBlockEntry mid-block succeeded")
+	}
+	if err := v.AddEdge(0x3, f.Blocks[0].Start, 0, func(*Ctx) {}); err == nil {
+		t.Error("AddEdge bad from succeeded")
+	}
+	if err := v.AddEdge(f.Blocks[0].Start, 0x3, 0, func(*Ctx) {}); err == nil {
+		t.Error("AddEdge bad to succeeded")
+	}
+}
+
+func TestReturnAddressOnStackIsObservable(t *testing.T) {
+	// The shadow-stack case study depends on (a) the return address
+	// living in real memory, (b) a ret's target being readable before it
+	// executes, and (c) an overwritten return address actually diverting
+	// control.
+	src := `
+.module a.out
+.executable
+.entry main
+.extern print
+.func main
+  call victim
+  halt
+.func victim
+  ; smash the saved return address: point it at evil
+  mov   r9, @evil
+  store r9, [sp]
+  ret
+.func evil
+  mov r1, 666
+  call print
+  halt
+`
+	prog := build(t, src)
+	var retInst *isa.Inst
+	for _, b := range prog.FuncByName("victim").Blocks {
+		if b.Last().Op == isa.Return {
+			retInst = b.Last()
+		}
+	}
+	evil := prog.FuncByName("evil")
+	v := New(prog, Config{})
+	var out bytes.Buffer
+	v.appOut = &out
+	var observed uint64
+	if err := v.AddBefore(retInst.Addr, 0, func(c *Ctx) {
+		observed, _ = c.Target()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if observed != evil.Entry {
+		t.Errorf("observed ret target %#x, want evil %#x", observed, evil.Entry)
+	}
+	if out.String() != "666\n" {
+		t.Errorf("attack did not run: out=%q", out.String())
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	prog := build(t, sumSrc)
+	v := New(prog, Config{})
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err == nil {
+		t.Error("second Run succeeded")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	// Cross-page access.
+	addr := uint64(pageSize - 3)
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	m.Write8(5, 0xab)
+	if m.Read8(5) != 0xab {
+		t.Error("byte round trip failed")
+	}
+	b := []byte{1, 2, 3, 4, 5}
+	m.WriteBytes(0x100, b)
+	if got := m.ReadBytes(0x100, 5); !bytes.Equal(got, b) {
+		t.Errorf("bytes round trip = %v", got)
+	}
+	if m.Read64(0x9999_0000) != 0 {
+		t.Error("untouched memory not zero")
+	}
+}
+
+// TestQuickALUMatchesGo generates random straight-line ALU programs,
+// executes them on the VM, and checks every register against a direct Go
+// evaluation of the same operations.
+func TestQuickALUMatchesGo(t *testing.T) {
+	type op struct {
+		mnem   string
+		rd, rs int
+		imm    int64
+		useImm bool
+		rt     int
+	}
+	eval := func(regs *[8]uint64, o op) {
+		a := regs[o.rs]
+		b := regs[o.rt]
+		if o.useImm {
+			b = uint64(o.imm)
+		}
+		var r uint64
+		switch o.mnem {
+		case "add":
+			r = a + b
+		case "sub":
+			r = a - b
+		case "mul":
+			r = a * b
+		case "and":
+			r = a & b
+		case "or":
+			r = a | b
+		case "xor":
+			r = a ^ b
+		case "shl":
+			r = a << (b & 63)
+		case "shr":
+			r = a >> (b & 63)
+		}
+		regs[o.rd] = r
+	}
+	mnems := []string{"add", "sub", "mul", "and", "or", "xor", "shl", "shr"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var ref [8]uint64
+		src := ".module q\n.executable\n.entry main\n.func main\n"
+		// Seed registers r8..r15 with known values.
+		for i := 0; i < 8; i++ {
+			v := r.Int63()
+			ref[i] = uint64(v)
+			src += fmt.Sprintf("  mov r%d, %d\n", 8+i, v)
+		}
+		for k := 0; k < 20; k++ {
+			o := op{
+				mnem: mnems[r.Intn(len(mnems))],
+				rd:   r.Intn(8), rs: r.Intn(8), rt: r.Intn(8),
+				imm: int64(r.Intn(1000)), useImm: r.Intn(2) == 0,
+			}
+			if o.useImm {
+				src += fmt.Sprintf("  %s r%d, r%d, %d\n", o.mnem, 8+o.rd, 8+o.rs, o.imm)
+			} else {
+				src += fmt.Sprintf("  %s r%d, r%d, r%d\n", o.mnem, 8+o.rd, 8+o.rs, 8+o.rt)
+			}
+			eval(&ref, o)
+		}
+		src += "  halt\n"
+		m, err := asm.Assemble(src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		p, err := obj.Load([]*obj.Module{m}, RuntimeExterns())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		prog, err := cfg.Build(p)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		v := New(prog, Config{})
+		if _, err := v.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			if v.Reg(isa.Reg(8+i)) != ref[i] {
+				t.Logf("seed %d: r%d = %#x, want %#x", seed, 8+i, v.Reg(isa.Reg(8+i)), ref[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

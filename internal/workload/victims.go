@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+)
+
+// Victim programs: small hand-written binaries that exhibit (or pointedly
+// do not exhibit) the behaviours the monitoring case studies detect. Each
+// is the this-repository analogue of the buggy/attacked C programs the
+// paper's Section V tools are aimed at.
+
+// UAFBug allocates a buffer, frees it, and then reads through the stale
+// pointer — a use-after-free the Figure 7 monitor must flag.
+const UAFBug = `
+.module uaf_bug
+.executable
+.entry main
+.extern malloc
+.extern free
+.extern print
+.func main
+  mov   r1, 64
+  call  malloc
+  mov   r5, r0          ; keep the pointer
+  mov   r2, 7
+  store r2, [r5+8]      ; legitimate use
+  load  r3, [r5+8]
+  mov   r1, r5
+  call  free            ; ... freed ...
+  load  r4, [r5+8]      ; use after free!
+  mov   r1, r4
+  call  print
+  halt
+`
+
+// UAFClean is the same program without the stale access; the monitor must
+// stay silent.
+const UAFClean = `
+.module uaf_clean
+.executable
+.entry main
+.extern malloc
+.extern free
+.extern print
+.func main
+  mov   r1, 64
+  call  malloc
+  mov   r5, r0
+  mov   r2, 7
+  store r2, [r5+8]
+  load  r4, [r5+8]
+  mov   r1, r4
+  call  print
+  mov   r1, r5
+  call  free
+  halt
+`
+
+// StackSmash simulates a buffer overflow that overwrites the saved return
+// address on the stack, diverting the victim's return into evil(). The
+// shadow-stack monitor (Figure 8) must flag the corrupted return.
+const StackSmash = `
+.module stack_smash
+.executable
+.entry main
+.extern print
+.func main
+  call  victim
+  mov   r1, 1           ; unreachable if the attack succeeds
+  call  print
+  halt
+.func victim
+  sub   sp, sp, 32      ; local buffer of 4 words; saved ret is at [sp+32]
+  mov   r9, @evil
+  mov   r10, 0
+  mov   r11, 5          ; overflow: writes 5 words into a 4-word buffer
+smash:
+  mul   r12, r10, 8
+  add   r13, sp, r12
+  store r9, [r13]       ; the 5th write clobbers the return address
+  add   r10, r10, 1
+  blt   r10, r11, smash
+  add   sp, sp, 32
+  ret                   ; returns into evil
+.func evil
+  mov   r1, 666
+  call  print
+  halt
+`
+
+// StackClean is a well-behaved callee; the shadow-stack monitor must stay
+// silent.
+const StackClean = `
+.module stack_clean
+.executable
+.entry main
+.extern print
+.func main
+  call  victim
+  call  victim
+  mov   r1, 1
+  call  print
+  halt
+.func victim
+  call  inner
+  ret
+.func inner
+  mov   r4, 5
+  ret
+`
+
+// IndirectAttack corrupts a function pointer so that an indirect call
+// lands in the middle of a function rather than at any valid entry point.
+// The forward-CFI monitor (Figure 9) must flag the call.
+const IndirectAttack = `
+.module indirect_attack
+.executable
+.entry main
+.func main
+  mov   r9, @fptr
+  load  r10, [r9]       ; legitimate pointer to worker
+  call  r10
+  mov   r11, @gadget+2  ; "corrupt" the pointer: mid-function address
+  store r11, [r9]
+  load  r10, [r9]
+  call  r10             ; CFI violation
+  halt
+.func worker
+  mov   r4, 2
+  ret
+.func gadget
+  nop
+  mov   r1, 999
+  ret
+.data
+fptr: .addr worker
+`
+
+// IndirectClean only ever calls through valid function entries.
+const IndirectClean = `
+.module indirect_clean
+.executable
+.entry main
+.func main
+  mov   r9, @fptr
+  load  r10, [r9]
+  call  r10
+  load  r10, [r9+8]
+  call  r10
+  halt
+.func worker
+  mov   r4, 2
+  ret
+.func helper
+  mov   r4, 3
+  ret
+.data
+fptr: .addr worker, helper
+`
+
+// Loopy is a small program with a clearly dominant hot loop plus cold
+// loops, for the loop-coverage profiler (Figure 6).
+const Loopy = `
+.module loopy
+.executable
+.entry main
+.func main
+  mov  r8, 0
+hot:
+  mov  r12, @cells
+  load r13, [r12+8]
+  add  r13, r13, 1
+  store r13, [r12+8]
+  add  r8, r8, 1
+  mov  r7, 200
+  blt  r8, r7, hot
+  call coldfn
+  halt
+.func coldfn
+  sub  sp, sp, 8
+  store r8, [sp]
+  mov  r8, 0
+cold:
+  add  r14, r14, 1
+  add  r8, r8, 1
+  mov  r7, 3
+  blt  r8, r7, cold
+  load r8, [sp]
+  add  sp, sp, 8
+  ret
+.data
+cells: .space 64
+`
+
+// Victims maps victim names to their assembly sources.
+func Victims() map[string]string {
+	return map[string]string{
+		"uaf_bug":         UAFBug,
+		"uaf_clean":       UAFClean,
+		"stack_smash":     StackSmash,
+		"stack_clean":     StackClean,
+		"indirect_attack": IndirectAttack,
+		"indirect_clean":  IndirectClean,
+		"loopy":           Loopy,
+	}
+}
+
+// Victim assembles the named victim program.
+func Victim(name string) (*obj.Module, error) {
+	src, ok := Victims()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown victim %q", name)
+	}
+	m, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload: victim %s: %w", name, err)
+	}
+	return m, nil
+}

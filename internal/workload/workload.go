@@ -1,0 +1,439 @@
+// Package workload generates the benchmark programs used by the
+// experiments. It provides a deterministic, seeded generator of synthetic
+// benchmarks named after the SPEC CPU 2017 suite — the workloads of the
+// paper's Figures 12 and 13 — plus the hand-written "victim" programs that
+// the monitoring case studies (use-after-free, shadow stack, forward CFI)
+// are demonstrated on.
+//
+// The SPEC substitution is documented in DESIGN.md: the experiments need
+// workloads with varied instruction mixes, loop and call structure,
+// shared-library usage (Pin observes shared libraries, static frameworks
+// do not) and control-flow-recovery hazards (benchmarks with unrecoverable
+// jump tables cannot be processed by the Dyninst-style backend). The
+// generator's per-benchmark parameters produce exactly those axes of
+// variation, and the same seed always generates the same program, so every
+// measured number is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	// Name is the benchmark name (SPEC CPU 2017 vocabulary).
+	Name string
+	// Seed drives the deterministic program generator.
+	Seed int64
+	// Funcs is the number of generated worker functions.
+	Funcs int
+	// BodyOps is the approximate straight-line operation count per loop
+	// body; larger values mean longer basic blocks.
+	BodyOps int
+	// MaxLoopDepth bounds loop nesting (1..3).
+	MaxLoopDepth int
+	// MemRatio is the fraction of body operations that access memory
+	// (half loads, half stores).
+	MemRatio float64
+	// DivRatio is the fraction of body operations that are expensive
+	// divisions.
+	DivRatio float64
+	// CallRatio is the per-body-op probability of a call to another
+	// generated function or to the shared library.
+	CallRatio float64
+	// SharedLibFrac is the fraction of calls routed to libshared; the
+	// benchmark links against the library iff this is positive. Shared
+	// library code is visible only to dynamic instrumentation, which is
+	// what separates Pin's counts in Figure 12.
+	SharedLibFrac float64
+	// JumpTables makes some functions dispatch through indirect-branch
+	// jump tables.
+	JumpTables bool
+	// Unrecoverable marks the jump tables as unresolvable by static
+	// analysis; the Dyninst-style backend refuses such binaries
+	// (reproducing the benchmarks the paper could not run under Dyninst).
+	Unrecoverable bool
+	// IndirectCalls makes some functions call through a function-pointer
+	// table (exercised by the forward-CFI case study).
+	IndirectCalls bool
+	// Iterations is the driver-loop trip count at scale 1.0.
+	Iterations int
+}
+
+// SPEC2017 returns the 23-benchmark suite with per-benchmark parameters.
+// Four benchmarks (omnetpp, exchange2, bwaves, fotonik3d) lean on the
+// shared library, and five (perlbench, gcc, wrf, blender, cam4) contain
+// unrecoverable control flow, matching the anomalies visible in the
+// paper's Figures 12 and 13.
+func SPEC2017() []Spec {
+	return []Spec{
+		{Name: "perlbench", Seed: 101, Funcs: 10, BodyOps: 10, MaxLoopDepth: 2, MemRatio: 0.30, DivRatio: 0.02, CallRatio: 0.10, JumpTables: true, Unrecoverable: true, IndirectCalls: true, Iterations: 40},
+		{Name: "gcc", Seed: 102, Funcs: 14, BodyOps: 12, MaxLoopDepth: 2, MemRatio: 0.28, DivRatio: 0.02, CallRatio: 0.12, JumpTables: true, Unrecoverable: true, IndirectCalls: true, Iterations: 30},
+		{Name: "mcf", Seed: 103, Funcs: 6, BodyOps: 8, MaxLoopDepth: 2, MemRatio: 0.42, DivRatio: 0.01, CallRatio: 0.05, Iterations: 60},
+		{Name: "omnetpp", Seed: 104, Funcs: 10, BodyOps: 9, MaxLoopDepth: 2, MemRatio: 0.35, DivRatio: 0.01, CallRatio: 0.18, SharedLibFrac: 0.60, IndirectCalls: true, Iterations: 40},
+		{Name: "xalancbmk", Seed: 105, Funcs: 12, BodyOps: 10, MaxLoopDepth: 2, MemRatio: 0.33, DivRatio: 0.01, CallRatio: 0.14, Iterations: 35},
+		{Name: "x264", Seed: 106, Funcs: 8, BodyOps: 22, MaxLoopDepth: 3, MemRatio: 0.30, DivRatio: 0.01, CallRatio: 0.06, Iterations: 35},
+		{Name: "deepsjeng", Seed: 107, Funcs: 9, BodyOps: 12, MaxLoopDepth: 2, MemRatio: 0.25, DivRatio: 0.03, CallRatio: 0.10, JumpTables: true, Iterations: 40},
+		{Name: "leela", Seed: 108, Funcs: 8, BodyOps: 10, MaxLoopDepth: 2, MemRatio: 0.22, DivRatio: 0.04, CallRatio: 0.12, Iterations: 45},
+		{Name: "exchange2", Seed: 109, Funcs: 7, BodyOps: 11, MaxLoopDepth: 3, MemRatio: 0.20, DivRatio: 0.01, CallRatio: 0.16, SharedLibFrac: 0.55, Iterations: 40},
+		{Name: "xz", Seed: 110, Funcs: 6, BodyOps: 14, MaxLoopDepth: 2, MemRatio: 0.38, DivRatio: 0.01, CallRatio: 0.04, Iterations: 55},
+		{Name: "bwaves", Seed: 111, Funcs: 7, BodyOps: 24, MaxLoopDepth: 3, MemRatio: 0.40, DivRatio: 0.05, CallRatio: 0.12, SharedLibFrac: 0.50, Iterations: 30},
+		{Name: "cactuBSSN", Seed: 112, Funcs: 9, BodyOps: 26, MaxLoopDepth: 3, MemRatio: 0.36, DivRatio: 0.06, CallRatio: 0.04, Iterations: 25},
+		{Name: "namd", Seed: 113, Funcs: 7, BodyOps: 20, MaxLoopDepth: 2, MemRatio: 0.34, DivRatio: 0.04, CallRatio: 0.05, Iterations: 35},
+		{Name: "parest", Seed: 114, Funcs: 11, BodyOps: 16, MaxLoopDepth: 3, MemRatio: 0.32, DivRatio: 0.05, CallRatio: 0.08, Iterations: 25},
+		{Name: "povray", Seed: 115, Funcs: 10, BodyOps: 12, MaxLoopDepth: 2, MemRatio: 0.26, DivRatio: 0.07, CallRatio: 0.14, Iterations: 30},
+		{Name: "lbm", Seed: 116, Funcs: 5, BodyOps: 28, MaxLoopDepth: 3, MemRatio: 0.44, DivRatio: 0.02, CallRatio: 0.02, Iterations: 30},
+		{Name: "wrf", Seed: 117, Funcs: 13, BodyOps: 18, MaxLoopDepth: 3, MemRatio: 0.34, DivRatio: 0.05, CallRatio: 0.07, JumpTables: true, Unrecoverable: true, Iterations: 22},
+		{Name: "blender", Seed: 118, Funcs: 12, BodyOps: 14, MaxLoopDepth: 2, MemRatio: 0.28, DivRatio: 0.04, CallRatio: 0.12, JumpTables: true, Unrecoverable: true, IndirectCalls: true, Iterations: 28},
+		{Name: "cam4", Seed: 119, Funcs: 12, BodyOps: 16, MaxLoopDepth: 3, MemRatio: 0.31, DivRatio: 0.05, CallRatio: 0.08, JumpTables: true, Unrecoverable: true, Iterations: 24},
+		{Name: "imagick", Seed: 120, Funcs: 8, BodyOps: 20, MaxLoopDepth: 3, MemRatio: 0.29, DivRatio: 0.06, CallRatio: 0.05, Iterations: 30},
+		{Name: "nab", Seed: 121, Funcs: 7, BodyOps: 15, MaxLoopDepth: 2, MemRatio: 0.27, DivRatio: 0.08, CallRatio: 0.06, Iterations: 35},
+		{Name: "fotonik3d", Seed: 122, Funcs: 8, BodyOps: 22, MaxLoopDepth: 3, MemRatio: 0.41, DivRatio: 0.04, CallRatio: 0.11, SharedLibFrac: 0.50, Iterations: 28},
+		{Name: "roms", Seed: 123, Funcs: 9, BodyOps: 24, MaxLoopDepth: 3, MemRatio: 0.37, DivRatio: 0.05, CallRatio: 0.05, Iterations: 26},
+	}
+}
+
+// ByName returns the suite benchmark with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range SPEC2017() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Build generates the benchmark's modules: the executable, plus libshared
+// when the benchmark uses it. scale multiplies the driver-loop iteration
+// count (1.0 = the paper-equivalent "test" input; tests use smaller
+// scales).
+func (s Spec) Build(scale float64) ([]*obj.Module, error) {
+	iters := int(float64(s.Iterations) * scale)
+	if iters < 1 {
+		iters = 1
+	}
+	g := &generator{spec: s, rng: rand.New(rand.NewSource(s.Seed)), iters: iters}
+	src := g.program()
+	mod, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w\n%s", s.Name, err, numbered(src))
+	}
+	mods := []*obj.Module{mod}
+	if s.SharedLibFrac > 0 {
+		lib, err := SharedLib()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, lib)
+	}
+	return mods, nil
+}
+
+func numbered(src string) string {
+	lines := strings.Split(src, "\n")
+	var b strings.Builder
+	for i, l := range lines {
+		fmt.Fprintf(&b, "%4d  %s\n", i+1, l)
+	}
+	return b.String()
+}
+
+// SharedLibFuncs is the number of functions exported by libshared.
+const SharedLibFuncs = 6
+
+// SharedLib generates the shared-library module linked by the benchmarks
+// that use dynamic linkage. It is deterministic and identical across
+// benchmarks.
+func SharedLib() (*obj.Module, error) {
+	var b strings.Builder
+	b.WriteString(".module libshared\n")
+	rng := rand.New(rand.NewSource(7777))
+	for i := 0; i < SharedLibFuncs; i++ {
+		fmt.Fprintf(&b, ".global lib%d\n", i)
+	}
+	b.WriteString("\n")
+	for i := 0; i < SharedLibFuncs; i++ {
+		// Leaf functions: a small loop of loads/stores/arithmetic over a
+		// private buffer, using only scratch registers (r12..r15, r7) so
+		// no callee saving is needed.
+		n := 4 + rng.Intn(8)
+		body := 3 + rng.Intn(5)
+		fmt.Fprintf(&b, ".func lib%d\n", i)
+		fmt.Fprintf(&b, "  mov r12, 0\n")
+		fmt.Fprintf(&b, "lib%d_top:\n", i)
+		fmt.Fprintf(&b, "  mov r14, @libbuf%d\n", i)
+		for k := 0; k < body; k++ {
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "  load r15, [r14+%d]\n", rng.Intn(24)*8)
+			case 1:
+				fmt.Fprintf(&b, "  store r15, [r14+%d]\n", rng.Intn(24)*8)
+			default:
+				fmt.Fprintf(&b, "  add r15, r15, %d\n", 1+rng.Intn(100))
+			}
+		}
+		fmt.Fprintf(&b, "  add r12, r12, 1\n")
+		fmt.Fprintf(&b, "  mov r13, %d\n", n)
+		fmt.Fprintf(&b, "  blt r12, r13, lib%d_top\n", i)
+		fmt.Fprintf(&b, "  ret\n\n")
+	}
+	b.WriteString(".data\n")
+	for i := 0; i < SharedLibFuncs; i++ {
+		fmt.Fprintf(&b, "libbuf%d: .space 192\n", i)
+	}
+	m, err := asm.Assemble(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("workload: libshared: %w", err)
+	}
+	return m, nil
+}
+
+type generator struct {
+	spec  Spec
+	rng   *rand.Rand
+	iters int
+
+	b     strings.Builder
+	label int
+}
+
+func (g *generator) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+func (g *generator) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+// program emits the whole benchmark: a driver main plus Funcs worker
+// functions, each with its own data buffer.
+func (g *generator) program() string {
+	s := g.spec
+	g.emit(".module %s", s.Name)
+	g.emit(".executable")
+	g.emit(".entry main")
+	if s.SharedLibFrac > 0 {
+		for i := 0; i < SharedLibFuncs; i++ {
+			g.emit(".extern lib%d", i)
+		}
+	}
+	g.emit("")
+
+	// Driver: call every worker function, Iterations times. The counter
+	// lives in r8, which workers save and restore.
+	g.emit(".func main")
+	g.emit("  mov r8, 0")
+	g.emit("drive:")
+	for i := 0; i < s.Funcs; i++ {
+		g.emit("  call f%d", i)
+	}
+	g.emit("  add r8, r8, 1")
+	g.emit("  mov r7, %d", g.iters)
+	g.emit("  blt r8, r7, drive")
+	g.emit("  halt")
+	g.emit("")
+
+	var jts []string
+	for i := 0; i < s.Funcs; i++ {
+		jts = append(jts, g.workerFunc(i)...)
+	}
+	g.tinyFuncsSection()
+
+	g.emit(".data")
+	for i := 0; i < s.Funcs; i++ {
+		g.emit("buf%d: .space 256", i)
+	}
+	if s.IndirectCalls {
+		// Function-pointer table over the leaf workers (the last two
+		// functions never call anyone, so indirect calls cannot recurse).
+		g.emit("fptab: .addr f%d, f%d", s.Funcs-1, s.Funcs-2)
+	}
+	for _, jt := range jts {
+		g.emit("%s", jt)
+	}
+	return g.b.String()
+}
+
+// tinyFuncs is the number of tiny leaf helpers per benchmark.
+const tinyFuncs = 2
+
+// tinyFuncsSection emits the tiny leaf helpers: short straight-line
+// functions using only scratch registers, callable from any loop depth.
+func (g *generator) tinyFuncsSection() {
+	for i := 0; i < tinyFuncs; i++ {
+		g.emit(".func tiny%d", i)
+		n := 3 + g.rng.Intn(4)
+		for k := 0; k < n; k++ {
+			g.emit("  add r15, r15, %d", 1+g.rng.Intn(9))
+		}
+		g.emit("  ret")
+		g.emit("")
+	}
+}
+
+// workerFunc emits function fi and returns any jump-table data directives
+// to append to the data section.
+func (g *generator) workerFunc(i int) []string {
+	s := g.spec
+	g.emit(".func f%d", i)
+	// Callee-save the loop-counter registers r8..r11.
+	g.emit("  sub sp, sp, 32")
+	g.emit("  store r8, [sp]")
+	g.emit("  store r9, [sp+8]")
+	g.emit("  store r10, [sp+16]")
+	g.emit("  store r11, [sp+24]")
+
+	depth := 1 + g.rng.Intn(s.MaxLoopDepth)
+	var jts []string
+	// Benchmarks with jump tables are guaranteed at least one dispatch
+	// per early worker, so the (un)recoverability property always holds
+	// regardless of how the random mix falls out.
+	if s.JumpTables && i < 2 {
+		g.emitSwitch(i, &jts)
+	}
+	g.loopNest(i, 0, depth, &jts)
+
+	g.emit("  load r8, [sp]")
+	g.emit("  load r9, [sp+8]")
+	g.emit("  load r10, [sp+16]")
+	g.emit("  load r11, [sp+24]")
+	g.emit("  add sp, sp, 32")
+	g.emit("  ret")
+	g.emit("")
+	return jts
+}
+
+// loopNest emits a counted loop at the given nesting depth whose body is
+// either another loop or a straight-line operation mix.
+func (g *generator) loopNest(fi, depth, maxDepth int, jts *[]string) {
+	counter := fmt.Sprintf("r%d", 8+depth) // r8..r10
+	top := g.newLabel("loop")
+	trip := 3 + g.rng.Intn(8)
+	g.emit("  mov %s, 0", counter)
+	g.emit("%s:", top)
+	if depth+1 < maxDepth {
+		g.body(fi, depth, jts, g.spec.BodyOps/3+1)
+		g.loopNest(fi, depth+1, maxDepth, jts)
+	} else {
+		g.body(fi, depth, jts, g.spec.BodyOps)
+	}
+	g.emit("  add %s, %s, 1", counter, counter)
+	g.emit("  mov r7, %d", trip)
+	g.emit("  blt %s, r7, %s", counter, top)
+}
+
+// body emits n straight-line operations drawn from the benchmark's mix:
+// loads/stores on the function's buffer, arithmetic, the occasional
+// division, call, conditional diamond, jump-table switch, or indirect
+// call.
+func (g *generator) body(fi, depth int, jts *[]string, n int) {
+	s := g.spec
+	for k := 0; k < n; k++ {
+		r := g.rng.Float64()
+		switch {
+		case r < s.MemRatio/2:
+			g.emit("  mov r12, @buf%d", fi)
+			g.emit("  load r13, [r12+%d]", g.rng.Intn(31)*8)
+		case r < s.MemRatio:
+			g.emit("  mov r12, @buf%d", fi)
+			g.emit("  store r13, [r12+%d]", g.rng.Intn(31)*8)
+		case r < s.MemRatio+s.DivRatio:
+			g.emit("  div r13, r13, %d", 2+g.rng.Intn(9))
+		case r < s.MemRatio+s.DivRatio+s.CallRatio && depth == 0:
+			// Worker-to-worker calls only from the outermost loop body,
+			// and only down the two-tier call graph (mid-tier workers
+			// call leaf workers), so the dynamic call tree stays
+			// polynomial in the loop trip counts instead of exploding
+			// exponentially.
+			g.emitCall(fi)
+		case r < s.MemRatio+s.DivRatio+s.CallRatio && depth > 0:
+			// Inside loops, calls go to tiny straight-line helpers; this
+			// keeps the dynamic call frequency realistic (SPEC codes
+			// call constantly) without blowing up the instruction count.
+			// Shared-library-heavy benchmarks route depth-1 calls into
+			// libshared, so a large share of their dynamic instructions
+			// is only visible to dynamic instrumentation (Figure 12).
+			if depth == 1 && s.SharedLibFrac > 0 && g.rng.Float64() < s.SharedLibFrac {
+				g.emit("  call lib%d", g.rng.Intn(SharedLibFuncs))
+			} else {
+				g.emit("  call tiny%d", g.rng.Intn(tinyFuncs))
+			}
+		case r < s.MemRatio+s.DivRatio+s.CallRatio+0.05:
+			// Conditional diamond.
+			els := g.newLabel("else")
+			end := g.newLabel("end")
+			g.emit("  beq r13, r14, %s", els)
+			g.emit("  add r13, r13, 3")
+			g.emit("  b %s", end)
+			g.emit("%s:", els)
+			g.emit("  sub r13, r13, 1")
+			g.emit("%s:", end)
+		case r < s.MemRatio+s.DivRatio+s.CallRatio+0.07 && s.JumpTables && depth == 0:
+			g.emitSwitch(fi, jts)
+		case r < s.MemRatio+s.DivRatio+s.CallRatio+0.09 && s.IndirectCalls && fi < s.Funcs-2 && depth == 0:
+			g.emit("  mov r12, @fptab+%d", g.rng.Intn(2)*8)
+			g.emit("  load r12, [r12]")
+			g.emit("  call r12")
+		default:
+			ops := []string{"add", "sub", "xor", "and", "or", "mul", "shl", "shr"}
+			op := ops[g.rng.Intn(len(ops))]
+			g.emit("  %s r%d, r%d, %d", op, 13+g.rng.Intn(3), 13+g.rng.Intn(3), 1+g.rng.Intn(31))
+		}
+	}
+}
+
+// emitCall emits a call to a leaf-tier worker or to libshared. Workers in
+// the first half of the function list are the mid tier; the second half
+// are leaves that never call other workers.
+func (g *generator) emitCall(fi int) {
+	s := g.spec
+	if s.SharedLibFrac > 0 && g.rng.Float64() < s.SharedLibFrac {
+		g.emit("  call lib%d", g.rng.Intn(SharedLibFuncs))
+		return
+	}
+	leafStart := s.Funcs / 2
+	if fi >= leafStart {
+		// Leaf function: substitute arithmetic to keep the mix stable.
+		g.emit("  add r13, r13, 7")
+		return
+	}
+	g.emit("  call f%d", leafStart+g.rng.Intn(s.Funcs-leafStart))
+}
+
+// emitSwitch emits a jump-table dispatch with 3 cases and returns the
+// table's data directives via jts.
+func (g *generator) emitSwitch(fi int, jts *[]string) {
+	id := g.newLabel("sw")
+	const cases = 3
+	g.emit("  rem r12, r8, %d", cases)
+	g.emit("  mul r12, r12, 8")
+	g.emit("  mov r13, @jt_%s", id)
+	g.emit("  add r13, r13, r12")
+	g.emit("  load r14, [r13]")
+	g.emit("%s_br:", id)
+	g.emit("  b r14")
+	var targets []string
+	for c := 0; c < cases; c++ {
+		label := fmt.Sprintf("%s_case%d", id, c)
+		targets = append(targets, label)
+		g.emit("%s:", label)
+		g.emit("  add r15, r15, %d", c+1)
+		g.emit("  b %s_end", id)
+	}
+	g.emit("%s_end:", id)
+	g.emit("  nop")
+	recover := "recoverable"
+	if g.spec.Unrecoverable {
+		recover = "unrecoverable"
+	}
+	*jts = append(*jts,
+		fmt.Sprintf("jt_%s: .addr %s", id, strings.Join(targets, ", ")),
+		fmt.Sprintf(".jumptable jt_%s, %d, %s_br, %s", id, cases, id, recover),
+	)
+}
