@@ -1,0 +1,30 @@
+# Tier-1 gate and day-to-day targets. `make ci` is the gate every
+# change must pass (see README.md); the other targets are its stages.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci:
+	sh scripts/ci.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every table/figure benchmark at a reduced workload
+# scale — catches harness regressions without the full-scale runtime.
+bench-smoke:
+	CINNAMON_SCALE=0.1 $(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Full-scale regeneration of every table and figure.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

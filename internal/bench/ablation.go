@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core/backend"
+	"repro/internal/core/engine"
 	"repro/internal/progs"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -43,32 +44,37 @@ func AblationCounting(backendName string, scale float64) ([]AblationRow, error) 
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
-	for _, name := range ablationBenchmarks {
+	return ablationRows(toolA, toolB, backendName, scale)
+}
+
+// ablationRows measures two tool variants against the uninstrumented
+// baseline on every ablation benchmark, one worker-pool task per
+// benchmark.
+func ablationRows(toolA, toolB *engine.CompiledTool, backendName string, scale float64) ([]AblationRow, error) {
+	return parMap(ablationBenchmarks, func(name string) (AblationRow, error) {
 		spec, _ := workload.ByName(name)
 		prog, err := BuildBenchmark(spec, scale)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		base, err := vm.New(prog, vm.Config{}).Run()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		resA, err := backend.Run(toolA, prog, backendName, backend.Options{Out: io.Discard})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		resB, err := backend.Run(toolB, prog, backendName, backend.Options{Out: io.Discard})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Benchmark: name,
 			A:         overheadPct(resA.Cycles, base.Cycles),
 			B:         overheadPct(resB.Cycles, base.Cycles),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // filteredSrc selects loads with a static constraint, evaluated once at
@@ -109,32 +115,7 @@ func AblationConstraints(backendName string, scale float64) ([]AblationRow, erro
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
-	for _, name := range ablationBenchmarks {
-		spec, _ := workload.ByName(name)
-		prog, err := BuildBenchmark(spec, scale)
-		if err != nil {
-			return nil, err
-		}
-		base, err := vm.New(prog, vm.Config{}).Run()
-		if err != nil {
-			return nil, err
-		}
-		resF, err := backend.Run(toolF, prog, backendName, backend.Options{Out: io.Discard})
-		if err != nil {
-			return nil, err
-		}
-		resU, err := backend.Run(toolU, prog, backendName, backend.Options{Out: io.Discard})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Benchmark: name,
-			A:         overheadPct(resF.Cycles, base.Cycles),
-			B:         overheadPct(resU.Cycles, base.Cycles),
-		})
-	}
-	return rows, nil
+	return ablationRows(toolF, toolU, backendName, scale)
 }
 
 // AblationBaseCost measures what an empty tool (no commands at all)
@@ -146,28 +127,44 @@ func AblationBaseCost(scale float64) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64)
+	// One task per (framework, benchmark) cell, framework-major; folded
+	// back into per-framework means below.
+	type task struct {
+		fw   string
+		name string
+	}
+	tasks := make([]task, 0, len(Frameworks)*len(ablationBenchmarks))
 	for _, fw := range Frameworks {
-		var sum float64
-		n := 0
 		for _, name := range ablationBenchmarks {
-			spec, _ := workload.ByName(name)
-			prog, err := BuildBenchmark(spec, scale)
-			if err != nil {
-				return nil, err
-			}
-			base, err := vm.New(prog, vm.Config{}).Run()
-			if err != nil {
-				return nil, err
-			}
-			res, err := backend.Run(empty, prog, fw, backend.Options{Out: io.Discard})
-			if err != nil {
-				return nil, err
-			}
-			sum += overheadPct(res.Cycles, base.Cycles)
-			n++
+			tasks = append(tasks, task{fw: fw, name: name})
 		}
-		out[fw] = sum / float64(n)
+	}
+	vals, err := parMap(tasks, func(t task) (float64, error) {
+		spec, _ := workload.ByName(t.name)
+		prog, err := BuildBenchmark(spec, scale)
+		if err != nil {
+			return 0, err
+		}
+		base, err := vm.New(prog, vm.Config{}).Run()
+		if err != nil {
+			return 0, err
+		}
+		res, err := backend.Run(empty, prog, t.fw, backend.Options{Out: io.Discard})
+		if err != nil {
+			return 0, err
+		}
+		return overheadPct(res.Cycles, base.Cycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for i, fw := range Frameworks {
+		var sum float64
+		for _, v := range vals[i*len(ablationBenchmarks) : (i+1)*len(ablationBenchmarks)] {
+			sum += v
+		}
+		out[fw] = sum / float64(len(ablationBenchmarks))
 	}
 	return out, nil
 }

@@ -153,31 +153,38 @@ type Fig12Row struct {
 }
 
 // Fig12 runs the Cinnamon instruction-counting program (Figure 5a) on
-// every suite benchmark under every backend and reports the counts.
+// every suite benchmark under every backend and reports the counts. The
+// (benchmark × framework) cells run on a worker pool; each cell builds
+// its own copy of the workload so the runs share only the compiled tool.
 func Fig12(scale float64) ([]Fig12Row, error) {
 	tool, err := compileTool(progs.InstCountBasic)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig12Row
-	for _, spec := range workload.SPEC2017() {
-		prog, err := BuildBenchmark(spec, scale)
+	tasks := fwTasks()
+	counts, err := parMap(tasks, func(t fwTask) (int64, error) {
+		prog, err := BuildBenchmark(t.spec, scale)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		row := Fig12Row{Benchmark: spec.Name, Counts: make(map[string]int64)}
-		for _, fw := range Frameworks {
-			var out strings.Builder
-			_, err := backend.Run(tool, prog, fw, backend.Options{Out: &out})
-			if err != nil {
-				row.Counts[fw] = -1
-				continue
-			}
-			var n int64
-			fmt.Sscanf(out.String(), "%d", &n)
-			row.Counts[fw] = n
+		var out strings.Builder
+		if _, err := backend.Run(tool, prog, t.fw, backend.Options{Out: &out}); err != nil {
+			return -1, nil
 		}
-		rows = append(rows, row)
+		var n int64
+		fmt.Sscanf(out.String(), "%d", &n)
+		return n, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	specs := workload.SPEC2017()
+	rows := make([]Fig12Row, len(specs))
+	for i, spec := range specs {
+		rows[i] = Fig12Row{Benchmark: spec.Name, Counts: make(map[string]int64)}
+		for j, fw := range Frameworks {
+			rows[i].Counts[fw] = counts[i*len(Frameworks)+j]
+		}
 	}
 	return rows, nil
 }
@@ -213,32 +220,40 @@ type Fig13Row struct {
 // Fig13 measures, for every benchmark and framework, the cycle overhead
 // of the Cinnamon-generated basic-block counting tool (Figure 5b)
 // relative to the native tool hand-written against the same framework.
+// Cells run concurrently; workload generation is deterministic, so the
+// per-cell rebuild yields the same program — and the same cycle counts —
+// the former shared build did.
 func Fig13(scale float64) ([]Fig13Row, error) {
 	tool, err := compileTool(progs.InstCountBB)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig13Row
-	for _, spec := range workload.SPEC2017() {
-		prog, err := BuildBenchmark(spec, scale)
+	tasks := fwTasks()
+	overheads, err := parMap(tasks, func(t fwTask) (float64, error) {
+		prog, err := BuildBenchmark(t.spec, scale)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		row := Fig13Row{Benchmark: spec.Name, Overhead: make(map[string]float64)}
-		for _, fw := range Frameworks {
-			cres, err := backend.Run(tool, prog, fw, backend.Options{Out: io.Discard})
-			if err != nil {
-				row.Overhead[fw] = math.NaN()
-				continue
-			}
-			nres, err := native.Run(fw, "instcount_bb", prog, io.Discard, 0)
-			if err != nil {
-				row.Overhead[fw] = math.NaN()
-				continue
-			}
-			row.Overhead[fw] = overheadPct(cres.Cycles, nres.Cycles)
+		cres, err := backend.Run(tool, prog, t.fw, backend.Options{Out: io.Discard})
+		if err != nil {
+			return math.NaN(), nil
 		}
-		rows = append(rows, row)
+		nres, err := native.Run(t.fw, "instcount_bb", prog, io.Discard, 0)
+		if err != nil {
+			return math.NaN(), nil
+		}
+		return overheadPct(cres.Cycles, nres.Cycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	specs := workload.SPEC2017()
+	rows := make([]Fig13Row, len(specs))
+	for i, spec := range specs {
+		rows[i] = Fig13Row{Benchmark: spec.Name, Overhead: make(map[string]float64)}
+		for j, fw := range Frameworks {
+			rows[i].Overhead[fw] = overheads[i*len(Frameworks)+j]
+		}
 	}
 	return rows, nil
 }
@@ -324,36 +339,56 @@ func PinToolOverheads(scale float64) ([]PinToolRow, error) {
 		{"use-after-free", progs.UseAfterFree, "useafterfree", 0.52, 1.78},
 		{"forward CFI", progs.ForwardCFI, "forwardcfi", 3.06, 11.0},
 	}
-	var rows []PinToolRow
-	for _, c := range cases {
+	tools := make([]*engine.CompiledTool, len(cases))
+	for i, c := range cases {
 		tool, err := compileTool(c.prog)
 		if err != nil {
 			return nil, err
 		}
+		tools[i] = tool
+	}
+	// One task per (monitor, benchmark) cell, case-major like the former
+	// nested loops; the reduction below folds them back per case.
+	specs := workload.SPEC2017()
+	type task struct {
+		caseIdx int
+		spec    workload.Spec
+	}
+	tasks := make([]task, 0, len(cases)*len(specs))
+	for i := range cases {
+		for _, spec := range specs {
+			tasks = append(tasks, task{caseIdx: i, spec: spec})
+		}
+	}
+	vals, err := parMap(tasks, func(t task) (float64, error) {
+		prog, err := BuildBenchmark(t.spec, scale)
+		if err != nil {
+			return 0, err
+		}
+		cres, err := backend.Run(tools[t.caseIdx], prog, backend.Pin, backend.Options{Out: io.Discard})
+		if err != nil {
+			return 0, err
+		}
+		nres, err := native.Run("pin", cases[t.caseIdx].nativeName, prog, io.Discard, 0)
+		if err != nil {
+			return 0, err
+		}
+		return overheadPct(cres.Cycles, nres.Cycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []PinToolRow
+	for i, c := range cases {
 		var sum, maxv float64
-		n := 0
-		for _, spec := range workload.SPEC2017() {
-			prog, err := BuildBenchmark(spec, scale)
-			if err != nil {
-				return nil, err
-			}
-			cres, err := backend.Run(tool, prog, backend.Pin, backend.Options{Out: io.Discard})
-			if err != nil {
-				return nil, err
-			}
-			nres, err := native.Run("pin", c.nativeName, prog, io.Discard, 0)
-			if err != nil {
-				return nil, err
-			}
-			v := overheadPct(cres.Cycles, nres.Cycles)
+		for _, v := range vals[i*len(specs) : (i+1)*len(specs)] {
 			sum += v
 			if v > maxv {
 				maxv = v
 			}
-			n++
 		}
 		rows = append(rows, PinToolRow{
-			Tool: c.label, Mean: sum / float64(n), Max: maxv,
+			Tool: c.label, Mean: sum / float64(len(specs)), Max: maxv,
 			PaperAvg: c.paperAvg, PaperMax: c.paperMax,
 		})
 	}

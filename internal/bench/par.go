@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/workload"
+)
+
+// The evaluation sweeps are embarrassingly parallel: every (benchmark,
+// framework) measurement builds its own workload program and runs it on
+// its own VM, so nothing is shared between cells beyond the read-only
+// compiled tool. parMap fans the cells out over a bounded worker pool
+// and writes each result into its input slot, which keeps every table
+// in the paper's row/column order no matter how the pool schedules the
+// work.
+
+// parMap applies fn to every item on at most GOMAXPROCS workers and
+// returns the results in input order. If any application fails, the
+// error of the smallest failing index is returned — the same error a
+// sequential loop over items would have surfaced first.
+func parMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				results[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// fwTask is one cell of a suite-wide sweep: a benchmark under one
+// framework.
+type fwTask struct {
+	spec workload.Spec
+	fw   string
+}
+
+// fwTasks enumerates the full (benchmark × framework) grid in
+// benchmark-major order, matching the nesting of the former sequential
+// loops: task i*len(Frameworks)+j is benchmark i under framework j.
+func fwTasks() []fwTask {
+	specs := workload.SPEC2017()
+	tasks := make([]fwTask, 0, len(specs)*len(Frameworks))
+	for _, spec := range specs {
+		for _, fw := range Frameworks {
+			tasks = append(tasks, fwTask{spec: spec, fw: fw})
+		}
+	}
+	return tasks
+}

@@ -70,6 +70,9 @@ type Options struct {
 	// realized as edge instrumentation derived from the detected loops,
 	// at clean-call cost plus a per-firing detection surcharge.
 	PinLoopDetection bool
+	// Interpret runs action bodies with the tree-walking interpreter
+	// instead of the closure-compiled path (see engine.Options).
+	Interpret bool
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -113,17 +116,15 @@ func ResolveDynAttr(c *vm.Ctx, attr string) uint64 {
 	return 0
 }
 
-// dynValues builds the interpreter's dynamic-attribute map from raw
-// materialized words.
-func dynValues(attrs []sem.DynAttr, words []uint64) map[string]value.Value {
-	if len(attrs) == 0 {
-		return nil
+// dynSlots fills the pre-sized attribute slot buffer from raw
+// materialized words. The buffer is allocated once per placement and
+// reused across firings (probes of one machine fire sequentially), so
+// marshalling attribute values allocates nothing in steady state.
+func dynSlots(buf []value.Value, words []uint64) []value.Value {
+	for i, w := range words {
+		buf[i] = value.UintVal(w)
 	}
-	m := make(map[string]value.Value, len(attrs))
-	for i, a := range attrs {
-		m[a.Var+"."+a.Attr] = value.UintVal(words[i])
-	}
-	return m
+	return buf
 }
 
 // ---------------------------------------------------------------------------
@@ -187,10 +188,10 @@ func (pl *pinPlacer) placement(a *engine.Action) (pinPlacement, error) {
 	if err != nil {
 		return pinPlacement{}, err
 	}
-	attrs := a.Info.DynAttrs
+	buf := make([]value.Value, len(a.Info.DynAttrs))
 	exec := a.Exec
 	routine := pin.Routine{
-		Fn:   func(words []uint64) { exec(dynValues(attrs, words)) },
+		Fn:   func(words []uint64) { exec(dynSlots(buf, words)) },
 		Cost: a.Info.Cost + PinGlue,
 		// Cinnamon's generated callbacks are generic encapsulations;
 		// Pin's automatic inlining never applies to them.
@@ -250,7 +251,7 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 		after:         make(map[uint64][]pinPlacement),
 		blocks:        make(map[uint64][]pinPlacement),
 	}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS})
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret})
 	if err != nil {
 		return nil, err
 	}
@@ -283,8 +284,8 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 	for _, e := range pl.edges {
 		e := e
 		cost := pin.CleanCallCost + e.p.routine.Cost + uint64(len(e.p.args))*pin.ArgCost
+		words := make([]uint64, len(e.p.args))
 		record(p.VM().AddEdge(e.from, e.to, cost, func(c *vm.Ctx) {
-			words := make([]uint64, len(e.p.args))
 			e.p.routine.Fn(words)
 		}))
 	}
@@ -340,10 +341,10 @@ func dyninstSnippet(a *engine.Action) (dyninst.Snippet, error) {
 			return nil, fmt.Errorf("cinnamon: no Dyninst snippet mapping for dynamic attribute %q", da.Attr)
 		}
 	}
-	attrs := a.Info.DynAttrs
+	buf := make([]value.Value, len(a.Info.DynAttrs))
 	exec := a.Exec
 	return dyninst.FuncCallExpr{
-		Fn:   func(words []uint64) { exec(dynValues(attrs, words)) },
+		Fn:   func(words []uint64) { exec(dynSlots(buf, words)) },
 		Args: args,
 		Cost: a.Info.Cost + DyninstGlue,
 	}, nil
@@ -399,7 +400,7 @@ func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm
 		return nil, err
 	}
 	pl := &dyninstPlacer{be: be, prog: prog}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS})
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret})
 	if err != nil {
 		return nil, err
 	}
@@ -444,17 +445,14 @@ func (pl *janusPlacer) register(a *engine.Action) (janus.HandlerID, []uint64) {
 	id := pl.next
 	pl.next++
 	attrs := a.Info.DynAttrs
+	buf := make([]value.Value, len(attrs))
 	exec := a.Exec
 	pl.handlers[id] = janus.Handler{
 		Fn: func(c *vm.Ctx, _ []uint64) {
-			var dyn map[string]value.Value
-			if len(attrs) > 0 {
-				dyn = make(map[string]value.Value, len(attrs))
-				for _, da := range attrs {
-					dyn[da.Var+"."+da.Attr] = value.UintVal(ResolveDynAttr(c, da.Attr))
-				}
+			for i, da := range attrs {
+				buf[i] = value.UintVal(ResolveDynAttr(c, da.Attr))
 			}
-			exec(dyn)
+			exec(buf)
 		},
 		Cost: a.Info.Cost + JanusGlue,
 		// DynamoRIO inlines clean calls with simple callbacks.
@@ -514,7 +512,7 @@ func (pl *janusPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
 
 func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
 	pl := &janusPlacer{prog: prog, handlers: make(map[janus.HandlerID]janus.Handler), next: 1}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS})
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret})
 	if err != nil {
 		return nil, err
 	}

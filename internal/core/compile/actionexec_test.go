@@ -1,0 +1,113 @@
+package compile_test
+
+// BenchmarkActionExec isolates what the compile package exists to speed
+// up: executing one action body, with the placement machinery factored
+// out. A capturing placer grabs the basic-block counting action
+// (Figure 5b) as the engine places it, and the benchmark fires that
+// action directly — once per op — under the tree-walking interpreter and
+// under the compiled closures. TestCompiledActionExecSpeedup holds the
+// compiled path to the advertised bar: at least 3x fewer ns/op and
+// allocations per firing.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core/engine"
+	"repro/internal/isa"
+	"repro/internal/progs"
+)
+
+// capturePlacer records every action the engine places and accepts all
+// trigger points.
+type capturePlacer struct {
+	prog    *cfg.Program
+	actions []*engine.Action
+}
+
+func (p *capturePlacer) Name() string           { return "capture" }
+func (p *capturePlacer) Modules() []*cfg.Module { return p.prog.Modules }
+func (p *capturePlacer) SupportsLoops() bool    { return true }
+func (p *capturePlacer) PlaceInit(fn func())    {}
+func (p *capturePlacer) PlaceFini(fn func())    {}
+
+func (p *capturePlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
+	p.actions = append(p.actions, a)
+	return nil
+}
+
+func (p *capturePlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
+	p.actions = append(p.actions, a)
+	return nil
+}
+
+func (p *capturePlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
+	p.actions = append(p.actions, a)
+	return nil
+}
+
+func (p *capturePlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
+	p.actions = append(p.actions, a)
+	return nil
+}
+
+// placeBBAction instruments the loads target with the basic-block
+// counting tool and returns the first placed action plus the instance
+// (to check for recorded runtime errors afterwards).
+func placeBBAction(tb testing.TB, interpret bool) (*engine.Action, *engine.Instance) {
+	tb.Helper()
+	tool, err := engine.Compile(progs.MustSource(progs.InstCountBB))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prog := buildTargetTB(tb, "src:loads")
+	pl := &capturePlacer{prog: prog}
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: io.Discard, Interpret: interpret})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(pl.actions) == 0 {
+		tb.Fatal("no actions placed")
+	}
+	return pl.actions[0], inst
+}
+
+func benchActionExec(interpret bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		a, inst := placeBBAction(b, interpret)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Exec(nil)
+		}
+		b.StopTimer()
+		if err := inst.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActionExec(b *testing.B) {
+	b.Run("interp", benchActionExec(true))
+	b.Run("compiled", benchActionExec(false))
+}
+
+// TestCompiledActionExecSpeedup enforces the perf contract of the
+// closure-compilation stage: per firing, the compiled path must be at
+// least 3x cheaper than the interpreter in both time and allocations.
+func TestCompiledActionExecSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping measurement in -short mode")
+	}
+	ir := testing.Benchmark(benchActionExec(true))
+	cr := testing.Benchmark(benchActionExec(false))
+	t.Logf("interp:   %v, %d allocs/op", ir, ir.AllocsPerOp())
+	t.Logf("compiled: %v, %d allocs/op", cr, cr.AllocsPerOp())
+	if 3*cr.NsPerOp() > ir.NsPerOp() {
+		t.Errorf("compiled %d ns/op is not 3x faster than interp %d ns/op", cr.NsPerOp(), ir.NsPerOp())
+	}
+	if 3*cr.AllocsPerOp() > ir.AllocsPerOp() {
+		t.Errorf("compiled %d allocs/op is not 3x fewer than interp %d allocs/op", cr.AllocsPerOp(), ir.AllocsPerOp())
+	}
+}

@@ -1,0 +1,777 @@
+package compile
+
+// The lowering pass: every AST statement and expression becomes one
+// pre-bound closure. Lowering mirrors the tree-walking interpreter
+// (internal/core/interp) exactly — same evaluation order, same coercions,
+// same runtime error messages and positions — so that switching a tool
+// between execution paths is unobservable. Where the interpreter resolves
+// a name or a declared type per evaluation, lowering resolves it once and
+// bakes the slot index or *types.Type into the closure.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/interp"
+	"repro/internal/core/token"
+	"repro/internal/core/types"
+	"repro/internal/core/value"
+	"repro/internal/isa"
+)
+
+func errf(pos token.Pos, format string, args ...any) error {
+	return &interp.RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *compiler) compileStmts(stmts []ast.Stmt) []stmtFn {
+	out := make([]stmtFn, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, c.compileStmt(s))
+	}
+	return out
+}
+
+func (c *compiler) compileStmt(s ast.Stmt) stmtFn {
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		return c.compileDecl(st.Decl)
+	case *ast.AssignStmt:
+		return c.compileAssign(st)
+	case *ast.ExprStmt:
+		x := c.compileExpr(st.X)
+		return func(fr *frame) error {
+			_, err := x(fr)
+			return err
+		}
+	case *ast.IfStmt:
+		cond := c.compileExpr(st.Cond)
+		c.pushScope()
+		then := c.compileStmts(st.Then)
+		c.popScope()
+		c.pushScope()
+		els := c.compileStmts(st.Else)
+		c.popScope()
+		return func(fr *frame) error {
+			v, err := cond(fr)
+			if err != nil {
+				return err
+			}
+			branch := then
+			if !v.AsBool() {
+				branch = els
+			}
+			for _, f := range branch {
+				if err := f(fr); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case *ast.ForStmt:
+		// The for header lives in its own scope; the body opens another
+		// one per iteration (re-declarations re-initialize their slots).
+		c.pushScope()
+		var init stmtFn
+		if st.Init != nil {
+			init = c.compileStmt(st.Init)
+		}
+		var cond exprFn
+		if st.Cond != nil {
+			cond = c.compileExpr(st.Cond)
+		}
+		c.pushScope()
+		body := c.compileStmts(st.Body)
+		c.popScope()
+		var post stmtFn
+		if st.Post != nil {
+			post = c.compileStmt(st.Post)
+		}
+		c.popScope()
+		pos := st.P
+		return func(fr *frame) error {
+			if init != nil {
+				if err := init(fr); err != nil {
+					return err
+				}
+			}
+			for iters := 0; ; iters++ {
+				if iters >= interp.MaxLoopIters {
+					return errf(pos, "for statement exceeded %d iterations", interp.MaxLoopIters)
+				}
+				if cond != nil {
+					v, err := cond(fr)
+					if err != nil {
+						return err
+					}
+					if !v.AsBool() {
+						return nil
+					}
+				}
+				for _, f := range body {
+					if err := f(fr); err != nil {
+						return err
+					}
+				}
+				if post != nil {
+					if err := post(fr); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	pos := s.Pos()
+	return func(*frame) error { return errf(pos, "invalid statement") }
+}
+
+func (c *compiler) compileDecl(d *ast.VarDecl) stmtFn {
+	t := c.info.DeclTypes[d]
+	if t == nil {
+		pos, name := d.P, d.Name
+		return func(*frame) error {
+			return errf(pos, "internal: declaration %s has no type", name)
+		}
+	}
+	// The initializer is compiled before the name is defined: a
+	// declaration cannot reference itself, it sees the outer binding.
+	if d.Init != nil && t.IsNumeric() {
+		if ifn := c.compileIntExpr(d.Init); ifn != nil {
+			idx := c.defineLocal(d.Name)
+			return func(fr *frame) error {
+				n, err := ifn(fr)
+				if err != nil {
+					return err
+				}
+				fr.locals[idx] = value.Value{Kind: value.KInt, Int: n}
+				return nil
+			}
+		}
+	}
+	var initFn exprFn
+	if d.Init != nil {
+		initFn = c.compileExpr(d.Init)
+	}
+	idx := c.defineLocal(d.Name)
+	if initFn == nil {
+		return func(fr *frame) error {
+			fr.locals[idx] = interp.ZeroValue(t)
+			return nil
+		}
+	}
+	return func(fr *frame) error {
+		iv, err := initFn(fr)
+		if err != nil {
+			return err
+		}
+		fr.locals[idx] = interp.Convert(iv, t)
+		return nil
+	}
+}
+
+func (c *compiler) compileAssign(st *ast.AssignStmt) stmtFn {
+	// Numeric-typed scalar assignment is the hot statement of every
+	// counting tool; when the RHS lowers to the scalar tier, Convert
+	// (IntVal of AsInt for numeric types) collapses into boxing the
+	// already-coerced int64 straight into the slot.
+	if lhs, ok := st.LHS.(*ast.Ident); ok {
+		if t := c.info.Types[st.LHS]; t != nil && t.IsNumeric() {
+			if sl, ok := c.resolve(lhs.Name); ok {
+				if ifn := c.compileIntExpr(st.RHS); ifn != nil {
+					idx := sl.idx
+					if sl.local {
+						return func(fr *frame) error {
+							n, err := ifn(fr)
+							if err != nil {
+								return err
+							}
+							fr.locals[idx] = value.Value{Kind: value.KInt, Int: n}
+							return nil
+						}
+					}
+					return func(fr *frame) error {
+						n, err := ifn(fr)
+						if err != nil {
+							return err
+						}
+						*fr.cells[idx] = value.Value{Kind: value.KInt, Int: n}
+						return nil
+					}
+				}
+			}
+		}
+	}
+	// The RHS evaluates before the target resolves, as in the interpreter.
+	rhs := c.compileExpr(st.RHS)
+	switch lhs := st.LHS.(type) {
+	case *ast.Ident:
+		t := c.info.Types[st.LHS]
+		sl, ok := c.resolve(lhs.Name)
+		if !ok {
+			pos, name := lhs.P, lhs.Name
+			return func(fr *frame) error {
+				if _, err := rhs(fr); err != nil {
+					return err
+				}
+				return errf(pos, "undefined: %s", name)
+			}
+		}
+		idx := sl.idx
+		switch {
+		case sl.local && t != nil:
+			return func(fr *frame) error {
+				v, err := rhs(fr)
+				if err != nil {
+					return err
+				}
+				fr.locals[idx] = interp.Convert(v, t)
+				return nil
+			}
+		case sl.local:
+			return func(fr *frame) error {
+				v, err := rhs(fr)
+				if err != nil {
+					return err
+				}
+				fr.locals[idx] = v
+				return nil
+			}
+		case t != nil:
+			return func(fr *frame) error {
+				v, err := rhs(fr)
+				if err != nil {
+					return err
+				}
+				*fr.cells[idx] = interp.Convert(v, t)
+				return nil
+			}
+		default:
+			return func(fr *frame) error {
+				v, err := rhs(fr)
+				if err != nil {
+					return err
+				}
+				*fr.cells[idx] = v
+				return nil
+			}
+		}
+	case *ast.IndexExpr:
+		base := c.compileExpr(lhs.X)
+		index := c.compileExpr(lhs.Index)
+		elemT := c.elemTypeOf(lhs.X)
+		pos := lhs.P
+		return func(fr *frame) error {
+			rv, err := rhs(fr)
+			if err != nil {
+				return err
+			}
+			bv, err := base(fr)
+			if err != nil {
+				return err
+			}
+			iv, err := index(fr)
+			if err != nil {
+				return err
+			}
+			switch bv.Kind {
+			case value.KDict:
+				bv.Dict.Set(iv, interp.Convert(rv, elemT))
+				return nil
+			case value.KArray:
+				i := iv.AsInt()
+				if i < 0 || i >= int64(len(bv.Arr.Elems)) {
+					return errf(pos, "array index %d out of range [0,%d)", i, len(bv.Arr.Elems))
+				}
+				bv.Arr.Elems[i] = interp.Convert(rv, elemT)
+				return nil
+			case value.KVector:
+				i := iv.AsInt()
+				if i < 0 || i >= int64(len(bv.Vec.Elems)) {
+					return errf(pos, "vector index %d out of range [0,%d)", i, len(bv.Vec.Elems))
+				}
+				bv.Vec.Elems[i] = interp.Convert(rv, elemT)
+				return nil
+			}
+			return errf(pos, "value is not indexable")
+		}
+	}
+	pos := st.P
+	return func(fr *frame) error {
+		if _, err := rhs(fr); err != nil {
+			return err
+		}
+		return errf(pos, "invalid assignment target")
+	}
+}
+
+func (c *compiler) elemTypeOf(base ast.Expr) *types.Type {
+	if t := c.info.Types[base]; t != nil && t.Elem != nil {
+		return t.Elem
+	}
+	return types.Basic(types.Int)
+}
+
+func constFn(v value.Value) exprFn {
+	return func(*frame) (value.Value, error) { return v, nil }
+}
+
+func errFn(pos token.Pos, format string, args ...any) exprFn {
+	err := errf(pos, format, args...)
+	return func(*frame) (value.Value, error) { return value.Null, err }
+}
+
+func (c *compiler) compileExpr(e ast.Expr) exprFn {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return constFn(value.IntVal(x.Val))
+	case *ast.StringLit:
+		return constFn(value.StrVal(x.Val))
+	case *ast.CharLit:
+		return constFn(value.IntVal(int64(x.Val)))
+	case *ast.BoolLit:
+		return constFn(value.BoolVal(x.Val))
+	case *ast.NullLit:
+		return constFn(value.Null)
+	case *ast.OpcodeLit:
+		op, ok := interp.OpcodeFromName(x.Name)
+		if !ok {
+			return errFn(x.P, "unknown opcode %s", x.Name)
+		}
+		return constFn(value.OpcodeVal(op))
+	case *ast.Ident:
+		sl, ok := c.resolve(x.Name)
+		if !ok {
+			return errFn(x.P, "undefined: %s", x.Name)
+		}
+		idx := sl.idx
+		if sl.local {
+			return func(fr *frame) (value.Value, error) { return fr.locals[idx], nil }
+		}
+		return func(fr *frame) (value.Value, error) { return *fr.cells[idx], nil }
+	case *ast.FieldExpr:
+		return c.compileField(x)
+	case *ast.IndexExpr:
+		base := c.compileExpr(x.X)
+		index := c.compileExpr(x.Index)
+		pos := x.P
+		return func(fr *frame) (value.Value, error) {
+			bv, err := base(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			iv, err := index(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			switch bv.Kind {
+			case value.KDict:
+				return bv.Dict.Get(iv), nil
+			case value.KVector:
+				return bv.Vec.Get(iv.AsInt()), nil
+			case value.KArray:
+				i := iv.AsInt()
+				if i < 0 || i >= int64(len(bv.Arr.Elems)) {
+					return value.Null, errf(pos, "array index %d out of range [0,%d)", i, len(bv.Arr.Elems))
+				}
+				return bv.Arr.Elems[i], nil
+			}
+			return value.Null, errf(pos, "value is not indexable")
+		}
+	case *ast.CallExpr:
+		return c.compileCall(x)
+	case *ast.IsTypeExpr:
+		sub := c.compileExpr(x.X)
+		var want isa.OperandKind
+		switch x.OpType {
+		case token.KMEM:
+			want = isa.KindMem
+		case token.KREG:
+			want = isa.KindReg
+		case token.KCONST:
+			want = isa.KindImm
+		}
+		pos := x.P
+		return func(fr *frame) (value.Value, error) {
+			v, err := sub(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			if v.Kind != value.KOperand {
+				return value.Null, errf(pos, "IsType requires an operand")
+			}
+			return value.BoolVal(v.Opnd.Kind == want), nil
+		}
+	case *ast.UnaryExpr:
+		sub := c.compileExpr(x.X)
+		switch x.Op {
+		case token.NOT:
+			return func(fr *frame) (value.Value, error) {
+				v, err := sub(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.BoolVal(!v.AsBool()), nil
+			}
+		case token.MINUS:
+			return func(fr *frame) (value.Value, error) {
+				v, err := sub(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.IntVal(-v.AsInt()), nil
+			}
+		}
+		pos := x.P
+		return func(fr *frame) (value.Value, error) {
+			if _, err := sub(fr); err != nil {
+				return value.Null, err
+			}
+			return value.Null, errf(pos, "invalid unary operator")
+		}
+	case *ast.BinaryExpr:
+		return c.compileBinary(x)
+	}
+	return errFn(e.Pos(), "invalid expression")
+}
+
+func (c *compiler) compileField(x *ast.FieldExpr) exprFn {
+	if c.info.DynamicExprs[x] {
+		id, ok := x.X.(*ast.Ident)
+		if !ok {
+			return errFn(x.P, "internal: dynamic attribute on non-identifier")
+		}
+		attr := strings.ToLower(x.Name)
+		key := id.Name + "." + attr
+		idx, ok := c.dynSlot(id.Name, attr)
+		if !ok {
+			// No slot: the body has no probe context for this attribute
+			// (an init/exit block, or a mismatched CFE variable).
+			return errFn(x.P, "dynamic attribute %s not materialized (is this running outside a probe?)", key)
+		}
+		pos := x.P
+		return func(fr *frame) (value.Value, error) {
+			if idx >= len(fr.dyn) {
+				return value.Null, errf(pos, "dynamic attribute %s not materialized (is this running outside a probe?)", key)
+			}
+			return fr.dyn[idx], nil
+		}
+	}
+	base := c.compileExpr(x.X)
+	pos, name := x.P, x.Name
+	return func(fr *frame) (value.Value, error) {
+		bv, err := base(fr)
+		if err != nil {
+			return value.Null, err
+		}
+		if bv.Kind != value.KCFE {
+			return value.Null, errf(pos, "value has no attributes")
+		}
+		return interp.StaticAttr(bv.CFE, name)
+	}
+}
+
+func (c *compiler) compileCall(x *ast.CallExpr) exprFn {
+	switch fun := x.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "print":
+			args := make([]exprFn, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = c.compileExpr(a)
+			}
+			return func(fr *frame) (value.Value, error) {
+				parts := make([]string, 0, len(args))
+				for _, a := range args {
+					v, err := a(fr)
+					if err != nil {
+						return value.Null, err
+					}
+					parts = append(parts, v.String())
+				}
+				fmt.Fprintln(fr.out, strings.Join(parts, " "))
+				return value.Value{}, nil
+			}
+		case "writeToFile":
+			file := c.compileExpr(x.Args[0])
+			val := c.compileExpr(x.Args[1])
+			pos := x.P
+			return func(fr *frame) (value.Value, error) {
+				fv, err := file(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				vv, err := val(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				if fv.Kind != value.KFile {
+					return value.Null, errf(pos, "writeToFile requires a file")
+				}
+				fv.File.WriteLine(vv.String())
+				return value.Value{}, nil
+			}
+		}
+		return errFn(x.P, "unknown function %q", fun.Name)
+	case *ast.FieldExpr:
+		return c.compileMethod(x, fun)
+	}
+	return errFn(x.P, "invalid call")
+}
+
+// compileMethod lowers recv.method(args). The method name is static, so
+// each name gets its own closure; the receiver's kind stays a runtime
+// dispatch, as in the interpreter.
+func (c *compiler) compileMethod(x *ast.CallExpr, fun *ast.FieldExpr) exprFn {
+	recv := c.compileExpr(fun.X)
+	pos, name := x.P, fun.Name
+	var arg0 exprFn
+	if len(x.Args) > 0 {
+		arg0 = c.compileExpr(x.Args[0])
+	}
+	elemT := c.elemTypeOf(fun.X)
+	switch name {
+	case "add":
+		return func(fr *frame) (value.Value, error) {
+			rv, err := recv(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			if rv.Kind != value.KVector {
+				return value.Null, errf(pos, "invalid method %q", name)
+			}
+			v, err := arg0(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			rv.Vec.Add(interp.Convert(v, elemT))
+			return value.Value{}, nil
+		}
+	case "has":
+		return func(fr *frame) (value.Value, error) {
+			rv, err := recv(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			switch rv.Kind {
+			case value.KVector:
+				v, err := arg0(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.BoolVal(rv.Vec.Has(interp.Convert(v, elemT))), nil
+			case value.KDict:
+				v, err := arg0(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.BoolVal(rv.Dict.Has(v)), nil
+			}
+			return value.Null, errf(pos, "invalid method %q", name)
+		}
+	case "size":
+		return func(fr *frame) (value.Value, error) {
+			rv, err := recv(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			switch rv.Kind {
+			case value.KVector:
+				return value.IntVal(int64(len(rv.Vec.Elems))), nil
+			case value.KDict:
+				return value.IntVal(int64(rv.Dict.Len())), nil
+			}
+			return value.Null, errf(pos, "invalid method %q", name)
+		}
+	case "getline":
+		return func(fr *frame) (value.Value, error) {
+			rv, err := recv(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			if rv.Kind != value.KFile {
+				return value.Null, errf(pos, "invalid method %q", name)
+			}
+			return rv.File.GetLine(), nil
+		}
+	}
+	return func(fr *frame) (value.Value, error) {
+		if _, err := recv(fr); err != nil {
+			return value.Null, err
+		}
+		return value.Null, errf(pos, "invalid method %q", name)
+	}
+}
+
+func (c *compiler) compileBinary(x *ast.BinaryExpr) exprFn {
+	// Arithmetic results are IntVal(f(l.AsInt(), r.AsInt())) by
+	// definition, so when the whole subtree lowers to the scalar tier the
+	// generic consumer just boxes the final int64 (one Value instead of
+	// one per closure boundary).
+	if ifn := c.compileIntExpr(x); ifn != nil {
+		return func(fr *frame) (value.Value, error) {
+			n, err := ifn(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.IntVal(n), nil
+		}
+	}
+	l := c.compileExpr(x.X)
+	// Short-circuit logical operators compile the right operand but only
+	// evaluate it when the left doesn't decide.
+	if x.Op == token.LAND || x.Op == token.LOR {
+		r := c.compileExpr(x.Y)
+		if x.Op == token.LAND {
+			return func(fr *frame) (value.Value, error) {
+				lv, err := l(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				if !lv.AsBool() {
+					return value.BoolVal(false), nil
+				}
+				rv, err := r(fr)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.BoolVal(rv.AsBool()), nil
+			}
+		}
+		return func(fr *frame) (value.Value, error) {
+			lv, err := l(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			if lv.AsBool() {
+				return value.BoolVal(true), nil
+			}
+			rv, err := r(fr)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.BoolVal(rv.AsBool()), nil
+		}
+	}
+	r := c.compileExpr(x.Y)
+	pos := x.P
+	switch x.Op {
+	case token.EQ:
+		return func(fr *frame) (value.Value, error) {
+			lv, rv, err := evalPair(fr, l, r)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.BoolVal(value.Equal(lv, rv)), nil
+		}
+	case token.NEQ:
+		return func(fr *frame) (value.Value, error) {
+			lv, rv, err := evalPair(fr, l, r)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.BoolVal(!value.Equal(lv, rv)), nil
+		}
+	case token.LT, token.LE, token.GT, token.GE:
+		op := x.Op
+		return func(fr *frame) (value.Value, error) {
+			lv, rv, err := evalPair(fr, l, r)
+			if err != nil {
+				return value.Null, err
+			}
+			if lv.Kind == value.KString && rv.Kind == value.KString {
+				return value.BoolVal(orderedCmp(op, strings.Compare(lv.Str, rv.Str))), nil
+			}
+			a, b := lv.AsInt(), rv.AsInt()
+			switch {
+			case a < b:
+				return value.BoolVal(orderedCmp(op, -1)), nil
+			case a > b:
+				return value.BoolVal(orderedCmp(op, 1)), nil
+			default:
+				return value.BoolVal(orderedCmp(op, 0)), nil
+			}
+		}
+	case token.PLUS:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(a + b) })
+	case token.MINUS:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(a - b) })
+	case token.STAR:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(a * b) })
+	case token.AMP:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(a & b) })
+	case token.PIPE:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(a | b) })
+	case token.CARET:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(a ^ b) })
+	case token.SHL:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(a << (uint64(b) & 63)) })
+	case token.SHR:
+		return intBinOp(l, r, func(a, b int64) value.Value { return value.IntVal(int64(uint64(a) >> (uint64(b) & 63))) })
+	case token.SLASH:
+		return func(fr *frame) (value.Value, error) {
+			lv, rv, err := evalPair(fr, l, r)
+			if err != nil {
+				return value.Null, err
+			}
+			a, b := lv.AsInt(), rv.AsInt()
+			if b == 0 {
+				return value.Null, errf(pos, "division by zero")
+			}
+			return value.IntVal(a / b), nil
+		}
+	case token.PERCENT:
+		return func(fr *frame) (value.Value, error) {
+			lv, rv, err := evalPair(fr, l, r)
+			if err != nil {
+				return value.Null, err
+			}
+			a, b := lv.AsInt(), rv.AsInt()
+			if b == 0 {
+				return value.Null, errf(pos, "division by zero")
+			}
+			return value.IntVal(a % b), nil
+		}
+	}
+	return func(fr *frame) (value.Value, error) {
+		if _, _, err := evalPair(fr, l, r); err != nil {
+			return value.Null, err
+		}
+		return value.Null, errf(pos, "invalid operator")
+	}
+}
+
+func evalPair(fr *frame, l, r exprFn) (value.Value, value.Value, error) {
+	lv, err := l(fr)
+	if err != nil {
+		return value.Null, value.Null, err
+	}
+	rv, err := r(fr)
+	if err != nil {
+		return value.Null, value.Null, err
+	}
+	return lv, rv, nil
+}
+
+func intBinOp(l, r exprFn, op func(a, b int64) value.Value) exprFn {
+	return func(fr *frame) (value.Value, error) {
+		lv, rv, err := evalPair(fr, l, r)
+		if err != nil {
+			return value.Null, err
+		}
+		return op(lv.AsInt(), rv.AsInt()), nil
+	}
+}
+
+func orderedCmp(op token.Kind, cmp int) bool {
+	switch op {
+	case token.LT:
+		return cmp < 0
+	case token.LE:
+		return cmp <= 0
+	case token.GT:
+		return cmp > 0
+	case token.GE:
+		return cmp >= 0
+	}
+	return false
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/core/ast"
+	"repro/internal/core/compile"
 	"repro/internal/core/interp"
 	"repro/internal/core/parser"
 	"repro/internal/core/sem"
@@ -24,14 +25,18 @@ import (
 	"repro/internal/isa"
 )
 
-// CompiledTool is a parsed and semantically checked Cinnamon program.
+// CompiledTool is a parsed, semantically checked and closure-compiled
+// Cinnamon program.
 type CompiledTool struct {
 	Prog *ast.Program
 	Info *sem.Info
+	// Code holds the closure-compiled action and init/exit bodies (the
+	// default execution path; Options.Interpret bypasses it).
+	Code *compile.Program
 	Src  string
 }
 
-// Compile parses and checks Cinnamon source.
+// Compile parses, checks and closure-compiles Cinnamon source.
 func Compile(src string) (*CompiledTool, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
@@ -41,7 +46,11 @@ func Compile(src string) (*CompiledTool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CompiledTool{Prog: prog, Info: info, Src: src}, nil
+	code, err := compile.Compile(prog, info)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledTool{Prog: prog, Info: info, Code: code, Src: src}, nil
 }
 
 // Action is a compiled action ready for placement: an executable closure
@@ -52,9 +61,10 @@ type Action struct {
 	// attributes, cost estimate, inlinability).
 	Info *sem.ActionInfo
 	// Exec runs the action body with the materialized dynamic attribute
-	// values (keyed "I.memaddr"). Runtime failures are recorded on the
-	// Instance.
-	Exec func(dyn map[string]value.Value)
+	// values, one slot per Info.DynAttrs entry in that order (nil when
+	// the action reads no dynamic attributes). Runtime failures are
+	// recorded on the Instance.
+	Exec func(dyn []value.Value)
 	// NumCaptured is the number of scalar analysis values captured into
 	// the action's closure (the data a real backend would pass as
 	// callback arguments).
@@ -87,6 +97,10 @@ type Options struct {
 	Out io.Writer
 	// FS is the tool file system (fresh in-memory FS if nil).
 	FS *interp.FS
+	// Interpret executes action and init/exit bodies with the
+	// tree-walking interpreter instead of the closure-compiled code —
+	// the reference path the equivalence tests compare against.
+	Interpret bool
 }
 
 // Instance is the instrumented tool: its shared globals and any runtime
@@ -112,12 +126,13 @@ func (i *Instance) record(err error) {
 }
 
 type engineRun struct {
-	tool   *CompiledTool
-	placer Placer
-	prog   *cfg.Program
-	in     *interp.Interp
-	glob   *interp.Env
-	inst   *Instance
+	tool      *CompiledTool
+	placer    Placer
+	prog      *cfg.Program
+	in        *interp.Interp
+	glob      *interp.Env
+	inst      *Instance
+	interpret bool
 }
 
 // Instrument runs the analysis stage of the tool over the program and
@@ -159,7 +174,11 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 		}
 	}
 	inst := &Instance{interp: it, globals: glob}
-	e := &engineRun{tool: tool, placer: placer, prog: prog, in: it, glob: glob, inst: inst}
+	interpret := opts.Interpret || tool.Code == nil
+	e := &engineRun{
+		tool: tool, placer: placer, prog: prog,
+		in: it, glob: glob, inst: inst, interpret: interpret,
+	}
 
 	// Commands map in program order; within a command, per-module in
 	// load order, per-CFE in address order.
@@ -170,19 +189,50 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 			}
 		}
 	}
-	for _, b := range tool.Info.Inits {
-		body := b.Body
-		placer.PlaceInit(func() {
-			inst.record(it.ExecStmts(interp.NewEnv(glob), body))
-		})
+	var codeInits, codeExits []*compile.Body
+	if tool.Code != nil {
+		codeInits, codeExits = tool.Code.Inits, tool.Code.Exits
 	}
-	for _, b := range tool.Info.Exits {
-		body := b.Body
-		placer.PlaceFini(func() {
-			inst.record(it.ExecStmts(interp.NewEnv(glob), body))
-		})
+	for i, b := range tool.Info.Inits {
+		fn, err := e.blockExec(b.Body, codeInits, i)
+		if err != nil {
+			return nil, err
+		}
+		placer.PlaceInit(fn)
+	}
+	for i, b := range tool.Info.Exits {
+		fn, err := e.blockExec(b.Body, codeExits, i)
+		if err != nil {
+			return nil, err
+		}
+		placer.PlaceFini(fn)
 	}
 	return inst, nil
+}
+
+// blockExec builds the runnable form of one init/exit block: the bound
+// compiled body, or the interpreter fallback under Options.Interpret.
+func (e *engineRun) blockExec(body []ast.Stmt, compiled []*compile.Body, i int) (func(), error) {
+	it, glob, inst := e.in, e.glob, e.inst
+	if e.interpret {
+		return func() {
+			inst.record(it.ExecStmts(interp.NewEnv(glob), body))
+		}, nil
+	}
+	bound, err := compiled[i].Bind(e.resolveGlobal, it.Out)
+	if err != nil {
+		return nil, err
+	}
+	return func() { inst.record(bound.Exec(nil)) }, nil
+}
+
+// resolveGlobal binds a compiled body's global cell to the shared slot the
+// interpreter declared for it.
+func (e *engineRun) resolveGlobal(ref compile.CellRef) (*value.Value, error) {
+	if v := e.glob.Lookup(ref.Name); v != nil {
+		return v, nil
+	}
+	return nil, fmt.Errorf("cinnamon: internal: unresolved global %q", ref.Name)
 }
 
 // domain is the iteration space of a command: a whole module for
@@ -332,38 +382,15 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 		}
 	}
 
-	// Capture the enclosing analysis scopes by value (globals shared).
-	snap := interp.Snapshot(env, e.glob)
-	captured := 0
-	for range snapVars(snap) {
-		captured++
-	}
-
-	in := e.in
-	inst := e.inst
-	where := act.Where
-	dynWhere := ai.WhereDynamic
-	body := act.Body
-	a := &Action{
-		Info:        ai,
-		NumCaptured: captured,
-		Exec: func(dyn map[string]value.Value) {
-			runEnv := interp.NewEnv(snap)
-			runEnv.SetDyn(dyn)
-			if dynWhere && where != nil {
-				v, err := in.Eval(runEnv, where)
-				if err != nil {
-					inst.record(err)
-					return
-				}
-				if !v.AsBool() {
-					return
-				}
-			}
-			if err := in.ExecStmts(runEnv, body); err != nil {
-				inst.record(err)
-			}
-		},
+	a := &Action{Info: ai, NumCaptured: env.NumVarsUntil(e.glob)}
+	if e.interpret {
+		a.Exec = e.interpExec(act, ai, env)
+	} else {
+		exec, err := e.compiledExec(act, env)
+		if err != nil {
+			return err
+		}
+		a.Exec = exec
 	}
 
 	switch ai.TargetEType {
@@ -419,8 +446,74 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 	return fmt.Errorf("cinnamon: internal: unplaceable action at %s", act.Pos())
 }
 
-// snapVars iterates the variables captured in a snapshot frame. It lives
-// behind a tiny interface to keep interp.Env encapsulated.
-func snapVars(env *interp.Env) map[string]struct{} {
-	return env.VarNames()
+// interpExec builds an action executor on the tree-walking path: the
+// enclosing analysis scopes are captured by value into a snapshot
+// (globals stay shared), and every firing re-walks the body AST.
+func (e *engineRun) interpExec(act *ast.Action, ai *sem.ActionInfo, env *interp.Env) func(dyn []value.Value) {
+	snap := interp.Snapshot(env, e.glob)
+	in := e.in
+	inst := e.inst
+	where := act.Where
+	dynWhere := ai.WhereDynamic
+	body := act.Body
+	attrs := ai.DynAttrs
+	return func(dyn []value.Value) {
+		var m map[string]value.Value
+		if len(dyn) > 0 {
+			m = make(map[string]value.Value, len(dyn))
+			for i, da := range attrs {
+				if i < len(dyn) {
+					m[da.Var+"."+da.Attr] = dyn[i]
+				}
+			}
+		}
+		runEnv := interp.NewEnv(snap)
+		runEnv.SetDyn(m)
+		if dynWhere && where != nil {
+			v, err := in.Eval(runEnv, where)
+			if err != nil {
+				inst.record(err)
+				return
+			}
+			if !v.AsBool() {
+				return
+			}
+		}
+		if err := in.ExecStmts(runEnv, body); err != nil {
+			inst.record(err)
+		}
+	}
+}
+
+// compiledExec builds an action executor on the closure-compiled path:
+// the pre-lowered body is bound once per placement — captures copied by
+// value, globals shared — and every firing runs the closure chain on the
+// reused frame.
+func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []value.Value), error) {
+	body := e.tool.Code.Actions[act]
+	if body == nil {
+		return nil, fmt.Errorf("cinnamon: internal: uncompiled action at %s", act.Pos())
+	}
+	resolve := func(ref compile.CellRef) (*value.Value, error) {
+		if ref.Global {
+			return e.resolveGlobal(ref)
+		}
+		slot := env.Lookup(ref.Name)
+		if slot == nil {
+			return nil, fmt.Errorf("cinnamon: internal: unresolved capture %q at %s", ref.Name, act.Pos())
+		}
+		cell := new(value.Value)
+		*cell = value.Copy(*slot)
+		return cell, nil
+	}
+	bound, err := body.Bind(resolve, e.in.Out)
+	if err != nil {
+		return nil, err
+	}
+	inst := e.inst
+	return func(dyn []value.Value) {
+		if err := bound.Exec(dyn); err != nil {
+			inst.record(err)
+		}
+	}, nil
 }

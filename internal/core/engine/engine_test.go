@@ -435,11 +435,11 @@ inst I where (I.opcode == Load) {
 		t.Fatalf("dyn attrs = %v", a.Info.DynAttrs)
 	}
 	// Guard false: no output. Guard true: output.
-	a.Exec(map[string]value.Value{"I.memaddr": value.UintVal(50)})
+	a.Exec([]value.Value{value.UintVal(50)})
 	if out.String() != "" {
 		t.Error("guard did not suppress the body")
 	}
-	a.Exec(map[string]value.Value{"I.memaddr": value.UintVal(500)})
+	a.Exec([]value.Value{value.UintVal(500)})
 	if strings.TrimSpace(out.String()) != "hit" {
 		t.Errorf("guard true output = %q", out.String())
 	}

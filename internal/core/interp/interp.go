@@ -112,6 +112,30 @@ func (e *Env) VarNames() map[string]struct{} {
 	return out
 }
 
+// NumVarsUntil counts the distinct variable names bound in the scopes from
+// e up to (excluding) stop — the number of values Snapshot would capture,
+// without paying for the copies.
+func (e *Env) NumVarsUntil(stop *Env) int {
+	n := 0
+	var seen map[string]bool
+	for s := e; s != nil && s != stop; s = s.parent {
+		if s.parent == stop && seen == nil {
+			// Single frame: every name is distinct.
+			return n + len(s.vars)
+		}
+		if seen == nil {
+			seen = make(map[string]bool)
+		}
+		for name := range s.vars {
+			if !seen[name] {
+				seen[name] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
 func (e *Env) lookupDyn(key string) (value.Value, bool) {
 	for s := e; s != nil; s = s.parent {
 		if s.dyn != nil {
@@ -221,6 +245,10 @@ func (in *Interp) declare(env *Env, d *ast.VarDecl, t *types.Type) error {
 	env.Define(d.Name, v)
 	return nil
 }
+
+// Convert adapts a value to a declared type; it is exported for the
+// closure compiler, which must apply exactly the interpreter's coercions.
+func Convert(v value.Value, t *types.Type) value.Value { return convert(v, t) }
 
 // convert adapts a value to a declared type (numeric coercions, line
 // parsing).
@@ -453,6 +481,12 @@ func (in *Interp) Eval(env *Env, e ast.Expr) (value.Value, error) {
 		return in.evalBinary(env, x)
 	}
 	return value.Null, in.errf(e.Pos(), "invalid expression")
+}
+
+// OpcodeFromName resolves a Cinnamon opcode keyword to a machine opcode.
+func OpcodeFromName(name string) (isa.Op, bool) {
+	op, ok := opcodeByName[name]
+	return op, ok
 }
 
 // opcodeByName maps Cinnamon opcode keywords to machine opcodes.

@@ -26,6 +26,7 @@ package vm
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
@@ -93,6 +94,38 @@ type modExec struct {
 	insts  []*isa.Inst  // indexed by addr-base; nil at non-instruction offsets
 	blocks []*cfg.Block // indexed by addr-base; nil at non-block-start offsets
 	flags  []uint8
+	// probes holds the per-offset probe lists, allocated only at offsets
+	// that have any. The flags byte is the hot-loop gate: a set probe bit
+	// guarantees the corresponding list below is present, so dispatch is
+	// a flag test plus two array indexes — no map lookups.
+	probes []*offProbes
+}
+
+// offProbes is the probe storage of one code offset: instruction
+// before/after lists, the block-entry list, and the incoming-edge table
+// (block-start offsets only).
+type offProbes struct {
+	before, after, entry []probe
+	// edgeIn lists edge probes by predecessor block; the hot loop scans
+	// it linearly (blocks rarely have more than two instrumented
+	// predecessors) instead of hashing a [2]uint64 key.
+	edgeIn []edgeProbes
+}
+
+type edgeProbes struct {
+	from   uint64
+	probes []probe
+}
+
+// probesAt returns the probe storage for the offset, allocating it on
+// first use.
+func (m *modExec) probesAt(off uint64) *offProbes {
+	if p := m.probes[off]; p != nil {
+		return p
+	}
+	p := &offProbes{}
+	m.probes[off] = p
+	return p
 }
 
 // Config parameterizes a VM.
@@ -127,10 +160,8 @@ type VM struct {
 
 	appOut io.Writer
 
-	before, after, blockEntry map[uint64][]probe
-	edges                     map[[2]uint64][]probe
-	translator                func(*cfg.Block)
-	startHooks, endHooks      []ProbeFn
+	translator           func(*cfg.Block)
+	startHooks, endHooks []ProbeFn
 
 	curBlock     uint64
 	blockStack   []frameBlock
@@ -167,10 +198,6 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 		fuel:         cfgv.Fuel,
 		appOut:       cfgv.AppOut,
 		heapNext:     obj.HeapBase,
-		before:       make(map[uint64][]probe),
-		after:        make(map[uint64][]probe),
-		blockEntry:   make(map[uint64][]probe),
-		edges:        make(map[[2]uint64][]probe),
 		suppressEdge: true,
 	}
 	v.ctx.vm = v
@@ -181,6 +208,7 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 			insts:  make([]*isa.Inst, len(l.Image)),
 			blocks: make([]*cfg.Block, len(l.Image)),
 			flags:  make([]uint8, len(l.Image)),
+			probes: make([]*offProbes, len(l.Image)),
 		}
 		for _, f := range m.Funcs {
 			for _, b := range f.Blocks {
@@ -194,18 +222,23 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 		v.mem.WriteBytes(l.Base, l.Image)
 		v.mem.WriteBytes(l.DataBase, l.DataImage)
 	}
+	sort.Slice(v.mods, func(i, j int) bool { return v.mods[i].base < v.mods[j].base })
 	v.regs[isa.SP] = obj.StackTop
 	v.regs[isa.FP] = obj.StackTop
 	v.pc = prog.Obj.Entry()
 	return v
 }
 
+// modFor maps a code address to its module: an MRU hit for the common
+// case (consecutive instructions share a module), then binary search over
+// the base-sorted module list.
 func (v *VM) modFor(addr uint64) *modExec {
 	if m := v.lastM; m != nil && addr >= m.base && addr-m.base < uint64(len(m.insts)) {
 		return m
 	}
-	for _, m := range v.mods {
-		if addr >= m.base && addr-m.base < uint64(len(m.insts)) {
+	i := sort.Search(len(v.mods), func(i int) bool { return v.mods[i].base > addr }) - 1
+	if i >= 0 {
+		if m := v.mods[i]; addr-m.base < uint64(len(m.insts)) {
 			v.lastM = m
 			return m
 		}
@@ -220,7 +253,8 @@ func (v *VM) AddBefore(addr uint64, cost uint64, fn ProbeFn) error {
 	if m == nil || m.insts[addr-m.base] == nil {
 		return fmt.Errorf("vm: no instruction at %#x", addr)
 	}
-	v.before[addr] = append(v.before[addr], probe{fn, cost})
+	p := m.probesAt(addr - m.base)
+	p.before = append(p.before, probe{fn, cost})
 	m.flags[addr-m.base] |= flagBefore
 	return nil
 }
@@ -239,7 +273,8 @@ func (v *VM) AddAfter(addr uint64, cost uint64, fn ProbeFn) error {
 	case isa.Branch, isa.Return, isa.Halt:
 		return fmt.Errorf("vm: after-probe invalid on %s at %#x", m.insts[addr-m.base].Op, addr)
 	}
-	v.after[addr] = append(v.after[addr], probe{fn, cost})
+	p := m.probesAt(addr - m.base)
+	p.after = append(p.after, probe{fn, cost})
 	m.flags[addr-m.base] |= flagAfter
 	return nil
 }
@@ -251,7 +286,8 @@ func (v *VM) AddBlockEntry(addr uint64, cost uint64, fn ProbeFn) error {
 	if m == nil || m.blocks[addr-m.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", addr)
 	}
-	v.blockEntry[addr] = append(v.blockEntry[addr], probe{fn, cost})
+	p := m.probesAt(addr - m.base)
+	p.entry = append(p.entry, probe{fn, cost})
 	m.flags[addr-m.base] |= flagBlockEntry
 	return nil
 }
@@ -266,7 +302,15 @@ func (v *VM) AddEdge(from, to uint64, cost uint64, fn ProbeFn) error {
 	if mf := v.modFor(from); mf == nil || mf.blocks[from-mf.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", from)
 	}
-	v.edges[[2]uint64{from, to}] = append(v.edges[[2]uint64{from, to}], probe{fn, cost})
+	p := m.probesAt(to - m.base)
+	for i := range p.edgeIn {
+		if p.edgeIn[i].from == from {
+			p.edgeIn[i].probes = append(p.edgeIn[i].probes, probe{fn, cost})
+			m.flags[to-m.base] |= flagEdgeTo
+			return nil
+		}
+	}
+	p.edgeIn = append(p.edgeIn, edgeProbes{from: from, probes: []probe{{fn, cost}}})
 	m.flags[to-m.base] |= flagEdgeTo
 	return nil
 }
@@ -356,24 +400,32 @@ func (v *VM) Run() (*Result, error) {
 				v.ctx.block = blk
 				v.translator(blk)
 			}
+			// Flags and probe storage are (re)read after translation: a
+			// just-translated block may have installed probes at this very
+			// offset, and they must fire on this first execution.
 			flags := m.flags[off]
+			op := m.probes[off]
 			if !v.suppressEdge && flags&flagEdgeTo != 0 {
-				if ps := v.edges[[2]uint64{v.curBlock, v.pc}]; ps != nil {
-					v.ctx.block = blk
-					v.fire(ps, in, AtEdge)
+				for i := range op.edgeIn {
+					if op.edgeIn[i].from == v.curBlock {
+						v.ctx.block = blk
+						v.fire(op.edgeIn[i].probes, in, AtEdge)
+						break
+					}
 				}
 			}
 			v.curBlock = v.pc
 			v.ctx.block = blk
 			if flags&flagBlockEntry != 0 {
-				v.fire(v.blockEntry[v.pc], in, AtBlockEntry)
+				v.fire(op.entry, in, AtBlockEntry)
 			}
 		}
 		v.suppressEdge = false
 
 		flags := m.flags[off]
+		op := m.probes[off]
 		if flags&flagBefore != 0 {
-			v.fire(v.before[v.pc], in, BeforeInst)
+			v.fire(op.before, in, BeforeInst)
 		}
 
 		depthBefore := v.depth
@@ -386,10 +438,10 @@ func (v *VM) Run() (*Result, error) {
 		if flags&flagAfter != 0 {
 			if in.Op == isa.Call {
 				v.pending = append(v.pending, pendingAfter{
-					fall: in.Next(), depth: depthBefore, probes: v.after[in.Addr], inst: in,
+					fall: in.Next(), depth: depthBefore, probes: op.after, inst: in,
 				})
 			} else {
-				v.fire(v.after[in.Addr], in, AfterInst)
+				v.fire(op.after, in, AfterInst)
 			}
 		}
 	}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 gate: everything must pass before a change lands.
+#
+#   vet        static checks
+#   build      every package compiles
+#   race test  full suite under the race detector (the bench sweeps run
+#              their (benchmark x framework) cells on a worker pool, so
+#              this also exercises the parallel harness for races)
+#   bench      one smoke iteration of every table/figure benchmark at a
+#              reduced workload scale
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> bench smoke (CINNAMON_SCALE=0.1)"
+CINNAMON_SCALE=0.1 go test -run '^$' -bench . -benchtime 1x .
+
+echo "CI OK"
