@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race bench-smoke bench docs-gate
 
 ci:
 	sh scripts/ci.sh
@@ -28,3 +28,8 @@ bench-smoke:
 # Full-scale regeneration of every table and figure.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Documentation gate: every package has a godoc comment and the docs
+# suite (README, LANGUAGE, BACKENDS, OBSERVABILITY) is present.
+docs-gate:
+	$(GO) run ./scripts/pkgdoc .

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core/codegen"
 	"repro/internal/core/engine"
 	"repro/internal/obj"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -119,7 +120,23 @@ type RunOptions struct {
 	// suggests: loop detection integrated into the Pin backend, making
 	// loop commands mappable to Pin transparently.
 	PinLoopDetection bool
+	// Stats enables the observability layer for the run: Report.Stats is
+	// populated with per-probe firing counters, cycle attribution and
+	// instrumentation-time statistics. Collection never perturbs the
+	// deterministic cost model — Cycles/Insts/ToolOutput are identical
+	// with Stats on or off.
+	Stats bool
+	// Trace, when positive, additionally records the last Trace probe
+	// firings in a bounded ring buffer (Report.Stats.Trace). Trace > 0
+	// implies Stats.
+	Trace int
 }
+
+// Stats is the observability report of a run: per-probe firing counters
+// and cycle attribution, instrumentation-time build statistics, and the
+// optional firing trace. See internal/obs for the schema and
+// docs/OBSERVABILITY.md for how to read it.
+type Stats = obs.Stats
 
 // Report summarizes an instrumented run.
 type Report struct {
@@ -135,6 +152,9 @@ type Report struct {
 	Insts uint64
 	// ExitCode is the application's exit code.
 	ExitCode uint64
+	// Stats holds the observability report (nil unless RunOptions.Stats
+	// or RunOptions.Trace enabled collection).
+	Stats *Stats
 }
 
 // Run instruments the target with the tool under the named backend and
@@ -146,11 +166,16 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 	if out == nil {
 		out, captured = &buf, true
 	}
+	var col *obs.Collector
+	if opts.Stats || opts.Trace > 0 {
+		col = obs.New(obs.Options{TraceCap: opts.Trace})
+	}
 	res, err := backend.Run(t.compiled, target.Prog, backendName, backend.Options{
 		Out:              out,
 		Fuel:             opts.Fuel,
 		AppOut:           opts.AppOut,
 		PinLoopDetection: opts.PinLoopDetection,
+		Obs:              col,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cinnamon: run on %s: %w", backendName, err)
@@ -160,6 +185,9 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 		Cycles:   res.Cycles,
 		Insts:    res.Insts,
 		ExitCode: res.ExitCode,
+	}
+	if col != nil {
+		rep.Stats = col.Snapshot(backendName)
 	}
 	if captured {
 		rep.ToolOutput = buf.String()

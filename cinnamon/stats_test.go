@@ -1,0 +1,109 @@
+package cinnamon
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Backends() {
+		rep, err := tool.Run(target, b, RunOptions{Stats: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rep.Stats
+		if s == nil {
+			t.Fatalf("%s: Stats nil with RunOptions.Stats set", b)
+		}
+		if s.Backend != b {
+			t.Errorf("%s: stats backend = %q", b, s.Backend)
+		}
+		// The tool counts 5 loads; its one probe fires once per load.
+		if s.TotalFires != 5 {
+			t.Errorf("%s: total fires = %d, want 5", b, s.TotalFires)
+		}
+		if s.Trace != nil {
+			t.Errorf("%s: trace recorded without RunOptions.Trace", b)
+		}
+		if s.ProbeCycles == 0 || len(s.Probes) == 0 {
+			t.Errorf("%s: empty attribution: %+v", b, s)
+		}
+
+		var tbl bytes.Buffer
+		s.WriteTable(&tbl)
+		if !strings.Contains(tbl.String(), "before inst") {
+			t.Errorf("%s: table missing probe row:\n%s", b, tbl.String())
+		}
+		var js bytes.Buffer
+		if err := s.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s: invalid stats JSON: %v", b, err)
+		}
+		if decoded["backend"] != b {
+			t.Errorf("%s: JSON backend = %v", b, decoded["backend"])
+		}
+	}
+}
+
+func TestRunTraceImpliesStats(t *testing.T) {
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tool.Run(target, Janus, RunOptions{Trace: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats == nil || rep.Stats.Trace == nil {
+		t.Fatal("Trace > 0 did not enable stats + trace")
+	}
+	tr := rep.Stats.Trace
+	if len(tr.Events) != 3 || tr.Dropped != rep.Stats.TotalFires-3 {
+		t.Errorf("trace = %d events, %d dropped (total fires %d)",
+			len(tr.Events), tr.Dropped, rep.Stats.TotalFires)
+	}
+}
+
+func TestRunStatsOffByDefault(t *testing.T) {
+	tool, err := Compile(countTool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := LoadAssembly(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tool.Run(target, Pin, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats != nil {
+		t.Errorf("Stats = %+v, want nil when not requested", rep.Stats)
+	}
+	// And enabling them does not change the measured run.
+	rep2, err := tool.Run(target, Pin, RunOptions{Stats: true, Trace: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != rep2.Cycles || rep.Insts != rep2.Insts || rep.ToolOutput != rep2.ToolOutput {
+		t.Errorf("stats perturbed run: (%d,%d,%q) vs (%d,%d,%q)",
+			rep.Cycles, rep.Insts, rep.ToolOutput, rep2.Cycles, rep2.Insts, rep2.ToolOutput)
+	}
+}

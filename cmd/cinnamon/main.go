@@ -34,7 +34,9 @@ func main() {
 	emit := flag.String("emit", "", "emit generated C/C++ for this backend instead of running")
 	scale := flag.Float64("scale", 0.2, "workload scale for suite targets")
 	list := flag.Bool("list-programs", false, "list built-in case-study programs and exit")
-	stats := flag.Bool("stats", false, "print execution statistics")
+	stats := flag.Bool("stats", false, "print the observability report (per-probe firing and cycle attribution) to stderr")
+	statsJSON := flag.Bool("stats-json", false, "print the observability report as JSON to stdout")
+	trace := flag.Int("trace", 0, "record the last N probe firings in the report's trace ring (implies -stats)")
 	pinLoops := flag.Bool("pin-loops", false, "enable the Pin loop-detection extension (paper §VI-E)")
 	flag.Parse()
 
@@ -83,11 +85,17 @@ func main() {
 	report, err := tool.Run(tgt, *backendName, cinnamon.RunOptions{
 		ToolOut:          os.Stdout,
 		PinLoopDetection: *pinLoops,
+		Stats:            *stats || *statsJSON,
+		Trace:            *trace,
 	})
 	check(err)
-	if *stats {
+	if *stats || *trace > 0 {
 		fmt.Fprintf(os.Stderr, "backend=%s insts=%d cycles=%d exit=%d\n",
 			report.Backend, report.Insts, report.Cycles, report.ExitCode)
+		report.Stats.WriteTable(os.Stderr)
+	}
+	if *statsJSON {
+		check(report.Stats.WriteJSON(os.Stdout))
 	}
 }
 

@@ -5,6 +5,7 @@
 //	experiments -exp=fig12 -scale=1.0   # Figure 12: counts per backend
 //	experiments -exp=fig13              # Figure 13: overhead vs native
 //	experiments -exp=pintools           # Section VI-D: Pin tool overheads
+//	experiments -exp=attribution        # overhead decomposition per backend
 //	experiments -exp=all
 package main
 
@@ -17,8 +18,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, all")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper-equivalent test input)")
+	benchmark := flag.String("benchmark", "leela", "benchmark for -exp=attribution")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -59,6 +61,14 @@ func main() {
 			return err
 		}
 		bench.FormatPinTools(os.Stdout, rows)
+		return nil
+	})
+	run("attribution", func() error {
+		rows, err := bench.Attribution(*benchmark, *scale)
+		if err != nil {
+			return err
+		}
+		bench.FormatAttribution(os.Stdout, rows)
 		return nil
 	})
 }

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core/backend"
+	"repro/internal/obs"
+	"repro/internal/progs"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Overhead attribution: the observability layer's answer to "where does
+// the instrumentation overhead of Figure 13 actually go?". For each
+// framework the total cycle overhead over the uninstrumented baseline is
+// decomposed into probe dispatch (attributed per probe by internal/obs)
+// and just-in-time translation, with the residual as a consistency
+// check: the cost model charges every instrumentation cycle through one
+// of those two channels, so Residual is zero on all backends.
+
+// AttributionRow decomposes one (framework, benchmark) cell's overhead.
+type AttributionRow struct {
+	Backend   string
+	Benchmark string
+	// TotalCycles and AppCycles are the instrumented and uninstrumented
+	// run costs.
+	TotalCycles uint64
+	AppCycles   uint64
+	// ProbeCycles is the cost attributed to probe firings (dispatch +
+	// argument materialization + action bodies), TranslationCycles the
+	// JIT translation cost (0 for the static rewriter).
+	ProbeCycles       uint64
+	TranslationCycles uint64
+	// Residual is overhead not attributed to either channel; non-zero
+	// residual means the cost model leaks cycles past the collector.
+	Residual int64
+	// OverheadPct is the total overhead relative to the baseline.
+	OverheadPct float64
+}
+
+// Attribution runs the basic-block counting tool (Figure 5b) on every
+// framework over the named benchmark with observability enabled and
+// decomposes each framework's overhead. Frameworks that cannot process
+// the binary are skipped.
+func Attribution(benchmark string, scale float64) ([]AttributionRow, error) {
+	tool, err := compileTool(progs.InstCountBB)
+	if err != nil {
+		return nil, err
+	}
+	spec, ok := workload.ByName(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchmark)
+	}
+	return parMap(Frameworks, func(fw string) (AttributionRow, error) {
+		prog, err := BuildBenchmark(spec, scale)
+		if err != nil {
+			return AttributionRow{}, err
+		}
+		base, err := vm.New(prog, vm.Config{}).Run()
+		if err != nil {
+			return AttributionRow{}, err
+		}
+		col := obs.New(obs.Options{})
+		res, err := backend.Run(tool, prog, fw, backend.Options{Out: io.Discard, Obs: col})
+		if err != nil {
+			// Framework rejected the binary (Dyninst CFG recovery):
+			// report the row with zero cycles so callers can skip it.
+			return AttributionRow{Backend: fw, Benchmark: benchmark}, nil
+		}
+		s := col.Snapshot(fw)
+		overhead := res.Cycles - base.Cycles
+		return AttributionRow{
+			Backend:           fw,
+			Benchmark:         benchmark,
+			TotalCycles:       res.Cycles,
+			AppCycles:         base.Cycles,
+			ProbeCycles:       s.ProbeCycles,
+			TranslationCycles: s.Build.TranslationCycles,
+			Residual:          int64(overhead) - int64(s.ProbeCycles) - int64(s.Build.TranslationCycles),
+			OverheadPct:       overheadPct(res.Cycles, base.Cycles),
+		}, nil
+	})
+}
+
+// FormatAttribution renders the decomposition table.
+func FormatAttribution(w io.Writer, rows []AttributionRow) {
+	fmt.Fprintf(w, "%-10s %-12s %14s %14s %14s %14s %10s %10s\n",
+		"Backend", "Benchmark", "total", "app", "probes", "translation", "residual", "overhead")
+	for _, r := range rows {
+		if r.TotalCycles == 0 {
+			fmt.Fprintf(w, "%-10s %-12s %14s\n", r.Backend, r.Benchmark, "FAIL")
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %-12s %14d %14d %14d %14d %10d %9.2f%%\n",
+			r.Backend, r.Benchmark, r.TotalCycles, r.AppCycles,
+			r.ProbeCycles, r.TranslationCycles, r.Residual, r.OverheadPct)
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAttributionResidualZero checks the attribution completeness
+// invariant: every instrumentation cycle a framework charges is captured
+// either as probe dispatch or as translation cost, so the decomposition
+// has no residual on any backend.
+func TestAttributionResidualZero(t *testing.T) {
+	rows, err := Attribution("leela", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Frameworks) {
+		t.Fatalf("got %d rows, want one per framework (%d)", len(rows), len(Frameworks))
+	}
+	for _, r := range rows {
+		if r.TotalCycles == 0 {
+			t.Errorf("%s: framework rejected the benchmark", r.Backend)
+			continue
+		}
+		if r.Residual != 0 {
+			t.Errorf("%s: residual = %d cycles unattributed (total=%d app=%d probes=%d translation=%d)",
+				r.Backend, r.Residual, r.TotalCycles, r.AppCycles, r.ProbeCycles, r.TranslationCycles)
+		}
+		if r.ProbeCycles == 0 {
+			t.Errorf("%s: no probe cycles attributed", r.Backend)
+		}
+		if r.OverheadPct <= 0 {
+			t.Errorf("%s: overhead = %.2f%%, want > 0", r.Backend, r.OverheadPct)
+		}
+	}
+	var sb strings.Builder
+	FormatAttribution(&sb, rows)
+	for _, fw := range Frameworks {
+		if !strings.Contains(sb.String(), fw) {
+			t.Errorf("formatted table missing %s row:\n%s", fw, sb.String())
+		}
+	}
+}

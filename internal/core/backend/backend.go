@@ -31,6 +31,7 @@ import (
 	"repro/internal/dyninst"
 	"repro/internal/isa"
 	"repro/internal/janus"
+	"repro/internal/obs"
 	"repro/internal/pin"
 	"repro/internal/vm"
 )
@@ -73,6 +74,10 @@ type Options struct {
 	// Interpret runs action bodies with the tree-walking interpreter
 	// instead of the closure-compiled path (see engine.Options).
 	Interpret bool
+	// Obs, when non-nil, collects per-probe firing attribution and
+	// instrumentation-time statistics across the engine, the framework
+	// and the machine (see internal/obs).
+	Obs *obs.Collector
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -196,6 +201,7 @@ func (pl *pinPlacer) placement(a *engine.Action) (pinPlacement, error) {
 		// Cinnamon's generated callbacks are generic encapsulations;
 		// Pin's automatic inlining never applies to them.
 		Inlinable: false,
+		Label:     a.Label,
 	}
 	return pinPlacement{routine: routine, args: args}, nil
 }
@@ -243,7 +249,7 @@ func (pl *pinPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
 }
 
 func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs})
 	pl := &pinPlacer{
 		p: p, prog: prog,
 		loopDetection: opts.PinLoopDetection,
@@ -251,7 +257,7 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 		after:         make(map[uint64][]pinPlacement),
 		blocks:        make(map[uint64][]pinPlacement),
 	}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret})
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +291,18 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 		e := e
 		cost := pin.CleanCallCost + e.p.routine.Cost + uint64(len(e.p.args))*pin.ArgCost
 		words := make([]uint64, len(e.p.args))
-		record(p.VM().AddEdge(e.from, e.to, cost, func(c *vm.Ctx) {
+		id := obs.NoProbe
+		if opts.Obs != nil {
+			opts.Obs.Build().CleanCalls++
+			id = opts.Obs.RegisterProbe(obs.ProbeMeta{
+				Label:        e.p.routine.Label,
+				Trigger:      obs.TriggerEdge,
+				Mechanism:    obs.MechCleanCall,
+				Addr:         e.to,
+				DispatchCost: cost,
+			})
+		}
+		record(p.VM().AddEdgeObs(e.from, e.to, cost, id, func(c *vm.Ctx) {
 			e.p.routine.Fn(words)
 		}))
 	}
@@ -344,9 +361,10 @@ func dyninstSnippet(a *engine.Action) (dyninst.Snippet, error) {
 	buf := make([]value.Value, len(a.Info.DynAttrs))
 	exec := a.Exec
 	return dyninst.FuncCallExpr{
-		Fn:   func(words []uint64) { exec(dynSlots(buf, words)) },
-		Args: args,
-		Cost: a.Info.Cost + DyninstGlue,
+		Fn:    func(words []uint64) { exec(dynSlots(buf, words)) },
+		Args:  args,
+		Cost:  a.Info.Cost + DyninstGlue,
+		Label: a.Label,
 	}, nil
 }
 
@@ -395,12 +413,12 @@ func (pl *dyninstPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error 
 }
 
 func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
 	pl := &dyninstPlacer{be: be, prog: prog}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret})
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -457,6 +475,7 @@ func (pl *janusPlacer) register(a *engine.Action) (janus.HandlerID, []uint64) {
 		Cost: a.Info.Cost + JanusGlue,
 		// DynamoRIO inlines clean calls with simple callbacks.
 		Inlinable: a.Info.Simple,
+		Label:     a.Label,
 	}
 	return id, make([]uint64, a.NumCaptured)
 }
@@ -512,7 +531,7 @@ func (pl *janusPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
 
 func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
 	pl := &janusPlacer{prog: prog, handlers: make(map[janus.HandlerID]janus.Handler), next: 1}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret})
+	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -547,7 +566,7 @@ func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.R
 		},
 		Handlers: pl.handlers,
 	}
-	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}

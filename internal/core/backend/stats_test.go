@@ -1,0 +1,168 @@
+package backend
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/progs"
+)
+
+// TestStatsReconcileInstCount checks the core reconciliation invariant on
+// every backend: the instruction-counting tool's own printed count equals
+// the collector's total probe firings (the tool's only action fires once
+// per counted load, and nothing else is instrumented).
+func TestStatsReconcileInstCount(t *testing.T) {
+	for _, b := range Backends() {
+		t.Run(b, func(t *testing.T) {
+			prog := loadSrc(t, loadsSrc)
+			col := obs.New(obs.Options{})
+			var out strings.Builder
+			if _, err := Run(compile(t, progs.InstCountBasic), prog, b, Options{Out: &out, Obs: col}); err != nil {
+				t.Fatal(err)
+			}
+			var printed uint64
+			if _, err := fmt.Sscanf(out.String(), "%d", &printed); err != nil {
+				t.Fatalf("unparseable tool output %q: %v", out.String(), err)
+			}
+			s := col.Snapshot(b)
+			if s.TotalFires != printed {
+				t.Errorf("total fires = %d, tool printed %d", s.TotalFires, printed)
+			}
+			if s.UntrackedFires != 0 {
+				t.Errorf("untracked fires = %d, want 0 (every probe is registered)", s.UntrackedFires)
+			}
+			if s.Build.ActionsPlaced == 0 {
+				t.Error("no actions placed recorded")
+			}
+			// The tool's static `where (I.opcode == Load)` constraint
+			// filters non-load instructions at instrumentation time.
+			if s.Build.StaticFiltered == 0 {
+				t.Error("static-where filtering not recorded")
+			}
+		})
+	}
+}
+
+// TestStatsReconcileUAF cross-checks probe firing counts against the
+// machine's own allocation accounting: the use-after-free monitor's
+// malloc-after action fires exactly once per malloc, and its free-before
+// action once per free.
+func TestStatsReconcileUAF(t *testing.T) {
+	for _, b := range Backends() {
+		t.Run(b, func(t *testing.T) {
+			prog := loadVictim(t, "uaf_bug")
+			col := obs.New(obs.Options{})
+			var out strings.Builder
+			res, err := Run(compile(t, progs.UseAfterFree), prog, b, Options{Out: &out, Obs: col})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Allocs == 0 || res.Frees == 0 {
+				t.Fatalf("victim did not allocate/free (allocs=%d frees=%d)", res.Allocs, res.Frees)
+			}
+			s := col.Snapshot(b)
+			// The only after-trigger action is the malloc epilogue
+			// (Figure 7's `after I` on the malloc call).
+			afterFires := s.FiresWhere(func(p obs.ProbeStats) bool { return p.Trigger == obs.TriggerAfter })
+			if afterFires != res.Allocs {
+				t.Errorf("malloc-after fires = %d, machine counted %d allocs", afterFires, res.Allocs)
+			}
+			// The free command's before-action (source line 21) fires once
+			// per free intrinsic call.
+			freeFires := s.FiresWhere(func(p obs.ProbeStats) bool {
+				return strings.Contains(p.Label, "@21:") && p.Trigger == obs.TriggerBefore
+			})
+			if freeFires != res.Frees {
+				t.Errorf("free-before fires = %d, machine counted %d frees", freeFires, res.Frees)
+			}
+		})
+	}
+}
+
+// TestStatsNeverPerturbsRun is the bit-identical gate: attaching a
+// collector (with or without tracing) must not change the deterministic
+// cost model's outputs — cycles, instruction count, or tool output.
+func TestStatsNeverPerturbsRun(t *testing.T) {
+	for _, b := range Backends() {
+		t.Run(b, func(t *testing.T) {
+			for _, toolName := range []string{progs.InstCountBasic, progs.InstCountBB} {
+				prog := loadSrc(t, loadsSrc)
+				var plain strings.Builder
+				resPlain, err := Run(compile(t, toolName), prog, b, Options{Out: &plain})
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog2 := loadSrc(t, loadsSrc)
+				var observed strings.Builder
+				resObs, err := Run(compile(t, toolName), prog2, b, Options{
+					Out: &observed, Obs: obs.New(obs.Options{TraceCap: 16}),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resPlain.Cycles != resObs.Cycles || resPlain.Insts != resObs.Insts {
+					t.Errorf("%s: stats perturbed the run: cycles %d vs %d, insts %d vs %d",
+						toolName, resPlain.Cycles, resObs.Cycles, resPlain.Insts, resObs.Insts)
+				}
+				if plain.String() != observed.String() {
+					t.Errorf("%s: tool output differs with stats on: %q vs %q",
+						toolName, plain.String(), observed.String())
+				}
+			}
+		})
+	}
+}
+
+// TestTraceWraparoundEndToEnd drives the bounded trace ring through a
+// real instrumented run that fires more probes than the ring holds.
+func TestTraceWraparoundEndToEnd(t *testing.T) {
+	const cap = 4
+	prog := loadSrc(t, loadsSrc)
+	col := obs.New(obs.Options{TraceCap: cap})
+	var out strings.Builder
+	if _, err := Run(compile(t, progs.InstCountBasic), prog, Janus, Options{Out: &out, Obs: col}); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot(Janus)
+	tr := s.Trace
+	if tr == nil {
+		t.Fatal("no trace recorded")
+	}
+	if s.TotalFires <= cap {
+		t.Fatalf("test needs more than %d fires to wrap, got %d", cap, s.TotalFires)
+	}
+	if tr.Dropped != s.TotalFires-cap {
+		t.Errorf("dropped = %d, want %d", tr.Dropped, s.TotalFires-cap)
+	}
+	if len(tr.Events) != cap {
+		t.Fatalf("events = %d, want the last %d", len(tr.Events), cap)
+	}
+	for i, e := range tr.Events {
+		if want := tr.Dropped + uint64(i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (contiguous window)", i, e.Seq, want)
+		}
+	}
+}
+
+// TestStatsPinLoopDetectionEdges checks that the Pin loop-detection
+// extension's edge instrumentation is attributed like any other probe.
+func TestStatsPinLoopDetectionEdges(t *testing.T) {
+	prog := loadVictim(t, "loopy")
+	col := obs.New(obs.Options{})
+	if _, err := Run(compile(t, progs.LoopCoverage), prog, Pin, Options{
+		Out: io.Discard, Obs: col, PinLoopDetection: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot(Pin)
+	edgeFires := s.FiresWhere(func(p obs.ProbeStats) bool { return p.Trigger == obs.TriggerEdge })
+	if edgeFires == 0 {
+		t.Error("loop-detection edge probes fired 0 times")
+	}
+	if s.UntrackedFires != 0 {
+		t.Errorf("untracked fires = %d, want 0", s.UntrackedFires)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core/sem"
 	"repro/internal/core/value"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // CompiledTool is a parsed, semantically checked and closure-compiled
@@ -60,6 +61,10 @@ type Action struct {
 	// Info is the action's semantic analysis result (trigger, dynamic
 	// attributes, cost estimate, inlinability).
 	Info *sem.ActionInfo
+	// Label identifies the action in observability reports: canonical
+	// trigger, target CFE type and source position, e.g. "before inst
+	// @7:3". Stable across backends so attribution tables line up.
+	Label string
 	// Exec runs the action body with the materialized dynamic attribute
 	// values, one slot per Info.DynAttrs entry in that order (nil when
 	// the action reads no dynamic attributes). Runtime failures are
@@ -101,6 +106,9 @@ type Options struct {
 	// tree-walking interpreter instead of the closure-compiled code —
 	// the reference path the equivalence tests compare against.
 	Interpret bool
+	// Obs, when non-nil, receives instrumentation-time statistics
+	// (actions placed, static-where filtered placements).
+	Obs *obs.Collector
 }
 
 // Instance is the instrumented tool: its shared globals and any runtime
@@ -133,6 +141,7 @@ type engineRun struct {
 	glob      *interp.Env
 	inst      *Instance
 	interpret bool
+	obs       *obs.Collector
 }
 
 // Instrument runs the analysis stage of the tool over the program and
@@ -178,6 +187,7 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 	e := &engineRun{
 		tool: tool, placer: placer, prog: prog,
 		in: it, glob: glob, inst: inst, interpret: interpret,
+		obs: opts.Obs,
 	}
 
 	// Commands map in program order; within a command, per-module in
@@ -256,6 +266,9 @@ func (e *engineRun) runCommand(cmd *ast.Command, dom domain, env *interp.Env) er
 				return err
 			}
 			if !v.AsBool() {
+				if e.obs != nil {
+					e.obs.Build().StaticFiltered++
+				}
 				continue
 			}
 		}
@@ -378,11 +391,21 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 			return err
 		}
 		if !v.AsBool() {
+			if e.obs != nil {
+				e.obs.Build().StaticFiltered++
+			}
 			return nil
 		}
 	}
+	if e.obs != nil {
+		e.obs.Build().ActionsPlaced++
+	}
 
-	a := &Action{Info: ai, NumCaptured: env.NumVarsUntil(e.glob)}
+	a := &Action{
+		Info:        ai,
+		Label:       fmt.Sprintf("%s %s @%s", ai.Canonical, ai.TargetEType, act.Pos()),
+		NumCaptured: env.NumVarsUntil(e.glob),
+	}
 	if e.interpret {
 		a.Exec = e.interpExec(act, ai, env)
 	} else {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -127,6 +128,9 @@ type FuncCallExpr struct {
 	Fn   func(args []uint64)
 	Args []Snippet
 	Cost uint64
+	// Label identifies the call in observability reports (optional; the
+	// Cinnamon backend sets it to the originating action).
+	Label string
 }
 
 func (e FuncCallExpr) eval(c *vm.Ctx) uint64 {
@@ -366,6 +370,7 @@ type BinaryEdit struct {
 	insertions []insertion
 	fuel       uint64
 	appOut     io.Writer
+	obs        *obs.Collector
 	initFns    []func()
 	finiFns    []func()
 }
@@ -377,6 +382,9 @@ type Config struct {
 	Fuel uint64
 	// AppOut receives the application's output (discarded if nil).
 	AppOut io.Writer
+	// Obs, when non-nil, collects per-probe attribution and rewrite-time
+	// statistics for the session.
+	Obs *obs.Collector
 }
 
 // OpenBinary parses the program's executable for rewriting. It fails,
@@ -392,7 +400,7 @@ func OpenBinary(prog *cfg.Program, c Config) (*BinaryEdit, error) {
 			return nil, fmt.Errorf("dyninst: %s: imprecise control flow in %s", exe.Name(), f.Name)
 		}
 	}
-	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut}, nil
+	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs}, nil
 }
 
 // Image returns the parsed image.
@@ -428,25 +436,64 @@ func (be *BinaryEdit) OnInit(fn func()) { be.initFns = append(be.initFns, fn) }
 // (instrumented _fini).
 func (be *BinaryEdit) OnFini(fn func()) { be.finiFns = append(be.finiFns, fn) }
 
+// snippetLabel extracts the report label of a snippet: the Label of the
+// first FuncCallExpr found ("" for pure expression snippets).
+func snippetLabel(s Snippet) string {
+	switch e := s.(type) {
+	case FuncCallExpr:
+		return e.Label
+	case SequenceExpr:
+		for _, it := range e.Items {
+			if l := snippetLabel(it); l != "" {
+				return l
+			}
+		}
+	}
+	return ""
+}
+
 // Run "writes out" the rewritten binary and executes it: all insertions
 // are baked in before the first instruction runs, and no translation cost
 // is paid at run time.
 func (be *BinaryEdit) Run() (*vm.Result, error) {
-	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut})
+	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs})
 	for _, ins := range be.insertions {
 		s := ins.snippet
 		cost := SnippetCost + s.cost()
 		fn := func(c *vm.Ctx) { s.eval(c) }
+		var trigger string
+		var addr uint64
+		switch {
+		case ins.point.isEdge:
+			trigger, addr = obs.TriggerEdge, ins.point.edge[1]
+		case ins.point.blockAddr != 0:
+			trigger, addr = obs.TriggerBlockEntry, ins.point.blockAddr
+		case ins.when == CallBefore:
+			trigger, addr = obs.TriggerBefore, ins.point.instAddr
+		default:
+			trigger, addr = obs.TriggerAfter, ins.point.instAddr
+		}
+		id := obs.NoProbe
+		if be.obs != nil {
+			be.obs.Build().Snippets++
+			id = be.obs.RegisterProbe(obs.ProbeMeta{
+				Label:        snippetLabel(s),
+				Trigger:      trigger,
+				Mechanism:    obs.MechSnippet,
+				Addr:         addr,
+				DispatchCost: cost,
+			})
+		}
 		var err error
 		switch {
 		case ins.point.isEdge:
-			err = machine.AddEdge(ins.point.edge[0], ins.point.edge[1], cost, fn)
+			err = machine.AddEdgeObs(ins.point.edge[0], ins.point.edge[1], cost, id, fn)
 		case ins.point.blockAddr != 0:
-			err = machine.AddBlockEntry(ins.point.blockAddr, cost, fn)
+			err = machine.AddBlockEntryObs(ins.point.blockAddr, cost, id, fn)
 		case ins.when == CallBefore:
-			err = machine.AddBefore(ins.point.instAddr, cost, fn)
+			err = machine.AddBeforeObs(ins.point.instAddr, cost, id, fn)
 		default:
-			err = machine.AddAfter(ins.point.instAddr, cost, fn)
+			err = machine.AddAfterObs(ins.point.instAddr, cost, id, fn)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dyninst: %w", err)

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -103,6 +104,16 @@ type Handler struct {
 	Fn        HandlerFn
 	Cost      uint64
 	Inlinable bool
+	// Label identifies the handler in observability reports (optional;
+	// the Cinnamon backend sets it to the originating action).
+	Label string
+}
+
+func (h Handler) mechanism() string {
+	if h.Inlinable {
+		return obs.MechInlinedCall
+	}
+	return obs.MechCleanCall
 }
 
 func (h Handler) dispatchCost(nargs int) uint64 {
@@ -178,6 +189,9 @@ type Config struct {
 	Fuel uint64
 	// AppOut receives the application's output (discarded if nil).
 	AppOut io.Writer
+	// Obs, when non-nil, collects per-probe attribution, rule counts and
+	// translation statistics for the run.
+	Obs *obs.Collector
 }
 
 // Run executes the program under Janus: the tool's static pass runs
@@ -190,12 +204,37 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 		tool.StaticPass(sa)
 	}
 	rt := buildTable(sa.rules)
+	if c.Obs != nil {
+		c.Obs.Build().RulesEmitted = rt.NumRules()
+	}
 
-	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut})
+	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs})
+	// register records one applied rule with the attached collector (cold
+	// path: block-translation time only).
+	register := func(h Handler, r Rule, trigger string, addr, cost uint64) obs.ProbeID {
+		if c.Obs == nil {
+			return obs.NoProbe
+		}
+		if h.Inlinable {
+			c.Obs.Build().InlinedCalls++
+		} else {
+			c.Obs.Build().CleanCalls++
+		}
+		return c.Obs.RegisterProbe(obs.ProbeMeta{
+			Label:        h.Label,
+			Trigger:      trigger,
+			Mechanism:    h.mechanism(),
+			Addr:         addr,
+			DispatchCost: cost,
+		})
+	}
 	// The dynamic instrumenter: translate one block at a time, decode the
 	// block's rewrite rules, insert clean calls.
 	err := machine.SetTranslator(func(b *cfg.Block) {
 		machine.Charge(BlockTranslationCost)
+		if c.Obs != nil {
+			c.Obs.NoteTranslation(BlockTranslationCost)
+		}
 		for _, r := range rt.RulesFor(b.Start) {
 			r := r
 			h, ok := tool.Handlers[r.Handler]
@@ -209,13 +248,17 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 			var ierr error
 			switch r.Trigger {
 			case TriggerBefore:
-				ierr = machine.AddBefore(r.InstAddr, cost, fn)
+				ierr = machine.AddBeforeObs(r.InstAddr, cost,
+					register(h, r, obs.TriggerBefore, r.InstAddr, cost), fn)
 			case TriggerAfter:
-				ierr = machine.AddAfter(r.InstAddr, cost, fn)
+				ierr = machine.AddAfterObs(r.InstAddr, cost,
+					register(h, r, obs.TriggerAfter, r.InstAddr, cost), fn)
 			case TriggerBlockEntry:
-				ierr = machine.AddBlockEntry(r.BlockAddr, cost, fn)
+				ierr = machine.AddBlockEntryObs(r.BlockAddr, cost,
+					register(h, r, obs.TriggerBlockEntry, r.BlockAddr, cost), fn)
 			case TriggerEdge:
-				ierr = machine.AddEdge(r.Aux, r.BlockAddr, cost, fn)
+				ierr = machine.AddEdgeObs(r.Aux, r.BlockAddr, cost,
+					register(h, r, obs.TriggerEdge, r.BlockAddr, cost), fn)
 			}
 			if ierr != nil {
 				// Rules that cannot be applied are skipped, as the

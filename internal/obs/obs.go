@@ -1,0 +1,173 @@
+// Package obs is the runtime observability layer: an always-compiled,
+// zero-cost-when-disabled subsystem that attributes instrumentation cost
+// to the probes that incur it.
+//
+// The paper's evaluation (Figure 13) hinges on understanding *where*
+// instrumentation overhead goes — clean calls versus inlined calls versus
+// snippets, dispatch versus translation. A Collector makes that breakdown
+// observable for any run: per-probe firing counters and cycle
+// attribution, per-backend instrumentation-time statistics (rules
+// emitted, snippets baked in, clean calls inserted, blocks translated),
+// and a bounded ring-buffer trace of probe firings.
+//
+// The design mirrors the VM's de-mapped probe dispatch: counters live in
+// pre-sized slots indexed by ProbeID, so the hot path (Collector.Fire)
+// is two array writes — no map lookups, no allocation. Registration
+// (RegisterProbe) happens on cold paths only: ahead of execution for the
+// static frameworks, at block-translation time for the dynamic ones.
+// When no Collector is attached the only cost to the execution substrate
+// is one predictable nil-check branch per probe dispatch batch.
+//
+// A Collector belongs to a single run and is not safe for concurrent
+// use; parallel harnesses (internal/bench) attach one Collector per run.
+package obs
+
+// ProbeID identifies a registered probe within one Collector. IDs are
+// dense and start at 1; NoProbe (0) marks an untagged probe, whose
+// firings are accumulated in the collector's untracked bucket.
+type ProbeID int32
+
+// NoProbe is the zero ProbeID: the probe is not individually tracked.
+const NoProbe ProbeID = 0
+
+// Trigger names for ProbeMeta.Trigger (shared vocabulary across the
+// three frameworks so reports and tests can filter uniformly).
+const (
+	TriggerBefore     = "before"
+	TriggerAfter      = "after"
+	TriggerBlockEntry = "block-entry"
+	TriggerEdge       = "edge"
+)
+
+// Mechanism names for ProbeMeta.Mechanism.
+const (
+	MechCleanCall   = "clean-call"   // Pin analysis call / Janus non-inlined handler
+	MechInlinedCall = "inlined-call" // Pin/DynamoRIO inlined dispatch
+	MechSnippet     = "snippet"      // Dyninst trampoline + snippet
+)
+
+// ProbeMeta describes one placed probe for attribution reports.
+type ProbeMeta struct {
+	// Label identifies the tool-level origin of the probe (for Cinnamon
+	// tools: trigger, target element type and source position of the
+	// action, e.g. "before inst @7:3").
+	Label string `json:"label"`
+	// Trigger is the trigger point ("before", "after", "block-entry",
+	// "edge").
+	Trigger string `json:"trigger"`
+	// Mechanism is how the framework dispatches the probe ("clean-call",
+	// "inlined-call", "snippet").
+	Mechanism string `json:"mechanism"`
+	// Addr is the instrumented address (the destination block start for
+	// edge probes).
+	Addr uint64 `json:"addr"`
+	// DispatchCost is the priced cost (cycle units) of one firing:
+	// mechanism dispatch plus argument materialization plus the action
+	// body estimate.
+	DispatchCost uint64 `json:"dispatch_cost"`
+}
+
+// probeSlot is the hot-path counter pair of one probe.
+type probeSlot struct {
+	fires  uint64
+	cycles uint64
+}
+
+// BuildStats are instrumentation-time statistics: what each layer did to
+// set the run up, before and while code was translated. All fields are
+// cold-path counters.
+type BuildStats struct {
+	// ActionsPlaced counts compiled actions the engine handed to the
+	// backend placer.
+	ActionsPlaced int `json:"actions_placed"`
+	// StaticFiltered counts placements skipped because a static `where`
+	// constraint evaluated false at instrumentation time.
+	StaticFiltered int `json:"static_filtered"`
+	// RulesEmitted counts Janus rewrite rules produced by the static
+	// analyzer (0 on other backends).
+	RulesEmitted int `json:"rules_emitted,omitempty"`
+	// CleanCalls and InlinedCalls count dynamic-framework call
+	// insertions by dispatch mechanism (Pin analysis calls, Janus
+	// handlers).
+	CleanCalls   int `json:"clean_calls,omitempty"`
+	InlinedCalls int `json:"inlined_calls,omitempty"`
+	// Snippets counts Dyninst snippet insertions — trampolines baked
+	// into the rewritten binary ahead of execution.
+	Snippets int `json:"snippets,omitempty"`
+	// BlocksTranslated counts just-in-time block translations, and
+	// TranslationCycles the cycle units they were charged (Pin traces,
+	// Janus/DynamoRIO block builds; 0 for the static rewriter).
+	BlocksTranslated  int    `json:"blocks_translated,omitempty"`
+	TranslationCycles uint64 `json:"translation_cycles,omitempty"`
+}
+
+// Options parameterizes a Collector.
+type Options struct {
+	// TraceCap bounds the firing-event trace ring buffer; 0 disables
+	// tracing entirely (firings are still counted).
+	TraceCap int
+}
+
+// Collector accumulates observability data for one instrumented run.
+// The zero Collector is usable; a nil *Collector everywhere means
+// "observability disabled".
+type Collector struct {
+	metas []ProbeMeta // index = ProbeID-1
+	slots []probeSlot // parallel to metas
+
+	untrackedFires  uint64
+	untrackedCycles uint64
+
+	build BuildStats
+	trace *ring
+}
+
+// New creates a Collector.
+func New(o Options) *Collector {
+	c := &Collector{}
+	if o.TraceCap > 0 {
+		c.trace = newRing(o.TraceCap)
+	}
+	return c
+}
+
+// RegisterProbe records a placed probe and returns its ID. Cold path:
+// frameworks call it when they insert instrumentation (ahead of time for
+// the static rewriter, at translation time for the dynamic frameworks).
+func (c *Collector) RegisterProbe(m ProbeMeta) ProbeID {
+	c.metas = append(c.metas, m)
+	c.slots = append(c.slots, probeSlot{})
+	return ProbeID(len(c.metas))
+}
+
+// Fire records one probe firing: cost cycle units attributed to id at
+// program counter pc. Hot path — slot counters are pre-sized arrays
+// indexed by ID; firings of untagged probes (NoProbe, or an ID from a
+// different collector) fall into the untracked bucket rather than being
+// lost, so totals always reconcile.
+func (c *Collector) Fire(id ProbeID, cost, pc uint64) {
+	if id > 0 && int(id) <= len(c.slots) {
+		s := &c.slots[id-1]
+		s.fires++
+		s.cycles += cost
+	} else {
+		c.untrackedFires++
+		c.untrackedCycles += cost
+	}
+	if c.trace != nil {
+		c.trace.push(id, pc, cost)
+	}
+}
+
+// Build exposes the mutable instrumentation-time counters. Cold path.
+func (c *Collector) Build() *BuildStats { return &c.build }
+
+// NoteTranslation records one just-in-time block translation and its
+// charged cost.
+func (c *Collector) NoteTranslation(cost uint64) {
+	c.build.BlocksTranslated++
+	c.build.TranslationCycles += cost
+}
+
+// NumProbes returns the number of registered probes.
+func (c *Collector) NumProbes() int { return len(c.metas) }

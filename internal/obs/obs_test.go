@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegisterAndFire(t *testing.T) {
+	c := New(Options{})
+	a := c.RegisterProbe(ProbeMeta{Label: "before inst @1:1", Trigger: TriggerBefore, Mechanism: MechCleanCall, Addr: 0x1000, DispatchCost: 30})
+	b := c.RegisterProbe(ProbeMeta{Label: "entry basicblock @2:3", Trigger: TriggerBlockEntry, Mechanism: MechSnippet, Addr: 0x2000, DispatchCost: 14})
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d, want 1, 2", a, b)
+	}
+	for i := 0; i < 3; i++ {
+		c.Fire(a, 30, 0x1000)
+	}
+	c.Fire(b, 14, 0x2000)
+	c.Fire(NoProbe, 7, 0x3000)  // untagged
+	c.Fire(ProbeID(99), 5, 0x4) // foreign id: must not panic, lands untracked
+
+	s := c.Snapshot("pin")
+	if s.Backend != "pin" {
+		t.Errorf("backend = %q", s.Backend)
+	}
+	if got := s.Probes[0].Fires; got != 3 {
+		t.Errorf("probe a fires = %d, want 3", got)
+	}
+	if got := s.Probes[0].Cycles; got != 90 {
+		t.Errorf("probe a cycles = %d, want 90", got)
+	}
+	if got := s.Probes[1].Fires; got != 1 {
+		t.Errorf("probe b fires = %d, want 1", got)
+	}
+	if s.UntrackedFires != 2 || s.UntrackedCycles != 12 {
+		t.Errorf("untracked = %d fires / %d cycles, want 2 / 12", s.UntrackedFires, s.UntrackedCycles)
+	}
+	if s.TotalFires != 6 {
+		t.Errorf("total fires = %d, want 6", s.TotalFires)
+	}
+	if s.ProbeCycles != 90+14+12 {
+		t.Errorf("probe cycles = %d, want %d", s.ProbeCycles, 90+14+12)
+	}
+	if got := s.FiresWhere(func(p ProbeStats) bool { return p.Trigger == TriggerBefore }); got != 3 {
+		t.Errorf("FiresWhere(before) = %d, want 3", got)
+	}
+	if got := s.CyclesWhere(func(p ProbeStats) bool { return p.Mechanism == MechSnippet }); got != 14 {
+		t.Errorf("CyclesWhere(snippet) = %d, want 14", got)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	const cap = 4
+	c := New(Options{TraceCap: cap})
+	id := c.RegisterProbe(ProbeMeta{Label: "p", Trigger: TriggerBefore, Mechanism: MechCleanCall})
+	const total = 11
+	for i := 0; i < total; i++ {
+		c.Fire(id, uint64(i), uint64(0x100+i))
+	}
+	s := c.Snapshot("janus")
+	tr := s.Trace
+	if tr == nil {
+		t.Fatal("no trace recorded")
+	}
+	if tr.Cap != cap {
+		t.Errorf("cap = %d, want %d", tr.Cap, cap)
+	}
+	if tr.Dropped != total-cap {
+		t.Errorf("dropped = %d, want %d", tr.Dropped, total-cap)
+	}
+	if len(tr.Events) != cap {
+		t.Fatalf("len(events) = %d, want %d", len(tr.Events), cap)
+	}
+	// The window must be the LAST cap firings with contiguous sequence
+	// numbers, oldest first.
+	for i, e := range tr.Events {
+		wantSeq := uint64(total - cap + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.PC != 0x100+wantSeq {
+			t.Errorf("event %d pc = %#x, want %#x", i, e.PC, 0x100+wantSeq)
+		}
+	}
+}
+
+func TestTraceUnderfill(t *testing.T) {
+	c := New(Options{TraceCap: 8})
+	id := c.RegisterProbe(ProbeMeta{Label: "p"})
+	c.Fire(id, 1, 0x10)
+	c.Fire(id, 2, 0x20)
+	tr := c.Snapshot("dyninst").Trace
+	if tr.Dropped != 0 || len(tr.Events) != 2 {
+		t.Fatalf("dropped=%d events=%d, want 0/2", tr.Dropped, len(tr.Events))
+	}
+	if tr.Events[0].Seq != 0 || tr.Events[1].Seq != 1 {
+		t.Errorf("seqs = %d,%d, want 0,1", tr.Events[0].Seq, tr.Events[1].Seq)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := New(Options{TraceCap: 2})
+	id := c.RegisterProbe(ProbeMeta{Label: "before inst @3:3", Trigger: TriggerBefore, Mechanism: MechInlinedCall, Addr: 0x40, DispatchCost: 12})
+	c.Fire(id, 12, 0x40)
+	c.Build().ActionsPlaced = 1
+	c.NoteTranslation(300)
+
+	var buf bytes.Buffer
+	if err := c.Snapshot("janus").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Backend != "janus" || back.TotalFires != 1 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+	if back.Build.BlocksTranslated != 1 || back.Build.TranslationCycles != 300 {
+		t.Errorf("build stats lost: %+v", back.Build)
+	}
+	if len(back.Probes) != 1 || back.Probes[0].Label != "before inst @3:3" {
+		t.Errorf("probe meta lost: %+v", back.Probes)
+	}
+}
+
+func TestWriteTableGroupsPlacements(t *testing.T) {
+	c := New(Options{})
+	// Two placements (sites) of the same action must fold into one row.
+	for i := 0; i < 2; i++ {
+		id := c.RegisterProbe(ProbeMeta{Label: "entry basicblock @5:3", Trigger: TriggerBlockEntry, Mechanism: MechSnippet, Addr: uint64(0x100 * (i + 1)), DispatchCost: 14})
+		c.Fire(id, 14, uint64(0x100*(i+1)))
+	}
+	var buf bytes.Buffer
+	c.Snapshot("dyninst").WriteTable(&buf)
+	out := buf.String()
+	if n := strings.Count(out, "entry basicblock @5:3"); n != 1 {
+		t.Errorf("want 1 grouped row, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "total: 2 fires") {
+		t.Errorf("missing total line:\n%s", out)
+	}
+}

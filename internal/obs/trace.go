@@ -1,0 +1,66 @@
+package obs
+
+// TraceEvent is one probe firing in the event trace.
+type TraceEvent struct {
+	// Seq is the global firing sequence number (0-based, counting every
+	// Fire on the collector, including untracked ones).
+	Seq uint64 `json:"seq"`
+	// Probe is the fired probe's ID (NoProbe for untracked firings).
+	Probe ProbeID `json:"probe"`
+	// PC is the program counter at the firing.
+	PC uint64 `json:"pc"`
+	// Cost is the cycle units the firing was charged.
+	Cost uint64 `json:"cost"`
+}
+
+// ring is a bounded event buffer: pushes never allocate after creation,
+// and once full each push overwrites the oldest event (wraparound), so a
+// long run keeps the most recent window.
+type ring struct {
+	buf  []TraceEvent
+	next uint64 // total events ever pushed
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]TraceEvent, capacity)}
+}
+
+func (r *ring) push(id ProbeID, pc, cost uint64) {
+	r.buf[r.next%uint64(len(r.buf))] = TraceEvent{Seq: r.next, Probe: id, PC: pc, Cost: cost}
+	r.next++
+}
+
+// events returns the retained window in sequence order (oldest first).
+func (r *ring) events() []TraceEvent {
+	n := uint64(len(r.buf))
+	if r.next <= n {
+		out := make([]TraceEvent, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	// Full ring: the oldest retained event is at next % n.
+	out := make([]TraceEvent, 0, n)
+	start := r.next % n
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// dropped returns how many events were overwritten.
+func (r *ring) dropped() uint64 {
+	if n := uint64(len(r.buf)); r.next > n {
+		return r.next - n
+	}
+	return 0
+}
+
+// Trace is the exported form of the firing-event ring buffer.
+type Trace struct {
+	// Cap is the ring capacity the run was configured with.
+	Cap int `json:"cap"`
+	// Dropped counts events overwritten by wraparound: the trace holds
+	// the *last* Cap firings of a run with Dropped+len(Events) total.
+	Dropped uint64 `json:"dropped"`
+	// Events is the retained window, oldest first, with contiguous Seq.
+	Events []TraceEvent `json:"events"`
+}

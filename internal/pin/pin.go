@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -140,6 +141,16 @@ type Routine struct {
 	Fn        AnalysisFn
 	Cost      uint64
 	Inlinable bool
+	// Label identifies the routine in observability reports (optional;
+	// the Cinnamon backend sets it to the originating action).
+	Label string
+}
+
+func (r Routine) mechanism() string {
+	if r.Inlinable {
+		return obs.MechInlinedCall
+	}
+	return obs.MechCleanCall
 }
 
 func (r Routine) dispatchCost() uint64 {
@@ -300,6 +311,7 @@ func (i IMG) RTNs() []RTN {
 type Pin struct {
 	prog *cfg.Program
 	vm   *vm.VM
+	obs  *obs.Collector
 
 	insCbs   []func(INS)
 	traceCbs []func(TRACE)
@@ -316,12 +328,15 @@ type Config struct {
 	Fuel uint64
 	// AppOut receives the application's output (discarded if nil).
 	AppOut io.Writer
+	// Obs, when non-nil, collects per-probe attribution and
+	// instrumentation-time statistics for the session.
+	Obs *obs.Collector
 }
 
 // New creates a Pin session for the program.
 func New(prog *cfg.Program, c Config) *Pin {
-	p := &Pin{prog: prog}
-	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut})
+	p := &Pin{prog: prog, obs: c.Obs}
+	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs})
 	return p
 }
 
@@ -378,6 +393,27 @@ func (p *Pin) materialize(c *vm.Ctx, args []Arg, buf []uint64) []uint64 {
 	return buf
 }
 
+// register records one inserted analysis call with the attached
+// collector (cold path: instrumentation time only) and returns the probe
+// ID the VM should attribute firings to.
+func (p *Pin) register(r Routine, trigger string, addr, cost uint64) obs.ProbeID {
+	if p.obs == nil {
+		return obs.NoProbe
+	}
+	if r.Inlinable {
+		p.obs.Build().InlinedCalls++
+	} else {
+		p.obs.Build().CleanCalls++
+	}
+	return p.obs.RegisterProbe(obs.ProbeMeta{
+		Label:        r.Label,
+		Trigger:      trigger,
+		Mechanism:    r.mechanism(),
+		Addr:         addr,
+		DispatchCost: cost,
+	})
+}
+
 func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) error {
 	cost := r.dispatchCost() + uint64(len(args))*ArgCost
 	fn := func(c *vm.Ctx) {
@@ -387,16 +423,17 @@ func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) er
 	}
 	switch point {
 	case IPointBefore:
-		return p.vm.AddBefore(inst.Addr, cost, fn)
+		return p.vm.AddBeforeObs(inst.Addr, cost, p.register(r, obs.TriggerBefore, inst.Addr, cost), fn)
 	case IPointAfter:
-		return p.vm.AddAfter(inst.Addr, cost, fn)
+		return p.vm.AddAfterObs(inst.Addr, cost, p.register(r, obs.TriggerAfter, inst.Addr, cost), fn)
 	}
 	return fmt.Errorf("pin: invalid insertion point %d", point)
 }
 
 func (p *Pin) insertBlockCall(block *cfg.Block, r Routine, args []Arg) error {
 	cost := r.dispatchCost() + uint64(len(args))*ArgCost
-	return p.vm.AddBlockEntry(block.Start, cost, func(c *vm.Ctx) {
+	id := p.register(r, obs.TriggerBlockEntry, block.Start, cost)
+	return p.vm.AddBlockEntryObs(block.Start, cost, id, func(c *vm.Ctx) {
 		buf := make([]uint64, 0, 4)
 		buf = p.materialize(c, args, buf)
 		r.Fn(buf)
@@ -430,6 +467,9 @@ func (p *Pin) Run() (*vm.Result, error) {
 	// is attached.
 	err := p.vm.SetTranslator(func(b *cfg.Block) {
 		p.vm.Charge(TraceCost)
+		if p.obs != nil {
+			p.obs.NoteTranslation(TraceCost)
+		}
 		for _, cb := range p.traceCbs {
 			cb(TRACE{pin: p, block: b})
 		}

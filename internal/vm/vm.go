@@ -21,6 +21,12 @@
 // Every probe carries a dispatch cost in cycle units, charged when it
 // fires; this is how the frameworks' differing instrumentation mechanisms
 // (clean calls, inlined clean calls, trampoline snippets) are priced.
+//
+// Probes may additionally be tagged with an observability ID (the
+// Add*Obs variants): when a Collector is attached via Config.Obs, every
+// firing is attributed to its probe — count and cycles — on pre-sized
+// slots. With no collector attached the dispatch loop pays exactly one
+// predictable nil-check branch per probe batch.
 package vm
 
 import (
@@ -31,6 +37,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/isa"
 	"repro/internal/obj"
+	"repro/internal/obs"
 )
 
 // Runtime intrinsic pseudo-addresses.
@@ -58,6 +65,9 @@ type ProbeFn func(*Ctx)
 type probe struct {
 	fn   ProbeFn
 	cost uint64
+	// id attributes firings on the attached obs.Collector
+	// (obs.NoProbe = untracked).
+	id obs.ProbeID
 }
 
 // TrapError reports a machine fault (invalid code address, division by
@@ -135,6 +145,10 @@ type Config struct {
 	Fuel uint64
 	// AppOut receives the application's print output (default: discard).
 	AppOut io.Writer
+	// Obs, when non-nil, receives per-probe firing attribution (count,
+	// cycles, trace events). Nil disables observability at the price of
+	// one branch per probe dispatch batch.
+	Obs *obs.Collector
 }
 
 // VM is a single-use machine: create, instrument, Run once.
@@ -159,6 +173,7 @@ type VM struct {
 	heapNext uint64
 
 	appOut io.Writer
+	obsC   *obs.Collector
 
 	translator           func(*cfg.Block)
 	startHooks, endHooks []ProbeFn
@@ -197,6 +212,7 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 		mem:          NewMemory(),
 		fuel:         cfgv.Fuel,
 		appOut:       cfgv.AppOut,
+		obsC:         cfgv.Obs,
 		heapNext:     obj.HeapBase,
 		suppressEdge: true,
 	}
@@ -249,12 +265,18 @@ func (v *VM) modFor(addr uint64) *modExec {
 // AddBefore installs a probe fired before the instruction at addr
 // executes. cost is charged on each firing.
 func (v *VM) AddBefore(addr uint64, cost uint64, fn ProbeFn) error {
+	return v.AddBeforeObs(addr, cost, obs.NoProbe, fn)
+}
+
+// AddBeforeObs is AddBefore with an observability tag: firings are
+// attributed to id on the collector attached via Config.Obs.
+func (v *VM) AddBeforeObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
 	m := v.modFor(addr)
 	if m == nil || m.insts[addr-m.base] == nil {
 		return fmt.Errorf("vm: no instruction at %#x", addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.before = append(p.before, probe{fn, cost})
+	p.before = append(p.before, probe{fn, cost, id})
 	m.flags[addr-m.base] |= flagBefore
 	return nil
 }
@@ -265,6 +287,11 @@ func (v *VM) AddBefore(addr uint64, cost uint64, fn ProbeFn) error {
 // well-defined "after" point), matching the restrictions real frameworks
 // impose.
 func (v *VM) AddAfter(addr uint64, cost uint64, fn ProbeFn) error {
+	return v.AddAfterObs(addr, cost, obs.NoProbe, fn)
+}
+
+// AddAfterObs is AddAfter with an observability tag.
+func (v *VM) AddAfterObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
 	m := v.modFor(addr)
 	if m == nil || m.insts[addr-m.base] == nil {
 		return fmt.Errorf("vm: no instruction at %#x", addr)
@@ -274,7 +301,7 @@ func (v *VM) AddAfter(addr uint64, cost uint64, fn ProbeFn) error {
 		return fmt.Errorf("vm: after-probe invalid on %s at %#x", m.insts[addr-m.base].Op, addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.after = append(p.after, probe{fn, cost})
+	p.after = append(p.after, probe{fn, cost, id})
 	m.flags[addr-m.base] |= flagAfter
 	return nil
 }
@@ -282,12 +309,17 @@ func (v *VM) AddAfter(addr uint64, cost uint64, fn ProbeFn) error {
 // AddBlockEntry installs a probe fired whenever execution enters the basic
 // block starting at addr.
 func (v *VM) AddBlockEntry(addr uint64, cost uint64, fn ProbeFn) error {
+	return v.AddBlockEntryObs(addr, cost, obs.NoProbe, fn)
+}
+
+// AddBlockEntryObs is AddBlockEntry with an observability tag.
+func (v *VM) AddBlockEntryObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
 	m := v.modFor(addr)
 	if m == nil || m.blocks[addr-m.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.entry = append(p.entry, probe{fn, cost})
+	p.entry = append(p.entry, probe{fn, cost, id})
 	m.flags[addr-m.base] |= flagBlockEntry
 	return nil
 }
@@ -295,6 +327,11 @@ func (v *VM) AddBlockEntry(addr uint64, cost uint64, fn ProbeFn) error {
 // AddEdge installs a probe fired when the intraprocedural edge from the
 // block starting at `from` to the block starting at `to` is traversed.
 func (v *VM) AddEdge(from, to uint64, cost uint64, fn ProbeFn) error {
+	return v.AddEdgeObs(from, to, cost, obs.NoProbe, fn)
+}
+
+// AddEdgeObs is AddEdge with an observability tag.
+func (v *VM) AddEdgeObs(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
 	m := v.modFor(to)
 	if m == nil || m.blocks[to-m.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", to)
@@ -305,12 +342,12 @@ func (v *VM) AddEdge(from, to uint64, cost uint64, fn ProbeFn) error {
 	p := m.probesAt(to - m.base)
 	for i := range p.edgeIn {
 		if p.edgeIn[i].from == from {
-			p.edgeIn[i].probes = append(p.edgeIn[i].probes, probe{fn, cost})
+			p.edgeIn[i].probes = append(p.edgeIn[i].probes, probe{fn, cost, id})
 			m.flags[to-m.base] |= flagEdgeTo
 			return nil
 		}
 	}
-	p.edgeIn = append(p.edgeIn, edgeProbes{from: from, probes: []probe{{fn, cost}}})
+	p.edgeIn = append(p.edgeIn, edgeProbes{from: from, probes: []probe{{fn, cost, id}}})
 	m.flags[to-m.base] |= flagEdgeTo
 	return nil
 }
@@ -353,9 +390,19 @@ func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
 	c := &v.ctx
 	saveInst, saveWhen := c.inst, c.when
 	c.inst, c.when = in, when
-	for _, p := range ps {
-		v.cycles += p.cost
-		p.fn(c)
+	// One predictable branch decides the whole batch: the disabled path
+	// runs the same loop the VM always ran, with no per-probe overhead.
+	if obsC := v.obsC; obsC != nil {
+		for _, p := range ps {
+			v.cycles += p.cost
+			p.fn(c)
+			obsC.Fire(p.id, p.cost, v.pc)
+		}
+	} else {
+		for _, p := range ps {
+			v.cycles += p.cost
+			p.fn(c)
+		}
 	}
 	c.inst, c.when = saveInst, saveWhen
 }

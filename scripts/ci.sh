@@ -8,6 +8,9 @@
 #              this also exercises the parallel harness for races)
 #   bench      one smoke iteration of every table/figure benchmark at a
 #              reduced workload scale
+#   docs       package-doc + documentation-suite gate (scripts/pkgdoc),
+#              one -stats CLI smoke run, and the disabled-path probe
+#              dispatch perf gate (non-race; see internal/vm/obs_test.go)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,5 +26,15 @@ go test -race ./...
 
 echo "==> bench smoke (CINNAMON_SCALE=0.1)"
 CINNAMON_SCALE=0.1 go test -run '^$' -bench . -benchtime 1x .
+
+echo "==> docs gate"
+go run ./scripts/pkgdoc .
+
+echo "==> observability smoke (-stats -trace)"
+go run ./cmd/cinnamon -backend=janus -target=victim:uaf_bug \
+	-stats -trace=8 @useafterfree >/dev/null 2>&1
+
+echo "==> disabled-path dispatch perf gate"
+CINNAMON_PERF_GATE=1 go test -run TestObsDisabledDispatchOverhead -count=1 ./internal/vm/
 
 echo "CI OK"

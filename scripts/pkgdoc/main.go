@@ -1,0 +1,98 @@
+// Command pkgdoc is the documentation gate run by scripts/ci.sh: it
+// walks every Go package in the repository and fails if any package
+// lacks a package-level doc comment (or if a required documentation
+// file is missing). Usage:
+//
+//	go run ./scripts/pkgdoc [repo root]
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var failures []string
+
+	// Every package must carry a doc comment on its package clause.
+	undocumented, err := packagesWithoutDoc(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pkgdoc: %v\n", err)
+		os.Exit(1)
+	}
+	for _, dir := range undocumented {
+		failures = append(failures, fmt.Sprintf("package in %s has no package doc comment", dir))
+	}
+
+	// The documentation suite must exist and be non-trivial.
+	for _, doc := range []string{
+		"README.md",
+		"docs/LANGUAGE.md",
+		"docs/BACKENDS.md",
+		"docs/OBSERVABILITY.md",
+	} {
+		info, err := os.Stat(filepath.Join(root, doc))
+		if err != nil || info.Size() < 512 {
+			failures = append(failures, fmt.Sprintf("%s missing or stub (<512 bytes)", doc))
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "pkgdoc:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("pkgdoc: all packages documented, docs suite present")
+}
+
+// packagesWithoutDoc returns the directories (relative to root) whose
+// Go package has no doc comment on any file's package clause.
+func packagesWithoutDoc(root string) ([]string, error) {
+	// dir → true once a doc comment is seen, false if only undocumented
+	// files were seen so far.
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		dir, _ := filepath.Rel(root, filepath.Dir(path))
+		seen[dir] = seen[dir] || f.Doc != nil
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for dir, documented := range seen {
+		if !documented {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
