@@ -25,14 +25,17 @@ package cinnamon
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/core/backend"
 	"repro/internal/core/codegen"
 	"repro/internal/core/engine"
+	"repro/internal/monitor"
 	"repro/internal/obj"
 	"repro/internal/obs"
 	"repro/internal/vm"
@@ -130,6 +133,20 @@ type RunOptions struct {
 	// firings in a bounded ring buffer (Report.Stats.Trace). Trace > 0
 	// implies Stats.
 	Trace int
+	// MonitorAddr, when non-empty, serves live monitoring for the run on
+	// this TCP address (host:port; port 0 picks a free one): /metrics
+	// Prometheus scrapes, /stats and /series JSON, an SSE /trace stream
+	// and /healthz. Implies Stats; the server starts before the run and
+	// shuts down after the final snapshot is taken, so a last scrape
+	// reconciles exactly with Report.Stats. See internal/monitor and
+	// docs/OBSERVABILITY.md.
+	MonitorAddr string
+	// Interval is the monitor's time-series sampling period (default 1s;
+	// only meaningful with MonitorAddr).
+	Interval time.Duration
+	// OnMonitor, if set, is called with the monitor's bound address once
+	// it is serving (before the run starts). Useful with port 0.
+	OnMonitor func(addr string)
 }
 
 // Stats is the observability report of a run: per-probe firing counters
@@ -152,8 +169,8 @@ type Report struct {
 	Insts uint64
 	// ExitCode is the application's exit code.
 	ExitCode uint64
-	// Stats holds the observability report (nil unless RunOptions.Stats
-	// or RunOptions.Trace enabled collection).
+	// Stats holds the observability report (nil unless RunOptions.Stats,
+	// RunOptions.Trace or RunOptions.MonitorAddr enabled collection).
 	Stats *Stats
 }
 
@@ -167,8 +184,27 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 		out, captured = &buf, true
 	}
 	var col *obs.Collector
-	if opts.Stats || opts.Trace > 0 {
+	if opts.Stats || opts.Trace > 0 || opts.MonitorAddr != "" {
 		col = obs.New(obs.Options{TraceCap: opts.Trace})
+	}
+	if opts.MonitorAddr != "" {
+		mon := monitor.NewServer(monitor.Config{
+			Collector: col,
+			Backend:   backendName,
+			Interval:  opts.Interval,
+		})
+		addr, err := mon.Start(opts.MonitorAddr)
+		if err != nil {
+			return nil, fmt.Errorf("cinnamon: %w", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = mon.Shutdown(ctx)
+		}()
+		if opts.OnMonitor != nil {
+			opts.OnMonitor(addr)
+		}
 	}
 	res, err := backend.Run(t.compiled, target.Prog, backendName, backend.Options{
 		Out:              out,

@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/cinnamon"
 	"repro/internal/obj"
@@ -38,7 +39,16 @@ func main() {
 	statsJSON := flag.Bool("stats-json", false, "print the observability report as JSON to stdout")
 	trace := flag.Int("trace", 0, "record the last N probe firings in the report's trace ring (implies -stats)")
 	pinLoops := flag.Bool("pin-loops", false, "enable the Pin loop-detection extension (paper §VI-E)")
+	listen := flag.String("listen", "", "serve live monitoring on this address (host:port; :0 picks a port): /metrics, /stats, /series, /trace (SSE), /healthz")
+	interval := flag.Duration("interval", time.Second, "monitor time-series sampling period (with -listen)")
+	loop := flag.Int("loop", 0, "loop a victim target this many times (long-running session; default 500000 with -listen)")
 	flag.Parse()
+
+	if *loop == 0 && *listen != "" {
+		// A single victim run is over in microseconds — far too fast to
+		// scrape. A live-monitored session loops by default.
+		*loop = 500000
+	}
 
 	if *list {
 		fmt.Println("built-in case studies (use as @<name>):")
@@ -81,12 +91,17 @@ func main() {
 	if *target == "" {
 		fail("cinnamon: -target is required to run a tool (or use -emit)")
 	}
-	tgt := loadTarget(*target, *scale)
+	tgt := loadTarget(*target, *scale, *loop)
 	report, err := tool.Run(tgt, *backendName, cinnamon.RunOptions{
 		ToolOut:          os.Stdout,
 		PinLoopDetection: *pinLoops,
 		Stats:            *stats || *statsJSON,
 		Trace:            *trace,
+		MonitorAddr:      *listen,
+		Interval:         *interval,
+		OnMonitor: func(addr string) {
+			fmt.Fprintf(os.Stderr, "cinnamon: monitor listening on http://%s\n", addr)
+		},
 	})
 	check(err)
 	if *stats || *trace > 0 {
@@ -110,10 +125,17 @@ func readTool(arg string) string {
 	return string(b)
 }
 
-func loadTarget(spec string, scale float64) *cinnamon.Target {
+func loadTarget(spec string, scale float64, loop int) *cinnamon.Target {
 	switch {
 	case strings.HasPrefix(spec, "victim:"):
-		m, err := workload.Victim(strings.TrimPrefix(spec, "victim:"))
+		name := strings.TrimPrefix(spec, "victim:")
+		var m *obj.Module
+		var err error
+		if loop > 0 {
+			m, err = workload.LoopedVictim(name, loop)
+		} else {
+			m, err = workload.Victim(name)
+		}
 		check(err)
 		t, err := cinnamon.LoadModules([]*obj.Module{m})
 		check(err)

@@ -6,10 +6,12 @@
 //	experiments -exp=fig13              # Figure 13: overhead vs native
 //	experiments -exp=pintools           # Section VI-D: Pin tool overheads
 //	experiments -exp=attribution        # overhead decomposition per backend
+//	experiments -exp=attribution -json  # ... also write BENCH_attribution.json
 //	experiments -exp=all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, all")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper-equivalent test input)")
 	benchmark := flag.String("benchmark", "leela", "benchmark for -exp=attribution")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results (BENCH_attribution.json) next to the table output")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -69,6 +72,19 @@ func main() {
 			return err
 		}
 		bench.FormatAttribution(os.Stdout, rows)
+		if *jsonOut {
+			f, err := os.Create("BENCH_attribution.json")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_attribution.json")
+		}
 		return nil
 	})
 }

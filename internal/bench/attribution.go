@@ -20,23 +20,25 @@ import (
 // of those two channels, so Residual is zero on all backends.
 
 // AttributionRow decomposes one (framework, benchmark) cell's overhead.
+// The JSON form is what `experiments -json` writes to
+// BENCH_attribution.json for downstream tooling.
 type AttributionRow struct {
-	Backend   string
-	Benchmark string
+	Backend   string `json:"backend"`
+	Benchmark string `json:"benchmark"`
 	// TotalCycles and AppCycles are the instrumented and uninstrumented
 	// run costs.
-	TotalCycles uint64
-	AppCycles   uint64
+	TotalCycles uint64 `json:"total_cycles"`
+	AppCycles   uint64 `json:"app_cycles"`
 	// ProbeCycles is the cost attributed to probe firings (dispatch +
 	// argument materialization + action bodies), TranslationCycles the
 	// JIT translation cost (0 for the static rewriter).
-	ProbeCycles       uint64
-	TranslationCycles uint64
+	ProbeCycles       uint64 `json:"probe_cycles"`
+	TranslationCycles uint64 `json:"translation_cycles"`
 	// Residual is overhead not attributed to either channel; non-zero
 	// residual means the cost model leaks cycles past the collector.
-	Residual int64
+	Residual int64 `json:"residual"`
 	// OverheadPct is the total overhead relative to the baseline.
-	OverheadPct float64
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // Attribution runs the basic-block counting tool (Figure 5b) on every

@@ -293,7 +293,7 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 		words := make([]uint64, len(e.p.args))
 		id := obs.NoProbe
 		if opts.Obs != nil {
-			opts.Obs.Build().CleanCalls++
+			opts.Obs.MutateBuild(func(b *obs.BuildStats) { b.CleanCalls++ })
 			id = opts.Obs.RegisterProbe(obs.ProbeMeta{
 				Label:        e.p.routine.Label,
 				Trigger:      obs.TriggerEdge,

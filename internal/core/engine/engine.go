@@ -267,7 +267,7 @@ func (e *engineRun) runCommand(cmd *ast.Command, dom domain, env *interp.Env) er
 			}
 			if !v.AsBool() {
 				if e.obs != nil {
-					e.obs.Build().StaticFiltered++
+					e.obs.MutateBuild(func(b *obs.BuildStats) { b.StaticFiltered++ })
 				}
 				continue
 			}
@@ -392,13 +392,13 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 		}
 		if !v.AsBool() {
 			if e.obs != nil {
-				e.obs.Build().StaticFiltered++
+				e.obs.MutateBuild(func(b *obs.BuildStats) { b.StaticFiltered++ })
 			}
 			return nil
 		}
 	}
 	if e.obs != nil {
-		e.obs.Build().ActionsPlaced++
+		e.obs.MutateBuild(func(b *obs.BuildStats) { b.ActionsPlaced++ })
 	}
 
 	a := &Action{

@@ -475,7 +475,7 @@ func (be *BinaryEdit) Run() (*vm.Result, error) {
 		}
 		id := obs.NoProbe
 		if be.obs != nil {
-			be.obs.Build().Snippets++
+			be.obs.MutateBuild(func(b *obs.BuildStats) { b.Snippets++ })
 			id = be.obs.RegisterProbe(obs.ProbeMeta{
 				Label:        snippetLabel(s),
 				Trigger:      trigger,

@@ -205,7 +205,7 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 	}
 	rt := buildTable(sa.rules)
 	if c.Obs != nil {
-		c.Obs.Build().RulesEmitted = rt.NumRules()
+		c.Obs.MutateBuild(func(b *obs.BuildStats) { b.RulesEmitted = rt.NumRules() })
 	}
 
 	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs})
@@ -215,11 +215,13 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 		if c.Obs == nil {
 			return obs.NoProbe
 		}
-		if h.Inlinable {
-			c.Obs.Build().InlinedCalls++
-		} else {
-			c.Obs.Build().CleanCalls++
-		}
+		c.Obs.MutateBuild(func(b *obs.BuildStats) {
+			if h.Inlinable {
+				b.InlinedCalls++
+			} else {
+				b.CleanCalls++
+			}
+		})
 		return c.Obs.RegisterProbe(obs.ProbeMeta{
 			Label:        h.Label,
 			Trigger:      trigger,

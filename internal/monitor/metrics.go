@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// The Prometheus text-exposition writer. Hand-rolled (format version
+// 0.0.4) so the repo stays dependency-free: HELP/TYPE headers precede
+// each family's samples, label values are escaped per the spec, counter
+// families end in _total, and every value is derived from one
+// obs.Snapshot so a scrape is internally consistent and monotone across
+// scrapes.
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// family emits one metric family: HELP, TYPE, then samples.
+type family struct {
+	name, help, typ string
+	samples         []sample
+}
+
+type sample struct {
+	labels string // rendered `{...}` body, may be empty
+	value  string
+}
+
+func (f *family) add(labels, value string) {
+	f.samples = append(f.samples, sample{labels: labels, value: value})
+}
+
+func (f *family) write(w io.Writer) {
+	if len(f.samples) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range f.samples {
+		if s.labels == "" {
+			fmt.Fprintf(w, "%s %s\n", f.name, s.value)
+		} else {
+			fmt.Fprintf(w, "%s{%s} %s\n", f.name, s.labels, s.value)
+		}
+	}
+}
+
+// probeKey aggregates per-probe samples the same way Stats.WriteTable
+// groups its rows: one series per (label, trigger, mechanism) — a
+// multi-site action is one series, not one per placement site.
+type probeKey struct {
+	label, trigger, mech string
+}
+
+// writeMetrics renders the snapshot as Prometheus text exposition. The
+// collector supplies the subscriber gauges, which are not part of the
+// snapshot.
+func writeMetrics(w io.Writer, snap *obs.Stats, col *obs.Collector) {
+	// escapeLabel already renders exposition escaping, so values are
+	// wrapped in plain quotes (%q would escape a second time).
+	base := fmt.Sprintf(`backend="%s"`, escapeLabel(snap.Backend))
+
+	probeLabels := func(k probeKey) string {
+		return fmt.Sprintf(`%s,probe="%s",trigger="%s",mechanism="%s"`,
+			base, escapeLabel(k.label), escapeLabel(k.trigger), escapeLabel(k.mech))
+	}
+
+	type agg struct{ fires, cycles uint64 }
+	byKey := map[probeKey]*agg{}
+	var keys []probeKey
+	for _, p := range snap.Probes {
+		k := probeKey{p.Label, p.Trigger, p.Mechanism}
+		a, ok := byKey[k]
+		if !ok {
+			a = &agg{}
+			byKey[k] = a
+			keys = append(keys, k)
+		}
+		a.fires += p.Fires
+		a.cycles += p.Cycles
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		if a.trigger != b.trigger {
+			return a.trigger < b.trigger
+		}
+		return a.mech < b.mech
+	})
+
+	fires := family{name: "cinnamon_probe_fires_total",
+		help: "Probe firings, by probe label, trigger and dispatch mechanism.", typ: "counter"}
+	cycles := family{name: "cinnamon_probe_cycles_total",
+		help: "Instrumentation cycle units attributed to probe firings.", typ: "counter"}
+	for _, k := range keys {
+		a := byKey[k]
+		fires.add(probeLabels(k), fmt.Sprintf("%d", a.fires))
+		cycles.add(probeLabels(k), fmt.Sprintf("%d", a.cycles))
+	}
+	fires.write(w)
+	cycles.write(w)
+
+	unFires := family{name: "cinnamon_untracked_fires_total",
+		help: "Firings of probes not registered with the collector.", typ: "counter"}
+	unFires.add(base, fmt.Sprintf("%d", snap.UntrackedFires))
+	unFires.write(w)
+	unCycles := family{name: "cinnamon_untracked_cycles_total",
+		help: "Cycle units of untracked firings.", typ: "counter"}
+	unCycles.add(base, fmt.Sprintf("%d", snap.UntrackedCycles))
+	unCycles.write(w)
+
+	b := snap.Build
+	for _, g := range []struct {
+		name, help string
+		value      int
+	}{
+		{"cinnamon_build_actions_placed", "Compiled actions handed to the backend placer.", b.ActionsPlaced},
+		{"cinnamon_build_static_filtered", "Placements skipped by static where-constraints.", b.StaticFiltered},
+		{"cinnamon_build_rules_emitted", "Janus rewrite rules produced by the static analyzer.", b.RulesEmitted},
+		{"cinnamon_build_clean_calls", "Clean-call insertions by the dynamic frameworks.", b.CleanCalls},
+		{"cinnamon_build_inlined_calls", "Inlined-call insertions by the dynamic frameworks.", b.InlinedCalls},
+		{"cinnamon_build_snippets", "Dyninst snippet insertions.", b.Snippets},
+	} {
+		f := family{name: g.name, help: g.help, typ: "gauge"}
+		f.add(base, fmt.Sprintf("%d", g.value))
+		f.write(w)
+	}
+	blocks := family{name: "cinnamon_translated_blocks_total",
+		help: "Just-in-time block translations.", typ: "counter"}
+	blocks.add(base, fmt.Sprintf("%d", b.BlocksTranslated))
+	blocks.write(w)
+	transCyc := family{name: "cinnamon_translation_cycles_total",
+		help: "Cycle units charged to just-in-time block translation.", typ: "counter"}
+	transCyc.add(base, fmt.Sprintf("%d", b.TranslationCycles))
+	transCyc.write(w)
+
+	trDropped := family{name: "cinnamon_trace_dropped_total",
+		help: "Trace-ring events overwritten by wraparound.", typ: "counter"}
+	trDropped.add(base, fmt.Sprintf("%d", col.TraceDropped()))
+	trDropped.write(w)
+	subs := family{name: "cinnamon_trace_subscribers",
+		help: "Live SSE/trace subscriptions on the collector.", typ: "gauge"}
+	subs.add(base, fmt.Sprintf("%d", col.Subscribers()))
+	subs.write(w)
+	subDropped := family{name: "cinnamon_trace_subscriber_dropped_total",
+		help: "Events dropped across all trace subscriptions (live and retired).", typ: "counter"}
+	subDropped.add(base, fmt.Sprintf("%d", col.SubscriberDrops()))
+	subDropped.write(w)
+}

@@ -1,0 +1,191 @@
+// Package monitor serves live observability for a running instrumented
+// session over HTTP: Prometheus-style /metrics scrapes, JSON /stats and
+// /series snapshots, and a Server-Sent-Events /trace stream of probe
+// firings — all backed by the concurrent-safe read path of
+// internal/obs, so the instrumented run never blocks on an observer.
+//
+// Endpoints:
+//
+//	GET /metrics  Prometheus text exposition (see metrics.go)
+//	GET /stats    the full obs.Stats snapshot as JSON
+//	GET /series   the bounded interval time-series as JSON
+//	GET /trace    SSE stream of firing events, with heartbeats that
+//	              carry the stream's drop count (slow clients lose
+//	              events, never stall the run)
+//	GET /healthz  liveness probe
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parameterizes a monitor Server.
+type Config struct {
+	// Collector is the live collector being observed. Required.
+	Collector *obs.Collector
+	// Backend names the framework of the monitored run; it becomes the
+	// `backend` label on every metric.
+	Backend string
+	// Interval is the time-series sampling period (default 1s).
+	Interval time.Duration
+	// SeriesCap bounds the retained time-series window (default 600).
+	SeriesCap int
+	// Heartbeat is the SSE keep-alive period (default 1s): how often an
+	// idle /trace stream emits a heartbeat event carrying its drop
+	// count.
+	Heartbeat time.Duration
+	// TraceBuf is the per-client SSE channel depth (default 256).
+	// Events beyond a slow client's buffer are dropped and accounted,
+	// never queued unboundedly.
+	TraceBuf int
+}
+
+// Server is the live-monitoring HTTP server of one instrumented run.
+type Server struct {
+	cfg    Config
+	series *obs.Series
+	srv    *http.Server
+	ln     net.Listener
+	// quit is closed at shutdown so streaming handlers (/trace) return
+	// and let http.Server.Shutdown drain.
+	quit chan struct{}
+}
+
+// NewServer creates a monitor over the collector. Call Start to bind
+// and serve, or Handler to mount the endpoints elsewhere (tests use
+// httptest.Server).
+func NewServer(cfg Config) *Server {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.TraceBuf <= 0 {
+		cfg.TraceBuf = 256
+	}
+	return &Server{
+		cfg: cfg,
+		series: obs.NewSeries(cfg.Collector, cfg.Backend, obs.SeriesOptions{
+			Interval: cfg.Interval,
+			Cap:      cfg.SeriesCap,
+		}),
+		quit: make(chan struct{}),
+	}
+}
+
+// Series returns the server's interval aggregator (started and stopped
+// with the server).
+func (s *Server) Series() *obs.Series { return s.series }
+
+// Handler returns the monitor's endpoint mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/series", s.handleSeries)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Start binds addr (host:port; port 0 picks a free one), starts the
+// interval sampler, and serves in a background goroutine. It returns
+// the bound address. Shutdown must be called to stop.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.series.Start()
+	s.srv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the server: streaming handlers are released, in-flight
+// requests drain (bounded by ctx), and the sampler takes a final point
+// and stops. Only valid after Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	close(s.quit)
+	err := s.srv.Shutdown(ctx)
+	s.series.Stop()
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.cfg.Collector.Snapshot(s.cfg.Backend)
+	writeMetrics(w, snap, s.cfg.Collector)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.cfg.Collector.Snapshot(s.cfg.Backend).WriteJSON(w)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.series.Dump().WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// heartbeat is the SSE keep-alive payload: how many events this client
+// has missed (its channel was full when the machine fired) and how many
+// taps are currently live.
+type heartbeat struct {
+	Dropped     uint64 `json:"dropped"`
+	Subscribers int    `json:"subscribers"`
+}
+
+// handleTrace streams firing events as Server-Sent Events. Each client
+// gets a bounded tap on the collector (obs.Subscribe); the run never
+// blocks on a slow client — overflow events are dropped and the running
+// drop count rides on every heartbeat so the client can tell how lossy
+// its view is.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch := make(chan obs.TraceEvent, s.cfg.TraceBuf)
+	sub := s.cfg.Collector.Subscribe(ch)
+	defer s.cfg.Collector.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	tick := time.NewTicker(s.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: fire\ndata: %s\n\n", data)
+			flusher.Flush()
+		case <-tick.C:
+			data, _ := json.Marshal(heartbeat{
+				Dropped:     sub.Dropped(),
+				Subscribers: s.cfg.Collector.Subscribers(),
+			})
+			fmt.Fprintf(w, "event: heartbeat\ndata: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Package obs is the runtime observability layer: an always-compiled,
 // zero-cost-when-disabled subsystem that attributes instrumentation cost
-// to the probes that incur it.
+// to the probes that incur it — and, since the live-monitoring work,
+// exposes that attribution to concurrent observers while the
+// instrumented program is still running.
 //
 // The paper's evaluation (Figure 13) hinges on understanding *where*
 // instrumentation overhead goes — clean calls versus inlined calls versus
@@ -11,24 +13,94 @@
 // and a bounded ring-buffer trace of probe firings.
 //
 // The design mirrors the VM's de-mapped probe dispatch: counters live in
-// pre-sized slots indexed by ProbeID, so the hot path (Collector.Fire)
-// is two array writes — no map lookups, no allocation. Registration
-// (RegisterProbe) happens on cold paths only: ahead of execution for the
-// static frameworks, at block-translation time for the dynamic ones.
-// When no Collector is attached the only cost to the execution substrate
-// is one predictable nil-check branch per probe dispatch batch.
+// pre-sized slots indexed by the ProbeID's slot index, so the hot path
+// (Collector.Fire) is two uncontended atomic adds — no map lookups, no
+// allocation, no locks. Registration (RegisterProbe) happens on cold
+// paths only: ahead of execution for the static frameworks, at
+// block-translation time for the dynamic ones. When no Collector is
+// attached the only cost to the execution substrate is one predictable
+// nil-check branch per probe dispatch batch.
 //
-// A Collector belongs to a single run and is not safe for concurrent
-// use; parallel harnesses (internal/bench) attach one Collector per run.
+// # Concurrency model
+//
+// A Collector has exactly one writer and any number of readers:
+//
+//   - The run goroutine calls RegisterProbe, Fire, MutateBuild and
+//     NoteTranslation. These must not be called concurrently with each
+//     other.
+//   - Any goroutine may call Snapshot, Subscribe, Unsubscribe,
+//     NumProbes, SubscriberDrops and Subscribers at any time, including
+//     while the run is executing. This is what makes live monitoring
+//     (internal/monitor) possible: a /metrics scrape is a Snapshot taken
+//     mid-run.
+//
+// Counters are read and written with atomic operations, so a mid-run
+// Snapshot is race-free and every counter in it is monotonically
+// non-decreasing across consecutive snapshots. Fire updates a probe's
+// fire and cycle counters with two separate atomic adds, so a snapshot
+// taken between them can observe the fire without its cycles; the skew
+// is bounded by one firing per probe and vanishes once the run is over —
+// the final snapshot reconciles exactly.
+//
+// # Cross-collector attribution
+//
+// ProbeIDs carry a per-collector generation tag (see ProbeID), so an ID
+// minted by one collector and fired on another — possible when parallel
+// harnesses juggle one collector per run cell — lands in the untracked
+// bucket instead of silently incrementing an unrelated probe's slot.
 package obs
 
-// ProbeID identifies a registered probe within one Collector. IDs are
-// dense and start at 1; NoProbe (0) marks an untagged probe, whose
-// firings are accumulated in the collector's untracked bucket.
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ProbeID identifies a registered probe. An ID packs two fields:
+//
+//   - bits 0..23: the probe's 1-based slot index within its collector
+//     (0 marks an untagged probe);
+//   - bits 24..30: the minting collector's generation tag.
+//
+// The generation tag makes IDs collector-specific: Fire checks it and
+// routes firings carrying a foreign or untagged ID to the untracked
+// bucket, so a probe registered on one collector can never misattribute
+// onto another collector's slots (parallel harnesses run one collector
+// per cell, and the dense indexes would otherwise collide). Reports and
+// trace events expose the plain slot index (Index), not the tagged wire
+// value.
 type ProbeID int32
 
 // NoProbe is the zero ProbeID: the probe is not individually tracked.
 const NoProbe ProbeID = 0
+
+// ProbeID field layout (see the type comment).
+const (
+	probeIndexBits = 24
+	probeIndexMask = 1<<probeIndexBits - 1
+	probeGenMask   = 0x7f
+	// MaxProbes is the per-collector registration capacity imposed by
+	// the 24-bit slot index.
+	MaxProbes = probeIndexMask
+)
+
+// Index returns the probe's 1-based slot index within its collector
+// (0 for NoProbe). Stats.Probes[Index-1] is the probe's report row.
+func (id ProbeID) Index() int { return int(uint32(id) & probeIndexMask) }
+
+// gen returns the ID's collector generation tag.
+func (id ProbeID) gen() uint32 { return uint32(id) >> probeIndexBits & probeGenMask }
+
+// collectorGen mints generation tags; the 7-bit tag wraps, skipping 0
+// (0 is reserved for untagged IDs and zero-value collectors).
+var collectorGen atomic.Uint32
+
+func nextGen() uint32 {
+	for {
+		if g := collectorGen.Add(1) & probeGenMask; g != 0 {
+			return g
+		}
+	}
+}
 
 // Trigger names for ProbeMeta.Trigger (shared vocabulary across the
 // three frameworks so reports and tests can filter uniformly).
@@ -67,15 +139,17 @@ type ProbeMeta struct {
 	DispatchCost uint64 `json:"dispatch_cost"`
 }
 
-// probeSlot is the hot-path counter pair of one probe.
+// probeSlot is the hot-path counter pair of one probe. The fields are
+// atomics so a live scrape can load them while the run goroutine adds;
+// slots are addressed by pointer and never copied.
 type probeSlot struct {
-	fires  uint64
-	cycles uint64
+	fires  atomic.Uint64
+	cycles atomic.Uint64
 }
 
 // BuildStats are instrumentation-time statistics: what each layer did to
 // set the run up, before and while code was translated. All fields are
-// cold-path counters.
+// cold-path counters, mutated through Collector.MutateBuild.
 type BuildStats struct {
 	// ActionsPlaced counts compiled actions the engine handed to the
 	// backend placer.
@@ -104,70 +178,223 @@ type BuildStats struct {
 // Options parameterizes a Collector.
 type Options struct {
 	// TraceCap bounds the firing-event trace ring buffer; 0 disables
-	// tracing entirely (firings are still counted).
+	// tracing entirely (firings are still counted, and Subscribe taps
+	// still receive events).
 	TraceCap int
 }
 
 // Collector accumulates observability data for one instrumented run.
 // The zero Collector is usable; a nil *Collector everywhere means
-// "observability disabled".
+// "observability disabled". See the package comment for the concurrency
+// model (one writer, concurrent readers).
 type Collector struct {
-	metas []ProbeMeta // index = ProbeID-1
+	// mu guards metas/slots slice headers, build, and the subscriber
+	// list. Fire never takes it.
+	mu    sync.Mutex
+	gen   uint32
+	metas []ProbeMeta // index = ProbeID.Index()-1
 	slots []probeSlot // parallel to metas
 
-	untrackedFires  uint64
-	untrackedCycles uint64
+	untrackedFires  atomic.Uint64
+	untrackedCycles atomic.Uint64
 
 	build BuildStats
 	trace *ring
+
+	// subs is the copy-on-write subscriber list (nil when nobody is
+	// listening, so the hot path pays one pointer load).
+	subs atomic.Pointer[[]*Subscription]
+	// retiredDrops accumulates the drop counts of unsubscribed taps so
+	// SubscriberDrops stays monotone across subscriber churn.
+	retiredDrops atomic.Uint64
+	// subSeq numbers tap events when no trace ring exists (run-goroutine
+	// only; with a ring, the ring's push sequence is used).
+	subSeq uint64
 }
 
 // New creates a Collector.
 func New(o Options) *Collector {
-	c := &Collector{}
+	c := &Collector{gen: nextGen()}
 	if o.TraceCap > 0 {
 		c.trace = newRing(o.TraceCap)
 	}
 	return c
 }
 
-// RegisterProbe records a placed probe and returns its ID. Cold path:
-// frameworks call it when they insert instrumentation (ahead of time for
-// the static rewriter, at translation time for the dynamic frameworks).
+// RegisterProbe records a placed probe and returns its tagged ID. Cold
+// path: frameworks call it when they insert instrumentation (ahead of
+// time for the static rewriter, at translation time for the dynamic
+// frameworks). Run goroutine only. Registration past MaxProbes returns
+// NoProbe: further firings are still counted, in the untracked bucket.
 func (c *Collector) RegisterProbe(m ProbeMeta) ProbeID {
+	if c.gen == 0 {
+		// Zero-value Collector: mint the generation lazily.
+		c.gen = nextGen()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.metas) >= MaxProbes {
+		return NoProbe
+	}
 	c.metas = append(c.metas, m)
 	c.slots = append(c.slots, probeSlot{})
-	return ProbeID(len(c.metas))
+	return ProbeID(c.gen<<probeIndexBits | uint32(len(c.metas)))
 }
 
 // Fire records one probe firing: cost cycle units attributed to id at
-// program counter pc. Hot path — slot counters are pre-sized arrays
-// indexed by ID; firings of untagged probes (NoProbe, or an ID from a
-// different collector) fall into the untracked bucket rather than being
-// lost, so totals always reconcile.
+// program counter pc. Hot path — two uncontended atomic adds on a
+// pre-sized slot, no locks. Firings of untagged probes (NoProbe, or an
+// ID minted by a different collector) fall into the untracked bucket
+// rather than being lost, so totals always reconcile. Run goroutine
+// only; concurrent Snapshot calls observe the counters atomically.
 func (c *Collector) Fire(id ProbeID, cost, pc uint64) {
-	if id > 0 && int(id) <= len(c.slots) {
-		s := &c.slots[id-1]
-		s.fires++
-		s.cycles += cost
-	} else {
-		c.untrackedFires++
-		c.untrackedCycles += cost
+	idx := 0
+	if uint32(id)>>probeIndexBits&probeGenMask == c.gen {
+		if i := int(uint32(id) & probeIndexMask); i >= 1 && i <= len(c.slots) {
+			idx = i
+		}
 	}
-	if c.trace != nil {
-		c.trace.push(id, pc, cost)
+	if idx != 0 {
+		s := &c.slots[idx-1]
+		s.fires.Add(1)
+		s.cycles.Add(cost)
+	} else {
+		c.untrackedFires.Add(1)
+		c.untrackedCycles.Add(cost)
+	}
+	tr, subs := c.trace, c.subs.Load()
+	if tr == nil && subs == nil {
+		return
+	}
+	// The published event carries the normalized slot index, the same
+	// identifier Stats.Probes rows use.
+	var seq uint64
+	if tr != nil {
+		seq = tr.push(ProbeID(idx), pc, cost)
+	} else {
+		seq = c.subSeq
+		c.subSeq++
+	}
+	if subs != nil {
+		ev := TraceEvent{Seq: seq, Probe: ProbeID(idx), PC: pc, Cost: cost}
+		for _, s := range *subs {
+			select {
+			case s.ch <- ev:
+			default:
+				// Never block the machine on a slow observer: the event
+				// is dropped and accounted on the subscription.
+				s.dropped.Add(1)
+			}
+		}
 	}
 }
 
-// Build exposes the mutable instrumentation-time counters. Cold path.
-func (c *Collector) Build() *BuildStats { return &c.build }
+// MutateBuild applies fn to the instrumentation-time counters under the
+// collector's lock, so a concurrent Snapshot never observes a torn
+// BuildStats. Cold path; run goroutine only.
+func (c *Collector) MutateBuild(fn func(*BuildStats)) {
+	c.mu.Lock()
+	fn(&c.build)
+	c.mu.Unlock()
+}
 
 // NoteTranslation records one just-in-time block translation and its
 // charged cost.
 func (c *Collector) NoteTranslation(cost uint64) {
-	c.build.BlocksTranslated++
-	c.build.TranslationCycles += cost
+	c.MutateBuild(func(b *BuildStats) {
+		b.BlocksTranslated++
+		b.TranslationCycles += cost
+	})
 }
 
-// NumProbes returns the number of registered probes.
-func (c *Collector) NumProbes() int { return len(c.metas) }
+// NumProbes returns the number of registered probes. Safe from any
+// goroutine.
+func (c *Collector) NumProbes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.metas)
+}
+
+// Subscription is one live tap on the collector's firing stream,
+// created by Subscribe.
+type Subscription struct {
+	ch      chan TraceEvent
+	dropped atomic.Uint64
+}
+
+// Dropped returns how many events this subscription missed because its
+// channel was full when the machine fired (the machine never blocks on
+// a slow observer).
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Subscribe taps the firing stream: every subsequent Fire sends its
+// TraceEvent to ch with a non-blocking send (a full channel drops the
+// event and increments the subscription's drop count instead of
+// stalling the run). Safe from any goroutine. The caller keeps
+// ownership of ch and must Unsubscribe before closing it.
+func (c *Collector) Subscribe(ch chan TraceEvent) *Subscription {
+	sub := &Subscription{ch: ch}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next []*Subscription
+	if cur := c.subs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, sub)
+	c.subs.Store(&next)
+	return sub
+}
+
+// Unsubscribe detaches a subscription; its drop count is folded into
+// the collector's retired total (SubscriberDrops stays monotone). Safe
+// from any goroutine.
+func (c *Collector) Unsubscribe(sub *Subscription) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.subs.Load()
+	if cur == nil {
+		return
+	}
+	var next []*Subscription
+	for _, s := range *cur {
+		if s != sub {
+			next = append(next, s)
+		} else {
+			c.retiredDrops.Add(s.dropped.Load())
+		}
+	}
+	if len(next) == 0 {
+		c.subs.Store(nil)
+	} else {
+		c.subs.Store(&next)
+	}
+}
+
+// Subscribers returns the number of live taps.
+func (c *Collector) Subscribers() int {
+	if subs := c.subs.Load(); subs != nil {
+		return len(*subs)
+	}
+	return 0
+}
+
+// SubscriberDrops returns the total events dropped across all taps,
+// live and retired. Monotone across scrapes.
+func (c *Collector) SubscriberDrops() uint64 {
+	n := c.retiredDrops.Load()
+	if subs := c.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			n += s.dropped.Load()
+		}
+	}
+	return n
+}
+
+// TraceDropped returns how many trace-ring events have been overwritten
+// by wraparound so far (0 with tracing disabled). Safe mid-run.
+func (c *Collector) TraceDropped() uint64 {
+	if c.trace == nil {
+		return 0
+	}
+	return c.trace.droppedAt(c.trace.next.Load())
+}

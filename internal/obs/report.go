@@ -42,27 +42,46 @@ type Stats struct {
 }
 
 // Snapshot exports the collector's state as a self-contained report.
+// Safe to call from any goroutine at any time, including while the
+// instrumented run is executing: counters are loaded atomically, totals
+// are computed from the loaded values (so they always reconcile within
+// the snapshot), and every counter is monotonically non-decreasing
+// across consecutive snapshots. Probe IDs in the report are plain slot
+// indexes (1..n), matching TraceEvent.Probe.
 func (c *Collector) Snapshot(backendName string) *Stats {
-	s := &Stats{Backend: backendName, Build: c.build}
-	s.Probes = make([]ProbeStats, len(c.metas))
-	for i, m := range c.metas {
-		slot := c.slots[i]
+	c.mu.Lock()
+	metas := c.metas
+	slots := c.slots
+	build := c.build
+	c.mu.Unlock()
+
+	s := &Stats{Backend: backendName, Build: build}
+	s.Probes = make([]ProbeStats, len(metas))
+	for i, m := range metas {
+		slot := &slots[i]
+		fires := slot.fires.Load()
+		cycles := slot.cycles.Load()
 		s.Probes[i] = ProbeStats{
 			ID: ProbeID(i + 1), ProbeMeta: m,
-			Fires: slot.fires, Cycles: slot.cycles,
+			Fires: fires, Cycles: cycles,
 		}
-		s.TotalFires += slot.fires
-		s.ProbeCycles += slot.cycles
+		s.TotalFires += fires
+		s.ProbeCycles += cycles
 	}
-	s.UntrackedFires = c.untrackedFires
-	s.UntrackedCycles = c.untrackedCycles
-	s.TotalFires += c.untrackedFires
-	s.ProbeCycles += c.untrackedCycles
+	s.UntrackedFires = c.untrackedFires.Load()
+	s.UntrackedCycles = c.untrackedCycles.Load()
+	s.TotalFires += s.UntrackedFires
+	s.ProbeCycles += s.UntrackedCycles
 	if c.trace != nil {
+		events := c.trace.events()
+		var nextSeq uint64
+		if n := len(events); n > 0 {
+			nextSeq = events[n-1].Seq + 1
+		}
 		s.Trace = &Trace{
 			Cap:     len(c.trace.buf),
-			Dropped: c.trace.dropped(),
-			Events:  c.trace.events(),
+			Dropped: c.trace.droppedAt(nextSeq),
+			Events:  events,
 		}
 	}
 	return s

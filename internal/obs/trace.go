@@ -1,11 +1,15 @@
 package obs
 
+import "sync/atomic"
+
 // TraceEvent is one probe firing in the event trace.
 type TraceEvent struct {
 	// Seq is the global firing sequence number (0-based, counting every
 	// Fire on the collector, including untracked ones).
 	Seq uint64 `json:"seq"`
-	// Probe is the fired probe's ID (NoProbe for untracked firings).
+	// Probe is the fired probe's 1-based slot index within its
+	// collector (NoProbe for untracked firings); Stats.Probes[Probe-1]
+	// is its report row.
 	Probe ProbeID `json:"probe"`
 	// PC is the program counter at the firing.
 	PC uint64 `json:"pc"`
@@ -13,43 +17,81 @@ type TraceEvent struct {
 	Cost uint64 `json:"cost"`
 }
 
+// traceSlot is one seqlock-style ring cell. The writer invalidates seq,
+// stores the payload, then stores seq = event sequence + 1; a reader
+// validates seq before and after loading the payload, so a torn read —
+// the writer lapping the ring mid-load — is detected and the event
+// skipped rather than returned corrupt. All fields are atomics: the
+// scheme is race-free, not merely statistically safe.
+type traceSlot struct {
+	seq   atomic.Uint64 // event Seq+1; 0 = empty or write in progress
+	probe atomic.Uint64
+	pc    atomic.Uint64
+	cost  atomic.Uint64
+}
+
 // ring is a bounded event buffer: pushes never allocate after creation,
 // and once full each push overwrites the oldest event (wraparound), so a
-// long run keeps the most recent window.
+// long run keeps the most recent window. Single writer (push), any
+// number of concurrent readers (events/droppedAt).
 type ring struct {
-	buf  []TraceEvent
-	next uint64 // total events ever pushed
+	buf  []traceSlot
+	next atomic.Uint64 // total events ever pushed
 }
 
 func newRing(capacity int) *ring {
-	return &ring{buf: make([]TraceEvent, capacity)}
+	return &ring{buf: make([]traceSlot, capacity)}
 }
 
-func (r *ring) push(id ProbeID, pc, cost uint64) {
-	r.buf[r.next%uint64(len(r.buf))] = TraceEvent{Seq: r.next, Probe: id, PC: pc, Cost: cost}
-	r.next++
+// push appends one event and returns its sequence number. Writer only.
+func (r *ring) push(id ProbeID, pc, cost uint64) uint64 {
+	n := r.next.Load()
+	s := &r.buf[n%uint64(len(r.buf))]
+	s.seq.Store(0) // invalidate while the payload is inconsistent
+	s.probe.Store(uint64(uint32(id)))
+	s.pc.Store(pc)
+	s.cost.Store(cost)
+	s.seq.Store(n + 1)
+	r.next.Store(n + 1)
+	return n
 }
 
 // events returns the retained window in sequence order (oldest first).
+// Safe to call mid-run: events the writer is overwriting concurrently
+// fail seq validation and are skipped, so the result may have gaps but
+// never a torn event.
 func (r *ring) events() []TraceEvent {
 	n := uint64(len(r.buf))
-	if r.next <= n {
-		out := make([]TraceEvent, r.next)
-		copy(out, r.buf[:r.next])
-		return out
+	next := r.next.Load()
+	start := uint64(0)
+	if next > n {
+		start = next - n
 	}
-	// Full ring: the oldest retained event is at next % n.
-	out := make([]TraceEvent, 0, n)
-	start := r.next % n
-	out = append(out, r.buf[start:]...)
-	out = append(out, r.buf[:start]...)
+	out := make([]TraceEvent, 0, next-start)
+	for seq := start; seq < next; seq++ {
+		s := &r.buf[seq%n]
+		if s.seq.Load() != seq+1 {
+			continue // overwritten or mid-write
+		}
+		ev := TraceEvent{
+			Seq:   seq,
+			Probe: ProbeID(uint32(s.probe.Load())),
+			PC:    s.pc.Load(),
+			Cost:  s.cost.Load(),
+		}
+		if s.seq.Load() != seq+1 {
+			continue // writer lapped us while loading the payload
+		}
+		out = append(out, ev)
+	}
 	return out
 }
 
-// dropped returns how many events were overwritten.
-func (r *ring) dropped() uint64 {
-	if n := uint64(len(r.buf)); r.next > n {
-		return r.next - n
+// droppedAt returns how many events had been overwritten once `next`
+// events were pushed.
+func (r *ring) droppedAt(next uint64) uint64 {
+	if n := uint64(len(r.buf)); next > n {
+		return next - n
 	}
 	return 0
 }
@@ -61,6 +103,8 @@ type Trace struct {
 	// Dropped counts events overwritten by wraparound: the trace holds
 	// the *last* Cap firings of a run with Dropped+len(Events) total.
 	Dropped uint64 `json:"dropped"`
-	// Events is the retained window, oldest first, with contiguous Seq.
+	// Events is the retained window, oldest first, with contiguous Seq
+	// (a mid-run snapshot may have gaps where the writer overtook the
+	// reader; see ring.events).
 	Events []TraceEvent `json:"events"`
 }

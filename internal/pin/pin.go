@@ -400,11 +400,13 @@ func (p *Pin) register(r Routine, trigger string, addr, cost uint64) obs.ProbeID
 	if p.obs == nil {
 		return obs.NoProbe
 	}
-	if r.Inlinable {
-		p.obs.Build().InlinedCalls++
-	} else {
-		p.obs.Build().CleanCalls++
-	}
+	p.obs.MutateBuild(func(b *obs.BuildStats) {
+		if r.Inlinable {
+			b.InlinedCalls++
+		} else {
+			b.CleanCalls++
+		}
+	})
 	return p.obs.RegisterProbe(obs.ProbeMeta{
 		Label:        r.Label,
 		Trigger:      trigger,

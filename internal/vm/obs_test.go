@@ -156,3 +156,127 @@ func TestObsDisabledDispatchOverhead(t *testing.T) {
 		(ratio-1)*100)
 	_ = sink
 }
+
+// hotLoopSrc is a 2000-iteration loop whose body is ~18 instructions
+// with a single probed site (the lone mul): the probe density of a
+// realistic monitoring tool, and enough whole-run work that VM
+// dispatch, not setup, dominates the measurement.
+const hotLoopSrc = `
+.module hot
+.executable
+.entry main
+.func main
+  mov r1, 0
+  mov r2, 0
+  mov r3, 2000
+head:
+  add  r1, r1, r2
+  mul  r5, r1, 3
+  add  r5, r5, 1
+  add  r6, r5, r1
+  add  r6, r6, 2
+  add  r7, r6, r5
+  add  r7, r7, 1
+  add  r8, r7, r6
+  add  r8, r8, 3
+  add  r9, r8, r7
+  add  r9, r9, 1
+  add  r10, r9, r8
+  add  r10, r10, 2
+  add  r11, r10, r9
+  add  r11, r11, 1
+  add  r2, r2, 1
+  blt  r2, r3, head
+  halt
+`
+
+// TestObsEnabledDispatchOverhead is the perf gate for the live-monitoring
+// rework of the *enabled* path: moving the per-probe counters from plain
+// uint64 adds to atomics (so a /metrics scrape can read them mid-run)
+// must cost no more than 5% of whole-run throughput with a probe on the
+// hottest instruction. The baseline is a collector-less VM whose probe
+// body does the same tool work plus a plain-counter replica of the
+// pre-atomic accounting; the current side runs the real enabled path
+// (collector attached, atomic Fire). Gated like the disabled-path test:
+// only runs when CINNAMON_PERF_GATE is set.
+func TestObsEnabledDispatchOverhead(t *testing.T) {
+	if os.Getenv("CINNAMON_PERF_GATE") == "" {
+		t.Skip("set CINNAMON_PERF_GATE=1 to run the enabled-path perf gate")
+	}
+
+	prog := build(t, hotLoopSrc)
+	var addAddr uint64
+	for _, b := range prog.FuncByName("main").Blocks {
+		for _, in := range b.Insts {
+			if in.Op == isa.Mul {
+				addAddr = in.Addr
+			}
+		}
+	}
+	if addAddr == 0 {
+		t.Fatal("no mul instruction found")
+	}
+
+	var sink uint64
+	toolWork := func(c *Ctx) { sink++ }
+
+	// Pre-atomic accounting replica: what the enabled path cost before
+	// counters became scrapeable.
+	var plainFires, plainCycles uint64
+	baseline := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := New(prog, Config{})
+			if err := v.AddBefore(addAddr, 3, func(c *Ctx) {
+				toolWork(c)
+				plainFires++
+				plainCycles += 3
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := v.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	current := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := obs.New(obs.Options{})
+			id := col.RegisterProbe(obs.ProbeMeta{Label: "gate", Trigger: obs.TriggerBefore, Mechanism: obs.MechCleanCall, Addr: addAddr, DispatchCost: 3})
+			v := New(prog, Config{Obs: col})
+			if err := v.AddBeforeObs(addAddr, 3, id, toolWork); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := v.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	measure := func(f func(*testing.B)) float64 {
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			r := testing.Benchmark(f)
+			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			if best == 0 || nsPerOp < best {
+				best = nsPerOp
+			}
+		}
+		return best
+	}
+
+	const limit = 1.05
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		base := measure(baseline)
+		cur := measure(current)
+		ratio = cur / base
+		t.Logf("attempt %d: baseline %.0f ns/run, current %.0f ns/run, ratio %.4f", attempt, base, cur, ratio)
+		if ratio <= limit {
+			return
+		}
+	}
+	t.Errorf("enabled-path run is %.2f%% slower than plain-counter accounting (limit 5%%)",
+		(ratio-1)*100)
+	_ = sink
+	_, _ = plainFires, plainCycles
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+)
+
+// Looped victims: long-running variants of the monitoring victims for
+// live-monitoring sessions. A single victim run finishes in microseconds
+// — far too fast for a /metrics scrape or an SSE client to observe
+// anything — so LoopedVictim rewrites the victim's assembly into a
+// driver loop that re-runs the original behaviour a configurable number
+// of times, giving the monitor a session worth watching.
+//
+// The transform is textual and deliberately simple:
+//
+//   - the victim's `.func main` is renamed `victim_main` and its `halt`
+//     instructions become `ret`, turning the program into a callable
+//     subroutine;
+//   - a new driver `main` is appended that calls victim_main in a loop,
+//     counting iterations in a memory cell (the victims clobber
+//     registers freely, so the counter cannot live in one);
+//   - a `cinloop_cnt` data cell is appended in its own `.data` section.
+//
+// Victims whose interesting control flow ends in a halt *outside* main
+// (stack_smash diverts into evil(), which halts) cannot be looped this
+// way and are rejected.
+
+// LoopableVictims returns the victim names LoopedVictim accepts.
+func LoopableVictims() []string {
+	var names []string
+	for name, src := range Victims() {
+		if err := checkLoopable(src); err == nil {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// checkLoopable verifies every halt in the victim lives in .func main.
+func checkLoopable(src string) error {
+	cur := ""
+	for _, line := range strings.Split(src, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == ".func" && len(fields) > 1 {
+			cur = fields[1]
+			continue
+		}
+		if fields[0] == "halt" && cur != "main" {
+			return fmt.Errorf("halt outside main (in %q)", cur)
+		}
+	}
+	return nil
+}
+
+// LoopedVictim assembles a long-running variant of the named victim that
+// performs its behaviour iters times before halting. Victims that halt
+// outside main (stack_smash) are rejected.
+func LoopedVictim(name string, iters int) (*obj.Module, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("workload: looped victim %s: iters must be >= 1", name)
+	}
+	src, ok := Victims()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown victim %q", name)
+	}
+	if err := checkLoopable(src); err != nil {
+		return nil, fmt.Errorf("workload: victim %s is not loopable: %v", name, err)
+	}
+
+	var b strings.Builder
+	cur := ""
+	for _, line := range strings.Split(src, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			switch fields[0] {
+			case ".func":
+				if len(fields) > 1 {
+					cur = fields[1]
+				}
+				if cur == "main" {
+					b.WriteString(".func victim_main\n")
+					continue
+				}
+			case "halt":
+				if cur == "main" {
+					b.WriteString("  ret\n")
+					continue
+				}
+			}
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+
+	// The driver loop. The victims clobber registers, so the iteration
+	// count lives in memory and the loop registers are reloaded after
+	// every call.
+	fmt.Fprintf(&b, `.func main
+cinloop_top:
+  call  victim_main
+  mov   r12, @cinloop_cnt
+  load  r13, [r12]
+  add   r13, r13, 1
+  store r13, [r12]
+  mov   r14, %d
+  blt   r13, r14, cinloop_top
+  halt
+`, iters)
+	// The assembler allows re-entering the data section, so the counter
+	// cell gets its own .data regardless of what the victim declared.
+	b.WriteString(".data\ncinloop_cnt: .space 8\n")
+
+	m, err := asm.Assemble(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("workload: looped victim %s: %w", name, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/obj"
+)
+
+func TestLoopableVictimsSet(t *testing.T) {
+	names := LoopableVictims()
+	sort.Strings(names)
+	want := []string{"indirect_attack", "indirect_clean", "loopy", "stack_clean", "uaf_bug", "uaf_clean"}
+	if len(names) != len(want) {
+		t.Fatalf("loopable = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("loopable = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestLoopedVictimRejectsUnloopable(t *testing.T) {
+	// stack_smash halts inside evil(), not main: the driver loop could
+	// never regain control.
+	if _, err := LoopedVictim("stack_smash", 10); err == nil {
+		t.Fatal("stack_smash accepted")
+	}
+	if _, err := LoopedVictim("uaf_bug", 0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	if _, err := LoopedVictim("nope", 10); err == nil {
+		t.Fatal("unknown victim accepted")
+	}
+}
+
+func TestLoopedVictimMultipliesBehaviour(t *testing.T) {
+	// One plain run establishes the per-iteration work; the looped
+	// variant must do exactly iters times as many allocs/frees.
+	const iters = 25
+	for _, name := range []string{"uaf_bug", "uaf_clean"} {
+		m, err := LoopedVictim(name, iters)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_, res := buildAndRun(t, []*obj.Module{m}, 10_000_000)
+		if res.Allocs != iters || res.Frees != iters {
+			t.Errorf("%s looped x%d: allocs=%d frees=%d", name, iters, res.Allocs, res.Frees)
+		}
+	}
+
+	// Every loopable victim assembles, runs and halts cleanly.
+	for _, name := range LoopableVictims() {
+		m, err := LoopedVictim(name, 3)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		_, res := buildAndRun(t, []*obj.Module{m}, 10_000_000)
+		if res.ExitCode != 0 {
+			t.Errorf("%s looped exit = %d", name, res.ExitCode)
+		}
+	}
+
+	// The loop body really scales the run: 10x iterations is ~10x the
+	// instruction count.
+	m3, err := LoopedVictim("loopy", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res3 := buildAndRun(t, []*obj.Module{m3}, 50_000_000)
+	m30, err := LoopedVictim("loopy", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res30 := buildAndRun(t, []*obj.Module{m30}, 50_000_000)
+	if res30.Insts < 9*res3.Insts {
+		t.Errorf("30 iters ran %d insts vs %d for 3 — loop not scaling", res30.Insts, res3.Insts)
+	}
+}

@@ -9,8 +9,13 @@
 #   bench      one smoke iteration of every table/figure benchmark at a
 #              reduced workload scale
 #   docs       package-doc + documentation-suite gate (scripts/pkgdoc),
-#              one -stats CLI smoke run, and the disabled-path probe
-#              dispatch perf gate (non-race; see internal/vm/obs_test.go)
+#              one -stats CLI smoke run, and the probe-dispatch perf
+#              gates (non-race; see internal/vm/obs_test.go): disabled
+#              path vs the pre-observability loop, enabled path vs
+#              plain-counter accounting
+#   monitor    live-monitoring smoke (scripts/monitorsmoke): a looping
+#              victim with -listen, scraped over real HTTP (/healthz,
+#              /metrics, one SSE event), then killed cleanly
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,5 +41,11 @@ go run ./cmd/cinnamon -backend=janus -target=victim:uaf_bug \
 
 echo "==> disabled-path dispatch perf gate"
 CINNAMON_PERF_GATE=1 go test -run TestObsDisabledDispatchOverhead -count=1 ./internal/vm/
+
+echo "==> enabled-path dispatch perf gate"
+CINNAMON_PERF_GATE=1 go test -run TestObsEnabledDispatchOverhead -count=1 ./internal/vm/
+
+echo "==> live-monitoring smoke"
+go run ./scripts/monitorsmoke
 
 echo "CI OK"

@@ -1,0 +1,216 @@
+// Command monitorsmoke is the CI smoke test for the live-monitoring
+// stack: it builds the cinnamon CLI, starts a live-monitored session
+// (looping victim, -listen on an ephemeral port), scrapes /healthz and
+// /metrics, reads one event off the SSE /trace stream, then kills the
+// session and verifies it dies cleanly. It exercises the same path an
+// operator uses — the real binary, real flags, real HTTP — not the Go
+// API, so a wiring regression in cmd/cinnamon fails CI even if every
+// package test passes.
+//
+// Run from the repository root (scripts/ci.sh does):
+//
+//	go run ./scripts/monitorsmoke
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "monitorsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("monitorsmoke: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "monitorsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "cinnamon")
+
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/cinnamon").CombinedOutput(); err != nil {
+		return fmt.Errorf("build cinnamon: %v\n%s", err, out)
+	}
+
+	// A long-looping victim so the session outlives the smoke checks.
+	cmd := exec.Command(bin,
+		"-backend=pin", "-target=victim:uaf_bug",
+		"-listen=127.0.0.1:0", "-interval=100ms", "-loop=2000000",
+		"@useafterfree")
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	// The CLI announces the bound address on stderr.
+	addr, err := scanAddr(stderr)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	if err := expectGet(base+"/healthz", "ok"); err != nil {
+		return err
+	}
+	// The monitor comes up before the instrumented run starts, so the
+	// first scrapes may predate probe registration; poll until the run
+	// is visibly firing.
+	deadline := time.Now().Add(30 * time.Second)
+	var metrics string
+	for {
+		metrics, err = get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		if strings.Contains(metrics, "# TYPE cinnamon_probe_fires_total counter") {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/metrics never showed probe fires:\n%s", metrics)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(metrics, `backend="pin"`) {
+		return fmt.Errorf("/metrics missing backend label:\n%s", metrics)
+	}
+
+	if err := readOneSSEEvent(base + "/trace"); err != nil {
+		return err
+	}
+
+	// Clean shutdown: the process must die on signal, not hang on the
+	// monitor server.
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("session did not exit within 10s of kill")
+	}
+	return nil
+}
+
+// scanAddr reads the session's stderr until the monitor announces its
+// bound address.
+func scanAddr(stderr io.Reader) (string, error) {
+	const marker = "monitor listening on http://"
+	type res struct {
+		addr string
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, marker); i >= 0 {
+				ch <- res{addr: strings.TrimSpace(line[i+len(marker):])}
+				// Keep draining so the session never blocks on stderr.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ch <- res{err: fmt.Errorf("monitor address never announced (stderr closed)")}
+	}()
+	select {
+	case r := <-ch:
+		return r.addr, r.err
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for the monitor address")
+	}
+}
+
+func get(url string) (string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func expectGet(url, want string) error {
+	body, err := get(url)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, want) {
+		return fmt.Errorf("%s: got %q, want %q", url, body, want)
+	}
+	return nil
+}
+
+// readOneSSEEvent connects to the SSE stream and waits for one complete
+// event (a probe firing or a heartbeat — either proves the stream is
+// alive and framed correctly).
+func readOneSSEEvent(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("%s: Content-Type %q, want text/event-stream", url, ct)
+	}
+	type res struct {
+		name string
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		name := ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case line == "" && name != "":
+				ch <- res{name: name}
+				return
+			}
+		}
+		ch <- res{err: fmt.Errorf("SSE stream closed without an event")}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return r.err
+		}
+		if r.name != "fire" && r.name != "heartbeat" {
+			return fmt.Errorf("unexpected SSE event %q", r.name)
+		}
+		return nil
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("no SSE event within 15s")
+	}
+}
