@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"repro/cinnamon"
@@ -112,22 +114,31 @@ fptr: .addr worker
 `
 
 func main() {
-	check := func(toolSrc, appSrc, label string) {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	check := func(toolSrc, appSrc, label string) error {
 		tool, err := cinnamon.Compile(toolSrc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		target, err := cinnamon.LoadAssembly(appSrc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		report, err := tool.Run(target, cinnamon.Dyninst, cinnamon.RunOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		violations := strings.Count(report.ToolOutput, "ERROR")
-		fmt.Printf("%-28s -> %d violation(s) detected\n", label, violations)
+		fmt.Fprintf(w, "%-28s -> %d violation(s) detected\n", label, violations)
+		return nil
 	}
-	check(shadowStackSrc, smashSrc, "shadow stack vs stack smash")
-	check(forwardCFISrc, corruptSrc, "forward CFI vs bad pointer")
+	if err := check(shadowStackSrc, smashSrc, "shadow stack vs stack smash"); err != nil {
+		return err
+	}
+	return check(forwardCFISrc, corruptSrc, "forward CFI vs bad pointer")
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Documented behaviour: each monitor detects exactly one violation in
+// its attack scenario — the shadow stack catches the smashed return,
+// the forward-CFI check catches the mid-function call target.
+func TestCFIMonitorsOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"shadow stack vs stack smash",
+		"forward CFI vs bad pointer",
+	} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, want) && strings.Contains(line, "1 violation(s) detected") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q did not report exactly one violation:\n%s", want, out)
+		}
+	}
+}

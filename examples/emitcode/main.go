@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	"repro/cinnamon"
@@ -30,14 +32,20 @@ exit {
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	tool, err := cinnamon.Compile(toolSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, backend := range cinnamon.Backends() {
 		files, err := tool.GenerateCode(backend)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var names []string
 		for n := range files {
@@ -45,7 +53,8 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Printf("// ================= %s (%s backend) =================\n%s\n", n, backend, files[n])
+			fmt.Fprintf(w, "// ================= %s (%s backend) =================\n%s\n", n, backend, files[n])
 		}
 	}
+	return nil
 }

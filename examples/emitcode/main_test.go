@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The emitcode example's documented behaviour: one generated source
+// bundle per backend — a Pin tool, a Dyninst mutator, and a Janus
+// static pass with dynamic handlers — each using the real framework's
+// API surface.
+func TestEmitcodeOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, marker := range []string{
+		"pin_tool.cpp (pin backend)",
+		"dyninst_mutator.cpp (dyninst backend)",
+		"janus_static_pass.cpp (janus backend)",
+		"janus_handlers.cpp (janus backend)",
+		"cnm_runtime.h",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("missing generated file %q", marker)
+		}
+	}
+	for _, api := range []string{"PIN_", "BPatch"} {
+		if !strings.Contains(out, api) {
+			t.Errorf("generated code never uses %s API", api)
+		}
+	}
+}

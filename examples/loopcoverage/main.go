@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/cinnamon"
 )
@@ -85,24 +87,31 @@ cells: .space 64
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	tool, err := cinnamon.Compile(toolSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	target, err := cinnamon.LoadAssembly(appSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, backend := range []string{cinnamon.Janus, cinnamon.Dyninst} {
 		report, err := tool.Run(target, backend, cinnamon.RunOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%s:\n%s", backend, report.ToolOutput)
+		fmt.Fprintf(w, "%s:\n%s", backend, report.ToolOutput)
 	}
 	// Pin has no notion of loops; the mapping is rejected at compile
 	// time, matching Section VI-B of the paper.
 	if _, err := tool.Run(target, cinnamon.Pin, cinnamon.RunOptions{}); err != nil {
-		fmt.Printf("pin: %v\n", err)
+		fmt.Fprintf(w, "pin: %v\n", err)
 	}
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Documented behaviour: Janus and Dyninst both report the hot loop
+// dominating coverage; Pin rejects the loop commands ("no notion of
+// loops"), matching Section VI-B.
+func TestLoopCoverageOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, backend := range []string{"janus:", "dyninst:"} {
+		if !strings.Contains(out, backend+"\nloop 0 coverage 96\nloop 1 coverage 1\n") {
+			t.Errorf("%s coverage table missing or changed:\n%s", backend, out)
+		}
+	}
+	if !strings.Contains(out, "pin:") || !strings.Contains(out, "no notion of loops") {
+		t.Errorf("pin loop rejection not reported:\n%s", out)
+	}
+}

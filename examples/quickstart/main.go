@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/cinnamon"
 )
@@ -50,23 +52,30 @@ table: .quad 10, 20, 30, 40, 50, 60, 70, 80, 90, 100
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	tool, err := cinnamon.Compile(toolSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	target, err := cinnamon.LoadAssembly(appSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("load counts reported by the same Cinnamon program on each backend:")
+	fmt.Fprintln(w, "load counts reported by the same Cinnamon program on each backend:")
 	for _, backend := range cinnamon.Backends() {
 		report, err := tool.Run(target, backend, cinnamon.RunOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %-8s -> %s    (%d app instructions, %d cycle units)\n",
+		fmt.Fprintf(w, "  %-8s -> %s    (%d app instructions, %d cycle units)\n",
 			backend, trimNL(report.ToolOutput), report.Insts, report.Cycles)
 	}
+	return nil
 }
 
 func trimNL(s string) string {

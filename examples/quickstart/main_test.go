@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The quickstart's documented behaviour: the same tool reports the same
+// load count (10 — one per loop iteration) on every backend.
+func TestQuickstartOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "load counts reported by the same Cinnamon program on each backend:") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	for _, backend := range []string{"pin", "dyninst", "janus"} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, backend) && strings.Contains(line, "-> 10 ") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("backend %s did not report 10 loads:\n%s", backend, out)
+		}
+	}
+}

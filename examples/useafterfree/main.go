@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/cinnamon"
 )
@@ -85,9 +87,15 @@ const fixedSrc = `
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	tool, err := cinnamon.Compile(toolSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, app := range []struct{ name, src string }{
 		{"buggy program", buggySrc},
@@ -95,20 +103,21 @@ func main() {
 	} {
 		target, err := cinnamon.LoadAssembly(app.src)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for _, backend := range cinnamon.Backends() {
 			report, err := tool.Run(target, backend, cinnamon.RunOptions{})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			verdict := "clean"
 			if report.ToolOutput != "" {
 				verdict = trim(report.ToolOutput)
 			}
-			fmt.Printf("%-14s on %-8s: %s\n", app.name, backend, verdict)
+			fmt.Fprintf(w, "%-14s on %-8s: %s\n", app.name, backend, verdict)
 		}
 	}
+	return nil
 }
 
 func trim(s string) string {

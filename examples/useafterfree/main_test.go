@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Documented behaviour: every backend flags the dangling read in the
+// buggy program and stays silent on the fixed one.
+func TestUseAfterFreeOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, backend := range []string{"pin", "dyninst", "janus"} {
+		buggy, fixed := false, false
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.Contains(line, backend) {
+				continue
+			}
+			if strings.HasPrefix(line, "buggy program") && strings.Contains(line, "ERROR: use after free access") {
+				buggy = true
+			}
+			if strings.HasPrefix(line, "fixed program") && strings.Contains(line, "clean") {
+				fixed = true
+			}
+		}
+		if !buggy {
+			t.Errorf("%s did not flag the buggy program:\n%s", backend, out)
+		}
+		if !fixed {
+			t.Errorf("%s did not report the fixed program clean:\n%s", backend, out)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/backend"
+	"repro/internal/core/engine"
+	"repro/internal/core/parser"
+)
+
+// Every generated program must compile, and must be a fixed point of
+// the canonical printer (the generator emits via ast.Print, so parsing
+// and reprinting its output has to be byte-identical — otherwise the
+// shrinker's candidate comparison would be meaningless).
+func TestGeneratedProgramsCompileAndAreCanonical(t *testing.T) {
+	for seed := uint64(0); seed < 150; seed++ {
+		p := GenProgram(seed)
+		if _, err := engine.Compile(p.Source); err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, p.Source)
+		}
+		prog, err := parser.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if got := ast.Print(prog); got != p.Source {
+			t.Fatalf("seed %d: print/parse is not a fixed point:\n--- generated ---\n%s\n--- reprinted ---\n%s",
+				seed, p.Source, got)
+		}
+	}
+}
+
+func TestGeneratedVictimsLoad(t *testing.T) {
+	for seed := uint64(0); seed < 150; seed++ {
+		v := GenVictim(seed)
+		if _, err := LoadVictim(v.Srcs); err != nil {
+			t.Fatalf("seed %d: generated victim does not load: %v\n%s", seed, err, strings.Join(v.Srcs, "\n---\n"))
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := GenProgram(seed), GenProgram(seed)
+		if a.Source != b.Source || a.UsesLoops != b.UsesLoops {
+			t.Fatalf("seed %d: GenProgram is not deterministic", seed)
+		}
+		va, vb := GenVictim(seed), GenVictim(seed)
+		if strings.Join(va.Srcs, "\x00") != strings.Join(vb.Srcs, "\x00") {
+			t.Fatalf("seed %d: GenVictim is not deterministic", seed)
+		}
+	}
+}
+
+// The tentpole assertion: a bounded differential sweep finds zero
+// illegal divergences, and the oracle exercises (not masks) every
+// documented legal divergence class.
+func TestDifferentialSweep(t *testing.T) {
+	res := Sweep(0, 60, time.Time{})
+	for _, err := range res.Errors {
+		t.Errorf("generator error: %v", err)
+	}
+	for _, pr := range res.Failures {
+		t.Errorf("seed %d: illegal divergence:\n%s", pr.Program.Seed,
+			DescribeFailure(pr, pr.Program.Source))
+	}
+	for _, class := range []string{ClassPinLoops, ClassPinLibs, ClassDyninstCFG} {
+		if res.Legal[class] == 0 {
+			t.Errorf("sweep never exercised legal divergence class %s", class)
+		}
+	}
+}
+
+// Sweeping the same range twice must classify identically: the whole
+// harness (generator, runner, oracle) is deterministic end to end.
+func TestSweepDeterministic(t *testing.T) {
+	a := Sweep(100, 25, time.Time{})
+	b := Sweep(100, 25, time.Time{})
+	if a.Summary() != b.Summary() {
+		t.Fatalf("sweep is not deterministic:\n%s\nvs\n%s", a.Summary(), b.Summary())
+	}
+}
+
+// Oracle classification on fabricated results: a tampered output in one
+// tier must be an illegal tier-mismatch, and a Pin undercount on a
+// multi-module victim must be illegal (dominance is required, not just
+// "any difference is Pin being Pin").
+func TestOracleFlagsTamperedResults(t *testing.T) {
+	mk := func(cell Cell) RunResult {
+		return RunResult{
+			Cell: cell, Output: "c0 7\n", Insts: 100, Cycles: 500,
+			Fires: map[string]uint64{"before inst @3:3": 40},
+		}
+	}
+	cells := Cells(Traits{})
+	results := make([]RunResult, len(cells))
+	for i, c := range cells {
+		results[i] = mk(c)
+	}
+
+	if divs := Compare(results, Traits{}); len(divs) != 0 {
+		t.Fatalf("identical results produced divergences: %v", divs)
+	}
+
+	// Tamper the interpreted Janus tier.
+	tampered := make([]RunResult, len(results))
+	copy(tampered, results)
+	for i := range tampered {
+		if tampered[i].Cell == (Cell{Backend: backend.Janus, Interpret: true}) {
+			tampered[i].Output = "c0 8\n"
+		}
+	}
+	divs := Compare(tampered, Traits{})
+	if len(divs) != 1 || divs[0].Class != ClassTier || divs[0].Legal {
+		t.Fatalf("tampered tier not flagged as illegal tier-mismatch: %v", divs)
+	}
+
+	// Pin undercounting on a multi-module victim is illegal even though
+	// overcounting would be the legal pin-shared-libs divergence.
+	under := make([]RunResult, len(results))
+	copy(under, results)
+	for i := range under {
+		if under[i].Cell.Backend == backend.Pin {
+			under[i].Fires = map[string]uint64{"before inst @3:3": 30}
+		}
+	}
+	divs = Compare(under, Traits{MultiModule: true})
+	found := false
+	for _, d := range divs {
+		if d.Class == ClassBackend && !d.Legal && strings.Contains(d.Detail, "undercounts") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pin undercount not flagged: %v", divs)
+	}
+
+	// Pin overcounting on a multi-module victim is the legal class.
+	over := make([]RunResult, len(results))
+	copy(over, results)
+	for i := range over {
+		if over[i].Cell.Backend == backend.Pin {
+			over[i].Fires = map[string]uint64{"before inst @3:3": 55}
+			over[i].Output = "c0 9\n"
+		}
+	}
+	divs = Compare(over, Traits{MultiModule: true})
+	if len(divs) != 1 || divs[0].Class != ClassPinLibs || !divs[0].Legal {
+		t.Fatalf("pin overcount not classified as legal pin-shared-libs: %v", divs)
+	}
+
+	// The same overcount on a single-module victim is illegal.
+	divs = Compare(over, Traits{})
+	if len(divs) == 0 || divs[0].Legal {
+		t.Fatalf("single-module pin mismatch not flagged: %v", divs)
+	}
+}
+
+// Known-divergence classification on real runs, not fabricated data:
+// each corpus seed entry is built to trigger one oracle class.
+func TestOracleClassifiesKnownDivergences(t *testing.T) {
+	pairs, err := CorpusPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"seed_agree":       "",
+		"seed_pin_loops":   ClassPinLoops,
+		"seed_pin_libs":    ClassPinLibs,
+		"seed_dyninst_cfg": ClassDyninstCFG,
+	}
+	for _, p := range pairs {
+		class, ok := want[p.Name]
+		if !ok {
+			continue
+		}
+		pr, err := ReplayPair(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if ill := pr.Illegal(); len(ill) > 0 {
+			t.Errorf("%s: illegal divergences: %v", p.Name, ill)
+		}
+		if class == "" {
+			if len(pr.Divergences) != 0 {
+				t.Errorf("%s: want full agreement, got %v", p.Name, pr.Divergences)
+			}
+			continue
+		}
+		found := false
+		for _, d := range pr.Divergences {
+			if d.Class == class && d.Legal {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: oracle did not classify the %s divergence: %v", p.Name, class, pr.Divergences)
+		}
+	}
+}
+
+// With the loop-detection extension, Pin must rejoin the cross-check:
+// its loop-trigger fire counts and output agree with Janus exactly on
+// single-module victims.
+func TestPinLoopDetectionRejoinsMatrix(t *testing.T) {
+	pairs, err := CorpusPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.Name != "seed_pin_loops" {
+			continue
+		}
+		pr, err := ReplayPair(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref, pinLD *RunResult
+		for i := range pr.Results {
+			r := &pr.Results[i]
+			if r.Cell == (Cell{Backend: backend.Janus}) {
+				ref = r
+			}
+			if r.Cell == (Cell{Backend: backend.Pin, LoopDetection: true}) {
+				pinLD = r
+			}
+		}
+		if ref == nil || pinLD == nil {
+			t.Fatal("matrix missing janus reference or pin+loopdet cell")
+		}
+		if pinLD.Err != "" {
+			t.Fatalf("pin+loopdet failed: %s", pinLD.Err)
+		}
+		if pinLD.Output != ref.Output {
+			t.Errorf("pin+loopdet output %q != janus %q", pinLD.Output, ref.Output)
+		}
+		return
+	}
+	t.Fatal("seed_pin_loops corpus entry missing")
+}
+
+func TestShrinkerDeterministicAndMinimal(t *testing.T) {
+	// A predicate standing in for "reproduces the divergence": the
+	// program still contains a basicblock command and an assignment
+	// incrementing c0. Everything else should shrink away.
+	fails := func(src string) bool {
+		return strings.Contains(src, "basicblock") && strings.Contains(src, "c0 = c0 + 1;")
+	}
+	seed := findSeed(t, func(p *Program) bool { return fails(p.Source) })
+	src := GenProgram(seed).Source
+	a := Shrink(src, fails)
+	b := Shrink(src, fails)
+	if a != b {
+		t.Fatalf("shrinker is not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if !fails(a) {
+		t.Fatalf("shrunk program no longer fails:\n%s", a)
+	}
+	if len(a) >= len(src) {
+		t.Fatalf("shrinker made no progress: %d -> %d bytes", len(src), len(a))
+	}
+	if _, err := engine.Compile(a); err != nil {
+		t.Fatalf("shrunk program does not compile: %v\n%s", err, a)
+	}
+	// Minimality: removing any single remaining element must break the
+	// predicate or the program (that is the shrinker's fixpoint).
+	prog, err := parser.Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < countSlots(prog); i++ {
+		c := ast.Print(deleteSlot(prog, i))
+		if c == a {
+			continue
+		}
+		if _, err := engine.Compile(c); err == nil && fails(c) {
+			t.Fatalf("shrunk program is not 1-minimal: slot %d still removable:\n%s", i, c)
+		}
+	}
+}
+
+// ShrinkFailure on a synthetic oracle failure: force a divergence by
+// treating dyninst's legal CFG-skip as illegal via a victim trait lie
+// is not possible (traits are derived), so instead shrink against a
+// predicate that reruns the real matrix and requires the legal
+// dyninst-cfg-skip class to survive. This exercises the full
+// shrink-with-rerun path deterministically.
+func TestShrinkAgainstRealMatrix(t *testing.T) {
+	seed := findSeed(t, func(p *Program) bool {
+		pr, err := RunPair(p, GenVictim(p.Seed))
+		if err != nil {
+			return false
+		}
+		for _, d := range pr.Divergences {
+			if d.Class == ClassDyninstCFG {
+				return true
+			}
+		}
+		return false
+	})
+	p := GenProgram(seed)
+	v := GenVictim(seed)
+	keep := func(src string) bool {
+		pr, err := RunPair(&Program{Source: src}, v)
+		if err != nil {
+			return false
+		}
+		for _, d := range pr.Divergences {
+			if d.Class == ClassDyninstCFG {
+				return true
+			}
+		}
+		return false
+	}
+	a := Shrink(p.Source, keep)
+	b := Shrink(p.Source, keep)
+	if a != b {
+		t.Fatalf("matrix-predicate shrink not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !keep(a) {
+		t.Fatalf("shrunk program lost the divergence:\n%s", a)
+	}
+}
+
+// findSeed scans forward from 0 for a generated program satisfying the
+// predicate (deterministic, so tests always pick the same seed).
+func findSeed(t *testing.T, ok func(*Program) bool) uint64 {
+	t.Helper()
+	for seed := uint64(0); seed < 500; seed++ {
+		if ok(GenProgram(seed)) {
+			return seed
+		}
+	}
+	t.Fatal("no seed in [0,500) satisfies the predicate")
+	return 0
+}
+
+func TestCorpusFormatRoundTrip(t *testing.T) {
+	tool := "uint64 c0 = 0;\nexit {\n  print(\"c0\", c0);\n}\n"
+	victims := []string{".module a\n.executable\n.entry main\n.func main\n  halt\n", ".module b\n.global x\n.func x\n  ret\n"}
+	text := FormatPair(tool, victims)
+	p, err := ParsePair("rt", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tool != tool {
+		t.Errorf("tool round-trip:\n%q\nvs\n%q", p.Tool, tool)
+	}
+	if len(p.Victim) != 2 || p.Victim[0] != victims[0] || p.Victim[1] != victims[1] {
+		t.Errorf("victims round-trip: %q", p.Victim)
+	}
+	if _, err := ParsePair("bad", "no markers at all\n"); err == nil {
+		t.Error("content before marker not rejected")
+	}
+	if _, err := ParsePair("bad", "-- victim --\nx\n"); err == nil {
+		t.Error("victim before tool not rejected")
+	}
+}

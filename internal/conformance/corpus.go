@@ -1,0 +1,147 @@
+package conformance
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/parser"
+)
+
+// The regression corpus: every divergence the harness ever found (plus
+// seed entries covering each oracle class) is checked in as a
+// .cinpair file and replayed by ordinary `go test` (see corpus_test.go)
+// and by the CI gate. The format is line-oriented:
+//
+//	# optional comment lines
+//	-- tool --
+//	<Cinnamon source>
+//	-- victim --
+//	<assembly source, executable module>
+//	-- victim --
+//	<assembly source, additional module>
+//
+// Traits (multi-module, unrecoverable control flow, loop commands) are
+// re-derived at replay time, never stored, so an entry cannot go stale
+// against the oracle.
+
+//go:embed corpus/*.cinpair
+var corpusFS embed.FS
+
+const (
+	toolMarker   = "-- tool --"
+	victimMarker = "-- victim --"
+)
+
+// CorpusPair is one checked-in regression entry.
+type CorpusPair struct {
+	Name   string
+	Tool   string
+	Victim []string
+}
+
+// FormatPair renders a tool/victim pair in corpus file format.
+func FormatPair(tool string, victims []string) string {
+	var b strings.Builder
+	b.WriteString(toolMarker + "\n")
+	b.WriteString(strings.TrimRight(tool, "\n") + "\n")
+	for _, v := range victims {
+		b.WriteString(victimMarker + "\n")
+		b.WriteString(strings.TrimRight(v, "\n") + "\n")
+	}
+	return b.String()
+}
+
+// ParsePair parses corpus file content.
+func ParsePair(name, content string) (*CorpusPair, error) {
+	p := &CorpusPair{Name: name}
+	var cur *strings.Builder
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		text := strings.TrimRight(cur.String(), "\n") + "\n"
+		if p.Tool == "" {
+			p.Tool = text
+		} else {
+			p.Victim = append(p.Victim, text)
+		}
+	}
+	inTool := false
+	for _, line := range strings.Split(content, "\n") {
+		switch strings.TrimSpace(line) {
+		case toolMarker:
+			if inTool || p.Tool != "" {
+				return nil, fmt.Errorf("corpus %s: duplicate %s section", name, toolMarker)
+			}
+			cur = &strings.Builder{}
+			inTool = true
+			continue
+		case victimMarker:
+			flush()
+			if p.Tool == "" {
+				return nil, fmt.Errorf("corpus %s: %s before %s", name, victimMarker, toolMarker)
+			}
+			cur = &strings.Builder{}
+			inTool = false
+			continue
+		}
+		if cur == nil {
+			if s := strings.TrimSpace(line); s != "" && !strings.HasPrefix(s, "#") {
+				return nil, fmt.Errorf("corpus %s: content before %s", name, toolMarker)
+			}
+			continue
+		}
+		cur.WriteString(line + "\n")
+	}
+	flush()
+	if p.Tool == "" || len(p.Victim) == 0 {
+		return nil, fmt.Errorf("corpus %s: needs one %s and at least one %s section", name, toolMarker, victimMarker)
+	}
+	return p, nil
+}
+
+// CorpusPairs loads every checked-in regression entry, sorted by name.
+func CorpusPairs() ([]*CorpusPair, error) {
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	pairs := make([]*CorpusPair, 0, len(names))
+	for _, n := range names {
+		b, err := corpusFS.ReadFile("corpus/" + n)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ParsePair(strings.TrimSuffix(n, ".cinpair"), string(b))
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, nil
+}
+
+// ReplayPair runs one corpus entry through the differential matrix.
+func ReplayPair(p *CorpusPair) (*PairResult, error) {
+	return RunPair(
+		&Program{Source: p.Tool, UsesLoops: toolUsesLoops(p.Tool)},
+		&Victim{Srcs: p.Victim},
+	)
+}
+
+// toolUsesLoops reparses the source for the loop-command trait (the
+// Program field is advisory; RunPair re-derives traits itself).
+func toolUsesLoops(src string) bool {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return false
+	}
+	return usesLoops(prog.Items)
+}

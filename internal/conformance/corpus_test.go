@@ -1,0 +1,28 @@
+package conformance
+
+import "testing"
+
+// TestRegressionCorpus replays every checked-in .cinpair entry through
+// the full differential matrix. Any illegal divergence fails the build:
+// this is how a once-found conformance bug stays fixed.
+func TestRegressionCorpus(t *testing.T) {
+	pairs, err := CorpusPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("regression corpus is empty")
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			pr, err := ReplayPair(p)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			for _, d := range pr.Illegal() {
+				t.Errorf("illegal divergence: %s", d)
+			}
+		})
+	}
+}

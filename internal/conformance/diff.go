@@ -1,0 +1,449 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core/ast"
+	"repro/internal/core/backend"
+	"repro/internal/core/engine"
+	"repro/internal/obj"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// Cell identifies one run configuration in the differential matrix:
+// a backend crossed with an execution tier (compiled closures vs the
+// tree-walking interpreter), plus the Pin loop-detection extension.
+type Cell struct {
+	Backend       string
+	Interpret     bool
+	LoopDetection bool
+}
+
+func (c Cell) String() string {
+	tier := "compiled"
+	if c.Interpret {
+		tier = "interp"
+	}
+	if c.LoopDetection {
+		return fmt.Sprintf("%s+loopdet/%s", c.Backend, tier)
+	}
+	return fmt.Sprintf("%s/%s", c.Backend, tier)
+}
+
+// RunResult is everything observable about one cell's run: the error (if
+// the backend refused or failed), the tool's print output, the machine
+// counters, and per-probe fire counts keyed by the backend-stable action
+// label from the obs layer.
+type RunResult struct {
+	Cell       Cell
+	Err        string
+	Output     string
+	Cycles     uint64
+	Insts      uint64
+	ExitCode   uint64
+	Fires      map[string]uint64
+	TotalFires uint64
+}
+
+// Traits are the structural properties of a (program, victim) pair the
+// oracle conditions its legal-divergence rules on. They are derived from
+// the compiled tool and the loaded binary, never trusted from metadata,
+// so corpus replays classify exactly like fresh generations.
+type Traits struct {
+	// MultiModule: the victim loads more than one module, so Pin (which
+	// instruments shared libraries) legally observes more events than
+	// the executable-only backends.
+	MultiModule bool
+	// Unrecoverable: control-flow recovery of the executable is
+	// incomplete, so Dyninst legally refuses the binary.
+	Unrecoverable bool
+	// UsesLoops: the tool has a loop command, so plain Pin legally
+	// refuses the program (no notion of loops).
+	UsesLoops bool
+}
+
+// Divergence classes. The legal ones encode the paper's Figure 12
+// footnotes; everything else is a conformance failure.
+const (
+	// ClassTier: compiled and interpreted tiers of the same backend
+	// disagree. Never legal — the tiers must be indistinguishable.
+	ClassTier = "tier-mismatch"
+	// ClassRef: the reference backend (Janus) itself failed.
+	ClassRef = "reference-failed"
+	// ClassPinLoops: plain Pin refused a loop command. Legal.
+	ClassPinLoops = "pin-loop-skip"
+	// ClassPinLibs: Pin observed more than the executable-only backends
+	// on a multi-module victim. Legal while fire counts dominate the
+	// reference and the machine counters agree.
+	ClassPinLibs = "pin-shared-libs"
+	// ClassDyninstCFG: Dyninst refused a binary with unrecoverable
+	// control flow. Legal.
+	ClassDyninstCFG = "dyninst-cfg-skip"
+	// ClassBackend: backends disagree outside every legal rule.
+	ClassBackend = "backend-mismatch"
+)
+
+// Divergence is one classified disagreement between two cells.
+type Divergence struct {
+	Class  string
+	Legal  bool
+	Cells  [2]Cell
+	Detail string
+}
+
+func (d Divergence) String() string {
+	tag := "ILLEGAL"
+	if d.Legal {
+		tag = "legal"
+	}
+	return fmt.Sprintf("[%s] %s: %s vs %s: %s", tag, d.Class, d.Cells[0], d.Cells[1], d.Detail)
+}
+
+// PairResult is the outcome of running one (program, victim) pair
+// through the full differential matrix.
+type PairResult struct {
+	Program     *Program
+	Victim      *Victim
+	Traits      Traits
+	Results     []RunResult
+	Divergences []Divergence
+}
+
+// Illegal returns the divergences the oracle could not classify as one
+// of the paper's documented legal divergences.
+func (p *PairResult) Illegal() []Divergence {
+	var out []Divergence
+	for _, d := range p.Divergences {
+		if !d.Legal {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LoadVictim assembles and loads victim sources into a CFG program.
+func LoadVictim(srcs []string) (*cfg.Program, error) {
+	mods := make([]*obj.Module, 0, len(srcs))
+	for _, s := range srcs {
+		m, err := asm.Assemble(s)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	p, err := obj.Load(mods, vm.RuntimeExterns())
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Build(p)
+}
+
+// DeriveTraits computes the oracle-relevant properties from the
+// compiled tool and loaded victim.
+func DeriveTraits(tool *engine.CompiledTool, prog *cfg.Program) Traits {
+	t := Traits{MultiModule: len(prog.Modules) > 1}
+	exe := prog.Modules[0]
+	if exe.Loaded.HasUnrecoverableControlFlow() {
+		t.Unrecoverable = true
+	}
+	for _, f := range exe.Funcs {
+		if f.Imprecise {
+			t.Unrecoverable = true
+		}
+	}
+	t.UsesLoops = usesLoops(tool.Prog.Items)
+	return t
+}
+
+func usesLoops(items []ast.TopItem) bool {
+	var cmdHasLoop func(c *ast.Command) bool
+	cmdHasLoop = func(c *ast.Command) bool {
+		if c.EType == ast.Loop {
+			return true
+		}
+		for _, it := range c.Body {
+			if nc, ok := it.(*ast.Command); ok && cmdHasLoop(nc) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, it := range items {
+		if c, ok := it.(*ast.Command); ok && cmdHasLoop(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Cells returns the differential matrix for the traits: every backend in
+// both tiers, plus Pin with the loop-detection extension when the tool
+// has loop commands (so Pin still participates in the cross-check
+// instead of only being skipped).
+func Cells(t Traits) []Cell {
+	cells := []Cell{
+		{Backend: backend.Janus},
+		{Backend: backend.Janus, Interpret: true},
+		{Backend: backend.Dyninst},
+		{Backend: backend.Dyninst, Interpret: true},
+		{Backend: backend.Pin},
+		{Backend: backend.Pin, Interpret: true},
+	}
+	if t.UsesLoops {
+		cells = append(cells,
+			Cell{Backend: backend.Pin, LoopDetection: true},
+			Cell{Backend: backend.Pin, Interpret: true, LoopDetection: true},
+		)
+	}
+	return cells
+}
+
+// RunPair executes the pair through the full matrix and classifies
+// every disagreement. It returns an error only when the pair cannot be
+// set up at all (tool fails to compile, victim fails to assemble) —
+// generator invariants, not conformance findings.
+func RunPair(p *Program, v *Victim) (*PairResult, error) {
+	tool, err := engine.Compile(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("tool does not compile: %w", err)
+	}
+	prog, err := LoadVictim(v.Srcs)
+	if err != nil {
+		return nil, fmt.Errorf("victim does not load: %w", err)
+	}
+	traits := DeriveTraits(tool, prog)
+	pr := &PairResult{Program: p, Victim: v, Traits: traits}
+	for _, cell := range Cells(traits) {
+		pr.Results = append(pr.Results, runCell(tool, prog, cell))
+	}
+	pr.Divergences = Compare(pr.Results, traits)
+	return pr, nil
+}
+
+func runCell(tool *engine.CompiledTool, prog *cfg.Program, cell Cell) RunResult {
+	var out bytes.Buffer
+	col := obs.New(obs.Options{})
+	res, err := backend.Run(tool, prog, cell.Backend, backend.Options{
+		Out:              &out,
+		Interpret:        cell.Interpret,
+		PinLoopDetection: cell.LoopDetection,
+		Obs:              col,
+	})
+	rr := RunResult{Cell: cell, Output: out.String(), Fires: map[string]uint64{}}
+	if err != nil {
+		rr.Err = err.Error()
+		return rr
+	}
+	rr.Cycles, rr.Insts, rr.ExitCode = res.Cycles, res.Insts, res.ExitCode
+	stats := col.Snapshot(cell.Backend)
+	for _, ps := range stats.Probes {
+		rr.Fires[ps.Label] += ps.Fires
+	}
+	rr.TotalFires = stats.TotalFires
+	return rr
+}
+
+// Compare classifies every disagreement in the result matrix against
+// the structured oracle. The reference cell is Janus/compiled: Janus
+// instruments only the executable (like Dyninst) and supports every
+// trigger kind, so the legal rules radiate from it.
+func Compare(results []RunResult, traits Traits) []Divergence {
+	var divs []Divergence
+	byCell := map[Cell]RunResult{}
+	for _, r := range results {
+		byCell[r.Cell] = r
+	}
+
+	// Rule 1: execution tiers are indistinguishable. For every backend
+	// configuration present in both tiers, everything — including error
+	// text, cycle totals and per-probe fires — must be byte-identical.
+	seen := map[Cell]bool{}
+	for _, r := range results {
+		base := r.Cell
+		base.Interpret = false
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		interp := base
+		interp.Interpret = true
+		a, okA := byCell[base]
+		b, okB := byCell[interp]
+		if !okA || !okB {
+			continue
+		}
+		if d := diffExact(a, b, true); d != "" {
+			divs = append(divs, Divergence{
+				Class: ClassTier, Cells: [2]Cell{base, interp}, Detail: d,
+			})
+		}
+	}
+
+	ref, ok := byCell[Cell{Backend: backend.Janus}]
+	if !ok {
+		return divs
+	}
+	if ref.Err != "" {
+		divs = append(divs, Divergence{
+			Class: ClassRef, Cells: [2]Cell{ref.Cell, ref.Cell},
+			Detail: "janus (reference) failed: " + ref.Err,
+		})
+		return divs
+	}
+
+	// Rule 2: Dyninst agrees with Janus exactly (both instrument only
+	// the executable) — except that it may refuse a binary whose
+	// control flow could not be recovered, which is the paper's
+	// documented Dyninst gap.
+	dy := byCell[Cell{Backend: backend.Dyninst}]
+	if dy.Err != "" {
+		legal := traits.Unrecoverable &&
+			(strings.Contains(dy.Err, "control-flow recovery failed") ||
+				strings.Contains(dy.Err, "imprecise control flow"))
+		class := ClassBackend
+		if legal {
+			class = ClassDyninstCFG
+		}
+		divs = append(divs, Divergence{
+			Class: class, Legal: legal,
+			Cells:  [2]Cell{dy.Cell, ref.Cell},
+			Detail: "dyninst refused: " + dy.Err,
+		})
+	} else if d := diffExact(ref, dy, false); d != "" {
+		divs = append(divs, Divergence{
+			Class: ClassBackend, Cells: [2]Cell{ref.Cell, dy.Cell}, Detail: d,
+		})
+	}
+
+	// Rule 3: Pin. Loop commands: plain Pin must refuse (legal); with
+	// the loop-detection extension it must then agree like any dynamic
+	// backend. Multi-module victims: Pin sees shared libraries, so its
+	// event counts dominate the reference — fires per probe must be >=
+	// the reference and the machine counters (application instructions,
+	// exit code) must still agree. Single-module: exact agreement.
+	pinCells := []Cell{{Backend: backend.Pin}}
+	if traits.UsesLoops {
+		pinCells = append(pinCells, Cell{Backend: backend.Pin, LoopDetection: true})
+	}
+	for _, pc := range pinCells {
+		pin, ok := byCell[pc]
+		if !ok {
+			continue
+		}
+		if pin.Err != "" {
+			if traits.UsesLoops && !pc.LoopDetection && strings.Contains(pin.Err, "no notion of loops") {
+				divs = append(divs, Divergence{
+					Class: ClassPinLoops, Legal: true,
+					Cells:  [2]Cell{pc, ref.Cell},
+					Detail: "pin refused loop command: " + pin.Err,
+				})
+				continue
+			}
+			divs = append(divs, Divergence{
+				Class: ClassBackend, Cells: [2]Cell{pc, ref.Cell},
+				Detail: "pin failed: " + pin.Err,
+			})
+			continue
+		}
+		if !traits.MultiModule {
+			if d := diffExact(ref, pin, false); d != "" {
+				divs = append(divs, Divergence{
+					Class: ClassBackend, Cells: [2]Cell{ref.Cell, pc}, Detail: d,
+				})
+			}
+			continue
+		}
+		// Multi-module: dominance check.
+		var bad, extra []string
+		for _, label := range sortedLabels(ref.Fires, pin.Fires) {
+			rf, pf := ref.Fires[label], pin.Fires[label]
+			if pf < rf {
+				bad = append(bad, fmt.Sprintf("%s: pin %d < ref %d", label, pf, rf))
+			} else if pf > rf {
+				extra = append(extra, fmt.Sprintf("%s: pin %d > ref %d", label, pf, rf))
+			}
+		}
+		if pin.Insts < ref.Insts {
+			bad = append(bad, fmt.Sprintf("insts: pin %d < ref %d", pin.Insts, ref.Insts))
+		}
+		if pin.ExitCode != ref.ExitCode {
+			bad = append(bad, fmt.Sprintf("exit code: pin %d != ref %d", pin.ExitCode, ref.ExitCode))
+		}
+		if len(bad) > 0 {
+			divs = append(divs, Divergence{
+				Class: ClassBackend, Cells: [2]Cell{pc, ref.Cell},
+				Detail: "pin undercounts reference: " + strings.Join(bad, "; "),
+			})
+			continue
+		}
+		if len(extra) > 0 || pin.Output != ref.Output || pin.Insts > ref.Insts {
+			detail := "pin sees shared libraries"
+			if len(extra) > 0 {
+				detail += ": " + strings.Join(extra, "; ")
+			}
+			divs = append(divs, Divergence{
+				Class: ClassPinLibs, Legal: true,
+				Cells: [2]Cell{pc, ref.Cell}, Detail: detail,
+			})
+		}
+	}
+	return divs
+}
+
+// diffExact compares two results field by field and describes the first
+// few differences (empty string when identical). Cycles are compared
+// only across tiers (withCycles): different backends price dispatch
+// differently by design, so cross-backend cycle totals never match.
+func diffExact(a, b RunResult, withCycles bool) string {
+	var out []string
+	if a.Err != b.Err {
+		out = append(out, fmt.Sprintf("error %q vs %q", a.Err, b.Err))
+	}
+	if a.Output != b.Output {
+		out = append(out, fmt.Sprintf("output differs (%d vs %d bytes): %q vs %q",
+			len(a.Output), len(b.Output), clip(a.Output), clip(b.Output)))
+	}
+	if a.Insts != b.Insts {
+		out = append(out, fmt.Sprintf("insts %d vs %d", a.Insts, b.Insts))
+	}
+	if a.ExitCode != b.ExitCode {
+		out = append(out, fmt.Sprintf("exit code %d vs %d", a.ExitCode, b.ExitCode))
+	}
+	if withCycles && a.Cycles != b.Cycles {
+		out = append(out, fmt.Sprintf("cycles %d vs %d", a.Cycles, b.Cycles))
+	}
+	for _, label := range sortedLabels(a.Fires, b.Fires) {
+		if a.Fires[label] != b.Fires[label] {
+			out = append(out, fmt.Sprintf("fires[%s] %d vs %d", label, a.Fires[label], b.Fires[label]))
+		}
+	}
+	return strings.Join(out, "; ")
+}
+
+func sortedLabels(ms ...map[string]uint64) []string {
+	set := map[string]bool{}
+	for _, m := range ms {
+		for k := range m {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clip(s string) string {
+	if len(s) > 160 {
+		return s[:160] + "..."
+	}
+	return s
+}

@@ -1,0 +1,24 @@
+package conformance
+
+import "testing"
+
+// FuzzDifferential is the native-fuzzing entry to the harness: the
+// fuzzer explores the seed space and any seed whose generated pair
+// produces an illegal divergence (or a generator invariant violation)
+// is a crasher. Deterministic generation means every crasher input
+// reproduces with `go test -run FuzzDifferential/<id>`.
+func FuzzDifferential(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		pr, err := CheckSeed(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generator invariant violated: %v", seed, err)
+		}
+		if ill := pr.Illegal(); len(ill) > 0 {
+			t.Fatalf("seed %d: illegal divergence:\n%s", seed,
+				DescribeFailure(pr, pr.Program.Source))
+		}
+	})
+}

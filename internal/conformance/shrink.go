@@ -1,0 +1,163 @@
+package conformance
+
+import (
+	"repro/internal/core/ast"
+	"repro/internal/core/engine"
+	"repro/internal/core/parser"
+)
+
+// Shrink minimizes a failing program. fails must be a deterministic
+// predicate over program source ("does this still reproduce the
+// divergence"); Shrink repeatedly deletes the first removable syntax
+// element (top-level item, command-body item, where-clause, statement)
+// whose removal keeps the program compiling and failing, restarting
+// from the front after every success, until no single deletion
+// reproduces. The strategy is greedy and the candidate order is a pure
+// function of the AST, so the same failing input always shrinks to the
+// byte-identical minimal source.
+func Shrink(src string, fails func(src string) bool) string {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return src
+	}
+	cur := ast.Print(prog)
+	if !fails(cur) {
+		// The canonical rendering must reproduce before deletions mean
+		// anything; if it doesn't, report the input unshrunk.
+		return src
+	}
+	for {
+		prog, err = parser.Parse(cur)
+		if err != nil {
+			return cur
+		}
+		slots := countSlots(prog)
+		shrunk := false
+		for i := 0; i < slots; i++ {
+			candidate := ast.Print(deleteSlot(prog, i))
+			if candidate == cur {
+				continue
+			}
+			if _, err := engine.Compile(candidate); err != nil {
+				continue
+			}
+			if fails(candidate) {
+				cur = candidate
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// A slot is one deletable position in the tree. Deletion rebuilds the
+// program sharing all unaffected subtrees; the indexing walk and the
+// rebuilding walk visit slots in the same order, so slot i always names
+// the same element for a given tree.
+
+type slotWalk struct {
+	target int // slot to delete; -1 counts only
+	count  int
+}
+
+// del reports whether the current slot is the deletion target.
+func (w *slotWalk) del() bool {
+	hit := w.count == w.target
+	w.count++
+	return hit
+}
+
+func countSlots(prog *ast.Program) int {
+	w := &slotWalk{target: -1}
+	w.program(prog)
+	return w.count
+}
+
+func deleteSlot(prog *ast.Program, i int) *ast.Program {
+	w := &slotWalk{target: i}
+	return w.program(prog)
+}
+
+func (w *slotWalk) program(prog *ast.Program) *ast.Program {
+	out := &ast.Program{}
+	for _, item := range prog.Items {
+		if w.del() {
+			continue
+		}
+		out.Items = append(out.Items, w.topItem(item))
+	}
+	return out
+}
+
+func (w *slotWalk) topItem(item ast.TopItem) ast.TopItem {
+	switch it := item.(type) {
+	case *ast.Command:
+		return w.command(it)
+	case *ast.InitBlock:
+		return &ast.InitBlock{P: it.P, Body: w.stmts(it.Body)}
+	case *ast.ExitBlock:
+		return &ast.ExitBlock{P: it.P, Body: w.stmts(it.Body)}
+	}
+	return item
+}
+
+func (w *slotWalk) command(c *ast.Command) *ast.Command {
+	out := &ast.Command{P: c.P, EType: c.EType, Var: c.Var, Where: c.Where}
+	if c.Where != nil && w.del() {
+		out.Where = nil
+	}
+	for _, item := range c.Body {
+		if w.del() {
+			continue
+		}
+		switch it := item.(type) {
+		case *ast.Command:
+			out.Body = append(out.Body, w.command(it))
+		case *ast.Action:
+			out.Body = append(out.Body, w.action(it))
+		case ast.Stmt:
+			out.Body = append(out.Body, w.stmt(it))
+		}
+	}
+	return out
+}
+
+func (w *slotWalk) action(a *ast.Action) *ast.Action {
+	out := &ast.Action{P: a.P, Trigger: a.Trigger, Target: a.Target, Where: a.Where}
+	if a.Where != nil && w.del() {
+		out.Where = nil
+	}
+	out.Body = w.stmts(a.Body)
+	return out
+}
+
+func (w *slotWalk) stmts(stmts []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range stmts {
+		if w.del() {
+			continue
+		}
+		out = append(out, w.stmt(s))
+	}
+	return out
+}
+
+func (w *slotWalk) stmt(s ast.Stmt) ast.Stmt {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		out := &ast.IfStmt{P: st.P, Cond: st.Cond}
+		out.Then = w.stmts(st.Then)
+		if st.Else != nil {
+			out.Else = w.stmts(st.Else)
+		}
+		return out
+	case *ast.ForStmt:
+		out := &ast.ForStmt{P: st.P, Init: st.Init, Cond: st.Cond, Post: st.Post}
+		out.Body = w.stmts(st.Body)
+		return out
+	}
+	return s
+}

@@ -1,0 +1,261 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Victim is a generated workload: one executable module and optionally
+// a shared-library module (the shape that makes Pin's
+// sees-all-modules scope observable). Structural properties that the
+// oracle needs (multi-module, unrecoverable control flow, loops) are
+// derived from the loaded binary by the runner, not recorded here, so
+// corpus entries and generated victims are classified identically.
+type Victim struct {
+	// Seed reproduces the victim: GenVictim(Seed) returns identical
+	// sources on every run.
+	Seed uint64
+	// Srcs are the assembly sources, executable first.
+	Srcs []string
+}
+
+// GenVictim deterministically generates a victim workload from the
+// seed: a main function with straight-line arithmetic, counted and
+// nested loops over a scratch buffer, branch diamonds, direct and
+// indirect calls through a worker-function chain, optional malloc/free
+// traffic, an optional jump-table dispatcher (recoverable or
+// unrecoverable — the latter makes Dyninst refuse the binary), and an
+// optional shared-library module.
+func GenVictim(seed uint64) *Victim {
+	r := rand.New(rand.NewSource(int64(seed) ^ 0x636e6d6e)) // decorrelate from GenProgram
+	g := &victimGen{r: r, seed: seed}
+	return g.generate()
+}
+
+type victimGen struct {
+	r    *rand.Rand
+	seed uint64
+
+	nLabel int
+}
+
+func (g *victimGen) label(fn string) string {
+	g.nLabel++
+	return fmt.Sprintf("%s_l%d", fn, g.nLabel)
+}
+
+func (g *victimGen) generate() *Victim {
+	nWorkers := 1 + g.r.Intn(3)
+	hasLib := g.r.Intn(100) < 35
+	hasDispatch := g.r.Intn(100) < 35
+	unrecoverable := hasDispatch && g.r.Intn(100) < 50
+	hasMalloc := g.r.Intn(100) < 30
+	hasIndirectCall := nWorkers > 1 && g.r.Intn(100) < 25
+
+	var b strings.Builder
+	fmt.Fprintf(&b, ".module gen%d\n.executable\n.entry main\n", g.seed)
+	if hasMalloc {
+		b.WriteString(".extern malloc\n.extern free\n")
+	}
+	if hasLib {
+		b.WriteString(".extern libfn\n")
+	}
+
+	// main: features, then the worker-call chain, then halt.
+	b.WriteString(".func main\n")
+	g.straight(&b, 1+g.r.Intn(3))
+	if g.r.Intn(100) < 70 {
+		g.countedLoop(&b, "main")
+	}
+	if hasMalloc {
+		g.mallocFree(&b)
+	}
+	for i := 0; i < nWorkers; i++ {
+		fmt.Fprintf(&b, "  call f%d\n", i)
+	}
+	if hasIndirectCall {
+		b.WriteString("  mov r8, @fptrs\n  load r9, [r8]\n  call r9\n")
+	}
+	if hasDispatch {
+		b.WriteString("  call dispatch\n")
+	}
+	if hasLib {
+		b.WriteString("  call libfn\n")
+	}
+	g.straight(&b, 1)
+	b.WriteString("  halt\n")
+
+	// Workers: callee-saved discipline over r8-r14, one or two
+	// features, optionally a call to the next worker (no recursion).
+	for i := 0; i < nWorkers; i++ {
+		fn := fmt.Sprintf("f%d", i)
+		fmt.Fprintf(&b, ".func %s\n", fn)
+		g.prologue(&b)
+		nf := 1 + g.r.Intn(2)
+		for j := 0; j < nf; j++ {
+			g.feature(&b, fn)
+		}
+		if i+1 < nWorkers && g.r.Intn(100) < 50 {
+			fmt.Fprintf(&b, "  call f%d\n", i+1)
+		}
+		g.epilogue(&b)
+		b.WriteString("  ret\n")
+	}
+
+	if hasDispatch {
+		g.dispatch(&b)
+	}
+
+	b.WriteString(".data\nscratch: .space 128\n")
+	if hasIndirectCall {
+		b.WriteString("fptrs: .addr f1\n")
+	}
+	if hasDispatch {
+		b.WriteString("jtab: .addr jcase0, jcase1\n")
+		mode := "recoverable"
+		if unrecoverable {
+			mode = "unrecoverable"
+		}
+		fmt.Fprintf(&b, ".jumptable jtab, 2, jsw, %s\n", mode)
+	}
+
+	srcs := []string{b.String()}
+	if hasLib {
+		srcs = append(srcs, g.libModule())
+	}
+	return &Victim{Seed: g.seed, Srcs: srcs}
+}
+
+// prologue/epilogue save and restore r8-r14, so every worker preserves
+// the registers main's own loops live in.
+func (g *victimGen) prologue(b *strings.Builder) {
+	b.WriteString("  sub sp, sp, 56\n")
+	for i := 0; i < 7; i++ {
+		fmt.Fprintf(b, "  store r%d, [sp+%d]\n", 8+i, i*8)
+	}
+}
+
+func (g *victimGen) epilogue(b *strings.Builder) {
+	for i := 0; i < 7; i++ {
+		fmt.Fprintf(b, "  load r%d, [sp+%d]\n", 8+i, i*8)
+	}
+	b.WriteString("  add sp, sp, 56\n")
+}
+
+func (g *victimGen) feature(b *strings.Builder, fn string) {
+	switch g.r.Intn(5) {
+	case 0:
+		g.straight(b, 2+g.r.Intn(3))
+	case 1:
+		g.countedLoop(b, fn)
+	case 2:
+		g.nestedLoop(b, fn)
+	case 3:
+		g.diamond(b, fn)
+	case 4:
+		g.storeLoad(b)
+	}
+}
+
+func (g *victimGen) straight(b *strings.Builder, n int) {
+	ops := []string{
+		"  add r8, r8, 3\n",
+		"  mov r9, 7\n",
+		"  mul r10, r9, 2\n",
+		"  sub r8, r8, 1\n",
+		"  add r10, r10, r9\n",
+	}
+	for i := 0; i < n; i++ {
+		b.WriteString(ops[g.r.Intn(len(ops))])
+	}
+}
+
+// countedLoop walks the first n words of scratch, read-modify-write.
+func (g *victimGen) countedLoop(b *strings.Builder, fn string) {
+	l := g.label(fn)
+	n := 2 + g.r.Intn(5) // 2-6 iterations; scratch holds 16 words
+	b.WriteString("  mov r8, 0\n")
+	fmt.Fprintf(b, "%s:\n", l)
+	b.WriteString("  mov r9, @scratch\n  mul r10, r8, 8\n  add r9, r9, r10\n")
+	b.WriteString("  load r11, [r9]\n  add r11, r11, r8\n  store r11, [r9]\n")
+	b.WriteString("  add r8, r8, 1\n")
+	fmt.Fprintf(b, "  mov r12, %d\n  blt r8, r12, %s\n", n, l)
+}
+
+func (g *victimGen) nestedLoop(b *strings.Builder, fn string) {
+	lo, li := g.label(fn), g.label(fn)
+	no, ni := 2+g.r.Intn(2), 2+g.r.Intn(3)
+	b.WriteString("  mov r13, 0\n")
+	fmt.Fprintf(b, "%s:\n", lo)
+	b.WriteString("  mov r8, 0\n")
+	fmt.Fprintf(b, "%s:\n", li)
+	b.WriteString("  mov r9, @scratch\n  mul r10, r8, 8\n  add r9, r9, r10\n")
+	b.WriteString("  load r11, [r9]\n  add r11, r11, r13\n  store r11, [r9]\n")
+	b.WriteString("  add r8, r8, 1\n")
+	fmt.Fprintf(b, "  mov r12, %d\n  blt r8, r12, %s\n", ni, li)
+	b.WriteString("  add r13, r13, 1\n")
+	fmt.Fprintf(b, "  mov r12, %d\n  blt r13, r12, %s\n", no, lo)
+}
+
+func (g *victimGen) diamond(b *strings.Builder, fn string) {
+	small, join := g.label(fn), g.label(fn)
+	k := g.r.Intn(4)
+	fmt.Fprintf(b, "  mov r8, %d\n  mov r9, 2\n", k)
+	fmt.Fprintf(b, "  blt r8, r9, %s\n", small)
+	b.WriteString("  add r10, r10, 5\n")
+	fmt.Fprintf(b, "  b %s\n", join)
+	fmt.Fprintf(b, "%s:\n", small)
+	b.WriteString("  add r10, r10, 9\n")
+	fmt.Fprintf(b, "%s:\n", join)
+	b.WriteString("  add r10, r10, 1\n")
+}
+
+func (g *victimGen) storeLoad(b *strings.Builder) {
+	k := 40 + g.r.Intn(17)
+	fmt.Fprintf(b, "  mov r8, @scratch\n  mov r9, %d\n", k)
+	b.WriteString("  store r9, [r8]\n  load r10, [r8]\n")
+	b.WriteString("  add r10, r10, 1\n  store r10, [r8+8]\n")
+}
+
+func (g *victimGen) mallocFree(b *strings.Builder) {
+	b.WriteString("  mov r1, 64\n  call malloc\n  mov r8, r0\n")
+	b.WriteString("  mov r9, 7\n  store r9, [r8]\n  load r10, [r8]\n")
+	b.WriteString("  mov r1, r8\n  call free\n")
+}
+
+// dispatch is the jump-table function: an indirect branch through a
+// declared table. With the table marked unrecoverable, control-flow
+// recovery marks the function imprecise and Dyninst refuses the binary;
+// the dynamic backends run it regardless and must still agree.
+func (g *victimGen) dispatch(b *strings.Builder) {
+	idx := g.r.Intn(2)
+	b.WriteString(".func dispatch\n")
+	g.prologue(b)
+	fmt.Fprintf(b, "  mov r8, @jtab\n  mov r9, %d\n", idx)
+	b.WriteString("  mul r10, r9, 8\n  add r8, r8, r10\n  load r11, [r8]\n")
+	b.WriteString("jsw:\n  b r11\n")
+	b.WriteString("jcase0:\n  add r12, r12, 1\n  b jdone\n")
+	b.WriteString("jcase1:\n  add r12, r12, 2\n")
+	b.WriteString("jdone:\n")
+	g.epilogue(b)
+	b.WriteString("  ret\n")
+}
+
+func (g *victimGen) libModule() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".module lib%d\n.global libfn\n.func libfn\n", g.seed)
+	g.prologue(&b)
+	b.WriteString("  mov r8, @libbuf\n  load r9, [r8]\n  add r9, r9, 1\n  store r9, [r8]\n")
+	if g.r.Intn(100) < 50 {
+		l := g.label("libfn")
+		n := 2 + g.r.Intn(3)
+		b.WriteString("  mov r10, 0\n")
+		fmt.Fprintf(&b, "%s:\n", l)
+		b.WriteString("  add r9, r9, r10\n  add r10, r10, 1\n")
+		fmt.Fprintf(&b, "  mov r11, %d\n  blt r10, r11, %s\n", n, l)
+	}
+	g.epilogue(&b)
+	b.WriteString("  ret\n.data\nlibbuf: .quad 3\n")
+	return b.String()
+}

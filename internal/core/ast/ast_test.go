@@ -1,0 +1,238 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/parser"
+	"repro/internal/core/token"
+	"repro/internal/progs"
+)
+
+// The canonical printer must be a fixed point through the parser: for
+// any program, print(parse(src)) printed again after a reparse is
+// byte-identical. The conformance generator and shrinker rely on this
+// to compare programs as strings.
+func TestPrintParseFixpoint(t *testing.T) {
+	for _, name := range progs.Names() {
+		src := progs.MustSource(name)
+		p1, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		once := ast.Print(p1)
+		p2, err := parser.Parse(once)
+		if err != nil {
+			t.Fatalf("%s: printed source does not reparse: %v\n%s", name, err, once)
+		}
+		twice := ast.Print(p2)
+		if once != twice {
+			t.Errorf("%s: print/parse not a fixed point:\n--- once ---\n%s\n--- twice ---\n%s", name, once, twice)
+		}
+	}
+}
+
+// Printing must preserve semantics-bearing shape: statement counts and
+// the expression structure survive the round trip.
+func TestPrintPreservesStatementCounts(t *testing.T) {
+	for _, name := range progs.Names() {
+		src := progs.MustSource(name)
+		orig, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := parser.Parse(ast.Print(orig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := countAllStmts(orig), countAllStmts(re); a != b {
+			t.Errorf("%s: statement count changed across print/parse: %d -> %d", name, a, b)
+		}
+	}
+}
+
+func countAllStmts(p *ast.Program) int {
+	n := 0
+	var cmd func(c *ast.Command)
+	cmd = func(c *ast.Command) {
+		for _, item := range c.Body {
+			switch it := item.(type) {
+			case *ast.Command:
+				cmd(it)
+			case *ast.Action:
+				n += ast.CountStmts(it.Body)
+			case ast.Stmt:
+				n += ast.CountStmts([]ast.Stmt{it})
+			}
+		}
+	}
+	for _, item := range p.Items {
+		switch it := item.(type) {
+		case *ast.Command:
+			cmd(it)
+		case *ast.InitBlock:
+			n += ast.CountStmts(it.Body)
+		case *ast.ExitBlock:
+			n += ast.CountStmts(it.Body)
+		}
+	}
+	return n
+}
+
+// ExprString must emit minimal parentheses while preserving the parse:
+// reparsing the rendered expression yields the same rendering.
+func TestExprStringMinimalParens(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"exit { x = a + b * c; }", "a + b * c"},
+		{"exit { x = (a + b) * c; }", "(a + b) * c"},
+		{"exit { x = a - (b - c); }", "a - (b - c)"},
+		{"exit { x = a - b - c; }", "a - b - c"},
+		{"exit { x = !(a && b); }", "!(a && b)"},
+		{"exit { x = -a + b; }", "-a + b"},
+		{"exit { x = a % 2 == 0 && b < 3; }", "a % 2 == 0 && b < 3"},
+		{"exit { x = d[k] + v.size(); }", "d[k] + v.size()"},
+		{"exit { x = (a + b) % 16; }", "(a + b) % 16"},
+	}
+	for _, c := range cases {
+		prog, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		ex := prog.Items[0].(*ast.ExitBlock)
+		got := ast.ExprString(ex.Body[0].(*ast.AssignStmt).RHS)
+		if got != c.want {
+			t.Errorf("ExprString(%s) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintQuotesEscapes(t *testing.T) {
+	src := "exit {\n  print(\"a\\n\\t\\\\\\\"b\");\n}\n"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ast.Print(prog); got != src {
+		t.Errorf("escape round trip:\n%q\nvs\n%q", got, src)
+	}
+}
+
+func TestWalkVisitsEveryExprNode(t *testing.T) {
+	prog, err := parser.Parse("exit { x = a + d[k] * f(b, !c); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := prog.Items[0].(*ast.ExitBlock).Body[0].(*ast.AssignStmt).RHS
+	kinds := map[string]int{}
+	ast.Walk(rhs, func(e ast.Expr) {
+		switch e.(type) {
+		case *ast.BinaryExpr:
+			kinds["binary"]++
+		case *ast.UnaryExpr:
+			kinds["unary"]++
+		case *ast.IndexExpr:
+			kinds["index"]++
+		case *ast.CallExpr:
+			kinds["call"]++
+		case *ast.Ident:
+			kinds["ident"]++
+		}
+	})
+	want := map[string]int{"binary": 2, "unary": 1, "index": 1, "call": 1, "ident": 6}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Errorf("Walk saw %d %s nodes, want %d (%v)", kinds[k], k, n, kinds)
+		}
+	}
+}
+
+func TestWalkStmtsAndCountStmts(t *testing.T) {
+	src := `
+exit {
+  int n = 0;
+  for (int i = 0; i < 4; i = i + 1) {
+    if (i % 2 == 0) {
+      n = n + 1;
+    } else {
+      n = n + 2;
+    }
+  }
+  print(n);
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Items[0].(*ast.ExitBlock).Body
+	// decl, for, for-init, for-post, if, 2 assigns in branches, print.
+	if got := ast.CountStmts(body); got != 8 {
+		t.Errorf("CountStmts = %d, want 8", got)
+	}
+	exprs := 0
+	ast.WalkStmts(body, nil, func(ast.Expr) { exprs++ })
+	if exprs == 0 {
+		t.Error("WalkStmts visited no expressions")
+	}
+}
+
+func TestETypeAndTriggerNames(t *testing.T) {
+	for e, want := range map[ast.EType]string{
+		ast.Module: "module", ast.Func: "func", ast.Loop: "loop",
+		ast.BasicBlock: "basicblock", ast.Inst: "inst",
+	} {
+		if e.String() != want {
+			t.Errorf("EType(%d).String() = %q, want %q", e, e.String(), want)
+		}
+	}
+	if ast.Module.Level() >= ast.Inst.Level() {
+		t.Error("module must be outermost (lowest level)")
+	}
+	for tr, want := range map[ast.Trigger]string{
+		ast.Before: "before", ast.After: "after", ast.Entry: "entry",
+		ast.Exit: "exit", ast.Iter: "iter",
+	} {
+		if tr.String() != want {
+			t.Errorf("Trigger(%d).String() = %q, want %q", tr, tr.String(), want)
+		}
+	}
+}
+
+// The printer renders every statement form the grammar has; spot-check
+// the trickier ones (for-clause omission, dict types, constructor
+// declarations) against exact expected text.
+func TestPrintStatementForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"exit { for (; x < 3; ) { x = x + 1; } }", "for (; x < 3; ) {"},
+		{"dict<addr,int> shadow;", "dict<addr,int> shadow;"},
+		{"int hits[16];", "int hits[16];"},
+		{"file f(\"out.txt\");", "file f(\"out.txt\");"},
+		{"exit { x = c IsType mem; }", "x = c IsType mem;"},
+	}
+	for _, c := range cases {
+		prog, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		out := ast.Print(prog)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("Print(%q) = %q, missing %q", c.src, out, c.want)
+		}
+		if _, err := parser.Parse(out); err != nil {
+			t.Errorf("Print(%q) output does not reparse: %v", c.src, err)
+		}
+	}
+}
+
+func TestTokenPrecedenceOrdering(t *testing.T) {
+	// The printer's minimal-paren logic assumes multiplicative binds
+	// tighter than additive binds tighter than comparison binds tighter
+	// than logical; pin that ordering.
+	if !(token.STAR.Precedence() > token.PLUS.Precedence() &&
+		token.PLUS.Precedence() > token.EQ.Precedence() &&
+		token.EQ.Precedence() > token.LAND.Precedence() &&
+		token.LAND.Precedence() > token.LOR.Precedence()) {
+		t.Error("operator precedence ordering changed; ast printer parenthesization is stale")
+	}
+}

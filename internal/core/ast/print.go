@@ -1,0 +1,294 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core/token"
+)
+
+// Fprint renders a program back to Cinnamon source. The output is
+// canonical: two-space indentation, one statement per line, and
+// parentheses only where precedence requires them. Printing is a fixed
+// point through the parser — parsing the printed source and printing it
+// again yields byte-identical text — which is what lets the conformance
+// generator and shrinker treat the AST as the single source of truth for
+// generated programs.
+func Fprint(w io.Writer, prog *Program) {
+	p := &printer{w: w}
+	for i, item := range prog.Items {
+		if i > 0 {
+			p.nl()
+		}
+		p.topItem(item)
+	}
+}
+
+// Print renders a program to a string (see Fprint).
+func Print(prog *Program) string {
+	var sb strings.Builder
+	Fprint(&sb, prog)
+	return sb.String()
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.printf("%s", strings.Repeat("  ", p.indent))
+	p.printf(format, args...)
+	p.nl()
+}
+
+func (p *printer) nl() { p.printf("\n") }
+
+func (p *printer) topItem(item TopItem) {
+	switch it := item.(type) {
+	case *VarDecl:
+		p.line("%s", declString(it))
+	case *InitBlock:
+		p.block("init", it.Body)
+	case *ExitBlock:
+		p.block("exit", it.Body)
+	case *Command:
+		p.command(it)
+	}
+}
+
+func (p *printer) block(kw string, body []Stmt) {
+	p.line("%s {", kw)
+	p.indent++
+	p.stmts(body)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) command(c *Command) {
+	head := fmt.Sprintf("%s %s", c.EType, c.Var)
+	if c.Where != nil {
+		head += fmt.Sprintf(" where (%s)", ExprString(c.Where))
+	}
+	p.line("%s {", head)
+	p.indent++
+	for _, item := range c.Body {
+		switch it := item.(type) {
+		case *Command:
+			p.command(it)
+		case *Action:
+			p.action(it)
+		case Stmt:
+			p.stmt(it)
+		}
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) action(a *Action) {
+	head := fmt.Sprintf("%s %s", a.Trigger, a.Target)
+	if a.Where != nil {
+		head += fmt.Sprintf(" where (%s)", ExprString(a.Where))
+	}
+	p.line("%s {", head)
+	p.indent++
+	p.stmts(a.Body)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		p.line("%s", declString(st.Decl))
+	case *AssignStmt:
+		p.line("%s = %s;", ExprString(st.LHS), ExprString(st.RHS))
+	case *ExprStmt:
+		p.line("%s;", ExprString(st.X))
+	case *IfStmt:
+		p.line("if (%s) {", ExprString(st.Cond))
+		p.indent++
+		p.stmts(st.Then)
+		p.indent--
+		if len(st.Else) > 0 {
+			p.line("} else {")
+			p.indent++
+			p.stmts(st.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *ForStmt:
+		init, cond, post := ";", "", ""
+		if st.Init != nil {
+			init = simpleStmtString(st.Init)
+		}
+		if st.Cond != nil {
+			cond = ExprString(st.Cond)
+		}
+		if st.Post != nil {
+			post = strings.TrimSuffix(simpleStmtString(st.Post), ";")
+		}
+		p.line("for (%s %s; %s) {", init, cond, post)
+		p.indent++
+		p.stmts(st.Body)
+		p.indent--
+		p.line("}")
+	}
+}
+
+// simpleStmtString renders a for-clause statement (decl, assign or expr)
+// inline, with its trailing semicolon.
+func simpleStmtString(s Stmt) string {
+	switch st := s.(type) {
+	case *DeclStmt:
+		return declString(st.Decl)
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s;", ExprString(st.LHS), ExprString(st.RHS))
+	case *ExprStmt:
+		return ExprString(st.X) + ";"
+	}
+	return ";"
+}
+
+func declString(d *VarDecl) string {
+	s := typeString(d.Type) + " " + d.Name
+	if d.Type.ArrayLen > 0 {
+		s += fmt.Sprintf("[%d]", d.Type.ArrayLen)
+	}
+	if d.Init != nil {
+		s += " = " + ExprString(d.Init)
+	}
+	if len(d.Args) > 0 {
+		args := make([]string, len(d.Args))
+		for i, a := range d.Args {
+			args[i] = ExprString(a)
+		}
+		s += "(" + strings.Join(args, ", ") + ")"
+	}
+	return s + ";"
+}
+
+func typeString(t *TypeSpec) string {
+	switch t.Kind {
+	case token.TDICT:
+		return fmt.Sprintf("dict<%s,%s>", typeString(t.Key), typeString(t.Elem))
+	case token.TVECTOR:
+		return fmt.Sprintf("vector<%s>", typeString(t.Elem))
+	}
+	return t.Kind.String()
+}
+
+// ExprString renders an expression with minimal parenthesization: a
+// binary subexpression is parenthesized only when its precedence would
+// otherwise bind it to the wrong operator on reparse.
+func ExprString(e Expr) string {
+	return exprPrec(e, 0)
+}
+
+// exprPrec renders e in a context of the given minimum precedence.
+func exprPrec(e Expr, min int) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *StringLit:
+		return quoteString(x.Val)
+	case *CharLit:
+		return quoteChar(x.Val)
+	case *BoolLit:
+		if x.Val {
+			return "true"
+		}
+		return "false"
+	case *NullLit:
+		return "NULL"
+	case *OpcodeLit:
+		return x.Name
+	case *FieldExpr:
+		return exprPrec(x.X, maxPrec) + "." + x.Name
+	case *IndexExpr:
+		return exprPrec(x.X, maxPrec) + "[" + exprPrec(x.Index, 0) + "]"
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprPrec(a, 0)
+		}
+		return exprPrec(x.Fun, maxPrec) + "(" + strings.Join(args, ", ") + ")"
+	case *UnaryExpr:
+		return paren(x.Op.String()+exprPrec(x.X, maxPrec), min > unaryPrec)
+	case *IsTypeExpr:
+		prec := token.ISTYPE.Precedence()
+		return paren(exprPrec(x.X, prec)+" IsType "+x.OpType.String(), prec < min)
+	case *BinaryExpr:
+		prec := x.Op.Precedence()
+		// Left-associative: the right operand needs one level more.
+		s := exprPrec(x.X, prec) + " " + x.Op.String() + " " + exprPrec(x.Y, prec+1)
+		return paren(s, prec < min)
+	}
+	return "<?expr>"
+}
+
+// unaryPrec and maxPrec bracket the binary-operator precedence range
+// (see token.Kind.Precedence): unary operators bind tighter than any
+// binary operator, postfix expressions tighter still.
+const (
+	unaryPrec = 11
+	maxPrec   = 12
+)
+
+func paren(s string, need bool) string {
+	if need {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// quoteString renders a string literal with exactly the escapes the
+// lexer understands (\n, \t, \\, \").
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func quoteChar(c byte) string {
+	switch c {
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case '\\':
+		return `'\\'`
+	case '\'':
+		return `'\''`
+	}
+	return "'" + string(c) + "'"
+}

@@ -1,0 +1,29 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/progs"
+)
+
+// FuzzLexer: the tokenizer must return tokens or a positioned error on
+// any byte sequence — never panic, never loop. Seeded with the real
+// case-study sources plus inputs aimed at the literal scanners.
+func FuzzLexer(f *testing.F) {
+	for _, name := range progs.Names() {
+		f.Add(progs.MustSource(name))
+	}
+	for _, s := range []string{
+		"", `"unterminated`, `'c`, `'\`, `"\x"`, "0x", "// comment only",
+		"/* unterminated block", "a.b.c[0](1,2)", "dict<int,dict<int,int>>",
+		"\xff\xfe", "9999999999999999999999999999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err == nil && len(toks) == 0 {
+			t.Fatal("no tokens and no error")
+		}
+	})
+}

@@ -5,7 +5,29 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/progs"
 )
+
+// FuzzParser is the native-fuzzing upgrade of the soup tests below: the
+// corpus starts from the real case-study programs and the token-soup
+// vocabulary, and the mutation engine takes it from there. The
+// invariant is the same — a program or an error, never a panic or hang.
+func FuzzParser(f *testing.F) {
+	for _, name := range progs.Names() {
+		f.Add(progs.MustSource(name))
+	}
+	f.Add(strings.Join(soupWords, " "))
+	f.Add("inst I where (I.opcode == Load) { before I { n = n + 1; } }")
+	f.Add("for (;;) {}")
+	f.Add("dict<int,dict<int,int>> d;")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program and nil error")
+		}
+	})
+}
 
 // TestQuickParserNeverPanics feeds the parser random byte soup and
 // random token-shaped soup: it must always return a program or an error,

@@ -1,0 +1,74 @@
+package progs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/engine"
+	"repro/internal/progs"
+)
+
+// The program table must be closed and consistent: every named constant
+// appears in Names(), every name resolves to source, and unknown names
+// fail loudly.
+func TestProgramTableIntegrity(t *testing.T) {
+	names := progs.Names()
+	if len(names) == 0 {
+		t.Fatal("no embedded programs")
+	}
+	set := map[string]bool{}
+	for _, n := range names {
+		if set[n] {
+			t.Errorf("duplicate program name %q", n)
+		}
+		set[n] = true
+	}
+	for _, want := range []string{
+		progs.InstCountBasic, progs.InstCountBB, progs.LoopCoverage,
+		progs.UseAfterFree, progs.ShadowStack, progs.ForwardCFI, progs.OpcodeMix,
+	} {
+		if !set[want] {
+			t.Errorf("named constant %q missing from Names()", want)
+		}
+	}
+	if _, err := progs.Source("no_such_program"); err == nil {
+		t.Error("Source on unknown name did not fail")
+	}
+}
+
+// Every embedded case study must compile through the full front end —
+// the table is the seed corpus for the examples, the conformance
+// fuzzers and the Table I line counts, so a broken entry poisons all
+// three.
+func TestEveryProgramCompiles(t *testing.T) {
+	for _, name := range progs.Names() {
+		src, err := progs.Source(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if src != progs.MustSource(name) {
+			t.Errorf("%s: Source and MustSource disagree", name)
+		}
+		if _, err := engine.Compile(src); err != nil {
+			t.Errorf("%s does not compile: %v", name, err)
+		}
+	}
+}
+
+// CountLines is the paper's Table I metric: non-blank, non-comment
+// lines. Pin it against a hand-counted fragment and sanity-bound the
+// real programs.
+func TestCountLines(t *testing.T) {
+	src := "// comment\n\nuint64 n = 0;\nexit {\n  print(n);\n}\n"
+	if got := progs.CountLines(src); got != 4 {
+		t.Errorf("CountLines = %d, want 4", got)
+	}
+	for _, name := range progs.Names() {
+		src := progs.MustSource(name)
+		n := progs.CountLines(src)
+		total := len(strings.Split(strings.TrimRight(src, "\n"), "\n"))
+		if n <= 0 || n > total {
+			t.Errorf("%s: CountLines = %d outside (0, %d]", name, n, total)
+		}
+	}
+}

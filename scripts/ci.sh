@@ -16,6 +16,12 @@
 #   monitor    live-monitoring smoke (scripts/monitorsmoke): a looping
 #              victim with -listen, scraped over real HTTP (/healthz,
 #              /metrics, one SSE event), then killed cleanly
+#   conform    differential conformance sweep (cmd/conformance): 200
+#              seeded generated (program, victim) pairs cross-checked
+#              over all three backends and both execution tiers; any
+#              divergence the oracle cannot classify as one of the
+#              paper's legal divergences fails the gate. The checked-in
+#              regression corpus replays inside `go test` above.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,5 +53,8 @@ CINNAMON_PERF_GATE=1 go test -run TestObsEnabledDispatchOverhead -count=1 ./inte
 
 echo "==> live-monitoring smoke"
 go run ./scripts/monitorsmoke
+
+echo "==> differential conformance sweep (200 seeds)"
+go run ./cmd/conformance -seeds 200 -budget 30s
 
 echo "CI OK"

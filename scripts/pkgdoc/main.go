@@ -40,6 +40,7 @@ func main() {
 		"docs/LANGUAGE.md",
 		"docs/BACKENDS.md",
 		"docs/OBSERVABILITY.md",
+		"docs/TESTING.md",
 	} {
 		info, err := os.Stat(filepath.Join(root, doc))
 		if err != nil || info.Size() < 512 {
