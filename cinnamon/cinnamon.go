@@ -147,6 +147,12 @@ type RunOptions struct {
 	// OnMonitor, if set, is called with the monitor's bound address once
 	// it is serving (before the run starts). Useful with port 0.
 	OnMonitor func(addr string)
+	// VMMode selects the machine's execution tier: "translated" (or
+	// empty, the default) runs cached block programs with fused probe
+	// schedules; "interpreted" runs the reference per-instruction loop.
+	// The tiers are bit-identical in every observable — cycles, output,
+	// attribution — so this only affects wall-clock speed.
+	VMMode string
 }
 
 // Stats is the observability report of a run: per-probe firing counters
@@ -183,6 +189,10 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 	if out == nil {
 		out, captured = &buf, true
 	}
+	mode, err := vm.ParseExecMode(opts.VMMode)
+	if err != nil {
+		return nil, fmt.Errorf("cinnamon: %w", err)
+	}
 	var col *obs.Collector
 	if opts.Stats || opts.Trace > 0 || opts.MonitorAddr != "" {
 		col = obs.New(obs.Options{TraceCap: opts.Trace})
@@ -212,6 +222,7 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 		AppOut:           opts.AppOut,
 		PinLoopDetection: opts.PinLoopDetection,
 		Obs:              col,
+		VMMode:           mode,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cinnamon: run on %s: %w", backendName, err)
@@ -234,7 +245,11 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 // BaselineRun executes the target without any instrumentation and reports
 // its cost — the uninstrumented baseline for overhead measurements.
 func BaselineRun(target *Target, opts RunOptions) (*Report, error) {
-	machine := vm.New(target.Prog, vm.Config{Fuel: opts.Fuel, AppOut: opts.AppOut})
+	mode, err := vm.ParseExecMode(opts.VMMode)
+	if err != nil {
+		return nil, fmt.Errorf("cinnamon: %w", err)
+	}
+	machine := vm.New(target.Prog, vm.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, ExecMode: mode})
 	res, err := machine.Run()
 	if err != nil {
 		return nil, err

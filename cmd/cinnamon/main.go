@@ -42,6 +42,7 @@ func main() {
 	listen := flag.String("listen", "", "serve live monitoring on this address (host:port; :0 picks a port): /metrics, /stats, /series, /trace (SSE), /healthz")
 	interval := flag.Duration("interval", time.Second, "monitor time-series sampling period (with -listen)")
 	loop := flag.Int("loop", 0, "loop a victim target this many times (long-running session; default 500000 with -listen)")
+	vmMode := flag.String("vm-mode", "", "VM execution tier: translated (default) or interpreted; both are bit-identical")
 	flag.Parse()
 
 	if *loop == 0 && *listen != "" {
@@ -99,6 +100,7 @@ func main() {
 		Trace:            *trace,
 		MonitorAddr:      *listen,
 		Interval:         *interval,
+		VMMode:           *vmMode,
 		OnMonitor: func(addr string) {
 			fmt.Fprintf(os.Stderr, "cinnamon: monitor listening on http://%s\n", addr)
 		},

@@ -7,6 +7,8 @@
 //	experiments -exp=pintools           # Section VI-D: Pin tool overheads
 //	experiments -exp=attribution        # overhead decomposition per backend
 //	experiments -exp=attribution -json  # ... also write BENCH_attribution.json
+//	experiments -exp=dispatch           # VM tier wall-clock comparison
+//	experiments -exp=dispatch -json     # ... also write BENCH_dispatch.json
 //	experiments -exp=all
 package main
 
@@ -20,10 +22,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, dispatch, all")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper-equivalent test input)")
-	benchmark := flag.String("benchmark", "leela", "benchmark for -exp=attribution")
-	jsonOut := flag.Bool("json", false, "also write machine-readable results (BENCH_attribution.json) next to the table output")
+	benchmark := flag.String("benchmark", "leela", "benchmark for -exp=attribution and -exp=dispatch")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results (BENCH_attribution.json, BENCH_dispatch.json) next to the table output")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -84,6 +86,27 @@ func main() {
 				return err
 			}
 			fmt.Println("wrote BENCH_attribution.json")
+		}
+		return nil
+	})
+	run("dispatch", func() error {
+		rows, err := bench.Dispatch(*benchmark, *scale)
+		if err != nil {
+			return err
+		}
+		bench.FormatDispatch(os.Stdout, rows)
+		if *jsonOut {
+			f, err := os.Create("BENCH_dispatch.json")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_dispatch.json")
 		}
 		return nil
 	})

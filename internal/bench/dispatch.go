@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/core/backend"
+	"repro/internal/core/engine"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Dispatch-tier trajectory: wall-clock throughput of the machine's two
+// execution tiers (translated block programs vs the per-instruction
+// reference loop) across the paper's five use cases plus a probe-free
+// baseline. Cycle-unit results are identical across tiers by
+// construction — the conformance oracle enforces it — so the rows
+// report the one thing that differs: host nanoseconds per executed
+// application instruction.
+
+// DispatchRow is one (use case, VM tier) cell. The JSON form is what
+// `experiments -exp=dispatch -json` writes to BENCH_dispatch.json.
+type DispatchRow struct {
+	UseCase string `json:"use_case"`
+	// Mode is the VM execution tier ("translated" or "interpreted").
+	Mode string `json:"vm_mode"`
+	// Cycles and Insts are the deterministic run counters (identical
+	// across tiers for the same cell).
+	Cycles uint64 `json:"cycles"`
+	Insts  uint64 `json:"insts"`
+	// WallNs is the best-of-three wall time of the run.
+	WallNs int64 `json:"wall_ns"`
+	// NsPerInst is WallNs per executed application instruction.
+	NsPerInst float64 `json:"ns_per_inst"`
+	// CyclesPerSec is the cycle-unit throughput at that wall time.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// dispatchReps is the per-cell repetition count; the fastest run is
+// reported, the standard defense against scheduler noise.
+const dispatchReps = 3
+
+// Dispatch measures both VM tiers on the named benchmark: a probe-free
+// baseline (the headline block-translation case: no probes, pure
+// dispatch) and the five Table I use cases under the Janus backend
+// (executable-only, supports every trigger kind including loops). Cells
+// run serially — this is a wall-clock measurement, so nothing else may
+// share the machine with it.
+func Dispatch(benchmark string, scale float64) ([]DispatchRow, error) {
+	spec, ok := workload.ByName(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchmark)
+	}
+	prog, err := BuildBenchmark(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+	modes := []vm.ExecMode{vm.ExecTranslated, vm.ExecInterpreted}
+
+	var rows []DispatchRow
+	for _, mode := range modes {
+		row, err := timeCell("baseline (no tool)", mode, func() (*vm.Result, error) {
+			return vm.New(prog, vm.Config{ExecMode: mode}).Run()
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, c := range table1Cases {
+		tool, err := compileTool(c.prog)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			row, err := timeCell(c.label, mode, func() (*vm.Result, error) {
+				return runToolCell(tool, prog, mode)
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runToolCell(tool *engine.CompiledTool, prog *cfg.Program, mode vm.ExecMode) (*vm.Result, error) {
+	return backend.Run(tool, prog, backend.Janus, backend.Options{
+		Out:    io.Discard,
+		VMMode: mode,
+	})
+}
+
+func timeCell(label string, mode vm.ExecMode, run func() (*vm.Result, error)) (DispatchRow, error) {
+	var res *vm.Result
+	best := int64(0)
+	for i := 0; i < dispatchReps; i++ {
+		start := time.Now()
+		r, err := run()
+		wall := time.Since(start).Nanoseconds()
+		if err != nil {
+			return DispatchRow{}, fmt.Errorf("bench: %s (%s): %w", label, mode, err)
+		}
+		if res != nil && (res.Cycles != r.Cycles || res.Insts != r.Insts) {
+			return DispatchRow{}, fmt.Errorf("bench: %s (%s): nondeterministic counters", label, mode)
+		}
+		res = r
+		if best == 0 || wall < best {
+			best = wall
+		}
+	}
+	row := DispatchRow{
+		UseCase: label,
+		Mode:    mode.String(),
+		Cycles:  res.Cycles,
+		Insts:   res.Insts,
+		WallNs:  best,
+	}
+	if res.Insts > 0 {
+		row.NsPerInst = float64(best) / float64(res.Insts)
+	}
+	if best > 0 {
+		row.CyclesPerSec = float64(res.Cycles) / (float64(best) / 1e9)
+	}
+	return row, nil
+}
+
+// FormatDispatch renders the tier comparison, pairing each use case's
+// translated and interpreted rows with the resulting speedup.
+func FormatDispatch(w io.Writer, rows []DispatchRow) {
+	fmt.Fprintf(w, "%-20s %-12s %14s %12s %12s %16s %9s\n",
+		"Use case", "VM tier", "cycles", "insts", "ns/inst", "cycles/sec", "speedup")
+	byKey := map[string]DispatchRow{}
+	for _, r := range rows {
+		byKey[r.UseCase+"/"+r.Mode] = r
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if r.Mode == vm.ExecTranslated.String() {
+			if o, ok := byKey[r.UseCase+"/"+vm.ExecInterpreted.String()]; ok && r.WallNs > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(o.WallNs)/float64(r.WallNs))
+			}
+		}
+		fmt.Fprintf(w, "%-20s %-12s %14d %12d %12.2f %16.0f %9s\n",
+			r.UseCase, r.Mode, r.Cycles, r.Insts, r.NsPerInst, r.CyclesPerSec, speedup)
+	}
+}

@@ -17,12 +17,17 @@ import (
 )
 
 // Cell identifies one run configuration in the differential matrix:
-// a backend crossed with an execution tier (compiled closures vs the
-// tree-walking interpreter), plus the Pin loop-detection extension.
+// a backend crossed with an action execution tier (compiled closures vs
+// the tree-walking interpreter) and a machine execution tier (translated
+// block programs vs the per-instruction reference loop), plus the Pin
+// loop-detection extension.
 type Cell struct {
 	Backend       string
 	Interpret     bool
 	LoopDetection bool
+	// VMInterp runs the machine's interpreted tier instead of the
+	// translated default (vm.ExecInterpreted).
+	VMInterp bool
 }
 
 func (c Cell) String() string {
@@ -30,10 +35,14 @@ func (c Cell) String() string {
 	if c.Interpret {
 		tier = "interp"
 	}
+	s := fmt.Sprintf("%s/%s", c.Backend, tier)
 	if c.LoopDetection {
-		return fmt.Sprintf("%s+loopdet/%s", c.Backend, tier)
+		s = fmt.Sprintf("%s+loopdet/%s", c.Backend, tier)
 	}
-	return fmt.Sprintf("%s/%s", c.Backend, tier)
+	if c.VMInterp {
+		s += "/vm-interp"
+	}
+	return s
 }
 
 // RunResult is everything observable about one cell's run: the error (if
@@ -183,22 +192,26 @@ func usesLoops(items []ast.TopItem) bool {
 }
 
 // Cells returns the differential matrix for the traits: every backend in
-// both tiers, plus Pin with the loop-detection extension when the tool
-// has loop commands (so Pin still participates in the cross-check
-// instead of only being skipped).
+// both action tiers plus the machine's interpreted tier, and Pin with
+// the loop-detection extension when the tool has loop commands (so Pin
+// still participates in the cross-check instead of only being skipped).
 func Cells(t Traits) []Cell {
 	cells := []Cell{
 		{Backend: backend.Janus},
 		{Backend: backend.Janus, Interpret: true},
+		{Backend: backend.Janus, VMInterp: true},
 		{Backend: backend.Dyninst},
 		{Backend: backend.Dyninst, Interpret: true},
+		{Backend: backend.Dyninst, VMInterp: true},
 		{Backend: backend.Pin},
 		{Backend: backend.Pin, Interpret: true},
+		{Backend: backend.Pin, VMInterp: true},
 	}
 	if t.UsesLoops {
 		cells = append(cells,
 			Cell{Backend: backend.Pin, LoopDetection: true},
 			Cell{Backend: backend.Pin, Interpret: true, LoopDetection: true},
+			Cell{Backend: backend.Pin, LoopDetection: true, VMInterp: true},
 		)
 	}
 	return cells
@@ -229,11 +242,16 @@ func RunPair(p *Program, v *Victim) (*PairResult, error) {
 func runCell(tool *engine.CompiledTool, prog *cfg.Program, cell Cell) RunResult {
 	var out bytes.Buffer
 	col := obs.New(obs.Options{})
+	mode := vm.ExecTranslated
+	if cell.VMInterp {
+		mode = vm.ExecInterpreted
+	}
 	res, err := backend.Run(tool, prog, cell.Backend, backend.Options{
 		Out:              &out,
 		Interpret:        cell.Interpret,
 		PinLoopDetection: cell.LoopDetection,
 		Obs:              col,
+		VMMode:           mode,
 	})
 	rr := RunResult{Cell: cell, Output: out.String(), Fires: map[string]uint64{}}
 	if err != nil {
@@ -260,28 +278,39 @@ func Compare(results []RunResult, traits Traits) []Divergence {
 		byCell[r.Cell] = r
 	}
 
-	// Rule 1: execution tiers are indistinguishable. For every backend
-	// configuration present in both tiers, everything — including error
-	// text, cycle totals and per-probe fires — must be byte-identical.
+	// Rule 1: execution tiers are indistinguishable — both the action
+	// tier (compiled closures vs tree-walking interpreter) and the
+	// machine tier (translated block programs vs the per-instruction
+	// loop). For every backend configuration, every tier variant present
+	// must match its base cell exactly: error text, cycle totals and
+	// per-probe fires byte-identical.
 	seen := map[Cell]bool{}
 	for _, r := range results {
 		base := r.Cell
 		base.Interpret = false
+		base.VMInterp = false
 		if seen[base] {
 			continue
 		}
 		seen[base] = true
-		interp := base
-		interp.Interpret = true
 		a, okA := byCell[base]
-		b, okB := byCell[interp]
-		if !okA || !okB {
+		if !okA {
 			continue
 		}
-		if d := diffExact(a, b, true); d != "" {
-			divs = append(divs, Divergence{
-				Class: ClassTier, Cells: [2]Cell{base, interp}, Detail: d,
-			})
+		for _, variant := range []Cell{
+			{Backend: base.Backend, LoopDetection: base.LoopDetection, Interpret: true},
+			{Backend: base.Backend, LoopDetection: base.LoopDetection, VMInterp: true},
+			{Backend: base.Backend, LoopDetection: base.LoopDetection, Interpret: true, VMInterp: true},
+		} {
+			b, okB := byCell[variant]
+			if !okB {
+				continue
+			}
+			if d := diffExact(a, b, true); d != "" {
+				divs = append(divs, Divergence{
+					Class: ClassTier, Cells: [2]Cell{base, variant}, Detail: d,
+				})
+			}
 		}
 	}
 

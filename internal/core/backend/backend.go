@@ -78,6 +78,11 @@ type Options struct {
 	// instrumentation-time statistics across the engine, the framework
 	// and the machine (see internal/obs).
 	Obs *obs.Collector
+	// VMMode selects the machine's execution tier: vm.ExecTranslated
+	// (default) runs cached block programs, vm.ExecInterpreted the
+	// reference per-instruction loop. The tiers are bit-identical in
+	// every observable; the conformance harness cross-checks them.
+	VMMode vm.ExecMode
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -249,7 +254,7 @@ func (pl *pinPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
 }
 
 func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs})
+	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode})
 	pl := &pinPlacer{
 		p: p, prog: prog,
 		loopDetection: opts.PinLoopDetection,
@@ -413,7 +418,7 @@ func (pl *dyninstPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error 
 }
 
 func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs})
+	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode})
 	if err != nil {
 		return nil, err
 	}
@@ -566,7 +571,7 @@ func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.R
 		},
 		Handlers: pl.handlers,
 	}
-	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs})
+	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode})
 	if err != nil {
 		return nil, err
 	}

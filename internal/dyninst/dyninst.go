@@ -371,6 +371,7 @@ type BinaryEdit struct {
 	fuel       uint64
 	appOut     io.Writer
 	obs        *obs.Collector
+	execMode   vm.ExecMode
 	initFns    []func()
 	finiFns    []func()
 }
@@ -385,6 +386,9 @@ type Config struct {
 	// Obs, when non-nil, collects per-probe attribution and rewrite-time
 	// statistics for the session.
 	Obs *obs.Collector
+	// ExecMode selects the VM execution tier the rewritten binary runs
+	// under (see vm.Config).
+	ExecMode vm.ExecMode
 }
 
 // OpenBinary parses the program's executable for rewriting. It fails,
@@ -400,7 +404,7 @@ func OpenBinary(prog *cfg.Program, c Config) (*BinaryEdit, error) {
 			return nil, fmt.Errorf("dyninst: %s: imprecise control flow in %s", exe.Name(), f.Name)
 		}
 	}
-	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs}, nil
+	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs, execMode: c.ExecMode}, nil
 }
 
 // Image returns the parsed image.
@@ -456,7 +460,7 @@ func snippetLabel(s Snippet) string {
 // are baked in before the first instruction runs, and no translation cost
 // is paid at run time.
 func (be *BinaryEdit) Run() (*vm.Result, error) {
-	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs})
+	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs, ExecMode: be.execMode})
 	for _, ins := range be.insertions {
 		s := ins.snippet
 		cost := SnippetCost + s.cost()

@@ -192,6 +192,8 @@ type Config struct {
 	// Obs, when non-nil, collects per-probe attribution, rule counts and
 	// translation statistics for the run.
 	Obs *obs.Collector
+	// ExecMode selects the underlying VM execution tier (see vm.Config).
+	ExecMode vm.ExecMode
 }
 
 // Run executes the program under Janus: the tool's static pass runs
@@ -208,7 +210,7 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 		c.Obs.MutateBuild(func(b *obs.BuildStats) { b.RulesEmitted = rt.NumRules() })
 	}
 
-	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs})
+	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode})
 	// register records one applied rule with the attached collector (cold
 	// path: block-translation time only).
 	register := func(h Handler, r Rule, trigger string, addr, cost uint64) obs.ProbeID {

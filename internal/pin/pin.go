@@ -331,12 +331,14 @@ type Config struct {
 	// Obs, when non-nil, collects per-probe attribution and
 	// instrumentation-time statistics for the session.
 	Obs *obs.Collector
+	// ExecMode selects the underlying VM execution tier (see vm.Config).
+	ExecMode vm.ExecMode
 }
 
 // New creates a Pin session for the program.
 func New(prog *cfg.Program, c Config) *Pin {
 	p := &Pin{prog: prog, obs: c.Obs}
-	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs})
+	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode})
 	return p
 }
 

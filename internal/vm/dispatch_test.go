@@ -154,6 +154,64 @@ func BenchmarkVMDispatch(b *testing.B) {
 	}
 }
 
+// hotBlockSrc runs a loop whose body is one large straight-line block
+// (sixteen ALU/memory instructions plus the backward branch): the shape
+// block translation is built for, with per-instruction dispatch overhead
+// amortized over the whole block.
+const hotBlockSrc = `
+.module a.out
+.executable
+.entry main
+.func main
+  mov r1, 0
+  mov r2, 0
+  mov r3, 2000
+  mov r4, 7
+head:
+  add r1, r1, r2
+  xor r5, r1, r4
+  add r5, r5, 3
+  mul r6, r5, r4
+  sub r6, r6, r1
+  and r7, r6, 255
+  or  r7, r7, 1
+  shl r8, r7, 2
+  shr r8, r8, 1
+  add r1, r1, r8
+  store r1, [sp-8]
+  load r9, [sp-8]
+  add r1, r1, r9
+  getptr r10, r2, r5, 4
+  add r1, r1, r10
+  add r2, r2, 1
+  blt r2, r3, head
+  halt
+`
+
+// BenchmarkDispatch is the headline probe-free dispatch benchmark: the
+// same workloads under both execution tiers. "tight" is a three-
+// instruction loop body (worst case for block dispatch: boundary work
+// every three instructions); "hot" is a sixteen-instruction block.
+func BenchmarkDispatch(b *testing.B) {
+	for _, c := range []struct{ name, src string }{
+		{"tight", dispatchBenchSrc},
+		{"hot", hotBlockSrc},
+	} {
+		prog := buildTB(b, c.src)
+		for _, mode := range []ExecMode{ExecTranslated, ExecInterpreted} {
+			b.Run(c.name+"/"+mode.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					v := New(prog, Config{ExecMode: mode})
+					if _, err := v.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkProbeFire measures probe dispatch: the same loop with a
 // before-probe on each hot instruction, so every executed instruction
 // pays the probe-storage access and callback invocation.

@@ -109,6 +109,14 @@ type modExec struct {
 	// guarantees the corresponding list below is present, so dispatch is
 	// a flag test plus two array indexes — no map lookups.
 	probes []*offProbes
+	// bstart/bidx map each instruction offset to its owning block's start
+	// offset and its index within the block, so the translated tier can
+	// enter a cached block program mid-block (call fall-throughs).
+	bstart []uint32
+	bidx   []int32
+	// bprogs is the code cache of the translated tier, indexed by
+	// block-start offset; nil until first entry or after invalidation.
+	bprogs []*blockProg
 }
 
 // offProbes is the probe storage of one code offset: instruction
@@ -149,6 +157,11 @@ type Config struct {
 	// cycles, trace events). Nil disables observability at the price of
 	// one branch per probe dispatch batch.
 	Obs *obs.Collector
+	// ExecMode selects the execution tier: ExecTranslated (default) runs
+	// cached block programs, ExecInterpreted the reference
+	// per-instruction loop. Both are bit-identical in every observable:
+	// Result fields, cycle totals, obs attribution, traps and output.
+	ExecMode ExecMode
 }
 
 // VM is a single-use machine: create, instrument, Run once.
@@ -161,6 +174,8 @@ type VM struct {
 	pc    uint64
 	mods  []*modExec
 	lastM *modExec
+
+	mode ExecMode
 
 	cycles   uint64
 	insts    uint64
@@ -191,6 +206,10 @@ type pendingAfter struct {
 	depth  int
 	probes []probe
 	inst   *isa.Inst
+	// block is the call's basic block, captured at push time so the
+	// probe observes it at the fall-through even if the fall-through
+	// starts a different block (or control returned somewhere odd).
+	block *cfg.Block
 }
 
 type frameBlock struct {
@@ -210,6 +229,7 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 	v := &VM{
 		Prog:         prog,
 		mem:          NewMemory(),
+		mode:         cfgv.ExecMode,
 		fuel:         cfgv.Fuel,
 		appOut:       cfgv.AppOut,
 		obsC:         cfgv.Obs,
@@ -226,11 +246,23 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 			flags:  make([]uint8, len(l.Image)),
 			probes: make([]*offProbes, len(l.Image)),
 		}
+		if v.mode != ExecInterpreted {
+			// The block-index and code-cache arrays exist only for the
+			// translated tier.
+			me.bstart = make([]uint32, len(l.Image))
+			me.bidx = make([]int32, len(l.Image))
+			me.bprogs = make([]*blockProg, len(l.Image))
+		}
 		for _, f := range m.Funcs {
 			for _, b := range f.Blocks {
 				me.blocks[b.Start-l.Base] = b
-				for _, in := range b.Insts {
-					me.insts[in.Addr-l.Base] = in
+				for i, in := range b.Insts {
+					off := in.Addr - l.Base
+					me.insts[off] = in
+					if me.bstart != nil {
+						me.bstart[off] = uint32(b.Start - l.Base)
+						me.bidx[off] = int32(i)
+					}
 				}
 			}
 		}
@@ -278,6 +310,7 @@ func (v *VM) AddBeforeObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) 
 	p := m.probesAt(addr - m.base)
 	p.before = append(p.before, probe{fn, cost, id})
 	m.flags[addr-m.base] |= flagBefore
+	m.invalidate(addr - m.base)
 	return nil
 }
 
@@ -303,6 +336,7 @@ func (v *VM) AddAfterObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) e
 	p := m.probesAt(addr - m.base)
 	p.after = append(p.after, probe{fn, cost, id})
 	m.flags[addr-m.base] |= flagAfter
+	m.invalidate(addr - m.base)
 	return nil
 }
 
@@ -388,7 +422,7 @@ func (v *VM) trap(format string, args ...any) error {
 
 func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
 	c := &v.ctx
-	saveInst, saveWhen := c.inst, c.when
+	saveInst, saveWhen, saveBlock := c.inst, c.when, c.block
 	c.inst, c.when = in, when
 	// One predictable branch decides the whole batch: the disabled path
 	// runs the same loop the VM always ran, with no per-probe overhead.
@@ -404,11 +438,23 @@ func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
 			p.fn(c)
 		}
 	}
-	c.inst, c.when = saveInst, saveWhen
+	c.inst, c.when, c.block = saveInst, saveWhen, saveBlock
+}
+
+// fireCallAfter fires a drained call-after batch at the call's
+// fall-through. The probe observes the call's own basic block, captured
+// when the pending entry was pushed — not whatever block the
+// fall-through happens to start.
+func (v *VM) fireCallAfter(top pendingAfter) {
+	save := v.ctx.block
+	v.ctx.block = top.block
+	v.fire(top.probes, top.inst, AfterInst)
+	v.ctx.block = save
 }
 
 // Run executes the program to completion and returns the execution
-// summary.
+// summary. The execution tier is selected by Config.ExecMode; both
+// tiers produce bit-identical results.
 func (v *VM) Run() (*Result, error) {
 	if v.halted {
 		return nil, fmt.Errorf("vm: Run called twice")
@@ -417,9 +463,35 @@ func (v *VM) Run() (*Result, error) {
 		v.ctx.when = AtStart
 		fn(&v.ctx)
 	}
+	var err error
+	if v.mode == ExecInterpreted {
+		err = v.runInterp()
+	} else {
+		err = v.runTranslated()
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range v.endHooks {
+		v.ctx.when = AtEnd
+		v.ctx.inst = nil
+		fn(&v.ctx)
+	}
+	return &Result{
+		Cycles:   v.cycles,
+		Insts:    v.insts,
+		ExitCode: v.exitCode,
+		Allocs:   v.allocs,
+		Frees:    v.frees,
+	}, nil
+}
+
+// runInterp is the reference per-instruction interpreter loop: the
+// semantic oracle the translated tier is checked against.
+func (v *VM) runInterp() error {
 	for !v.halted {
 		if v.insts >= v.fuel {
-			return nil, v.trap("out of fuel after %d instructions", v.insts)
+			return v.trap("out of fuel after %d instructions", v.insts)
 		}
 		// Fire pending call-after probes whose fall-through we reached.
 		for len(v.pending) > 0 {
@@ -428,17 +500,17 @@ func (v *VM) Run() (*Result, error) {
 				break
 			}
 			v.pending = v.pending[:len(v.pending)-1]
-			v.fire(top.probes, top.inst, AfterInst)
+			v.fireCallAfter(top)
 		}
 
 		m := v.modFor(v.pc)
 		if m == nil {
-			return nil, v.trap("execution outside code")
+			return v.trap("execution outside code")
 		}
 		off := v.pc - m.base
 		in := m.insts[off]
 		if in == nil {
-			return nil, v.trap("not an instruction boundary")
+			return v.trap("not an instruction boundary")
 		}
 
 		if blk := m.blocks[off]; blk != nil {
@@ -477,7 +549,7 @@ func (v *VM) Run() (*Result, error) {
 
 		depthBefore := v.depth
 		if err := v.exec(in); err != nil {
-			return nil, err
+			return err
 		}
 		v.cycles += instCost(in.Op)
 		v.insts++
@@ -485,25 +557,15 @@ func (v *VM) Run() (*Result, error) {
 		if flags&flagAfter != 0 {
 			if in.Op == isa.Call {
 				v.pending = append(v.pending, pendingAfter{
-					fall: in.Next(), depth: depthBefore, probes: op.after, inst: in,
+					fall: in.Next(), depth: depthBefore, probes: op.after,
+					inst: in, block: v.ctx.block,
 				})
 			} else {
 				v.fire(op.after, in, AfterInst)
 			}
 		}
 	}
-	for _, fn := range v.endHooks {
-		v.ctx.when = AtEnd
-		v.ctx.inst = nil
-		fn(&v.ctx)
-	}
-	return &Result{
-		Cycles:   v.cycles,
-		Insts:    v.insts,
-		ExitCode: v.exitCode,
-		Allocs:   v.allocs,
-		Frees:    v.frees,
-	}, nil
+	return nil
 }
 
 func (v *VM) operandVal(op isa.Operand) uint64 {

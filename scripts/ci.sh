@@ -7,12 +7,15 @@
 #              their (benchmark x framework) cells on a worker pool, so
 #              this also exercises the parallel harness for races)
 #   bench      one smoke iteration of every table/figure benchmark at a
-#              reduced workload scale
+#              reduced workload scale, plus one iteration of every
+#              go-test benchmark in the tree (bench-rot guard)
 #   docs       package-doc + documentation-suite gate (scripts/pkgdoc),
 #              one -stats CLI smoke run, and the probe-dispatch perf
-#              gates (non-race; see internal/vm/obs_test.go): disabled
-#              path vs the pre-observability loop, enabled path vs
-#              plain-counter accounting
+#              gates (non-race; see internal/vm/obs_test.go and
+#              translate_test.go): disabled path vs the
+#              pre-observability loop, enabled path vs plain-counter
+#              accounting, and the translated VM tier vs the
+#              interpreter on the probe-free hot-block workload
 #   monitor    live-monitoring smoke (scripts/monitorsmoke): a looping
 #              victim with -listen, scraped over real HTTP (/healthz,
 #              /metrics, one SSE event), then killed cleanly
@@ -38,6 +41,9 @@ go test -race ./...
 echo "==> bench smoke (CINNAMON_SCALE=0.1)"
 CINNAMON_SCALE=0.1 go test -run '^$' -bench . -benchtime 1x .
 
+echo "==> bench-rot smoke (all packages)"
+CINNAMON_SCALE=0.1 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
+
 echo "==> docs gate"
 go run ./scripts/pkgdoc .
 
@@ -50,6 +56,9 @@ CINNAMON_PERF_GATE=1 go test -run TestObsDisabledDispatchOverhead -count=1 ./int
 
 echo "==> enabled-path dispatch perf gate"
 CINNAMON_PERF_GATE=1 go test -run TestObsEnabledDispatchOverhead -count=1 ./internal/vm/
+
+echo "==> translated-tier dispatch perf gate"
+CINNAMON_PERF_GATE=1 go test -run TestTranslatedDispatchSpeedup -count=1 ./internal/vm/
 
 echo "==> live-monitoring smoke"
 go run ./scripts/monitorsmoke
