@@ -153,6 +153,10 @@ type RunOptions struct {
 	// The tiers are bit-identical in every observable — cycles, output,
 	// attribution — so this only affects wall-clock speed.
 	VMMode string
+	// VMNoInline disables the translated tier's action-inlining layer
+	// (specialized probe thunks, register-promoted counters, probe+op
+	// superinstructions). Bit-identical either way; escape hatch only.
+	VMNoInline bool
 }
 
 // Stats is the observability report of a run: per-probe firing counters
@@ -223,6 +227,7 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 		PinLoopDetection: opts.PinLoopDetection,
 		Obs:              col,
 		VMMode:           mode,
+		VMNoInline:       opts.VMNoInline,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cinnamon: run on %s: %w", backendName, err)

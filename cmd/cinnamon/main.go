@@ -43,6 +43,7 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "monitor time-series sampling period (with -listen)")
 	loop := flag.Int("loop", 0, "loop a victim target this many times (long-running session; default 500000 with -listen)")
 	vmMode := flag.String("vm-mode", "", "VM execution tier: translated (default) or interpreted; both are bit-identical")
+	vmInline := flag.Bool("vm-inline", true, "inline compiled actions into translated blocks (bit-identical; disable to measure or bisect)")
 	flag.Parse()
 
 	if *loop == 0 && *listen != "" {
@@ -101,6 +102,7 @@ func main() {
 		MonitorAddr:      *listen,
 		Interval:         *interval,
 		VMMode:           *vmMode,
+		VMNoInline:       !*vmInline,
 		OnMonitor: func(addr string) {
 			fmt.Fprintf(os.Stderr, "cinnamon: monitor listening on http://%s\n", addr)
 		},

@@ -3,11 +3,14 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/core/backend"
 	"repro/internal/core/engine"
+	"repro/internal/obs"
+	"repro/internal/progs"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -36,11 +39,32 @@ type DispatchRow struct {
 	NsPerInst float64 `json:"ns_per_inst"`
 	// CyclesPerSec is the cycle-unit throughput at that wall time.
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Fires is the total number of probe firings in the run (identical
+	// across tiers, like the cycle counters; 0 for the probe-free
+	// baseline). Measured on a separate observability-attached run so
+	// the timed runs carry no collection overhead.
+	Fires uint64 `json:"fires"`
+	// AllocsPerFire is the fewest heap allocations any timed repetition
+	// performed, divided by Fires (0 when Fires is 0) — the steady-state
+	// allocation cost of one probe dispatch.
+	AllocsPerFire float64 `json:"allocs_per_fire"`
 }
 
 // dispatchReps is the per-cell repetition count; the fastest run is
 // reported, the standard defense against scheduler noise.
 const dispatchReps = 3
+
+// dispatchCases are the tools measured by Dispatch: the five Table I
+// use cases plus the opcode-mix profiler — an action-heavy workload
+// (four per-instruction counter probes over disjoint opcode classes)
+// that exercises the translated tier's probe+op superinstructions.
+var dispatchCases = func() []struct{ label, prog string } {
+	cases := make([]struct{ label, prog string }, 0, len(table1Cases)+1)
+	for _, c := range table1Cases {
+		cases = append(cases, struct{ label, prog string }{c.label, c.prog})
+	}
+	return append(cases, struct{ label, prog string }{"Opcode mix", progs.OpcodeMix})
+}()
 
 // Dispatch measures both VM tiers on the named benchmark: a probe-free
 // baseline (the headline block-translation case: no probes, pure
@@ -61,7 +85,7 @@ func Dispatch(benchmark string, scale float64) ([]DispatchRow, error) {
 
 	var rows []DispatchRow
 	for _, mode := range modes {
-		row, err := timeCell("baseline (no tool)", mode, func() (*vm.Result, error) {
+		row, _, err := timeCell("baseline (no tool)", mode, func() (*vm.Result, error) {
 			return vm.New(prog, vm.Config{ExecMode: mode}).Run()
 		})
 		if err != nil {
@@ -69,17 +93,25 @@ func Dispatch(benchmark string, scale float64) ([]DispatchRow, error) {
 		}
 		rows = append(rows, row)
 	}
-	for _, c := range table1Cases {
+	for _, c := range dispatchCases {
 		tool, err := compileTool(c.prog)
 		if err != nil {
 			return nil, err
 		}
+		fires, err := countToolFires(tool, prog)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", c.label, err)
+		}
 		for _, mode := range modes {
-			row, err := timeCell(c.label, mode, func() (*vm.Result, error) {
+			row, mallocs, err := timeCell(c.label, mode, func() (*vm.Result, error) {
 				return runToolCell(tool, prog, mode)
 			})
 			if err != nil {
 				return nil, err
+			}
+			row.Fires = fires
+			if fires > 0 {
+				row.AllocsPerFire = float64(mallocs) / float64(fires)
 			}
 			rows = append(rows, row)
 		}
@@ -94,22 +126,48 @@ func runToolCell(tool *engine.CompiledTool, prog *cfg.Program, mode vm.ExecMode)
 	})
 }
 
-func timeCell(label string, mode vm.ExecMode, run func() (*vm.Result, error)) (DispatchRow, error) {
+// countToolFires runs the cell once with a collector attached and
+// totals probe firings. Firing counts, like the cycle counters, are
+// deterministic and identical across tiers, so one untimed run serves
+// every row of the cell.
+func countToolFires(tool *engine.CompiledTool, prog *cfg.Program) (uint64, error) {
+	col := obs.New(obs.Options{})
+	_, err := backend.Run(tool, prog, backend.Janus, backend.Options{
+		Out:    io.Discard,
+		VMMode: vm.ExecTranslated,
+		Obs:    col,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return col.Snapshot(backend.Janus).FiresWhere(func(obs.ProbeStats) bool { return true }), nil
+}
+
+func timeCell(label string, mode vm.ExecMode, run func() (*vm.Result, error)) (DispatchRow, uint64, error) {
 	var res *vm.Result
+	var ms runtime.MemStats
 	best := int64(0)
+	var bestMallocs uint64
 	for i := 0; i < dispatchReps; i++ {
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
 		start := time.Now()
 		r, err := run()
 		wall := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms)
+		mallocs := ms.Mallocs - before
 		if err != nil {
-			return DispatchRow{}, fmt.Errorf("bench: %s (%s): %w", label, mode, err)
+			return DispatchRow{}, 0, fmt.Errorf("bench: %s (%s): %w", label, mode, err)
 		}
 		if res != nil && (res.Cycles != r.Cycles || res.Insts != r.Insts) {
-			return DispatchRow{}, fmt.Errorf("bench: %s (%s): nondeterministic counters", label, mode)
+			return DispatchRow{}, 0, fmt.Errorf("bench: %s (%s): nondeterministic counters", label, mode)
 		}
 		res = r
 		if best == 0 || wall < best {
 			best = wall
+		}
+		if i == 0 || mallocs < bestMallocs {
+			bestMallocs = mallocs
 		}
 	}
 	row := DispatchRow{
@@ -125,14 +183,14 @@ func timeCell(label string, mode vm.ExecMode, run func() (*vm.Result, error)) (D
 	if best > 0 {
 		row.CyclesPerSec = float64(res.Cycles) / (float64(best) / 1e9)
 	}
-	return row, nil
+	return row, bestMallocs, nil
 }
 
 // FormatDispatch renders the tier comparison, pairing each use case's
 // translated and interpreted rows with the resulting speedup.
 func FormatDispatch(w io.Writer, rows []DispatchRow) {
-	fmt.Fprintf(w, "%-20s %-12s %14s %12s %12s %16s %9s\n",
-		"Use case", "VM tier", "cycles", "insts", "ns/inst", "cycles/sec", "speedup")
+	fmt.Fprintf(w, "%-20s %-12s %14s %12s %12s %12s %12s %9s\n",
+		"Use case", "VM tier", "cycles", "insts", "fires", "ns/inst", "allocs/fire", "speedup")
 	byKey := map[string]DispatchRow{}
 	for _, r := range rows {
 		byKey[r.UseCase+"/"+r.Mode] = r
@@ -144,7 +202,7 @@ func FormatDispatch(w io.Writer, rows []DispatchRow) {
 				speedup = fmt.Sprintf("%.2fx", float64(o.WallNs)/float64(r.WallNs))
 			}
 		}
-		fmt.Fprintf(w, "%-20s %-12s %14d %12d %12.2f %16.0f %9s\n",
-			r.UseCase, r.Mode, r.Cycles, r.Insts, r.NsPerInst, r.CyclesPerSec, speedup)
+		fmt.Fprintf(w, "%-20s %-12s %14d %12d %12d %12.2f %12.3f %9s\n",
+			r.UseCase, r.Mode, r.Cycles, r.Insts, r.Fires, r.NsPerInst, r.AllocsPerFire, speedup)
 	}
 }

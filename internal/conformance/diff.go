@@ -28,6 +28,9 @@ type Cell struct {
 	// VMInterp runs the machine's interpreted tier instead of the
 	// translated default (vm.ExecInterpreted).
 	VMInterp bool
+	// NoInline runs the translated tier with the action-inlining layer
+	// (specialized thunks, promoted counters, probe+op fusion) disabled.
+	NoInline bool
 }
 
 func (c Cell) String() string {
@@ -41,6 +44,9 @@ func (c Cell) String() string {
 	}
 	if c.VMInterp {
 		s += "/vm-interp"
+	}
+	if c.NoInline {
+		s += "/no-inline"
 	}
 	return s
 }
@@ -83,6 +89,10 @@ const (
 	// ClassTier: compiled and interpreted tiers of the same backend
 	// disagree. Never legal — the tiers must be indistinguishable.
 	ClassTier = "tier-mismatch"
+	// ClassInline: the translated tier with and without the
+	// action-inlining layer disagree. Never legal — inlining must be
+	// invisible in every observable.
+	ClassInline = "inline-mismatch"
 	// ClassRef: the reference backend (Janus) itself failed.
 	ClassRef = "reference-failed"
 	// ClassPinLoops: plain Pin refused a loop command. Legal.
@@ -192,26 +202,31 @@ func usesLoops(items []ast.TopItem) bool {
 }
 
 // Cells returns the differential matrix for the traits: every backend in
-// both action tiers plus the machine's interpreted tier, and Pin with
-// the loop-detection extension when the tool has loop commands (so Pin
+// both action tiers plus the machine's interpreted tier and the
+// translated tier with action inlining disabled, and Pin with the
+// loop-detection extension when the tool has loop commands (so Pin
 // still participates in the cross-check instead of only being skipped).
 func Cells(t Traits) []Cell {
 	cells := []Cell{
 		{Backend: backend.Janus},
 		{Backend: backend.Janus, Interpret: true},
 		{Backend: backend.Janus, VMInterp: true},
+		{Backend: backend.Janus, NoInline: true},
 		{Backend: backend.Dyninst},
 		{Backend: backend.Dyninst, Interpret: true},
 		{Backend: backend.Dyninst, VMInterp: true},
+		{Backend: backend.Dyninst, NoInline: true},
 		{Backend: backend.Pin},
 		{Backend: backend.Pin, Interpret: true},
 		{Backend: backend.Pin, VMInterp: true},
+		{Backend: backend.Pin, NoInline: true},
 	}
 	if t.UsesLoops {
 		cells = append(cells,
 			Cell{Backend: backend.Pin, LoopDetection: true},
 			Cell{Backend: backend.Pin, Interpret: true, LoopDetection: true},
 			Cell{Backend: backend.Pin, LoopDetection: true, VMInterp: true},
+			Cell{Backend: backend.Pin, LoopDetection: true, NoInline: true},
 		)
 	}
 	return cells
@@ -252,6 +267,7 @@ func runCell(tool *engine.CompiledTool, prog *cfg.Program, cell Cell) RunResult 
 		PinLoopDetection: cell.LoopDetection,
 		Obs:              col,
 		VMMode:           mode,
+		VMNoInline:       cell.NoInline,
 	})
 	rr := RunResult{Cell: cell, Output: out.String(), Fires: map[string]uint64{}}
 	if err != nil {
@@ -278,17 +294,19 @@ func Compare(results []RunResult, traits Traits) []Divergence {
 		byCell[r.Cell] = r
 	}
 
-	// Rule 1: execution tiers are indistinguishable — both the action
-	// tier (compiled closures vs tree-walking interpreter) and the
-	// machine tier (translated block programs vs the per-instruction
-	// loop). For every backend configuration, every tier variant present
-	// must match its base cell exactly: error text, cycle totals and
-	// per-probe fires byte-identical.
+	// Rule 1: execution tiers are indistinguishable — the action tier
+	// (compiled closures vs tree-walking interpreter), the machine tier
+	// (translated block programs vs the per-instruction loop), and the
+	// translated tier's action-inlining layer. For every backend
+	// configuration, every tier variant present must match its base cell
+	// exactly: error text, cycle totals and per-probe fires
+	// byte-identical.
 	seen := map[Cell]bool{}
 	for _, r := range results {
 		base := r.Cell
 		base.Interpret = false
 		base.VMInterp = false
+		base.NoInline = false
 		if seen[base] {
 			continue
 		}
@@ -301,14 +319,19 @@ func Compare(results []RunResult, traits Traits) []Divergence {
 			{Backend: base.Backend, LoopDetection: base.LoopDetection, Interpret: true},
 			{Backend: base.Backend, LoopDetection: base.LoopDetection, VMInterp: true},
 			{Backend: base.Backend, LoopDetection: base.LoopDetection, Interpret: true, VMInterp: true},
+			{Backend: base.Backend, LoopDetection: base.LoopDetection, NoInline: true},
 		} {
 			b, okB := byCell[variant]
 			if !okB {
 				continue
 			}
 			if d := diffExact(a, b, true); d != "" {
+				class := ClassTier
+				if variant.NoInline {
+					class = ClassInline
+				}
 				divs = append(divs, Divergence{
-					Class: ClassTier, Cells: [2]Cell{base, variant}, Detail: d,
+					Class: class, Cells: [2]Cell{base, variant}, Detail: d,
 				})
 			}
 		}

@@ -83,6 +83,11 @@ type Options struct {
 	// reference per-instruction loop. The tiers are bit-identical in
 	// every observable; the conformance harness cross-checks them.
 	VMMode vm.ExecMode
+	// VMNoInline disables the machine's action-inlining layer
+	// (specialized thunks, promoted counters, probe+op fusion) on the
+	// translated tier. The layer is bit-identical in every observable;
+	// this is the escape hatch (and the baseline for perf comparisons).
+	VMNoInline bool
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -208,6 +213,14 @@ func (pl *pinPlacer) placement(a *engine.Action) (pinPlacement, error) {
 		Inlinable: false,
 		Label:     a.Label,
 	}
+	if il := a.Inline; il != nil {
+		fbuf := make([]value.Value, len(a.Info.DynAttrs))
+		fast := il.Exec
+		routine.FastFn = func(words []uint64) { fast(dynSlots(fbuf, words)) }
+		if il.Counter && len(a.Info.DynAttrs) == 0 {
+			routine.CounterDelta, routine.CounterFlush = il.Delta, il.Flush
+		}
+	}
 	return pinPlacement{routine: routine, args: args}, nil
 }
 
@@ -254,7 +267,7 @@ func (pl *pinPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
 }
 
 func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode})
+	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline})
 	pl := &pinPlacer{
 		p: p, prog: prog,
 		loopDetection: opts.PinLoopDetection,
@@ -307,9 +320,16 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 				DispatchCost: cost,
 			})
 		}
-		record(p.VM().AddEdgeObs(e.from, e.to, cost, id, func(c *vm.Ctx) {
+		var spec *vm.ProbeSpec
+		if r := e.p.routine; r.CounterFlush != nil {
+			spec = &vm.ProbeSpec{Counter: true, Delta: r.CounterDelta, Flush: r.CounterFlush}
+		} else if r.FastFn != nil {
+			fast := r.FastFn
+			spec = &vm.ProbeSpec{Fn: func(c *vm.Ctx) { fast(words) }}
+		}
+		record(p.VM().AddEdgeSpec(e.from, e.to, cost, id, func(c *vm.Ctx) {
 			e.p.routine.Fn(words)
-		}))
+		}, spec))
 	}
 	res, err := p.Run()
 	if err != nil {
@@ -365,12 +385,21 @@ func dyninstSnippet(a *engine.Action) (dyninst.Snippet, error) {
 	}
 	buf := make([]value.Value, len(a.Info.DynAttrs))
 	exec := a.Exec
-	return dyninst.FuncCallExpr{
+	call := dyninst.FuncCallExpr{
 		Fn:    func(words []uint64) { exec(dynSlots(buf, words)) },
 		Args:  args,
 		Cost:  a.Info.Cost + DyninstGlue,
 		Label: a.Label,
-	}, nil
+	}
+	if il := a.Inline; il != nil {
+		fbuf := make([]value.Value, len(a.Info.DynAttrs))
+		fast := il.Exec
+		call.FastFn = func(words []uint64) { fast(dynSlots(fbuf, words)) }
+		if il.Counter && len(a.Info.DynAttrs) == 0 {
+			call.CounterDelta, call.CounterFlush = il.Delta, il.Flush
+		}
+	}
+	return call, nil
 }
 
 func (pl *dyninstPlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
@@ -418,7 +447,7 @@ func (pl *dyninstPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error 
 }
 
 func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode})
+	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline})
 	if err != nil {
 		return nil, err
 	}
@@ -470,7 +499,7 @@ func (pl *janusPlacer) register(a *engine.Action) (janus.HandlerID, []uint64) {
 	attrs := a.Info.DynAttrs
 	buf := make([]value.Value, len(attrs))
 	exec := a.Exec
-	pl.handlers[id] = janus.Handler{
+	h := janus.Handler{
 		Fn: func(c *vm.Ctx, _ []uint64) {
 			for i, da := range attrs {
 				buf[i] = value.UintVal(ResolveDynAttr(c, da.Attr))
@@ -482,6 +511,20 @@ func (pl *janusPlacer) register(a *engine.Action) (janus.HandlerID, []uint64) {
 		Inlinable: a.Info.Simple,
 		Label:     a.Label,
 	}
+	if il := a.Inline; il != nil {
+		fbuf := make([]value.Value, len(attrs))
+		fast := il.Exec
+		h.FastFn = func(c *vm.Ctx, _ []uint64) {
+			for i, da := range attrs {
+				fbuf[i] = value.UintVal(ResolveDynAttr(c, da.Attr))
+			}
+			fast(fbuf)
+		}
+		if il.Counter && len(attrs) == 0 {
+			h.CounterDelta, h.CounterFlush = il.Delta, il.Flush
+		}
+	}
+	pl.handlers[id] = h
 	return id, make([]uint64, a.NumCaptured)
 }
 
@@ -571,7 +614,7 @@ func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.R
 		},
 		Handlers: pl.handlers,
 	}
-	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode})
+	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline})
 	if err != nil {
 		return nil, err
 	}

@@ -58,6 +58,11 @@ type Body struct {
 	// before the body on every firing.
 	guard exprFn
 	stmts []stmtFn
+
+	// fast is the whole-body fast lowering (nil when some construct has
+	// no fast path); see fast.go. It has its own frame layout, aliased
+	// onto the same cells at Bind time.
+	fast *fastBody
 }
 
 // frame is the execution state of one body invocation: bound cells, the
@@ -86,8 +91,9 @@ type CellResolver func(ref CellRef) (*value.Value, error)
 // A Bound is not safe for concurrent use; probes of one VM fire
 // sequentially, which is the only way the engine calls it.
 type Bound struct {
-	body *Body
-	fr   frame
+	body   *Body
+	fr     frame
+	fastFr *frame
 }
 
 // Bind resolves the body's cells against a placement scope and allocates
@@ -106,6 +112,36 @@ func (b *Body) Bind(resolve CellResolver, out io.Writer) (*Bound, error) {
 	}
 	if b.NumLocals > 0 {
 		bd.fr.locals = make([]value.Value, b.NumLocals)
+	}
+	if fb := b.fast; fb != nil {
+		// The fast frame aliases the cells the generic frame resolved —
+		// captures must not be copied twice — so both lowerings observe
+		// identical state. The fast pass only resolves names the generic
+		// pass also resolved, so every ref is found by name; the resolver
+		// fallback covers cells shared by reference (globals) anyway.
+		ff := &frame{out: out}
+		if n := len(fb.cells); n > 0 {
+			byRef := make(map[CellRef]*value.Value, len(b.Cells))
+			for i, c := range b.Cells {
+				byRef[c] = bd.fr.cells[i]
+			}
+			ff.cells = make([]*value.Value, n)
+			for i, ref := range fb.cells {
+				if cell := byRef[ref]; cell != nil {
+					ff.cells[i] = cell
+					continue
+				}
+				cell, err := resolve(ref)
+				if err != nil {
+					return nil, err
+				}
+				ff.cells[i] = cell
+			}
+		}
+		if fb.nLocals > 0 {
+			ff.locals = make([]value.Value, fb.nLocals)
+		}
+		bd.fastFr = ff
 	}
 	return bd, nil
 }
@@ -130,6 +166,55 @@ func (b *Bound) Exec(dyn []value.Value) error {
 		}
 	}
 	return nil
+}
+
+// FastExec returns the bound whole-body fast lowering, or nil when the
+// body has none. The returned closure is observationally identical to
+// Exec — same stores, same output, same errors in the same order — and
+// subject to the same sequential-use contract.
+func (b *Bound) FastExec() func(dyn []value.Value) error {
+	fb := b.body.fast
+	if fb == nil {
+		return nil
+	}
+	fr := b.fastFr
+	guard := fb.guard
+	stmts := fb.stmts
+	return func(dyn []value.Value) error {
+		fr.dyn = dyn
+		if guard != nil {
+			ok, err := guard(fr)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		for _, st := range stmts {
+			if err := st(fr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// CounterShape reports whether the bound body is a pure counter bump —
+// no guard, exactly `x = x ± k` on a captured or global cell — and, if
+// so, returns the per-firing delta and a flush function such that n
+// consecutive firings leave every observable equal to one flush(n*delta)
+// call: each generic firing rewrites the cell to KInt(AsInt(cell)+delta),
+// so the composition is exactly additive.
+func (b *Bound) CounterShape() (delta int64, flush func(n int64), ok bool) {
+	fb := b.body.fast
+	if fb == nil || !fb.counter {
+		return 0, nil, false
+	}
+	cell := b.fastFr.cells[fb.counterCell]
+	return fb.counterDelta, func(n int64) {
+		*cell = value.Value{Kind: value.KInt, Int: asIntRef(cell) + n}
+	}, true
 }
 
 // Program is the compiled form of a whole tool: one Body per action and per
@@ -260,6 +345,7 @@ func compileBody(info *sem.Info, dyn []sem.DynAttr, body []ast.Stmt, guard ast.E
 	b.stmts = c.compileStmts(body)
 	b.Cells = c.cells
 	b.NumLocals = c.nLocals
+	b.fast = compileFastBody(info, dyn, body, guard, outer)
 	return b, nil
 }
 

@@ -1,0 +1,857 @@
+package compile
+
+// The whole-body fast tier. lower_int.go removes Value copies from
+// individual scalar subtrees; this file goes further and lowers entire
+// action bodies — statements included — into closures that keep every
+// intermediate value an unboxed int64, boxing only at stores. The VM's
+// inline tier (internal/vm) invokes these bodies from specialized probe
+// thunks, so the whole fire costs a few direct calls instead of a chain
+// of Value-copying closure boundaries.
+//
+// The contract mirrors lower_int.go's, strengthened in one way: a fast
+// lowering of expression e returns AsInt() (or AsBool()) of the value the
+// generic lowering would produce, with identical evaluation order, side
+// effects, runtime error messages and positions, AND the generic value is
+// guaranteed to be integer-shaped (KInt or KNull) wherever the result
+// feeds a dict key, a comparison, or a truth test — which is what makes
+// the unboxed comparisons and int-keyed map accesses below bit-identical
+// to the generic path (value.Equal and value.KeyOf coincide with plain
+// int64 semantics on such values). compileFastBody returns nil whenever
+// any construct in the body cannot meet that bar, and the caller keeps
+// only the generic lowering.
+//
+// The fast pass also classifies the single most common body shape — a
+// lone `x = x + k` bump of a captured or global counter — so the VM can
+// promote the counter to an accumulator and flush it additively (see
+// Bound.CounterShape and internal/vm's register-promoted counters).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core/ast"
+	"repro/internal/core/interp"
+	"repro/internal/core/sem"
+	"repro/internal/core/token"
+	"repro/internal/core/types"
+	"repro/internal/core/value"
+)
+
+// fastStmt executes one fast-lowered statement.
+type fastStmt func(fr *frame) error
+
+// fastBool evaluates an expression to its truth coercion.
+type fastBool func(fr *frame) (bool, error)
+
+// fastStr renders one print() argument exactly as Value.String would.
+type fastStr func(fr *frame) (string, error)
+
+// fastBody is the whole-body fast lowering of one action, with its own
+// frame layout (the fast pass re-resolves slots independently of the
+// generic pass; Bind aliases both frames onto the same cells).
+type fastBody struct {
+	cells   []CellRef
+	nLocals int
+	guard   fastBool
+	stmts   []fastStmt
+
+	// counter-shape classification: body is exactly one `x = x ± k`
+	// bump of cell counterCell with constant nonzero delta.
+	counter      bool
+	counterCell  int
+	counterDelta int64
+}
+
+// compileFastBody attempts the whole-body fast lowering; nil means some
+// construct has no fast path and the body stays generic-only.
+func compileFastBody(info *sem.Info, dyn []sem.DynAttr, body []ast.Stmt, guard ast.Expr, outer *outerScope) *fastBody {
+	c := &compiler{info: info, outer: outer, cellIdx: make(map[string]int), dyn: dyn}
+	c.pushScope()
+	fb := &fastBody{}
+	if guard != nil {
+		if fb.guard = c.fastBoolExpr(guard); fb.guard == nil {
+			return nil
+		}
+	}
+	stmts, ok := c.fastStmts(body)
+	if !ok {
+		return nil
+	}
+	fb.stmts = stmts
+	fb.cells = c.cells
+	fb.nLocals = c.nLocals
+	c.classifyCounter(fb, body, guard)
+	return fb
+}
+
+// loadSlot resolves a slot to a pointer accessor, avoiding the Value copy
+// of the generic Ident lowering.
+func loadSlot(sl slot) func(fr *frame) *value.Value {
+	idx := sl.idx
+	if sl.local {
+		return func(fr *frame) *value.Value { return &fr.locals[idx] }
+	}
+	return func(fr *frame) *value.Value { return fr.cells[idx] }
+}
+
+func litInt(e ast.Expr) (int64, bool) {
+	if l, ok := e.(*ast.IntLit); ok {
+		return l.Val, true
+	}
+	return 0, false
+}
+
+func identNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// classifyCounter recognizes the pure counter bump: no guard, exactly one
+// statement, `x = x + k` / `x = k + x` / `x = x - k` on a non-local
+// numeric cell with constant nonzero delta. The VM relies on the
+// classified shape being exactly additive: n generic firings from any
+// start value leave the cell at KInt(AsInt(start) + n*delta), which is
+// what a single Flush(n*delta) produces.
+func (c *compiler) classifyCounter(fb *fastBody, body []ast.Stmt, guard ast.Expr) {
+	if guard != nil || len(body) != 1 {
+		return
+	}
+	as, ok := body[0].(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	lhs, ok := as.LHS.(*ast.Ident)
+	if !ok {
+		return
+	}
+	bin, ok := as.RHS.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var delta int64
+	if k, ok := litInt(bin.Y); ok && identNamed(bin.X, lhs.Name) {
+		switch bin.Op {
+		case token.PLUS:
+			delta = k
+		case token.MINUS:
+			delta = -k
+		default:
+			return
+		}
+	} else if k, ok := litInt(bin.X); ok && bin.Op == token.PLUS && identNamed(bin.Y, lhs.Name) {
+		delta = k
+	} else {
+		return
+	}
+	if delta == 0 {
+		return
+	}
+	sl, ok := c.resolve(lhs.Name)
+	if !ok || sl.local {
+		return
+	}
+	fb.counter = true
+	fb.counterCell = sl.idx
+	fb.counterDelta = delta
+}
+
+func (c *compiler) fastStmts(stmts []ast.Stmt) ([]fastStmt, bool) {
+	out := make([]fastStmt, 0, len(stmts))
+	for _, s := range stmts {
+		f := c.fastStmt(s)
+		if f == nil {
+			return nil, false
+		}
+		out = append(out, f)
+	}
+	return out, true
+}
+
+func (c *compiler) fastStmt(s ast.Stmt) fastStmt {
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		return c.fastDecl(st.Decl)
+	case *ast.AssignStmt:
+		return c.fastAssign(st)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "print" {
+				return c.fastPrint(call)
+			}
+		}
+		return nil
+	case *ast.IfStmt:
+		cond := c.fastBoolExpr(st.Cond)
+		if cond == nil {
+			return nil
+		}
+		c.pushScope()
+		then, ok := c.fastStmts(st.Then)
+		c.popScope()
+		if !ok {
+			return nil
+		}
+		c.pushScope()
+		els, ok := c.fastStmts(st.Else)
+		c.popScope()
+		if !ok {
+			return nil
+		}
+		return func(fr *frame) error {
+			b, err := cond(fr)
+			if err != nil {
+				return err
+			}
+			branch := then
+			if !b {
+				branch = els
+			}
+			for _, f := range branch {
+				if err := f(fr); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case *ast.ForStmt:
+		// Scope structure mirrors the generic lowering: header scope, one
+		// body scope (slots are re-initialized by their declarations).
+		c.pushScope()
+		defer c.popScope()
+		var init fastStmt
+		if st.Init != nil {
+			if init = c.fastStmt(st.Init); init == nil {
+				return nil
+			}
+		}
+		var cond fastBool
+		if st.Cond != nil {
+			if cond = c.fastBoolExpr(st.Cond); cond == nil {
+				return nil
+			}
+		}
+		c.pushScope()
+		body, ok := c.fastStmts(st.Body)
+		c.popScope()
+		if !ok {
+			return nil
+		}
+		var post fastStmt
+		if st.Post != nil {
+			if post = c.fastStmt(st.Post); post == nil {
+				return nil
+			}
+		}
+		pos := st.P
+		return func(fr *frame) error {
+			if init != nil {
+				if err := init(fr); err != nil {
+					return err
+				}
+			}
+			for iters := 0; ; iters++ {
+				if iters >= interp.MaxLoopIters {
+					return errf(pos, "for statement exceeded %d iterations", interp.MaxLoopIters)
+				}
+				if cond != nil {
+					b, err := cond(fr)
+					if err != nil {
+						return err
+					}
+					if !b {
+						return nil
+					}
+				}
+				for _, f := range body {
+					if err := f(fr); err != nil {
+						return err
+					}
+				}
+				if post != nil {
+					if err := post(fr); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *compiler) fastDecl(d *ast.VarDecl) fastStmt {
+	t := c.info.DeclTypes[d]
+	if t == nil || !t.IsNumeric() {
+		return nil
+	}
+	// As in the generic pass, the initializer resolves before the name is
+	// defined.
+	var ifn intFn
+	if d.Init != nil {
+		if ifn = c.fastIntExpr(d.Init); ifn == nil {
+			return nil
+		}
+	}
+	idx := c.defineLocal(d.Name)
+	if ifn == nil {
+		return func(fr *frame) error {
+			fr.locals[idx] = value.Value{Kind: value.KInt}
+			return nil
+		}
+	}
+	return func(fr *frame) error {
+		n, err := ifn(fr)
+		if err != nil {
+			return err
+		}
+		fr.locals[idx] = value.Value{Kind: value.KInt, Int: n}
+		return nil
+	}
+}
+
+func (c *compiler) fastAssign(st *ast.AssignStmt) fastStmt {
+	switch lhs := st.LHS.(type) {
+	case *ast.Ident:
+		t := c.info.Types[st.LHS]
+		if t == nil || !t.IsNumeric() {
+			return nil
+		}
+		sl, ok := c.resolve(lhs.Name)
+		if !ok {
+			return nil
+		}
+		ifn := c.fastIntExpr(st.RHS)
+		if ifn == nil {
+			return nil
+		}
+		store := loadSlot(sl)
+		return func(fr *frame) error {
+			n, err := ifn(fr)
+			if err != nil {
+				return err
+			}
+			*store(fr) = value.Value{Kind: value.KInt, Int: n}
+			return nil
+		}
+	case *ast.IndexExpr:
+		id, ok := lhs.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		t := c.info.Types[lhs.X]
+		if t == nil || t.Elem == nil || !t.Elem.IsNumeric() {
+			return nil
+		}
+		if t.Kind == types.Dict && (t.Key == nil || !t.Key.IsNumeric()) {
+			return nil
+		}
+		// Generic order: RHS, then base, then index.
+		rhsFn := c.fastIntExpr(st.RHS)
+		if rhsFn == nil {
+			return nil
+		}
+		sl, ok := c.resolve(id.Name)
+		if !ok {
+			return nil
+		}
+		idxFn := c.fastIntExpr(lhs.Index)
+		if idxFn == nil {
+			return nil
+		}
+		load := loadSlot(sl)
+		pos := lhs.P
+		switch t.Kind {
+		case types.Dict:
+			return func(fr *frame) error {
+				n, err := rhsFn(fr)
+				if err != nil {
+					return err
+				}
+				bv := load(fr)
+				k, err := idxFn(fr)
+				if err != nil {
+					return err
+				}
+				if bv.Kind != value.KDict {
+					return errf(pos, "value is not indexable")
+				}
+				bv.Dict.M[value.DictKey{I: k}] = value.Value{Kind: value.KInt, Int: n}
+				return nil
+			}
+		case types.Array:
+			return func(fr *frame) error {
+				n, err := rhsFn(fr)
+				if err != nil {
+					return err
+				}
+				bv := load(fr)
+				i, err := idxFn(fr)
+				if err != nil {
+					return err
+				}
+				if bv.Kind != value.KArray {
+					return errf(pos, "value is not indexable")
+				}
+				if i < 0 || i >= int64(len(bv.Arr.Elems)) {
+					return errf(pos, "array index %d out of range [0,%d)", i, len(bv.Arr.Elems))
+				}
+				bv.Arr.Elems[i] = value.Value{Kind: value.KInt, Int: n}
+				return nil
+			}
+		case types.Vector:
+			return func(fr *frame) error {
+				n, err := rhsFn(fr)
+				if err != nil {
+					return err
+				}
+				bv := load(fr)
+				i, err := idxFn(fr)
+				if err != nil {
+					return err
+				}
+				if bv.Kind != value.KVector {
+					return errf(pos, "value is not indexable")
+				}
+				if i < 0 || i >= int64(len(bv.Vec.Elems)) {
+					return errf(pos, "vector index %d out of range [0,%d)", i, len(bv.Vec.Elems))
+				}
+				bv.Vec.Elems[i] = value.Value{Kind: value.KInt, Int: n}
+				return nil
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+func (c *compiler) fastPrint(x *ast.CallExpr) fastStmt {
+	args := make([]fastStr, len(x.Args))
+	for i, a := range x.Args {
+		if args[i] = c.fastStrArg(a); args[i] == nil {
+			return nil
+		}
+	}
+	parts := make([]string, len(args))
+	return func(fr *frame) error {
+		for i, a := range args {
+			s, err := a(fr)
+			if err != nil {
+				return err
+			}
+			parts[i] = s
+		}
+		fmt.Fprintln(fr.out, strings.Join(parts, " "))
+		return nil
+	}
+}
+
+// fastStrArg lowers one print() argument. Scalar productions render via
+// FormatInt, which matches Value.String on the KInt values they stand
+// for; the two NULL-producing shapes (a NULL literal, a vector get that
+// may run out of range) are rendered explicitly.
+func (c *compiler) fastStrArg(e ast.Expr) fastStr {
+	switch x := e.(type) {
+	case *ast.StringLit:
+		s := x.Val
+		return func(*frame) (string, error) { return s, nil }
+	case *ast.NullLit:
+		return func(*frame) (string, error) { return "NULL", nil }
+	case *ast.IndexExpr:
+		if t := c.info.Types[x.X]; t != nil && t.Kind == types.Vector {
+			return c.fastVecGetStr(x)
+		}
+	}
+	ifn := c.fastIntExpr(e)
+	if ifn == nil {
+		return nil
+	}
+	return func(fr *frame) (string, error) {
+		n, err := ifn(fr)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(n, 10), nil
+	}
+}
+
+// fastVecGetStr renders a direct vector-element read, preserving the
+// generic path's NULL result for an out-of-range index.
+func (c *compiler) fastVecGetStr(x *ast.IndexExpr) fastStr {
+	id, ok := x.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	t := c.info.Types[x.X]
+	if t == nil || t.Kind != types.Vector || t.Elem == nil || !t.Elem.IsNumeric() {
+		return nil
+	}
+	sl, ok := c.resolve(id.Name)
+	if !ok {
+		return nil
+	}
+	idxFn := c.fastIntExpr(x.Index)
+	if idxFn == nil {
+		return nil
+	}
+	load := loadSlot(sl)
+	pos := x.P
+	return func(fr *frame) (string, error) {
+		bv := load(fr)
+		i, err := idxFn(fr)
+		if err != nil {
+			return "", err
+		}
+		if bv.Kind != value.KVector {
+			return "", errf(pos, "value is not indexable")
+		}
+		if i < 0 || i >= int64(len(bv.Vec.Elems)) {
+			return "NULL", nil
+		}
+		return strconv.FormatInt(asIntRef(&bv.Vec.Elems[i]), 10), nil
+	}
+}
+
+// fastIntExpr lowers e to an unboxed scalar whose generic value is
+// guaranteed integer-shaped (KInt or KNull); nil when no such lowering
+// exists. It extends compileIntExpr's productions with container reads
+// and re-recurses through itself so the extensions compose.
+func (c *compiler) fastIntExpr(e ast.Expr) intFn {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		n := x.Val
+		return func(*frame) (int64, error) { return n, nil }
+	case *ast.CharLit:
+		n := int64(x.Val)
+		return func(*frame) (int64, error) { return n, nil }
+	case *ast.NullLit:
+		// NULL coerces to 0 under every integer consumer (AsInt, Equal
+		// against integer-shaped values, KeyOf, AsBool).
+		return func(*frame) (int64, error) { return 0, nil }
+	case *ast.Ident:
+		// Numeric-typed slots only: such slots always hold KInt (every
+		// store goes through Convert or ZeroValue), keeping the result
+		// integer-shaped — unlike lower_int.go's any-type Ident rule.
+		t := c.info.Types[e]
+		if t == nil || !t.IsNumeric() {
+			return nil
+		}
+		sl, ok := c.resolve(x.Name)
+		if !ok {
+			return nil
+		}
+		load := loadSlot(sl)
+		return func(fr *frame) (int64, error) { return asIntRef(load(fr)), nil }
+	case *ast.FieldExpr:
+		// Dynamic attributes materialize as integer words (UintVal).
+		if !c.info.DynamicExprs[x] {
+			return nil
+		}
+		return c.compileIntExpr(e)
+	case *ast.IndexExpr:
+		return c.fastIndexGet(x)
+	case *ast.CallExpr:
+		return c.fastSize(x)
+	case *ast.UnaryExpr:
+		if x.Op != token.MINUS {
+			return nil
+		}
+		sub := c.fastIntExpr(x.X)
+		if sub == nil {
+			return nil
+		}
+		return func(fr *frame) (int64, error) {
+			n, err := sub(fr)
+			if err != nil {
+				return 0, err
+			}
+			return -n, nil
+		}
+	case *ast.BinaryExpr:
+		return c.fastIntBinary(x)
+	}
+	return nil
+}
+
+func (c *compiler) fastIntBinary(x *ast.BinaryExpr) intFn {
+	var op func(a, b int64) int64
+	switch x.Op {
+	case token.PLUS:
+		op = func(a, b int64) int64 { return a + b }
+	case token.MINUS:
+		op = func(a, b int64) int64 { return a - b }
+	case token.STAR:
+		op = func(a, b int64) int64 { return a * b }
+	case token.AMP:
+		op = func(a, b int64) int64 { return a & b }
+	case token.PIPE:
+		op = func(a, b int64) int64 { return a | b }
+	case token.CARET:
+		op = func(a, b int64) int64 { return a ^ b }
+	case token.SHL:
+		op = func(a, b int64) int64 { return a << (uint64(b) & 63) }
+	case token.SHR:
+		op = func(a, b int64) int64 { return int64(uint64(a) >> (uint64(b) & 63)) }
+	case token.SLASH, token.PERCENT:
+		l := c.fastIntExpr(x.X)
+		if l == nil {
+			return nil
+		}
+		r := c.fastIntExpr(x.Y)
+		if r == nil {
+			return nil
+		}
+		mod := x.Op == token.PERCENT
+		pos := x.P
+		return func(fr *frame) (int64, error) {
+			a, err := l(fr)
+			if err != nil {
+				return 0, err
+			}
+			b, err := r(fr)
+			if err != nil {
+				return 0, err
+			}
+			if b == 0 {
+				return 0, errf(pos, "division by zero")
+			}
+			if mod {
+				return a % b, nil
+			}
+			return a / b, nil
+		}
+	default:
+		return nil
+	}
+	l := c.fastIntExpr(x.X)
+	if l == nil {
+		return nil
+	}
+	r := c.fastIntExpr(x.Y)
+	if r == nil {
+		return nil
+	}
+	return func(fr *frame) (int64, error) {
+		a, err := l(fr)
+		if err != nil {
+			return 0, err
+		}
+		b, err := r(fr)
+		if err != nil {
+			return 0, err
+		}
+		return op(a, b), nil
+	}
+}
+
+// fastIndexGet lowers a container read on a directly-named base with
+// numeric elements (and, for dicts, a numeric key type, so value.KeyOf of
+// the generic index value coincides with the unboxed int64 key).
+func (c *compiler) fastIndexGet(x *ast.IndexExpr) intFn {
+	id, ok := x.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	t := c.info.Types[x.X]
+	if t == nil || t.Elem == nil || !t.Elem.IsNumeric() {
+		return nil
+	}
+	if t.Kind == types.Dict && (t.Key == nil || !t.Key.IsNumeric()) {
+		return nil
+	}
+	sl, ok := c.resolve(id.Name)
+	if !ok {
+		return nil
+	}
+	idxFn := c.fastIntExpr(x.Index)
+	if idxFn == nil {
+		return nil
+	}
+	load := loadSlot(sl)
+	pos := x.P
+	switch t.Kind {
+	case types.Dict:
+		return func(fr *frame) (int64, error) {
+			bv := load(fr)
+			k, err := idxFn(fr)
+			if err != nil {
+				return 0, err
+			}
+			if bv.Kind != value.KDict {
+				return 0, errf(pos, "value is not indexable")
+			}
+			if e, ok := bv.Dict.M[value.DictKey{I: k}]; ok {
+				return asIntRef(&e), nil
+			}
+			return asIntRef(&bv.Dict.ElemZero), nil
+		}
+	case types.Vector:
+		// Out of range yields NULL generically, which is 0 here.
+		return func(fr *frame) (int64, error) {
+			bv := load(fr)
+			i, err := idxFn(fr)
+			if err != nil {
+				return 0, err
+			}
+			if bv.Kind != value.KVector {
+				return 0, errf(pos, "value is not indexable")
+			}
+			if i < 0 || i >= int64(len(bv.Vec.Elems)) {
+				return 0, nil
+			}
+			return asIntRef(&bv.Vec.Elems[i]), nil
+		}
+	case types.Array:
+		return func(fr *frame) (int64, error) {
+			bv := load(fr)
+			i, err := idxFn(fr)
+			if err != nil {
+				return 0, err
+			}
+			if bv.Kind != value.KArray {
+				return 0, errf(pos, "value is not indexable")
+			}
+			if i < 0 || i >= int64(len(bv.Arr.Elems)) {
+				return 0, errf(pos, "array index %d out of range [0,%d)", i, len(bv.Arr.Elems))
+			}
+			return asIntRef(&bv.Arr.Elems[i]), nil
+		}
+	}
+	return nil
+}
+
+// fastSize lowers recv.size() on a directly-named vector or dict.
+func (c *compiler) fastSize(x *ast.CallExpr) intFn {
+	fun, ok := x.Fun.(*ast.FieldExpr)
+	if !ok || fun.Name != "size" || len(x.Args) != 0 {
+		return nil
+	}
+	id, ok := fun.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	t := c.info.Types[fun.X]
+	if t == nil || (t.Kind != types.Vector && t.Kind != types.Dict) {
+		return nil
+	}
+	sl, ok := c.resolve(id.Name)
+	if !ok {
+		return nil
+	}
+	load := loadSlot(sl)
+	pos, name := x.P, fun.Name
+	return func(fr *frame) (int64, error) {
+		rv := load(fr)
+		switch rv.Kind {
+		case value.KVector:
+			return int64(len(rv.Vec.Elems)), nil
+		case value.KDict:
+			return int64(rv.Dict.Len()), nil
+		}
+		return 0, errf(pos, "invalid method %q", name)
+	}
+}
+
+// fastBoolExpr lowers e to its truth coercion; nil when no fast path
+// preserves the generic result exactly.
+func (c *compiler) fastBoolExpr(e ast.Expr) fastBool {
+	switch x := e.(type) {
+	case *ast.BoolLit:
+		b := x.Val
+		return func(*frame) (bool, error) { return b, nil }
+	case *ast.Ident:
+		if t := c.info.Types[e]; t != nil && t.Kind == types.Bool {
+			sl, ok := c.resolve(x.Name)
+			if !ok {
+				return nil
+			}
+			load := loadSlot(sl)
+			return func(fr *frame) (bool, error) { return load(fr).AsBool(), nil }
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			sub := c.fastBoolExpr(x.X)
+			if sub == nil {
+				return nil
+			}
+			return func(fr *frame) (bool, error) {
+				b, err := sub(fr)
+				return !b, err
+			}
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			l := c.fastBoolExpr(x.X)
+			if l == nil {
+				return nil
+			}
+			r := c.fastBoolExpr(x.Y)
+			if r == nil {
+				return nil
+			}
+			if x.Op == token.LAND {
+				return func(fr *frame) (bool, error) {
+					b, err := l(fr)
+					if err != nil || !b {
+						return false, err
+					}
+					return r(fr)
+				}
+			}
+			return func(fr *frame) (bool, error) {
+				b, err := l(fr)
+				if err != nil || b {
+					return b, err
+				}
+				return r(fr)
+			}
+		case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+			// On integer-shaped operands, value.Equal and the ordered
+			// comparison both reduce to plain int64 comparison of the
+			// AsInt coercions (neither side can be a string).
+			l := c.fastIntExpr(x.X)
+			if l == nil {
+				return nil
+			}
+			r := c.fastIntExpr(x.Y)
+			if r == nil {
+				return nil
+			}
+			var cmp func(a, b int64) bool
+			switch x.Op {
+			case token.EQ:
+				cmp = func(a, b int64) bool { return a == b }
+			case token.NEQ:
+				cmp = func(a, b int64) bool { return a != b }
+			case token.LT:
+				cmp = func(a, b int64) bool { return a < b }
+			case token.LE:
+				cmp = func(a, b int64) bool { return a <= b }
+			case token.GT:
+				cmp = func(a, b int64) bool { return a > b }
+			case token.GE:
+				cmp = func(a, b int64) bool { return a >= b }
+			}
+			return func(fr *frame) (bool, error) {
+				a, err := l(fr)
+				if err != nil {
+					return false, err
+				}
+				b, err := r(fr)
+				if err != nil {
+					return false, err
+				}
+				return cmp(a, b), nil
+			}
+		}
+	}
+	// Any other integer-shaped scalar consumed as a condition: AsBool of
+	// KInt n is n != 0, of KNull is false — both are n != 0 here.
+	if ifn := c.fastIntExpr(e); ifn != nil {
+		return func(fr *frame) (bool, error) {
+			n, err := ifn(fr)
+			return n != 0, err
+		}
+	}
+	return nil
+}

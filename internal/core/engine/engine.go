@@ -74,6 +74,24 @@ type Action struct {
 	// the action's closure (the data a real backend would pass as
 	// callback arguments).
 	NumCaptured int
+	// Inline, when non-nil, describes the specialization surface the
+	// frameworks may hand to the VM's action-inlining layer (nil on the
+	// interpreter path or when the body has no fast lowering).
+	Inline *InlineInfo
+}
+
+// InlineInfo is the backend-facing description of an action's compiled
+// fast path (see internal/core/compile's whole-body fast tier).
+type InlineInfo struct {
+	// Exec is the specialized executor: observably identical to
+	// Action.Exec — same stores, same output, same error recording.
+	Exec func(dyn []value.Value)
+	// Counter marks a pure counter-bump body: each firing is equivalent,
+	// in every observable, to Flush(Delta). Counter actions read no
+	// dynamic attributes and cannot fail.
+	Counter bool
+	Delta   int64
+	Flush   func(n int64)
 }
 
 // Placer is the backend interface: it receives compiled actions at
@@ -409,11 +427,12 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 	if e.interpret {
 		a.Exec = e.interpExec(act, ai, env)
 	} else {
-		exec, err := e.compiledExec(act, env)
+		exec, inline, err := e.compiledExec(act, env)
 		if err != nil {
 			return err
 		}
 		a.Exec = exec
+		a.Inline = inline
 	}
 
 	switch ai.TargetEType {
@@ -512,10 +531,10 @@ func (e *engineRun) interpExec(act *ast.Action, ai *sem.ActionInfo, env *interp.
 // the pre-lowered body is bound once per placement — captures copied by
 // value, globals shared — and every firing runs the closure chain on the
 // reused frame.
-func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []value.Value), error) {
+func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []value.Value), *InlineInfo, error) {
 	body := e.tool.Code.Actions[act]
 	if body == nil {
-		return nil, fmt.Errorf("cinnamon: internal: uncompiled action at %s", act.Pos())
+		return nil, nil, fmt.Errorf("cinnamon: internal: uncompiled action at %s", act.Pos())
 	}
 	resolve := func(ref compile.CellRef) (*value.Value, error) {
 		if ref.Global {
@@ -531,12 +550,23 @@ func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []v
 	}
 	bound, err := body.Bind(resolve, e.in.Out)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	inst := e.inst
+	var inline *InlineInfo
+	if fast := bound.FastExec(); fast != nil {
+		inline = &InlineInfo{Exec: func(dyn []value.Value) {
+			if err := fast(dyn); err != nil {
+				inst.record(err)
+			}
+		}}
+		if delta, flush, ok := bound.CounterShape(); ok {
+			inline.Counter, inline.Delta, inline.Flush = true, delta, flush
+		}
+	}
 	return func(dyn []value.Value) {
 		if err := bound.Exec(dyn); err != nil {
 			inst.record(err)
 		}
-	}, nil
+	}, inline, nil
 }

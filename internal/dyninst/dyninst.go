@@ -131,6 +131,17 @@ type FuncCallExpr struct {
 	// Label identifies the call in observability reports (optional; the
 	// Cinnamon backend sets it to the originating action).
 	Label string
+	// FastFn, when non-nil, is a specialized variant of Fn with
+	// identical observable behavior that satisfies the vm.ProbeSpec
+	// purity contract (never inserts snippets, never reads cycle
+	// counts). The rewriter hands it to the VM's action-inlining layer.
+	FastFn func(args []uint64)
+	// CounterFlush, when non-nil, asserts that every invocation of the
+	// call — for any argument values — is equivalent in all observables
+	// to CounterFlush(CounterDelta). Such snippets are promoted to
+	// block-local accumulators by the inline tier.
+	CounterDelta int64
+	CounterFlush func(n int64)
 }
 
 func (e FuncCallExpr) eval(c *vm.Ctx) uint64 {
@@ -372,6 +383,7 @@ type BinaryEdit struct {
 	appOut     io.Writer
 	obs        *obs.Collector
 	execMode   vm.ExecMode
+	noInline   bool
 	initFns    []func()
 	finiFns    []func()
 }
@@ -389,6 +401,8 @@ type Config struct {
 	// ExecMode selects the VM execution tier the rewritten binary runs
 	// under (see vm.Config).
 	ExecMode vm.ExecMode
+	// NoInline disables the VM's action-inlining layer (see vm.Config).
+	NoInline bool
 }
 
 // OpenBinary parses the program's executable for rewriting. It fails,
@@ -404,7 +418,7 @@ func OpenBinary(prog *cfg.Program, c Config) (*BinaryEdit, error) {
 			return nil, fmt.Errorf("dyninst: %s: imprecise control flow in %s", exe.Name(), f.Name)
 		}
 	}
-	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs, execMode: c.ExecMode}, nil
+	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs, execMode: c.ExecMode, noInline: c.NoInline}, nil
 }
 
 // Image returns the parsed image.
@@ -440,6 +454,30 @@ func (be *BinaryEdit) OnInit(fn func()) { be.initFns = append(be.initFns, fn) }
 // (instrumented _fini).
 func (be *BinaryEdit) OnFini(fn func()) { be.finiFns = append(be.finiFns, fn) }
 
+// snippetSpec builds the vm.ProbeSpec for one insertion of the snippet
+// (one spec per insertion: the VM owns accumulator state). Only a bare
+// FuncCallExpr with an inline surface qualifies; the argument buffer is
+// allocated once per insertion and reused across firings.
+func snippetSpec(s Snippet) *vm.ProbeSpec {
+	e, ok := s.(FuncCallExpr)
+	if !ok {
+		return nil
+	}
+	if e.CounterFlush != nil {
+		return &vm.ProbeSpec{Counter: true, Delta: e.CounterDelta, Flush: e.CounterFlush}
+	}
+	if e.FastFn == nil {
+		return nil
+	}
+	args := make([]uint64, len(e.Args))
+	return &vm.ProbeSpec{Fn: func(c *vm.Ctx) {
+		for n, a := range e.Args {
+			args[n] = a.eval(c)
+		}
+		e.FastFn(args)
+	}}
+}
+
 // snippetLabel extracts the report label of a snippet: the Label of the
 // first FuncCallExpr found ("" for pure expression snippets).
 func snippetLabel(s Snippet) string {
@@ -460,11 +498,12 @@ func snippetLabel(s Snippet) string {
 // are baked in before the first instruction runs, and no translation cost
 // is paid at run time.
 func (be *BinaryEdit) Run() (*vm.Result, error) {
-	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs, ExecMode: be.execMode})
+	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs, ExecMode: be.execMode, NoInline: be.noInline})
 	for _, ins := range be.insertions {
 		s := ins.snippet
 		cost := SnippetCost + s.cost()
 		fn := func(c *vm.Ctx) { s.eval(c) }
+		spec := snippetSpec(s)
 		var trigger string
 		var addr uint64
 		switch {
@@ -491,13 +530,13 @@ func (be *BinaryEdit) Run() (*vm.Result, error) {
 		var err error
 		switch {
 		case ins.point.isEdge:
-			err = machine.AddEdgeObs(ins.point.edge[0], ins.point.edge[1], cost, id, fn)
+			err = machine.AddEdgeSpec(ins.point.edge[0], ins.point.edge[1], cost, id, fn, spec)
 		case ins.point.blockAddr != 0:
-			err = machine.AddBlockEntryObs(ins.point.blockAddr, cost, id, fn)
+			err = machine.AddBlockEntrySpec(ins.point.blockAddr, cost, id, fn, spec)
 		case ins.when == CallBefore:
-			err = machine.AddBeforeObs(ins.point.instAddr, cost, id, fn)
+			err = machine.AddBeforeSpec(ins.point.instAddr, cost, id, fn, spec)
 		default:
-			err = machine.AddAfterObs(ins.point.instAddr, cost, id, fn)
+			err = machine.AddAfterSpec(ins.point.instAddr, cost, id, fn, spec)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dyninst: %w", err)

@@ -107,6 +107,32 @@ type Handler struct {
 	// Label identifies the handler in observability reports (optional;
 	// the Cinnamon backend sets it to the originating action).
 	Label string
+	// FastFn, when non-nil, is a specialized variant of Fn with
+	// identical observable behavior (same stores, same output, same
+	// failures) that satisfies the vm.ProbeSpec purity contract: it
+	// never installs rules or probes and never reads cycle counts. The
+	// dynamic instrumenter hands it to the VM's action-inlining layer.
+	FastFn HandlerFn
+	// CounterFlush, when non-nil, asserts that every invocation of the
+	// handler — for any rule payload — is equivalent in all observables
+	// to CounterFlush(CounterDelta). Such handlers are promoted to
+	// block-local accumulators by the inline tier.
+	CounterDelta int64
+	CounterFlush func(n int64)
+}
+
+// spec builds the vm.ProbeSpec for one rule applying this handler (one
+// spec per installation: the VM owns accumulator state). Returns nil
+// when the handler has no inline surface.
+func (h Handler) spec(data []uint64) *vm.ProbeSpec {
+	if h.CounterFlush != nil {
+		return &vm.ProbeSpec{Counter: true, Delta: h.CounterDelta, Flush: h.CounterFlush}
+	}
+	if h.FastFn == nil {
+		return nil
+	}
+	fast := h.FastFn
+	return &vm.ProbeSpec{Fn: func(c *vm.Ctx) { fast(c, data) }}
 }
 
 func (h Handler) mechanism() string {
@@ -194,6 +220,8 @@ type Config struct {
 	Obs *obs.Collector
 	// ExecMode selects the underlying VM execution tier (see vm.Config).
 	ExecMode vm.ExecMode
+	// NoInline disables the VM's action-inlining layer (see vm.Config).
+	NoInline bool
 }
 
 // Run executes the program under Janus: the tool's static pass runs
@@ -210,7 +238,7 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 		c.Obs.MutateBuild(func(b *obs.BuildStats) { b.RulesEmitted = rt.NumRules() })
 	}
 
-	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode})
+	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline})
 	// register records one applied rule with the attached collector (cold
 	// path: block-translation time only).
 	register := func(h Handler, r Rule, trigger string, addr, cost uint64) obs.ProbeID {
@@ -249,20 +277,21 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 			}
 			cost := h.dispatchCost(len(r.Data))
 			fn := func(ctx *vm.Ctx) { h.Fn(ctx, r.Data) }
+			spec := h.spec(r.Data)
 			var ierr error
 			switch r.Trigger {
 			case TriggerBefore:
-				ierr = machine.AddBeforeObs(r.InstAddr, cost,
-					register(h, r, obs.TriggerBefore, r.InstAddr, cost), fn)
+				ierr = machine.AddBeforeSpec(r.InstAddr, cost,
+					register(h, r, obs.TriggerBefore, r.InstAddr, cost), fn, spec)
 			case TriggerAfter:
-				ierr = machine.AddAfterObs(r.InstAddr, cost,
-					register(h, r, obs.TriggerAfter, r.InstAddr, cost), fn)
+				ierr = machine.AddAfterSpec(r.InstAddr, cost,
+					register(h, r, obs.TriggerAfter, r.InstAddr, cost), fn, spec)
 			case TriggerBlockEntry:
-				ierr = machine.AddBlockEntryObs(r.BlockAddr, cost,
-					register(h, r, obs.TriggerBlockEntry, r.BlockAddr, cost), fn)
+				ierr = machine.AddBlockEntrySpec(r.BlockAddr, cost,
+					register(h, r, obs.TriggerBlockEntry, r.BlockAddr, cost), fn, spec)
 			case TriggerEdge:
-				ierr = machine.AddEdgeObs(r.Aux, r.BlockAddr, cost,
-					register(h, r, obs.TriggerEdge, r.BlockAddr, cost), fn)
+				ierr = machine.AddEdgeSpec(r.Aux, r.BlockAddr, cost,
+					register(h, r, obs.TriggerEdge, r.BlockAddr, cost), fn, spec)
 			}
 			if ierr != nil {
 				// Rules that cannot be applied are skipped, as the

@@ -144,6 +144,17 @@ type Routine struct {
 	// Label identifies the routine in observability reports (optional;
 	// the Cinnamon backend sets it to the originating action).
 	Label string
+	// FastFn, when non-nil, is a specialized variant of Fn with
+	// identical observable behavior that satisfies the vm.ProbeSpec
+	// purity contract (never inserts calls, never reads cycle counts).
+	// Pin hands it to the VM's action-inlining layer.
+	FastFn AnalysisFn
+	// CounterFlush, when non-nil, asserts that every invocation of the
+	// routine — for any argument values — is equivalent in all
+	// observables to CounterFlush(CounterDelta). Such routines are
+	// promoted to block-local accumulators by the inline tier.
+	CounterDelta int64
+	CounterFlush func(n int64)
 }
 
 func (r Routine) mechanism() string {
@@ -333,12 +344,14 @@ type Config struct {
 	Obs *obs.Collector
 	// ExecMode selects the underlying VM execution tier (see vm.Config).
 	ExecMode vm.ExecMode
+	// NoInline disables the VM's action-inlining layer (see vm.Config).
+	NoInline bool
 }
 
 // New creates a Pin session for the program.
 func New(prog *cfg.Program, c Config) *Pin {
 	p := &Pin{prog: prog, obs: c.Obs}
-	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode})
+	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline})
 	return p
 }
 
@@ -418,18 +431,39 @@ func (p *Pin) register(r Routine, trigger string, addr, cost uint64) obs.ProbeID
 	})
 }
 
+// analysisCall wraps one inserted analysis call: the argument buffer is
+// allocated once per insertion and reused across firings (probes of one
+// machine fire sequentially), so steady-state dispatch allocates nothing.
+func (p *Pin) analysisCall(fn AnalysisFn, args []Arg) vm.ProbeFn {
+	buf := make([]uint64, 0, 4)
+	return func(c *vm.Ctx) {
+		buf = p.materialize(c, args, buf[:0])
+		fn(buf)
+	}
+}
+
+// routineSpec builds the vm.ProbeSpec for one insertion of the routine
+// (one spec per insertion: the VM owns accumulator state). Returns nil
+// when the routine has no inline surface.
+func (p *Pin) routineSpec(r Routine, args []Arg) *vm.ProbeSpec {
+	if r.CounterFlush != nil {
+		return &vm.ProbeSpec{Counter: true, Delta: r.CounterDelta, Flush: r.CounterFlush}
+	}
+	if r.FastFn == nil {
+		return nil
+	}
+	return &vm.ProbeSpec{Fn: p.analysisCall(r.FastFn, args)}
+}
+
 func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) error {
 	cost := r.dispatchCost() + uint64(len(args))*ArgCost
-	fn := func(c *vm.Ctx) {
-		buf := make([]uint64, 0, 4)
-		buf = p.materialize(c, args, buf)
-		r.Fn(buf)
-	}
+	fn := p.analysisCall(r.Fn, args)
+	spec := p.routineSpec(r, args)
 	switch point {
 	case IPointBefore:
-		return p.vm.AddBeforeObs(inst.Addr, cost, p.register(r, obs.TriggerBefore, inst.Addr, cost), fn)
+		return p.vm.AddBeforeSpec(inst.Addr, cost, p.register(r, obs.TriggerBefore, inst.Addr, cost), fn, spec)
 	case IPointAfter:
-		return p.vm.AddAfterObs(inst.Addr, cost, p.register(r, obs.TriggerAfter, inst.Addr, cost), fn)
+		return p.vm.AddAfterSpec(inst.Addr, cost, p.register(r, obs.TriggerAfter, inst.Addr, cost), fn, spec)
 	}
 	return fmt.Errorf("pin: invalid insertion point %d", point)
 }
@@ -437,11 +471,7 @@ func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) er
 func (p *Pin) insertBlockCall(block *cfg.Block, r Routine, args []Arg) error {
 	cost := r.dispatchCost() + uint64(len(args))*ArgCost
 	id := p.register(r, obs.TriggerBlockEntry, block.Start, cost)
-	return p.vm.AddBlockEntryObs(block.Start, cost, id, func(c *vm.Ctx) {
-		buf := make([]uint64, 0, 4)
-		buf = p.materialize(c, args, buf)
-		r.Fn(buf)
-	})
+	return p.vm.AddBlockEntrySpec(block.Start, cost, id, p.analysisCall(r.Fn, args), p.routineSpec(r, args))
 }
 
 // Run starts the application under Pin. Image and routine callbacks fire

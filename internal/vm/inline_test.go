@@ -1,0 +1,323 @@
+package vm
+
+// Differential tests for the translated tier's action-inlining layer:
+// specialized probe thunks, register-promoted counters and probe+op
+// superinstructions must be bit-identical — counts, cycles, output,
+// trap text, obs attribution, trace ring, fuel-exhaustion tail — to
+// both the no-inline translated tier and the reference interpreter.
+// They mirror translate_test.go's matrix with every probe carrying an
+// inline spec (and deliberate mixed lists that force the generic path).
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// inlineCell is one execution configuration of the three-way
+// differential: inlining on, inlining off, and the reference
+// interpreter (where specs are ignored entirely).
+type inlineCell struct {
+	name     string
+	mode     ExecMode
+	noInline bool
+}
+
+var inlineCells = []inlineCell{
+	{"inline", ExecTranslated, false},
+	{"no-inline", ExecTranslated, true},
+	{"interpreted", ExecInterpreted, false},
+}
+
+func runInlineCell(t *testing.T, prog *cfg.Program, cell inlineCell, fuel uint64,
+	setup func(v *VM, fires map[string]int)) modeRun {
+	t.Helper()
+	var out bytes.Buffer
+	v := New(prog, Config{ExecMode: cell.mode, NoInline: cell.noInline, AppOut: &out, Fuel: fuel})
+	fires := map[string]int{}
+	if setup != nil {
+		setup(v, fires)
+	}
+	res, err := v.Run()
+	mr := modeRun{out: out.String(), fires: fires, cycles: v.cycles}
+	if err != nil {
+		mr.err = err.Error()
+	}
+	mr.res = res
+	return mr
+}
+
+// counterSpec returns a generic body and its promoted-counter spec: the
+// body bumps the cell by delta per fire, the spec's Flush applies n
+// accumulated bumps at once. Observably identical by the ProbeSpec
+// contract.
+func counterSpec(fires map[string]int, key string, delta int64) (ProbeFn, *ProbeSpec) {
+	return func(c *Ctx) { fires[key] += int(delta) },
+		&ProbeSpec{Counter: true, Delta: delta, Flush: func(n int64) { fires[key] += int(n) }}
+}
+
+// fastSpec returns a body used both generically and as the specialized
+// thunk — the strongest form of the "observably identical" contract.
+func fastSpec(fires map[string]int, key string) (ProbeFn, *ProbeSpec) {
+	fn := func(c *Ctx) { fires[key]++ }
+	return fn, &ProbeSpec{Fn: fn}
+}
+
+// specProbes installs the full mix of inline shapes on a program: a
+// promoted counter and a generic body on the same instruction (mixed
+// list — the promoted count must flush before the generic body can
+// observe the cell), fully spec'd before+after lists on a store (the
+// superinstruction-fusable shape), a pending call-after (never fused),
+// and spec'd block-entry and edge probes.
+func specProbes(t *testing.T, prog *cfg.Program) func(v *VM, fires map[string]int) {
+	add := instByOp(t, prog, isa.Add, 0)
+	store := findInst(prog, isa.Store, 0)
+	call := findInst(prog, isa.Call, 0)
+	blk := blockOf(t, prog, add.Addr)
+	return func(v *VM, fires map[string]int) {
+		must := func(err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		fn, sp := counterSpec(fires, "add-count", 2)
+		must(v.AddBeforeSpec(add.Addr, 3, obs.NoProbe, fn, sp))
+		must(v.AddBefore(add.Addr, 1, func(c *Ctx) {
+			// Generic body on the same list: a full observation point —
+			// it reads the promoted cell, which must be flushed by now.
+			fires["add-generic-saw"] = fires["add-count"]
+			fires["add-generic"]++
+		}))
+		fn, sp = fastSpec(fires, "add-after")
+		must(v.AddAfterSpec(add.Addr, 2, obs.NoProbe, fn, sp))
+		if store != nil {
+			fn, sp = counterSpec(fires, "store-count", 1)
+			must(v.AddBeforeSpec(store.Addr, 2, obs.NoProbe, fn, sp))
+			fn, sp = fastSpec(fires, "store-after")
+			must(v.AddAfterSpec(store.Addr, 1, obs.NoProbe, fn, sp))
+		}
+		if call != nil {
+			must(v.AddAfter(call.Addr, 4, func(c *Ctx) { fires["call-after"]++ }))
+		}
+		fn, sp = counterSpec(fires, "entry-count", 1)
+		must(v.AddBlockEntrySpec(blk.Start, 1, obs.NoProbe, fn, sp))
+		for _, pred := range blk.Preds {
+			fn, sp := fastSpec(fires, fmt.Sprintf("edge-%x", pred.Start))
+			must(v.AddEdgeSpec(pred.Start, blk.Start, 1, obs.NoProbe, fn, sp))
+		}
+		v.OnEnd(func(c *Ctx) {
+			// End hooks run after the final flush: the promoted cells
+			// must already hold their totals.
+			fires["end-saw-add"] = fires["add-count"]
+		})
+	}
+}
+
+// TestInlineBitIdentical runs loops, calls, traps and fuel exhaustion
+// with the full spec'd probe mix and demands byte-identical observables
+// across inline, no-inline and interpreted cells.
+func TestInlineBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		fuel uint64
+	}{
+		{"sum", sumSrc, 0},
+		{"calls", tierCallSrc, 0},
+		{"trap", tierTrapSrc, 0},
+		{"fuel", tierCallSrc, 37},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog := build(t, c.src)
+			setup := specProbes(t, prog)
+			ref := runInlineCell(t, prog, inlineCells[len(inlineCells)-1], c.fuel, setup)
+			for _, cell := range inlineCells[:len(inlineCells)-1] {
+				got := runInlineCell(t, prog, cell, c.fuel, setup)
+				diffModes(t, c.name+"/"+cell.name, got, ref)
+			}
+		})
+	}
+}
+
+// TestInlineFuelParity sweeps every fuel value through exhaustion with
+// promoted counters live: the flush at the fuel trap must leave the
+// cells exactly where the interpreter leaves them, at every cut point.
+func TestInlineFuelParity(t *testing.T) {
+	prog := build(t, tierCallSrc)
+	setup := specProbes(t, prog)
+	full := runInlineCell(t, prog, inlineCells[len(inlineCells)-1], 0, setup)
+	if full.err != "" {
+		t.Fatal(full.err)
+	}
+	for fuel := uint64(1); fuel <= full.res.Insts+1; fuel++ {
+		ref := runInlineCell(t, prog, inlineCells[len(inlineCells)-1], fuel, setup)
+		for _, cell := range inlineCells[:len(inlineCells)-1] {
+			got := runInlineCell(t, prog, cell, fuel, setup)
+			diffModes(t, fmt.Sprintf("fuel=%d/%s", fuel, cell.name), got, ref)
+		}
+	}
+}
+
+// TestInlineMidRunInvalidation is TestMidRunCacheInvalidation with every
+// probe spec'd: the translator hook of the nop block (first executed
+// halfway through the run) installs promoted counters and fast thunks
+// into the already-translated, currently-looping head block. The cached
+// block program — including its fused superinstructions — must be
+// invalidated and rebuilt with the new specs, bit-identically to both
+// reference cells.
+func TestInlineMidRunInvalidation(t *testing.T) {
+	prog := build(t, invalidateSrc)
+	add := instByOp(t, prog, isa.Add, 0)
+	nop := instByOp(t, prog, isa.Nop, 0)
+	headBlk := blockOf(t, prog, add.Addr)
+	nopBlk := blockOf(t, prog, nop.Addr)
+
+	setup := func(v *VM, fires map[string]int) {
+		err := v.SetTranslator(func(b *cfg.Block) {
+			fires["translate"]++
+			if b.Start != nopBlk.Start {
+				return
+			}
+			fn, sp := counterSpec(fires, "own-before", 1)
+			if err := v.AddBeforeSpec(nop.Addr, 2, obs.NoProbe, fn, sp); err != nil {
+				t.Error(err)
+			}
+			fn, sp = counterSpec(fires, "head-before", 1)
+			if err := v.AddBeforeSpec(add.Addr, 3, obs.NoProbe, fn, sp); err != nil {
+				t.Error(err)
+			}
+			fn, sp = fastSpec(fires, "head-after")
+			if err := v.AddAfterSpec(add.Addr, 1, obs.NoProbe, fn, sp); err != nil {
+				t.Error(err)
+			}
+			for _, pred := range headBlk.Preds {
+				fn, sp := fastSpec(fires, "head-edge")
+				if err := v.AddEdgeSpec(pred.Start, headBlk.Start, 1, obs.NoProbe, fn, sp); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := runInlineCell(t, prog, inlineCells[len(inlineCells)-1], 0, setup)
+	var inline modeRun
+	for _, cell := range inlineCells[:len(inlineCells)-1] {
+		got := runInlineCell(t, prog, cell, 0, setup)
+		diffModes(t, "invalidate/"+cell.name, got, ref)
+		if cell.name == "inline" {
+			inline = got
+		}
+	}
+	// The loop runs r1 = 1..10; the nop block first executes at r1 == 5.
+	want := map[string]int{"own-before": 1, "head-before": 5, "head-after": 5}
+	for k, n := range want {
+		if inline.fires[k] != n {
+			t.Errorf("fires[%s] = %d, want %d", k, inline.fires[k], n)
+		}
+	}
+	if inline.fires["head-edge"] == 0 {
+		t.Error("head edge probe never fired")
+	}
+}
+
+// TestInlineMidBlockInstall installs, from a generic probe body, a
+// promoted-counter after-probe on a later instruction of the same,
+// currently-executing block. The running fused block program must be
+// abandoned mid-flight and the new counter must still cover the very
+// pass that installed it — with the accumulator flushing correctly at
+// run end.
+func TestInlineMidBlockInstall(t *testing.T) {
+	prog := build(t, hotBlockSrc)
+	mul := instByOp(t, prog, isa.Mul, 0)
+	store := instByOp(t, prog, isa.Store, 0)
+
+	setup := func(v *VM, fires map[string]int) {
+		installed := false
+		if err := v.AddBefore(mul.Addr, 2, func(c *Ctx) {
+			fires["mul-before"]++
+			if installed {
+				return
+			}
+			installed = true
+			fn, sp := counterSpec(fires, "store-after", 1)
+			if err := v.AddAfterSpec(store.Addr, 1, obs.NoProbe, fn, sp); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := runInlineCell(t, prog, inlineCells[len(inlineCells)-1], 0, setup)
+	var inline modeRun
+	for _, cell := range inlineCells[:len(inlineCells)-1] {
+		got := runInlineCell(t, prog, cell, 0, setup)
+		diffModes(t, "mid-block/"+cell.name, got, ref)
+		if cell.name == "inline" {
+			inline = got
+		}
+	}
+	if inline.fires["store-after"] != inline.fires["mul-before"] {
+		t.Errorf("store-after fired %d times, want %d (same pass as install)",
+			inline.fires["store-after"], inline.fires["mul-before"])
+	}
+}
+
+// TestInlineObsIdentical attaches a collector with a trace ring and
+// compares the full observability report — per-probe fires and cycles,
+// totals, and the event trace with its sequence numbers, PCs and costs
+// — across the three cells. Promoted counters and fused thunks must
+// attribute per-firing, in firing order, exactly like the generic loop.
+func TestInlineObsIdentical(t *testing.T) {
+	run := func(cell inlineCell) *obs.Stats {
+		prog := build(t, tierCallSrc)
+		add := instByOp(t, prog, isa.Add, 0)
+		store := instByOp(t, prog, isa.Store, 0)
+		col := obs.New(obs.Options{TraceCap: 16})
+		cnt := col.RegisterProbe(obs.ProbeMeta{Label: "counter", Trigger: obs.TriggerBefore, Mechanism: obs.MechInlinedCall, Addr: add.Addr, DispatchCost: 3})
+		fst := col.RegisterProbe(obs.ProbeMeta{Label: "fast", Trigger: obs.TriggerAfter, Mechanism: obs.MechInlinedCall, Addr: store.Addr, DispatchCost: 2})
+		gen := col.RegisterProbe(obs.ProbeMeta{Label: "generic", Trigger: obs.TriggerBefore, Mechanism: obs.MechCleanCall, Addr: store.Addr, DispatchCost: 5})
+
+		v := New(prog, Config{ExecMode: cell.mode, NoInline: cell.noInline, Obs: col})
+		fires := map[string]int{}
+		fn, sp := counterSpec(fires, "cnt", 1)
+		if err := v.AddBeforeSpec(add.Addr, 3, cnt, fn, sp); err != nil {
+			t.Fatal(err)
+		}
+		fn, sp = fastSpec(fires, "fast")
+		if err := v.AddAfterSpec(store.Addr, 2, fst, fn, sp); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.AddBeforeObs(store.Addr, 5, gen, func(c *Ctx) {}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return col.Snapshot("test")
+	}
+	ref := run(inlineCells[len(inlineCells)-1])
+	for _, cell := range inlineCells[:len(inlineCells)-1] {
+		got := run(cell)
+		if !reflect.DeepEqual(got.Probes, ref.Probes) {
+			t.Errorf("%s: probe stats %+v vs interpreted %+v", cell.name, got.Probes, ref.Probes)
+		}
+		if got.TotalFires != ref.TotalFires || got.ProbeCycles != ref.ProbeCycles ||
+			got.UntrackedFires != ref.UntrackedFires || got.UntrackedCycles != ref.UntrackedCycles {
+			t.Errorf("%s: totals fires=%d/%d cycles=%d/%d untracked=%d/%d",
+				cell.name, got.TotalFires, ref.TotalFires, got.ProbeCycles, ref.ProbeCycles,
+				got.UntrackedFires, ref.UntrackedFires)
+		}
+		if !reflect.DeepEqual(got.Trace, ref.Trace) {
+			t.Errorf("%s: trace ring diverges:\n  got  %+v\n  want %+v", cell.name, got.Trace, ref.Trace)
+		}
+	}
+}

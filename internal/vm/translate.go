@@ -113,9 +113,15 @@ type blockProg struct {
 	probed bool
 }
 
-// translate compiles the basic block starting at offset so into a
-// blockProg and caches it. Callers must ensure m.blocks[so] != nil.
-func (m *modExec) translate(so uint64) *blockProg {
+// translate compiles the basic block starting at offset so of module m
+// into a blockProg and caches it. Callers must ensure m.blocks[so] != nil.
+//
+// When the inlining layer is on, probe lists whose members all carry an
+// inline spec are fused into the operation thunk as superinstructions
+// (see fuseBefore/fuseAfter): the step then runs fires and operation in
+// one indirect call, and a block whose every probe fuses drops its
+// probed bit entirely, running on the lean probe-free loop.
+func (v *VM) translate(m *modExec, so uint64) *blockProg {
 	insts := m.blocks[so].Insts
 	bp := &blockProg{
 		steps:   make([]step, len(insts)),
@@ -138,6 +144,26 @@ func (m *modExec) translate(so uint64) *blockProg {
 			if f&flagAfter != 0 {
 				st.after = p.after
 			}
+		}
+		if v.inline {
+			if st.before != nil && allSpecs(st.before) {
+				st.run = v.fuseBefore(st.before, in, st.run)
+				st.before = nil
+			}
+			// After-fires fuse only when no generic before-probe remains
+			// on the step: a generic before-body may install an
+			// after-probe on its own instruction, which must fire on this
+			// very execution (finishStepSlow re-reads the live list), and
+			// a fused after list would miss it. Spec'd probes never
+			// install, so a fused or empty before side is safe. Call
+			// after-fires stay generic: they fire at the fall-through via
+			// the pending mechanism, not here.
+			if st.after != nil && st.before == nil && !st.isCall && allSpecs(st.after) {
+				st.run = v.fuseAfter(st.after, in, st.run)
+				st.after = nil
+			}
+		}
+		if st.before != nil || st.after != nil {
 			bp.probed = true
 		}
 	}
@@ -146,6 +172,127 @@ func (m *modExec) translate(so uint64) *blockProg {
 	}
 	m.bprogs[so] = bp
 	return bp
+}
+
+// allSpecs reports whether every probe of the list carries an inline
+// spec (lists fuse whole or not at all).
+func allSpecs(ps []probe) bool {
+	for i := range ps {
+		if ps[i].spec == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// fusedFire builds the specialized thunk for one spec'd probe firing:
+// trigger constants (instruction, when, attribution PC) and the obs
+// branch are pre-folded at translation time, and counter-shaped probes
+// reduce to an accumulator bump. Before any non-counter body runs,
+// promoted counters flush — the body may read the cells they cover.
+// The fire sets the ctx trigger fields but does not restore them:
+// every observation of ctx (a fire, a hook) re-establishes them first.
+func (v *VM) fusedFire(p *probe, in *isa.Inst, when When, pc uint64) func(*VM) {
+	sp := p.spec
+	cost, id := p.cost, p.id
+	if sp.Counter {
+		if obsC := v.obsC; obsC != nil {
+			return func(v *VM) {
+				if sp.acc == 0 {
+					v.dirty = append(v.dirty, sp)
+				}
+				sp.acc += sp.Delta
+				v.cycles += cost
+				obsC.Fire(id, cost, pc)
+			}
+		}
+		return func(v *VM) {
+			if sp.acc == 0 {
+				v.dirty = append(v.dirty, sp)
+			}
+			sp.acc += sp.Delta
+			v.cycles += cost
+		}
+	}
+	fn := sp.Fn
+	if obsC := v.obsC; obsC != nil {
+		return func(v *VM) {
+			if len(v.dirty) > 0 {
+				v.flushCounters()
+			}
+			c := &v.ctx
+			c.inst, c.when = in, when
+			v.cycles += cost
+			fn(c)
+			obsC.Fire(id, cost, pc)
+		}
+	}
+	return func(v *VM) {
+		if len(v.dirty) > 0 {
+			v.flushCounters()
+		}
+		c := &v.ctx
+		c.inst, c.when = in, when
+		v.cycles += cost
+		fn(c)
+	}
+}
+
+// fuseBefore chains spec'd before-fires ahead of the operation thunk:
+// the probe+op superinstruction. Attribution PC is the instruction's own
+// address, exactly what runSteps would set before a generic fire.
+func (v *VM) fuseBefore(ps []probe, in *isa.Inst, op func(*VM) (stepRes, error)) func(*VM) (stepRes, error) {
+	if len(ps) == 1 {
+		f := v.fusedFire(&ps[0], in, BeforeInst, in.Addr)
+		return func(v *VM) (stepRes, error) {
+			f(v)
+			return op(v)
+		}
+	}
+	fires := make([]func(*VM), len(ps))
+	for i := range ps {
+		fires[i] = v.fusedFire(&ps[i], in, BeforeInst, in.Addr)
+	}
+	return func(v *VM) (stepRes, error) {
+		for _, f := range fires {
+			f(v)
+		}
+		return op(v)
+	}
+}
+
+// fuseAfter chains spec'd after-fires behind the operation thunk: the
+// op+probe superinstruction. Fires run only when the operation succeeds
+// (an erroring step never reaches its after-probes) and before the
+// step-result branch, matching the generic order. Attribution PC is the
+// fall-through address, what runSteps sets before a generic after-fire.
+func (v *VM) fuseAfter(ps []probe, in *isa.Inst, op func(*VM) (stepRes, error)) func(*VM) (stepRes, error) {
+	next := in.Next()
+	if len(ps) == 1 {
+		f := v.fusedFire(&ps[0], in, AfterInst, next)
+		return func(v *VM) (stepRes, error) {
+			res, err := op(v)
+			if err != nil {
+				return res, err
+			}
+			f(v)
+			return res, nil
+		}
+	}
+	fires := make([]func(*VM), len(ps))
+	for i := range ps {
+		fires[i] = v.fusedFire(&ps[i], in, AfterInst, next)
+	}
+	return func(v *VM) (stepRes, error) {
+		res, err := op(v)
+		if err != nil {
+			return res, err
+		}
+		for _, f := range fires {
+			f(v)
+		}
+		return res, nil
+	}
 }
 
 // invalidate drops the cached program of the block owning the
@@ -195,6 +342,11 @@ func (v *VM) runTranslated() error {
 		if blk := m.blocks[off]; blk != nil {
 			if v.translator != nil && m.flags[off]&flagTranslated == 0 {
 				m.flags[off] |= flagTranslated
+				// The hook is an observation point (it may read tool
+				// state and installs probes): flush promoted counters.
+				if len(v.dirty) > 0 {
+					v.flushCounters()
+				}
 				v.ctx.block = blk
 				v.translator(blk)
 			}
@@ -238,7 +390,7 @@ func (v *VM) runTranslated() error {
 		// entry/edge probes ran: anything they installed is fused.
 		bp := m.bprogs[so]
 		if bp == nil || !bp.valid {
-			bp = m.translate(so)
+			bp = v.translate(m, so)
 		}
 
 		var err error

@@ -62,12 +62,47 @@ func RuntimeExterns() map[string]uint64 {
 // ProbeFn is an instrumentation callback.
 type ProbeFn func(*Ctx)
 
+// ProbeSpec describes the inline-specialization surface of one installed
+// probe. The inline tier (enabled on the translated tier unless
+// Config.NoInline is set) may run Fn in place of the probe's generic
+// callback from specialized thunks that skip fire-context bookkeeping,
+// and may defer Counter-shaped probes entirely into a promoted
+// accumulator that is flushed at the next observation point.
+//
+// The contract the installer vouches for:
+//
+//   - Fn is observably identical to the generic callback: same stores,
+//     same output, same cost charges;
+//   - Fn is pure with respect to the machine: it never installs probes,
+//     never reads Cycles(), and depends on no Ctx state beyond what the
+//     firing trigger defines (instruction, when);
+//   - if Counter is true, n consecutive firings are equivalent — in
+//     every observable — to a single Flush(n*Delta) call.
+//
+// A ProbeSpec must be used for exactly one probe installation: the VM
+// owns its accumulator state.
+type ProbeSpec struct {
+	// Fn is the specialized callback (required unless Counter is set;
+	// counter probes are dispatched through Flush and never call Fn).
+	Fn ProbeFn
+	// Counter marks a pure counter bump of Delta per firing; Flush(n)
+	// applies n accumulated delta units to the underlying cell.
+	Counter bool
+	Delta   int64
+	Flush   func(n int64)
+
+	// acc is the promoted, not-yet-flushed delta sum (VM-owned).
+	acc int64
+}
+
 type probe struct {
 	fn   ProbeFn
 	cost uint64
 	// id attributes firings on the attached obs.Collector
 	// (obs.NoProbe = untracked).
 	id obs.ProbeID
+	// spec, when non-nil, is the probe's inline specialization.
+	spec *ProbeSpec
 }
 
 // TrapError reports a machine fault (invalid code address, division by
@@ -162,6 +197,13 @@ type Config struct {
 	// per-instruction loop. Both are bit-identical in every observable:
 	// Result fields, cycle totals, obs attribution, traps and output.
 	ExecMode ExecMode
+	// NoInline disables the translated tier's action-inlining layer
+	// (specialized probe thunks, promoted counters, probe+op
+	// superinstructions); an escape hatch for debugging and differential
+	// testing. Inlining never changes observables, only host speed, so
+	// the flag has no effect on results. Ignored on the interpreted tier,
+	// which never inlines.
+	NoInline bool
 }
 
 // VM is a single-use machine: create, instrument, Run once.
@@ -176,6 +218,13 @@ type VM struct {
 	lastM *modExec
 
 	mode ExecMode
+	// inline enables the action-inlining layer: specialized probe thunks
+	// and promoted counters (translated tier only, see Config.NoInline).
+	// Fixed for the whole run.
+	inline bool
+	// dirty lists counter specs with a nonzero promoted accumulator, in
+	// first-bump order; flushCounters drains it at observation points.
+	dirty []*ProbeSpec
 
 	cycles   uint64
 	insts    uint64
@@ -230,6 +279,7 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 		Prog:         prog,
 		mem:          NewMemory(),
 		mode:         cfgv.ExecMode,
+		inline:       cfgv.ExecMode != ExecInterpreted && !cfgv.NoInline,
 		fuel:         cfgv.Fuel,
 		appOut:       cfgv.AppOut,
 		obsC:         cfgv.Obs,
@@ -303,12 +353,18 @@ func (v *VM) AddBefore(addr uint64, cost uint64, fn ProbeFn) error {
 // AddBeforeObs is AddBefore with an observability tag: firings are
 // attributed to id on the collector attached via Config.Obs.
 func (v *VM) AddBeforeObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
+	return v.AddBeforeSpec(addr, cost, id, fn, nil)
+}
+
+// AddBeforeSpec is AddBeforeObs with an inline specialization (spec may
+// be nil; see ProbeSpec for the contract).
+func (v *VM) AddBeforeSpec(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
 	m := v.modFor(addr)
 	if m == nil || m.insts[addr-m.base] == nil {
 		return fmt.Errorf("vm: no instruction at %#x", addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.before = append(p.before, probe{fn, cost, id})
+	p.before = append(p.before, probe{fn: fn, cost: cost, id: id, spec: spec})
 	m.flags[addr-m.base] |= flagBefore
 	m.invalidate(addr - m.base)
 	return nil
@@ -325,6 +381,12 @@ func (v *VM) AddAfter(addr uint64, cost uint64, fn ProbeFn) error {
 
 // AddAfterObs is AddAfter with an observability tag.
 func (v *VM) AddAfterObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
+	return v.AddAfterSpec(addr, cost, id, fn, nil)
+}
+
+// AddAfterSpec is AddAfterObs with an inline specialization (spec may be
+// nil; see ProbeSpec for the contract).
+func (v *VM) AddAfterSpec(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
 	m := v.modFor(addr)
 	if m == nil || m.insts[addr-m.base] == nil {
 		return fmt.Errorf("vm: no instruction at %#x", addr)
@@ -334,7 +396,7 @@ func (v *VM) AddAfterObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) e
 		return fmt.Errorf("vm: after-probe invalid on %s at %#x", m.insts[addr-m.base].Op, addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.after = append(p.after, probe{fn, cost, id})
+	p.after = append(p.after, probe{fn: fn, cost: cost, id: id, spec: spec})
 	m.flags[addr-m.base] |= flagAfter
 	m.invalidate(addr - m.base)
 	return nil
@@ -348,12 +410,18 @@ func (v *VM) AddBlockEntry(addr uint64, cost uint64, fn ProbeFn) error {
 
 // AddBlockEntryObs is AddBlockEntry with an observability tag.
 func (v *VM) AddBlockEntryObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
+	return v.AddBlockEntrySpec(addr, cost, id, fn, nil)
+}
+
+// AddBlockEntrySpec is AddBlockEntryObs with an inline specialization
+// (spec may be nil; see ProbeSpec for the contract).
+func (v *VM) AddBlockEntrySpec(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
 	m := v.modFor(addr)
 	if m == nil || m.blocks[addr-m.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.entry = append(p.entry, probe{fn, cost, id})
+	p.entry = append(p.entry, probe{fn: fn, cost: cost, id: id, spec: spec})
 	m.flags[addr-m.base] |= flagBlockEntry
 	return nil
 }
@@ -366,6 +434,12 @@ func (v *VM) AddEdge(from, to uint64, cost uint64, fn ProbeFn) error {
 
 // AddEdgeObs is AddEdge with an observability tag.
 func (v *VM) AddEdgeObs(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeFn) error {
+	return v.AddEdgeSpec(from, to, cost, id, fn, nil)
+}
+
+// AddEdgeSpec is AddEdgeObs with an inline specialization (spec may be
+// nil; see ProbeSpec for the contract).
+func (v *VM) AddEdgeSpec(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
 	m := v.modFor(to)
 	if m == nil || m.blocks[to-m.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", to)
@@ -374,14 +448,15 @@ func (v *VM) AddEdgeObs(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeFn
 		return fmt.Errorf("vm: no basic block starting at %#x", from)
 	}
 	p := m.probesAt(to - m.base)
+	np := probe{fn: fn, cost: cost, id: id, spec: spec}
 	for i := range p.edgeIn {
 		if p.edgeIn[i].from == from {
-			p.edgeIn[i].probes = append(p.edgeIn[i].probes, probe{fn, cost, id})
+			p.edgeIn[i].probes = append(p.edgeIn[i].probes, np)
 			m.flags[to-m.base] |= flagEdgeTo
 			return nil
 		}
 	}
-	p.edgeIn = append(p.edgeIn, edgeProbes{from: from, probes: []probe{{fn, cost, id}}})
+	p.edgeIn = append(p.edgeIn, edgeProbes{from: from, probes: []probe{np}})
 	m.flags[to-m.base] |= flagEdgeTo
 	return nil
 }
@@ -417,10 +492,31 @@ func (v *VM) Mem() *Memory { return v.mem }
 func (v *VM) Reg(r isa.Reg) uint64 { return v.regs[r] }
 
 func (v *VM) trap(format string, args ...any) error {
+	// Traps are observation points: promoted counters flush so the
+	// machine state behind the error matches the interpreter's exactly.
+	if len(v.dirty) > 0 {
+		v.flushCounters()
+	}
 	return &TrapError{PC: v.pc, Msg: fmt.Sprintf(format, args...)}
 }
 
+// flushCounters applies every promoted counter accumulator to its cell
+// (see ProbeSpec.Flush) and empties the dirty list. Flushes are additive
+// reads-modify-writes of independent accumulators, so drain order does
+// not affect the result.
+func (v *VM) flushCounters() {
+	for _, sp := range v.dirty {
+		sp.Flush(sp.acc)
+		sp.acc = 0
+	}
+	v.dirty = v.dirty[:0]
+}
+
 func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
+	if v.inline {
+		v.fireInline(ps, in, when)
+		return
+	}
 	c := &v.ctx
 	saveInst, saveWhen, saveBlock := c.inst, c.when, c.block
 	c.inst, c.when = in, when
@@ -436,6 +532,54 @@ func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
 		for _, p := range ps {
 			v.cycles += p.cost
 			p.fn(c)
+		}
+	}
+	c.inst, c.when, c.block = saveInst, saveWhen, saveBlock
+}
+
+// fireInline is the fire loop of the action-inlining layer: probes with
+// an inline spec run their specialized callbacks — counter-shaped ones
+// only bump their promoted accumulator — while unspecialized probes see
+// every promoted counter flushed first (their bodies may read any cell,
+// install probes, or observe Cycles, so they are full observation
+// points). Cycle charges and obs attribution stay per-firing and in
+// firing order, identical to the generic loop.
+func (v *VM) fireInline(ps []probe, in *isa.Inst, when When) {
+	c := &v.ctx
+	saveInst, saveWhen, saveBlock := c.inst, c.when, c.block
+	c.inst, c.when = in, when
+	obsC := v.obsC
+	for i := range ps {
+		p := &ps[i]
+		if sp := p.spec; sp != nil {
+			if sp.Counter {
+				if sp.acc == 0 {
+					v.dirty = append(v.dirty, sp)
+				}
+				sp.acc += sp.Delta
+				v.cycles += p.cost
+				if obsC != nil {
+					obsC.Fire(p.id, p.cost, v.pc)
+				}
+				continue
+			}
+			if len(v.dirty) > 0 {
+				v.flushCounters()
+			}
+			v.cycles += p.cost
+			sp.Fn(c)
+			if obsC != nil {
+				obsC.Fire(p.id, p.cost, v.pc)
+			}
+			continue
+		}
+		if len(v.dirty) > 0 {
+			v.flushCounters()
+		}
+		v.cycles += p.cost
+		p.fn(c)
+		if obsC != nil {
+			obsC.Fire(p.id, p.cost, v.pc)
 		}
 	}
 	c.inst, c.when, c.block = saveInst, saveWhen, saveBlock
@@ -471,6 +615,11 @@ func (v *VM) Run() (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// End hooks (and the caller's post-run reads) observe final tool
+	// state: flush any still-promoted counters first.
+	if len(v.dirty) > 0 {
+		v.flushCounters()
 	}
 	for _, fn := range v.endHooks {
 		v.ctx.when = AtEnd

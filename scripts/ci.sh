@@ -14,8 +14,11 @@
 #              gates (non-race; see internal/vm/obs_test.go and
 #              translate_test.go): disabled path vs the
 #              pre-observability loop, enabled path vs plain-counter
-#              accounting, and the translated VM tier vs the
-#              interpreter on the probe-free hot-block workload
+#              accounting, the translated VM tier vs the
+#              interpreter on the probe-free hot-block workload, and
+#              the action-inlining layer vs the no-inline translated
+#              tier on an action-heavy workload
+#              (internal/bench/inline_test.go)
 #   monitor    live-monitoring smoke (scripts/monitorsmoke): a looping
 #              victim with -listen, scraped over real HTTP (/healthz,
 #              /metrics, one SSE event), then killed cleanly
@@ -59,6 +62,9 @@ CINNAMON_PERF_GATE=1 go test -run TestObsEnabledDispatchOverhead -count=1 ./inte
 
 echo "==> translated-tier dispatch perf gate"
 CINNAMON_PERF_GATE=1 go test -run TestTranslatedDispatchSpeedup -count=1 ./internal/vm/
+
+echo "==> action-inlining perf gate"
+CINNAMON_PERF_GATE=1 go test -run TestInlinedActionSpeedup -count=1 ./internal/bench/
 
 echo "==> live-monitoring smoke"
 go run ./scripts/monitorsmoke
