@@ -35,6 +35,7 @@ import (
 	"repro/internal/core/backend"
 	"repro/internal/core/codegen"
 	"repro/internal/core/engine"
+	"repro/internal/governor"
 	"repro/internal/monitor"
 	"repro/internal/obj"
 	"repro/internal/obs"
@@ -157,6 +158,19 @@ type RunOptions struct {
 	// (specialized probe thunks, register-promoted counters, probe+op
 	// superinstructions). Bit-identical either way; escape hatch only.
 	VMNoInline bool
+	// Budget, when non-empty, attaches the live overhead governor: a
+	// maximum fraction of machine cycles the run may spend in probes,
+	// as "5%" or "0.05". The governor watches live cycle attribution
+	// and downsamples — ultimately ejects — the most expensive probes
+	// to keep attributed overhead under the budget; its replayable
+	// decision log lands in Report.Stats.Governor (and on the monitor's
+	// /governor endpoint when MonitorAddr is set). Implies Stats. See
+	// docs/ADAPTIVE.md.
+	Budget string
+	// GovernorWindow overrides the governor's evaluation cadence in
+	// machine cycle units (0 = governor.DefaultWindow; only meaningful
+	// with Budget).
+	GovernorWindow uint64
 }
 
 // Stats is the observability report of a run: per-probe firing counters
@@ -197,15 +211,27 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 	if err != nil {
 		return nil, fmt.Errorf("cinnamon: %w", err)
 	}
+	frac, err := governor.ParseBudget(opts.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("cinnamon: %w", err)
+	}
 	var col *obs.Collector
-	if opts.Stats || opts.Trace > 0 || opts.MonitorAddr != "" {
+	if opts.Stats || opts.Trace > 0 || opts.MonitorAddr != "" || frac > 0 {
 		col = obs.New(obs.Options{TraceCap: opts.Trace})
+	}
+	var gov *governor.Governor
+	if frac > 0 {
+		gov, err = governor.New(governor.Config{Budget: frac, Collector: col, Window: opts.GovernorWindow})
+		if err != nil {
+			return nil, fmt.Errorf("cinnamon: %w", err)
+		}
 	}
 	if opts.MonitorAddr != "" {
 		mon := monitor.NewServer(monitor.Config{
 			Collector: col,
 			Backend:   backendName,
 			Interval:  opts.Interval,
+			Governor:  gov,
 		})
 		addr, err := mon.Start(opts.MonitorAddr)
 		if err != nil {
@@ -220,7 +246,7 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 			opts.OnMonitor(addr)
 		}
 	}
-	res, err := backend.Run(t.compiled, target.Prog, backendName, backend.Options{
+	bopts := backend.Options{
 		Out:              out,
 		Fuel:             opts.Fuel,
 		AppOut:           opts.AppOut,
@@ -228,7 +254,12 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 		Obs:              col,
 		VMMode:           mode,
 		VMNoInline:       opts.VMNoInline,
-	})
+	}
+	if gov != nil {
+		bopts.Adaptive = true
+		bopts.OnMachine = gov.Attach
+	}
+	res, err := backend.Run(t.compiled, target.Prog, backendName, bopts)
 	if err != nil {
 		return nil, fmt.Errorf("cinnamon: run on %s: %w", backendName, err)
 	}
@@ -240,6 +271,9 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 	}
 	if col != nil {
 		rep.Stats = col.Snapshot(backendName)
+		if gov != nil {
+			rep.Stats.Governor = gov.State()
+		}
 	}
 	if captured {
 		rep.ToolOutput = buf.String()

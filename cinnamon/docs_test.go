@@ -1,0 +1,67 @@
+package cinnamon_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/cinnamon"
+)
+
+// docsWithExamples are the documents whose fenced ```cin blocks must
+// compile — the executable half of the docs gate: an example that rots
+// out of the language fails the build, not a reader.
+var docsWithExamples = []string{"ADAPTIVE.md", "CLI.md", "LANGUAGE.md"}
+
+// cinBlocks extracts the contents of fenced code blocks tagged `cin`.
+func cinBlocks(markdown string) []struct {
+	Line int
+	Src  string
+} {
+	var out []struct {
+		Line int
+		Src  string
+	}
+	lines := strings.Split(markdown, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```cin" {
+			continue
+		}
+		start := i + 1
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		out = append(out, struct {
+			Line int
+			Src  string
+		}{Line: start + 1, Src: strings.Join(body, "\n")})
+	}
+	return out
+}
+
+// TestDocExamplesCompile feeds every fenced ```cin block in the
+// documentation suite through the real frontend.
+func TestDocExamplesCompile(t *testing.T) {
+	total := 0
+	for _, name := range docsWithExamples {
+		path := filepath.Join("..", "docs", name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		for _, blk := range cinBlocks(string(b)) {
+			total++
+			t.Run(fmt.Sprintf("%s:%d", name, blk.Line), func(t *testing.T) {
+				if _, err := cinnamon.Compile(blk.Src); err != nil {
+					t.Errorf("docs/%s: example at line %d does not compile: %v", name, blk.Line, err)
+				}
+			})
+		}
+	}
+	if total == 0 {
+		t.Fatal("no ```cin examples found in the docs suite; the extraction gate is checking nothing")
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateCLIDoc = flag.Bool("update-cli-doc", false, "rewrite docs/CLI.md from the flag table")
+
+func cliDocPath(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "docs", "CLI.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCLIDocCurrent regenerates docs/CLI.md from the flag registry and
+// compares it to the committed copy, so the CLI reference cannot drift
+// from the flags. Refresh with:
+//
+//	go test ./cmd/cinnamon -update-cli-doc
+func TestCLIDocCurrent(t *testing.T) {
+	want := renderCLIMD()
+	path := cliDocPath(t)
+	if *updateCLIDoc {
+		if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("docs/CLI.md unreadable (regenerate with -update-cli-doc): %v", err)
+	}
+	if string(got) != want {
+		t.Fatalf("docs/CLI.md is stale: regenerate with `go test ./cmd/cinnamon -update-cli-doc`")
+	}
+}
+
+// Every flag must belong to a declared group and carry help text, and
+// the grouped usage must mention every flag exactly once.
+func TestFlagTableComplete(t *testing.T) {
+	groups := map[string]bool{}
+	for _, g := range flagGroups {
+		groups[g] = true
+	}
+	seen := map[string]bool{}
+	for _, d := range flagDefs {
+		if !groups[d.Group] {
+			t.Errorf("flag -%s has undeclared group %q", d.Name, d.Group)
+		}
+		if d.Help == "" {
+			t.Errorf("flag -%s has no help text", d.Name)
+		}
+		if seen[d.Name] {
+			t.Errorf("flag -%s recorded twice", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	// The registry and the flag set must agree (a flag declared with
+	// cli.String directly would bypass the table and vanish from docs).
+	n := 0
+	cli.VisitAll(func(f *flag.Flag) {
+		n++
+		if !seen[f.Name] {
+			t.Errorf("flag -%s is registered but not in the flag table", f.Name)
+		}
+	})
+	if n != len(flagDefs) {
+		t.Errorf("flag set has %d flags, table has %d", n, len(flagDefs))
+	}
+	var b strings.Builder
+	usage(&b)
+	for name := range seen {
+		if !strings.Contains(b.String(), "-"+name) {
+			t.Errorf("usage output does not mention -%s", name)
+		}
+	}
+}

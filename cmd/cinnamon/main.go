@@ -16,35 +16,21 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/cinnamon"
+	"repro/internal/governor"
 	"repro/internal/obj"
 	"repro/internal/progs"
 	"repro/internal/workload"
 )
 
 func main() {
-	backendName := flag.String("backend", "pin", "backend: pin, dyninst, janus")
-	target := flag.String("target", "", "victim:<name>, suite:<name>, or an assembly file path")
-	emit := flag.String("emit", "", "emit generated C/C++ for this backend instead of running")
-	scale := flag.Float64("scale", 0.2, "workload scale for suite targets")
-	list := flag.Bool("list-programs", false, "list built-in case-study programs and exit")
-	stats := flag.Bool("stats", false, "print the observability report (per-probe firing and cycle attribution) to stderr")
-	statsJSON := flag.Bool("stats-json", false, "print the observability report as JSON to stdout")
-	trace := flag.Int("trace", 0, "record the last N probe firings in the report's trace ring (implies -stats)")
-	pinLoops := flag.Bool("pin-loops", false, "enable the Pin loop-detection extension (paper §VI-E)")
-	listen := flag.String("listen", "", "serve live monitoring on this address (host:port; :0 picks a port): /metrics, /stats, /series, /trace (SSE), /healthz")
-	interval := flag.Duration("interval", time.Second, "monitor time-series sampling period (with -listen)")
-	loop := flag.Int("loop", 0, "loop a victim target this many times (long-running session; default 500000 with -listen)")
-	vmMode := flag.String("vm-mode", "", "VM execution tier: translated (default) or interpreted; both are bit-identical")
-	vmInline := flag.Bool("vm-inline", true, "inline compiled actions into translated blocks (bit-identical; disable to measure or bisect)")
-	flag.Parse()
+	cli.Usage = func() { usage(os.Stderr) }
+	_ = cli.Parse(os.Args[1:])
 
 	if *loop == 0 && *listen != "" {
 		// A single victim run is over in microseconds — far too fast to
@@ -69,10 +55,11 @@ func main() {
 		return
 	}
 
-	if flag.NArg() != 1 {
-		fail("usage: cinnamon [flags] <tool.cin | @case-study>")
+	if cli.NArg() != 1 {
+		usage(os.Stderr)
+		os.Exit(1)
 	}
-	src := readTool(flag.Arg(0))
+	src := readTool(cli.Arg(0))
 	tool, err := cinnamon.Compile(src)
 	check(err)
 
@@ -103,6 +90,8 @@ func main() {
 		Interval:         *interval,
 		VMMode:           *vmMode,
 		VMNoInline:       !*vmInline,
+		Budget:           *budget,
+		GovernorWindow:   *govWindow,
 		OnMonitor: func(addr string) {
 			fmt.Fprintf(os.Stderr, "cinnamon: monitor listening on http://%s\n", addr)
 		},
@@ -112,6 +101,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "backend=%s insts=%d cycles=%d exit=%d\n",
 			report.Backend, report.Insts, report.Cycles, report.ExitCode)
 		report.Stats.WriteTable(os.Stderr)
+		if st, ok := report.Stats.Governor.(governor.State); ok {
+			ejected := 0
+			for _, p := range st.Probes {
+				if !p.Enabled {
+					ejected++
+				}
+			}
+			fmt.Fprintf(os.Stderr,
+				"governor: budget %.2f%%, %d paces, %d decisions (%d probes ejected), last window overhead %.2f%%\n",
+				st.Budget*100, st.Paces, len(st.Decisions), ejected, st.LastOverhead*100)
+		}
 	}
 	if *statsJSON {
 		check(report.Stats.WriteJSON(os.Stdout))

@@ -9,6 +9,8 @@
 //	experiments -exp=attribution -json  # ... also write BENCH_attribution.json
 //	experiments -exp=dispatch           # VM tier wall-clock comparison
 //	experiments -exp=dispatch -json     # ... also write BENCH_dispatch.json
+//	experiments -exp=governor           # overhead budgets on action-heavy tools
+//	experiments -exp=governor -json     # ... also write BENCH_governor.json
 //	experiments -exp=all
 package main
 
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, dispatch, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, dispatch, governor, all")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper-equivalent test input)")
 	benchmark := flag.String("benchmark", "leela", "benchmark for -exp=attribution and -exp=dispatch")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results (BENCH_attribution.json, BENCH_dispatch.json) next to the table output")
@@ -107,6 +109,27 @@ func main() {
 				return err
 			}
 			fmt.Println("wrote BENCH_dispatch.json")
+		}
+		return nil
+	})
+	run("governor", func() error {
+		rows, err := bench.Governor(*benchmark, *scale)
+		if err != nil {
+			return err
+		}
+		bench.FormatGovernor(os.Stdout, rows)
+		if *jsonOut {
+			f, err := os.Create("BENCH_governor.json")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_governor.json")
 		}
 		return nil
 	})

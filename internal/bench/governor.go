@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/core/backend"
+	"repro/internal/core/engine"
+	"repro/internal/governor"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Governor experiment: what a live overhead budget does to action-heavy
+// tools. Each use case runs ungoverned and under a 5% and a 1% budget;
+// the rows report the run-wide attributed probe overhead, the
+// steady-state (last governor window) overhead, and what the governor
+// did to get there — paces, downsample/eject decisions, surviving
+// strides. Cycle counters are deterministic, so the rows are exactly
+// reproducible.
+
+// GovernorRow is one (use case, budget) cell. The JSON form is what
+// `experiments -exp=governor -json` writes to BENCH_governor.json.
+type GovernorRow struct {
+	UseCase string `json:"use_case"`
+	// Budget is the configured overhead budget ("off", "5%", "1%").
+	Budget string `json:"budget"`
+	// Cycles and Insts are the deterministic run counters.
+	Cycles uint64 `json:"cycles"`
+	Insts  uint64 `json:"insts"`
+	// ProbeCycles is the instrumentation cost attributed to probes
+	// (fires plus sampling-gate skips).
+	ProbeCycles uint64 `json:"probe_cycles"`
+	// Fires and Skips total probe firings and sampling-gate skips.
+	Fires uint64 `json:"fires"`
+	Skips uint64 `json:"skips,omitempty"`
+	// Overhead is ProbeCycles / Cycles over the whole run (including the
+	// ungoverned warm-up before the governor converges).
+	Overhead float64 `json:"overhead"`
+	// LastWindow is the attributed overhead of the final governor window
+	// — the steady state the budget is judged against (0 when off).
+	LastWindow float64 `json:"last_window_overhead,omitempty"`
+	// Paces, Decisions and Ejected summarize governor activity.
+	Paces     uint64 `json:"paces,omitempty"`
+	Decisions int    `json:"decisions,omitempty"`
+	Ejected   int    `json:"ejected,omitempty"`
+}
+
+// governorCases are the action-heavy tools worth governing: the
+// per-instruction counters fire on every matched instruction, the
+// opcode-mix profiler on every instruction of four opcode classes.
+var governorCases = []struct{ label, prog string }{
+	{"Inst count", "instcount_basic"},
+	{"Loop coverage", "loopcoverage"},
+	{"Opcode mix", "opcodemix"},
+}
+
+var governorBudgets = []string{"off", "5%", "1%"}
+
+// Governor measures each case under each budget on the named benchmark.
+func Governor(benchmark string, scale float64) ([]GovernorRow, error) {
+	spec, ok := workload.ByName(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchmark)
+	}
+	prog, err := BuildBenchmark(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+	var rows []GovernorRow
+	for _, c := range governorCases {
+		tool, err := compileTool(c.prog)
+		if err != nil {
+			return nil, err
+		}
+		for _, budget := range governorBudgets {
+			row, err := governorCell(tool, prog, c.label, budget)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (%s): %w", c.label, budget, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func governorCell(tool *engine.CompiledTool, prog *cfg.Program, label, budget string) (GovernorRow, error) {
+	col := obs.New(obs.Options{})
+	opts := backend.Options{Out: io.Discard, Obs: col}
+	var gov *governor.Governor
+	if budget != "off" {
+		frac, err := governor.ParseBudget(budget)
+		if err != nil {
+			return GovernorRow{}, err
+		}
+		gov, err = governor.New(governor.Config{Budget: frac, Collector: col})
+		if err != nil {
+			return GovernorRow{}, err
+		}
+		opts.Adaptive = true
+		opts.OnMachine = gov.Attach
+	}
+	res, err := backend.Run(tool, prog, backend.Janus, opts)
+	if err != nil {
+		return GovernorRow{}, err
+	}
+	s := col.Snapshot(backend.Janus)
+	row := GovernorRow{
+		UseCase:     label,
+		Budget:      budget,
+		Cycles:      res.Cycles,
+		Insts:       res.Insts,
+		ProbeCycles: s.ProbeCycles,
+		Fires:       s.TotalFires,
+		Skips:       s.TotalSkips,
+	}
+	if res.Cycles > 0 {
+		row.Overhead = float64(s.ProbeCycles) / float64(res.Cycles)
+	}
+	if gov != nil {
+		st := gov.State()
+		row.LastWindow = st.LastOverhead
+		row.Paces = st.Paces
+		row.Decisions = len(st.Decisions)
+		for _, p := range st.Probes {
+			if !p.Enabled {
+				row.Ejected++
+			}
+		}
+	}
+	return row, nil
+}
+
+// FormatGovernor renders the budget comparison.
+func FormatGovernor(w io.Writer, rows []GovernorRow) {
+	fmt.Fprintf(w, "%-16s %-8s %12s %12s %12s %10s %10s %7s %10s %8s\n",
+		"Use case", "budget", "cycles", "fires", "skips", "overhead", "lastwin", "paces", "decisions", "ejected")
+	for _, r := range rows {
+		last := "-"
+		if r.Budget != "off" {
+			last = fmt.Sprintf("%.2f%%", r.LastWindow*100)
+		}
+		fmt.Fprintf(w, "%-16s %-8s %12d %12d %12d %9.2f%% %10s %7d %10d %8d\n",
+			r.UseCase, r.Budget, r.Cycles, r.Fires, r.Skips, r.Overhead*100, last,
+			r.Paces, r.Decisions, r.Ejected)
+	}
+}

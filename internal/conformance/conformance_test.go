@@ -9,6 +9,7 @@ import (
 	"repro/internal/core/backend"
 	"repro/internal/core/engine"
 	"repro/internal/core/parser"
+	"repro/internal/obs"
 )
 
 // Every generated program must compile, and must be a fixed point of
@@ -70,6 +71,94 @@ func TestDifferentialSweep(t *testing.T) {
 		if res.Legal[class] == 0 {
 			t.Errorf("sweep never exercised legal divergence class %s", class)
 		}
+	}
+	if res.SamplingChecks == 0 {
+		t.Error("sweep never exercised the sampling-legality oracle")
+	}
+}
+
+// The sampling oracle's arithmetic checker must flag every violation
+// shape: lost fires, duplicated fires, unaccounted skips, and moved
+// placements. Fabricated rows, no run.
+func TestSamplingOracleFlagsViolations(t *testing.T) {
+	row := func(label, trigger string, addr, fires, skips uint64) obs.ProbeStats {
+		return obs.ProbeStats{
+			ProbeMeta: obs.ProbeMeta{Label: label, Trigger: trigger, Addr: addr},
+			Fires:     fires, Skips: skips,
+		}
+	}
+	strides := map[string]uint64{"before inst @3:3": 4}
+	twin := []obs.ProbeStats{
+		row("before inst @3:3", "before", 0x10, 10, 0),
+		row("entry basicblock @5:3", "block-entry", 0x20, 7, 0),
+	}
+	good := []obs.ProbeStats{
+		row("before inst @3:3", "before", 0x10, 2, 8), // floor(10/4)=2, skips 8
+		row("entry basicblock @5:3", "block-entry", 0x20, 7, 0),
+	}
+	if divs, checks := compareSamplingRows(strides, good, twin); len(divs) != 0 || checks != 1 {
+		t.Fatalf("legal rows flagged (checks=%d): %v", checks, divs)
+	}
+	cases := map[string][]obs.ProbeStats{
+		"lost fire": {row("before inst @3:3", "before", 0x10, 1, 9), good[1]},
+		"dup fire":  {row("before inst @3:3", "before", 0x10, 3, 7), good[1]},
+		"bad skips": {row("before inst @3:3", "before", 0x10, 2, 7), good[1]},
+		"unsampled action diverged": {good[0],
+			row("entry basicblock @5:3", "block-entry", 0x20, 6, 0)},
+		"placement moved": {row("before inst @3:3", "before", 0x18, 2, 8), good[1]},
+	}
+	for name, rows := range cases {
+		if divs, _ := compareSamplingRows(strides, rows, twin); len(divs) == 0 {
+			t.Errorf("%s: violation not flagged", name)
+		}
+	}
+}
+
+// Per-placement countdowns are independent: a multi-site sampled action
+// whose sites see co-prime hit counts must satisfy the floor relation
+// at every site (the label-aggregated sum would not).
+func TestSamplingPerPlacementIndependence(t *testing.T) {
+	src := `uint64 c0 = 0;
+inst I where (I.opcode == Add) {
+  before I sample 4 {
+    c0 = c0 + 1;
+  }
+}
+exit {
+  print("c0", c0);
+}
+`
+	tool, err := engine.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two Add sites with different hit counts (loop body vs straight
+	// line): 10 hits and 1 hit. floor(10/4)+floor(1/4) = 2, while
+	// floor(11/4) = 2 as well — so also check the per-row skips, which
+	// do differ (8+1 vs 9 distributed differently across rows).
+	prog, err := LoadVictim([]string{`
+.module a.out
+.executable
+.entry main
+.func main
+  mov r1, 0
+  mov r2, 0
+  mov r3, 10
+head:
+  add r1, r1, 1
+  blt r1, r3, head
+  add r2, r2, 5
+  halt
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs, checks := CompareSampling(tool, prog)
+	if checks != 2 {
+		t.Fatalf("checked %d placements, want 2", checks)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("sampling divergences: %v", divs)
 	}
 }
 

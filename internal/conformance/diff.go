@@ -3,6 +3,7 @@ package conformance
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -106,6 +107,11 @@ const (
 	ClassDyninstCFG = "dyninst-cfg-skip"
 	// ClassBackend: backends disagree outside every legal rule.
 	ClassBackend = "backend-mismatch"
+	// ClassSampling: a sampled action violates the every-Nth arithmetic
+	// against the program's unsampled twin — per placement, observed
+	// fires must equal floor(unsampled fires / N) and skips must account
+	// for every swallowed hit. Never legal.
+	ClassSampling = "sampling-mismatch"
 )
 
 // Divergence is one classified disagreement between two cells.
@@ -132,6 +138,10 @@ type PairResult struct {
 	Traits      Traits
 	Results     []RunResult
 	Divergences []Divergence
+	// SamplingChecks counts the sampled placements whose every-Nth
+	// arithmetic was verified against the unsampled twin (0 when the
+	// program has no sample clauses).
+	SamplingChecks int
 }
 
 // Illegal returns the divergences the oracle could not classify as one
@@ -251,6 +261,9 @@ func RunPair(p *Program, v *Victim) (*PairResult, error) {
 		pr.Results = append(pr.Results, runCell(tool, prog, cell))
 	}
 	pr.Divergences = Compare(pr.Results, traits)
+	sdivs, checks := CompareSampling(tool, prog)
+	pr.SamplingChecks = checks
+	pr.Divergences = append(pr.Divergences, sdivs...)
 	return pr, nil
 }
 
@@ -498,4 +511,187 @@ func clip(s string) string {
 		return s[:160] + "..."
 	}
 	return s
+}
+
+// --- Sampling-legality oracle ---
+//
+// A program with `sample N` clauses is compared against its *unsampled
+// twin*: the same source with every sample clause stripped, run through
+// the reference backend on the same victim. Sampling is a pure firing
+// filter — it must not move, add or remove placements — so per
+// placement the sampled run's fires must equal floor(twin fires / N)
+// (the countdown arms at N: hits N, 2N, ...) and its skips must account
+// for every swallowed hit. The check is per obs report row, never
+// label-aggregated: a multi-site action counts down per placement, and
+// a sum of floors is not the floor of the sum.
+
+// forEachAction visits every action in the program, including actions
+// of nested commands.
+func forEachAction(items []ast.TopItem, fn func(*ast.Action)) {
+	var walk func(c *ast.Command)
+	walk = func(c *ast.Command) {
+		for _, it := range c.Body {
+			switch x := it.(type) {
+			case *ast.Action:
+				fn(x)
+			case *ast.Command:
+				walk(x)
+			}
+		}
+	}
+	for _, it := range items {
+		if c, ok := it.(*ast.Command); ok {
+			walk(c)
+		}
+	}
+}
+
+// sampleStrides maps observability labels of sampled actions to their
+// strides.
+func sampleStrides(tool *engine.CompiledTool) map[string]uint64 {
+	out := map[string]uint64{}
+	forEachAction(tool.Prog.Items, func(a *ast.Action) {
+		if ai := tool.Info.Actions[a]; ai != nil && ai.Sample > 1 {
+			out[engine.Label(ai, a)] = ai.Sample
+		}
+	})
+	return out
+}
+
+// stripSampling prints the program with every sample clause removed,
+// restoring the AST before returning. The clause trails the action
+// header, so removing it shifts no action position — the twin's
+// pos-derived labels line up with the sampled program's.
+func stripSampling(prog *ast.Program) string {
+	type saved struct {
+		act    *ast.Action
+		stride int64
+	}
+	var restore []saved
+	forEachAction(prog.Items, func(a *ast.Action) {
+		if a.Sample > 0 {
+			restore = append(restore, saved{a, a.Sample})
+			a.Sample = 0
+		}
+	})
+	src := ast.Print(prog)
+	for _, s := range restore {
+		s.act.Sample = s.stride
+	}
+	return src
+}
+
+// placementKey identifies one obs report row across the twin runs. n
+// disambiguates rows sharing (label, trigger, addr) — e.g. two edges
+// into the same block head — by registration order, which is
+// deterministic and identical across twins.
+type placementKey struct {
+	label, trigger string
+	addr           uint64
+	n              int
+}
+
+func keyRows(rows []obs.ProbeStats) map[placementKey]obs.ProbeStats {
+	seen := map[placementKey]int{}
+	out := map[placementKey]obs.ProbeStats{}
+	for _, r := range rows {
+		k := placementKey{label: r.Label, trigger: r.Trigger, addr: r.Addr}
+		k.n = seen[k]
+		seen[placementKey{label: r.Label, trigger: r.Trigger, addr: r.Addr}]++
+		out[k] = r
+	}
+	return out
+}
+
+// runRows executes the tool on the reference backend and returns the
+// per-placement report rows.
+func runRows(tool *engine.CompiledTool, prog *cfg.Program) ([]obs.ProbeStats, error) {
+	col := obs.New(obs.Options{})
+	_, err := backend.Run(tool, prog, backend.Janus, backend.Options{Out: io.Discard, Obs: col})
+	if err != nil {
+		return nil, err
+	}
+	return col.Snapshot(backend.Janus).Probes, nil
+}
+
+// CompareSampling checks the sampling-legality oracle for the pair and
+// returns the divergences plus the number of sampled placements
+// verified. Programs without sample clauses are skipped (0 checks).
+func CompareSampling(tool *engine.CompiledTool, prog *cfg.Program) ([]Divergence, int) {
+	if len(sampleStrides(tool)) == 0 {
+		return nil, 0
+	}
+	refCell := Cell{Backend: backend.Janus}
+	div := func(detail string) Divergence {
+		return Divergence{Class: ClassSampling, Cells: [2]Cell{refCell, refCell}, Detail: detail}
+	}
+	// Both twins are compiled from canonically printed sources, so their
+	// pos-derived labels line up even when the original source was not a
+	// print fixed point.
+	canon, err := engine.Compile(ast.Print(tool.Prog))
+	if err != nil {
+		return []Divergence{div("canonical reprint does not compile: " + err.Error())}, 0
+	}
+	strides := sampleStrides(canon)
+	twin, err := engine.Compile(stripSampling(canon.Prog))
+	if err != nil {
+		return []Divergence{div("unsampled twin does not compile: " + err.Error())}, 0
+	}
+	sampled, serr := runRows(canon, prog)
+	unsampled, uerr := runRows(twin, prog)
+	if serr != nil {
+		// The reference cell failing on the sampled program is already
+		// classified (ClassRef) by Compare; nothing to check here.
+		return nil, 0
+	}
+	if uerr != nil {
+		return []Divergence{div("unsampled twin failed: " + uerr.Error())}, 0
+	}
+	divs, checks := compareSamplingRows(strides, sampled, unsampled)
+	out := make([]Divergence, len(divs))
+	for i, d := range divs {
+		out[i] = div(d)
+	}
+	return out, checks
+}
+
+// compareSamplingRows verifies the per-placement arithmetic and returns
+// the violation details (sorted, for deterministic reports) and the
+// number of sampled rows checked.
+func compareSamplingRows(strides map[string]uint64, sampled, unsampled []obs.ProbeStats) ([]string, int) {
+	var out []string
+	checks := 0
+	sm, um := keyRows(sampled), keyRows(unsampled)
+	for k, sr := range sm {
+		ur, ok := um[k]
+		if !ok {
+			out = append(out, fmt.Sprintf("placement %q %s @%#x[%d] missing from unsampled twin",
+				k.label, k.trigger, k.addr, k.n))
+			continue
+		}
+		n := strides[k.label]
+		if n <= 1 {
+			if sr.Fires != ur.Fires || sr.Skips != 0 {
+				out = append(out, fmt.Sprintf("unsampled action %q @%#x: fires %d (skips %d) vs twin %d",
+					k.label, k.addr, sr.Fires, sr.Skips, ur.Fires))
+			}
+			continue
+		}
+		checks++
+		wantFires := ur.Fires / n
+		wantSkips := ur.Fires - wantFires
+		if sr.Fires != wantFires || sr.Skips != wantSkips {
+			out = append(out, fmt.Sprintf(
+				"%q %s @%#x stride %d: fires/skips %d/%d, want %d/%d (twin hits %d)",
+				k.label, k.trigger, k.addr, n, sr.Fires, sr.Skips, wantFires, wantSkips, ur.Fires))
+		}
+	}
+	for k := range um {
+		if _, ok := sm[k]; !ok {
+			out = append(out, fmt.Sprintf("placement %q %s @%#x[%d] only in unsampled twin",
+				k.label, k.trigger, k.addr, k.n))
+		}
+	}
+	sort.Strings(out)
+	return out, checks
 }

@@ -208,6 +208,16 @@ func (g *progGen) genCommand() {
 	}
 }
 
+// maybeSample attaches a `sample N` clause (N in {2, 4, 8}) to the
+// action with low probability. The differential runner then checks the
+// per-placement every-Nth arithmetic against the program's unsampled
+// twin (ClassSampling) in addition to the regular cross-backend matrix.
+func (g *progGen) maybeSample(a *ast.Action) {
+	if g.r.Intn(100) < 25 {
+		a.Sample = int64(2 << g.r.Intn(3))
+	}
+}
+
 // afterSafe lists opcodes on which an `after` trigger is legal on every
 // backend (after a control transfer is rejected by Janus and priced
 // differently elsewhere, so the generator never emits it).
@@ -245,6 +255,7 @@ func (g *progGen) instCmd() *ast.Command {
 			act.Where = bin(token.GE, cfeAttr(v, "trgaddr"), num(1))
 		}
 	}
+	g.maybeSample(act)
 	return &ast.Command{EType: ast.Inst, Var: v, Where: where, Body: []ast.CmdItem{act}}
 }
 
@@ -338,6 +349,7 @@ func (g *progGen) blockCmd() *ast.Command {
 		// Static action constraint, filtered at instrumentation time.
 		act.Where = bin(token.LE, cfeAttr(v, "ninsts"), num(64))
 	}
+	g.maybeSample(act)
 	cmd.Body = []ast.CmdItem{act}
 	return cmd
 }
@@ -354,11 +366,14 @@ func (g *progGen) funcCmd() *ast.Command {
 	if g.r.Intn(100) < 25 {
 		entry.Body = append(entry.Body, printStmt(str("fn"), cfeAttr(v, "name")))
 	}
+	g.maybeSample(entry)
 	cmd.Body = []ast.CmdItem{entry}
 	if g.r.Intn(100) < 60 {
-		cmd.Body = append(cmd.Body, &ast.Action{Trigger: ast.Exit, Target: v, Body: []ast.Stmt{
+		exit := &ast.Action{Trigger: ast.Exit, Target: v, Body: []ast.Stmt{
 			incBy(g.counter(), num(2)),
-		}})
+		}}
+		g.maybeSample(exit)
+		cmd.Body = append(cmd.Body, exit)
 	}
 	return cmd
 }
@@ -378,9 +393,11 @@ func (g *progGen) loopCmd() ast.TopItem {
 		triggers = append(triggers, ast.Exit)
 	}
 	for _, tr := range triggers {
-		body = append(body, &ast.Action{Trigger: tr, Target: lv, Body: []ast.Stmt{
+		act := &ast.Action{Trigger: tr, Target: lv, Body: []ast.Stmt{
 			incBy(g.counter(), num(1)),
-		}})
+		}}
+		g.maybeSample(act)
+		body = append(body, act)
 	}
 	loop := &ast.Command{EType: ast.Loop, Var: lv, Body: body}
 	if g.r.Intn(100) < 50 {
@@ -420,6 +437,7 @@ func (g *progGen) nestedCmd() *ast.Command {
 		Where: bin(token.GE, vid(local), num(1)),
 		Body:  []ast.Stmt{incBy(g.counter(), vid(local))},
 	}
+	g.maybeSample(act)
 	return &ast.Command{EType: ast.BasicBlock, Var: bv, Body: []ast.CmdItem{
 		ast.Stmt(&ast.DeclStmt{Decl: &ast.VarDecl{
 			Type: &ast.TypeSpec{Kind: token.TUINT64}, Name: local, Init: num(0),

@@ -24,6 +24,9 @@ type SweepResult struct {
 	Cells int
 	// Legal counts legal divergences by oracle class.
 	Legal map[string]int
+	// SamplingChecks counts sampled placements verified against their
+	// unsampled twins across the sweep.
+	SamplingChecks int
 	// Failures lists every pair with an illegal divergence.
 	Failures []*PairResult
 	// Errors lists pairs that could not be set up at all (generator
@@ -36,8 +39,8 @@ type SweepResult struct {
 // Summary renders a stable one-line-per-class digest.
 func (s *SweepResult) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d seeds, %d cells, %d illegal, %d errors\n",
-		s.Seeds, s.Cells, len(s.Failures), len(s.Errors))
+	fmt.Fprintf(&b, "%d seeds, %d cells, %d sampled placements, %d illegal, %d errors\n",
+		s.Seeds, s.Cells, s.SamplingChecks, len(s.Failures), len(s.Errors))
 	classes := make([]string, 0, len(s.Legal))
 	for c := range s.Legal {
 		classes = append(classes, c)
@@ -66,6 +69,7 @@ func Sweep(start, n uint64, deadline time.Time) *SweepResult {
 		}
 		res.Seeds++
 		res.Cells += len(pr.Results)
+		res.SamplingChecks += pr.SamplingChecks
 		for _, d := range pr.Divergences {
 			if d.Legal {
 				res.Legal[d.Class]++

@@ -141,7 +141,10 @@ type Action struct {
 	// are evaluated at instrumentation time; dynamic constraints compile
 	// into a run-time guard around the body.
 	Where Expr
-	Body  []Stmt
+	// Sample is the sampling stride (`sample N`): the action body runs on
+	// every Nth hit of each placement. 0 (or 1) means every hit.
+	Sample int64
+	Body   []Stmt
 }
 
 func (a *Action) Pos() token.Pos { return a.P }

@@ -96,6 +96,9 @@ func (p *printer) action(a *Action) {
 	if a.Where != nil {
 		head += fmt.Sprintf(" where (%s)", ExprString(a.Where))
 	}
+	if a.Sample > 0 {
+		head += fmt.Sprintf(" sample %d", a.Sample)
+	}
 	p.line("%s {", head)
 	p.indent++
 	p.stmts(a.Body)

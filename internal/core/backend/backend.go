@@ -88,6 +88,15 @@ type Options struct {
 	// translated tier. The layer is bit-identical in every observable;
 	// this is the escape hatch (and the baseline for perf comparisons).
 	VMNoInline bool
+	// Adaptive allocates an adaptive control block for every placed
+	// probe, so probes can be ejected and re-armed mid-run even when no
+	// action carries a `sample` clause (the overhead governor needs
+	// this). Sampled actions get control blocks regardless.
+	Adaptive bool
+	// OnMachine, when non-nil, receives the framework's underlying
+	// machine before execution starts — the attachment point for
+	// adaptive controllers such as internal/governor.
+	OnMachine func(*vm.VM)
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -212,6 +221,7 @@ func (pl *pinPlacer) placement(a *engine.Action) (pinPlacement, error) {
 		// Pin's automatic inlining never applies to them.
 		Inlinable: false,
 		Label:     a.Label,
+		Sample:    a.Info.Sample,
 	}
 	if il := a.Inline; il != nil {
 		fbuf := make([]value.Value, len(a.Info.DynAttrs))
@@ -267,7 +277,7 @@ func (pl *pinPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
 }
 
 func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline})
+	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine})
 	pl := &pinPlacer{
 		p: p, prog: prog,
 		loopDetection: opts.PinLoopDetection,
@@ -327,9 +337,9 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 			fast := r.FastFn
 			spec = &vm.ProbeSpec{Fn: func(c *vm.Ctx) { fast(words) }}
 		}
-		record(p.VM().AddEdgeSpec(e.from, e.to, cost, id, func(c *vm.Ctx) {
+		record(p.VM().AddEdgeSampled(e.from, e.to, cost, id, func(c *vm.Ctx) {
 			e.p.routine.Fn(words)
-		}, spec))
+		}, spec, e.p.routine.Sample))
 	}
 	res, err := p.Run()
 	if err != nil {
@@ -386,10 +396,11 @@ func dyninstSnippet(a *engine.Action) (dyninst.Snippet, error) {
 	buf := make([]value.Value, len(a.Info.DynAttrs))
 	exec := a.Exec
 	call := dyninst.FuncCallExpr{
-		Fn:    func(words []uint64) { exec(dynSlots(buf, words)) },
-		Args:  args,
-		Cost:  a.Info.Cost + DyninstGlue,
-		Label: a.Label,
+		Fn:     func(words []uint64) { exec(dynSlots(buf, words)) },
+		Args:   args,
+		Cost:   a.Info.Cost + DyninstGlue,
+		Label:  a.Label,
+		Sample: a.Info.Sample,
 	}
 	if il := a.Inline; il != nil {
 		fbuf := make([]value.Value, len(a.Info.DynAttrs))
@@ -447,7 +458,7 @@ func (pl *dyninstPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error 
 }
 
 func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline})
+	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine})
 	if err != nil {
 		return nil, err
 	}
@@ -510,6 +521,7 @@ func (pl *janusPlacer) register(a *engine.Action) (janus.HandlerID, []uint64) {
 		// DynamoRIO inlines clean calls with simple callbacks.
 		Inlinable: a.Info.Simple,
 		Label:     a.Label,
+		Sample:    a.Info.Sample,
 	}
 	if il := a.Inline; il != nil {
 		fbuf := make([]value.Value, len(attrs))
@@ -614,7 +626,7 @@ func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.R
 		},
 		Handlers: pl.handlers,
 	}
-	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline})
+	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine})
 	if err != nil {
 		return nil, err
 	}

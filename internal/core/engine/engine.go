@@ -54,6 +54,14 @@ func Compile(src string) (*CompiledTool, error) {
 	return &CompiledTool{Prog: prog, Info: info, Code: code, Src: src}, nil
 }
 
+// Label returns the action's backend-stable observability label:
+// canonical trigger, target CFE type and source position, e.g.
+// "before inst @7:3". Exported so differential oracles can key
+// per-action metadata (sampling strides) against obs report rows.
+func Label(ai *sem.ActionInfo, act *ast.Action) string {
+	return fmt.Sprintf("%s %s @%s", ai.Canonical, ai.TargetEType, act.Pos())
+}
+
 // Action is a compiled action ready for placement: an executable closure
 // over the captured analysis data, plus the metadata a backend needs to
 // price and marshal it.
@@ -421,7 +429,7 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 
 	a := &Action{
 		Info:        ai,
-		Label:       fmt.Sprintf("%s %s @%s", ai.Canonical, ai.TargetEType, act.Pos()),
+		Label:       Label(ai, act),
 		NumCaptured: env.NumVarsUntil(e.glob),
 	}
 	if e.interpret {

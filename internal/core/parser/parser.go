@@ -199,6 +199,18 @@ func (p *parser) action() (*ast.Action, error) {
 			return nil, err
 		}
 	}
+	if p.cur().Kind == token.SAMPLE {
+		sp := p.next() // sample
+		lit, err := p.expect(token.INT)
+		if err != nil {
+			return nil, err
+		}
+		n, perr := strconv.ParseInt(lit.Lit, 0, 64)
+		if perr != nil || n < 1 {
+			return nil, p.errorf(sp.Pos, "sample stride must be a positive integer, got %q", lit.Lit)
+		}
+		act.Sample = n
+	}
 	act.Body, err = p.stmtBlock()
 	if err != nil {
 		return nil, err

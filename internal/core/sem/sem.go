@@ -56,6 +56,9 @@ type ActionInfo struct {
 	// Simple marks bodies eligible for clean-call inlining by dynamic
 	// frameworks: at most two statements, no loops, no calls.
 	Simple bool
+	// Sample is the action's sampling stride (`sample N`): each
+	// placement fires on every Nth hit. 0 or 1 means every hit.
+	Sample uint64
 }
 
 // Info is the output of semantic analysis.
@@ -284,6 +287,7 @@ func (c *checker) checkAction(a *ast.Action) error {
 		Canonical:   canon,
 		TargetEType: etype,
 		Enclosing:   sym.cmd,
+		Sample:      uint64(a.Sample),
 	}
 	c.info.Actions[a] = ai
 	actx := &actionCtx{action: a, info: ai, dynSeen: make(map[DynAttr]bool)}

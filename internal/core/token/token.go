@@ -75,6 +75,7 @@ const (
 	ELSE
 	FOR
 	WHERE
+	SAMPLE
 
 	// Keywords: types.
 	TINT
@@ -114,7 +115,7 @@ var kindNames = map[Kind]string{
 	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMICOLON: ";", DOT: ".",
 	INST: "inst", BASICBLOCK: "basicblock", FUNC: "func", LOOP: "loop", MODULE: "module",
 	BEFORE: "before", AFTER: "after", ENTRY: "entry", EXIT: "exit", ITER: "iter", INIT: "init",
-	IF: "if", ELSE: "else", FOR: "for", WHERE: "where",
+	IF: "if", ELSE: "else", FOR: "for", WHERE: "where", SAMPLE: "sample",
 	TINT: "int", TUINT64: "uint64", TCHAR: "char", TBOOL: "bool", TADDR: "addr",
 	TSTRING: "string", TLINE: "line", TDICT: "dict", TVECTOR: "vector", TFILE: "file",
 	ISTYPE: "IsType", KMEM: "mem", KREG: "reg", KCONST: "const",
@@ -135,7 +136,7 @@ func (k Kind) String() string {
 var Keywords = map[string]Kind{
 	"inst": INST, "basicblock": BASICBLOCK, "func": FUNC, "loop": LOOP, "module": MODULE,
 	"before": BEFORE, "after": AFTER, "entry": ENTRY, "exit": EXIT, "iter": ITER, "init": INIT,
-	"if": IF, "else": ELSE, "for": FOR, "where": WHERE,
+	"if": IF, "else": ELSE, "for": FOR, "where": WHERE, "sample": SAMPLE,
 	"int": TINT, "uint64": TUINT64, "char": TCHAR, "bool": TBOOL, "addr": TADDR,
 	"string": TSTRING, "line": TLINE, "dict": TDICT, "vector": TVECTOR, "file": TFILE,
 	"IsType": ISTYPE, "mem": KMEM, "reg": KREG, "const": KCONST,

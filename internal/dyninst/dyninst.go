@@ -142,6 +142,11 @@ type FuncCallExpr struct {
 	// block-local accumulators by the inline tier.
 	CounterDelta int64
 	CounterFlush func(n int64)
+	// Sample, when > 1, arms each insertion of the snippet with a
+	// sampling countdown baked into the trampoline: the call fires on
+	// every Sample-th hit of that placement; swallowed hits cost only the
+	// inlined gate (see vm.SampleGateCost).
+	Sample uint64
 }
 
 func (e FuncCallExpr) eval(c *vm.Ctx) uint64 {
@@ -384,6 +389,8 @@ type BinaryEdit struct {
 	obs        *obs.Collector
 	execMode   vm.ExecMode
 	noInline   bool
+	adaptive   bool
+	onMachine  func(*vm.VM)
 	initFns    []func()
 	finiFns    []func()
 }
@@ -403,6 +410,14 @@ type Config struct {
 	ExecMode vm.ExecMode
 	// NoInline disables the VM's action-inlining layer (see vm.Config).
 	NoInline bool
+	// Adaptive allocates a control block for every inserted snippet so
+	// probes can be sampled, ejected and re-armed mid-run (see
+	// vm.Config.Adaptive).
+	Adaptive bool
+	// OnMachine, when non-nil, is called with the rewritten binary's
+	// machine before execution starts — the hook adaptive controllers
+	// (the overhead governor) attach through.
+	OnMachine func(*vm.VM)
 }
 
 // OpenBinary parses the program's executable for rewriting. It fails,
@@ -418,7 +433,7 @@ func OpenBinary(prog *cfg.Program, c Config) (*BinaryEdit, error) {
 			return nil, fmt.Errorf("dyninst: %s: imprecise control flow in %s", exe.Name(), f.Name)
 		}
 	}
-	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs, execMode: c.ExecMode, noInline: c.NoInline}, nil
+	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs, execMode: c.ExecMode, noInline: c.NoInline, adaptive: c.Adaptive, onMachine: c.OnMachine}, nil
 }
 
 // Image returns the parsed image.
@@ -494,14 +509,34 @@ func snippetLabel(s Snippet) string {
 	return ""
 }
 
+// snippetSample extracts the sampling stride of a snippet: the Sample of
+// the first FuncCallExpr found (0 for pure expression snippets).
+func snippetSample(s Snippet) uint64 {
+	switch e := s.(type) {
+	case FuncCallExpr:
+		return e.Sample
+	case SequenceExpr:
+		for _, it := range e.Items {
+			if n := snippetSample(it); n != 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
 // Run "writes out" the rewritten binary and executes it: all insertions
 // are baked in before the first instruction runs, and no translation cost
 // is paid at run time.
 func (be *BinaryEdit) Run() (*vm.Result, error) {
-	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs, ExecMode: be.execMode, NoInline: be.noInline})
+	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs, ExecMode: be.execMode, NoInline: be.noInline, Adaptive: be.adaptive})
+	if be.onMachine != nil {
+		be.onMachine(machine)
+	}
 	for _, ins := range be.insertions {
 		s := ins.snippet
 		cost := SnippetCost + s.cost()
+		sample := snippetSample(s)
 		fn := func(c *vm.Ctx) { s.eval(c) }
 		spec := snippetSpec(s)
 		var trigger string
@@ -530,13 +565,13 @@ func (be *BinaryEdit) Run() (*vm.Result, error) {
 		var err error
 		switch {
 		case ins.point.isEdge:
-			err = machine.AddEdgeSpec(ins.point.edge[0], ins.point.edge[1], cost, id, fn, spec)
+			err = machine.AddEdgeSampled(ins.point.edge[0], ins.point.edge[1], cost, id, fn, spec, sample)
 		case ins.point.blockAddr != 0:
-			err = machine.AddBlockEntrySpec(ins.point.blockAddr, cost, id, fn, spec)
+			err = machine.AddBlockEntrySampled(ins.point.blockAddr, cost, id, fn, spec, sample)
 		case ins.when == CallBefore:
-			err = machine.AddBeforeSpec(ins.point.instAddr, cost, id, fn, spec)
+			err = machine.AddBeforeSampled(ins.point.instAddr, cost, id, fn, spec, sample)
 		default:
-			err = machine.AddAfterSpec(ins.point.instAddr, cost, id, fn, spec)
+			err = machine.AddAfterSampled(ins.point.instAddr, cost, id, fn, spec, sample)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dyninst: %w", err)

@@ -119,6 +119,11 @@ type Handler struct {
 	// block-local accumulators by the inline tier.
 	CounterDelta int64
 	CounterFlush func(n int64)
+	// Sample, when > 1, arms each rule applying the handler with a
+	// sampling countdown: the handler fires on every Sample-th hit of
+	// that placement; swallowed hits cost only the inlined gate (see
+	// vm.SampleGateCost).
+	Sample uint64
 }
 
 // spec builds the vm.ProbeSpec for one rule applying this handler (one
@@ -222,6 +227,14 @@ type Config struct {
 	ExecMode vm.ExecMode
 	// NoInline disables the VM's action-inlining layer (see vm.Config).
 	NoInline bool
+	// Adaptive allocates a control block for every applied rule so
+	// probes can be sampled, ejected and re-armed mid-run (see
+	// vm.Config.Adaptive).
+	Adaptive bool
+	// OnMachine, when non-nil, is called with the run's machine before
+	// execution starts — the hook adaptive controllers (the overhead
+	// governor) attach through.
+	OnMachine func(*vm.VM)
 }
 
 // Run executes the program under Janus: the tool's static pass runs
@@ -238,7 +251,10 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 		c.Obs.MutateBuild(func(b *obs.BuildStats) { b.RulesEmitted = rt.NumRules() })
 	}
 
-	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline})
+	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline, Adaptive: c.Adaptive})
+	if c.OnMachine != nil {
+		c.OnMachine(machine)
+	}
 	// register records one applied rule with the attached collector (cold
 	// path: block-translation time only).
 	register := func(h Handler, r Rule, trigger string, addr, cost uint64) obs.ProbeID {
@@ -281,17 +297,17 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 			var ierr error
 			switch r.Trigger {
 			case TriggerBefore:
-				ierr = machine.AddBeforeSpec(r.InstAddr, cost,
-					register(h, r, obs.TriggerBefore, r.InstAddr, cost), fn, spec)
+				ierr = machine.AddBeforeSampled(r.InstAddr, cost,
+					register(h, r, obs.TriggerBefore, r.InstAddr, cost), fn, spec, h.Sample)
 			case TriggerAfter:
-				ierr = machine.AddAfterSpec(r.InstAddr, cost,
-					register(h, r, obs.TriggerAfter, r.InstAddr, cost), fn, spec)
+				ierr = machine.AddAfterSampled(r.InstAddr, cost,
+					register(h, r, obs.TriggerAfter, r.InstAddr, cost), fn, spec, h.Sample)
 			case TriggerBlockEntry:
-				ierr = machine.AddBlockEntrySpec(r.BlockAddr, cost,
-					register(h, r, obs.TriggerBlockEntry, r.BlockAddr, cost), fn, spec)
+				ierr = machine.AddBlockEntrySampled(r.BlockAddr, cost,
+					register(h, r, obs.TriggerBlockEntry, r.BlockAddr, cost), fn, spec, h.Sample)
 			case TriggerEdge:
-				ierr = machine.AddEdgeSpec(r.Aux, r.BlockAddr, cost,
-					register(h, r, obs.TriggerEdge, r.BlockAddr, cost), fn, spec)
+				ierr = machine.AddEdgeSampled(r.Aux, r.BlockAddr, cost,
+					register(h, r, obs.TriggerEdge, r.BlockAddr, cost), fn, spec, h.Sample)
 			}
 			if ierr != nil {
 				// Rules that cannot be applied are skipped, as the

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/governor"
 	"repro/internal/obs"
 )
 
@@ -85,7 +86,7 @@ func writeMetrics(w io.Writer, snap *obs.Stats, col *obs.Collector) {
 			base, escapeLabel(k.label), escapeLabel(k.trigger), escapeLabel(k.mech))
 	}
 
-	type agg struct{ fires, cycles uint64 }
+	type agg struct{ fires, skips, cycles uint64 }
 	byKey := map[probeKey]*agg{}
 	var keys []probeKey
 	for _, p := range snap.Probes {
@@ -97,6 +98,7 @@ func writeMetrics(w io.Writer, snap *obs.Stats, col *obs.Collector) {
 			keys = append(keys, k)
 		}
 		a.fires += p.Fires
+		a.skips += p.Skips
 		a.cycles += p.Cycles
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -112,14 +114,18 @@ func writeMetrics(w io.Writer, snap *obs.Stats, col *obs.Collector) {
 
 	fires := family{name: "cinnamon_probe_fires_total",
 		help: "Probe firings, by probe label, trigger and dispatch mechanism.", typ: "counter"}
+	skips := family{name: "cinnamon_probe_skips_total",
+		help: "Sampled-probe hits swallowed by the sampling gate.", typ: "counter"}
 	cycles := family{name: "cinnamon_probe_cycles_total",
 		help: "Instrumentation cycle units attributed to probe firings.", typ: "counter"}
 	for _, k := range keys {
 		a := byKey[k]
 		fires.add(probeLabels(k), fmt.Sprintf("%d", a.fires))
+		skips.add(probeLabels(k), fmt.Sprintf("%d", a.skips))
 		cycles.add(probeLabels(k), fmt.Sprintf("%d", a.cycles))
 	}
 	fires.write(w)
+	skips.write(w)
 	cycles.write(w)
 
 	unFires := family{name: "cinnamon_untracked_fires_total",
@@ -130,6 +136,10 @@ func writeMetrics(w io.Writer, snap *obs.Stats, col *obs.Collector) {
 		help: "Cycle units of untracked firings.", typ: "counter"}
 	unCycles.add(base, fmt.Sprintf("%d", snap.UntrackedCycles))
 	unCycles.write(w)
+	unSkips := family{name: "cinnamon_untracked_skips_total",
+		help: "Sampling-gate skips of untracked probes.", typ: "counter"}
+	unSkips.add(base, fmt.Sprintf("%d", snap.UntrackedSkips))
+	unSkips.write(w)
 
 	b := snap.Build
 	for _, g := range []struct {
@@ -168,4 +178,41 @@ func writeMetrics(w io.Writer, snap *obs.Stats, col *obs.Collector) {
 		help: "Events dropped across all trace subscriptions (live and retired).", typ: "counter"}
 	subDropped.add(base, fmt.Sprintf("%d", col.SubscriberDrops()))
 	subDropped.write(w)
+}
+
+// writeGovernorMetrics renders the overhead governor's state as
+// exposition families (appended to a /metrics scrape when a governor is
+// attached).
+func writeGovernorMetrics(w io.Writer, backend string, st governor.State) {
+	base := fmt.Sprintf(`backend="%s"`, escapeLabel(backend))
+	budget := family{name: "cinnamon_governor_budget",
+		help: "Configured probe-overhead budget (fraction of machine cycles).", typ: "gauge"}
+	budget.add(base, fmt.Sprintf("%g", st.Budget))
+	budget.write(w)
+	paces := family{name: "cinnamon_governor_paces_total",
+		help: "Governor evaluation points so far.", typ: "counter"}
+	paces.add(base, fmt.Sprintf("%d", st.Paces))
+	paces.write(w)
+	over := family{name: "cinnamon_governor_overhead",
+		help: "Attributed probe overhead of the most recent governor window.", typ: "gauge"}
+	over.add(base, fmt.Sprintf("%g", st.LastOverhead))
+	over.write(w)
+	cum := family{name: "cinnamon_governor_cum_overhead",
+		help: "Attributed probe overhead of the run so far.", typ: "gauge"}
+	cum.add(base, fmt.Sprintf("%g", st.CumOverhead))
+	cum.write(w)
+	decisions := family{name: "cinnamon_governor_decisions_total",
+		help: "Control decisions taken (downsample, eject, rearm, stride).", typ: "counter"}
+	decisions.add(base, fmt.Sprintf("%d", len(st.Decisions)))
+	decisions.write(w)
+	var ejected int
+	for _, p := range st.Probes {
+		if !p.Enabled {
+			ejected++
+		}
+	}
+	ej := family{name: "cinnamon_governor_ejected_probes",
+		help: "Probes currently ejected by the governor.", typ: "gauge"}
+	ej.add(base, fmt.Sprintf("%d", ejected))
+	ej.write(w)
 }

@@ -6,13 +6,20 @@
 //
 // Endpoints:
 //
-//	GET /metrics  Prometheus text exposition (see metrics.go)
-//	GET /stats    the full obs.Stats snapshot as JSON
-//	GET /series   the bounded interval time-series as JSON
-//	GET /trace    SSE stream of firing events, with heartbeats that
-//	              carry the stream's drop count (slow clients lose
-//	              events, never stall the run)
-//	GET /healthz  liveness probe
+//	GET /metrics   Prometheus text exposition (see metrics.go)
+//	GET /stats     the full obs.Stats snapshot as JSON (with the
+//	               overhead governor's state embedded when one is
+//	               attached)
+//	GET /series    the bounded interval time-series as JSON
+//	GET /trace     SSE stream of firing events, with heartbeats that
+//	               carry the stream's drop count (slow clients lose
+//	               events, never stall the run)
+//	GET /governor  the overhead governor's state: budget, per-window
+//	               overhead, per-probe strides, the decision log
+//	POST /governor a control command ({"probe":N,"action":"rearm"});
+//	               mailboxed and applied at the governor's next pace
+//	               point on the run goroutine
+//	GET /healthz   liveness probe
 package monitor
 
 import (
@@ -23,6 +30,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/governor"
 	"repro/internal/obs"
 )
 
@@ -45,6 +53,10 @@ type Config struct {
 	// Events beyond a slow client's buffer are dropped and accounted,
 	// never queued unboundedly.
 	TraceBuf int
+	// Governor, when non-nil, is the run's overhead governor: its state
+	// is embedded in /stats snapshots and served (and steered) on
+	// /governor.
+	Governor *governor.Governor
 }
 
 // Server is the live-monitoring HTTP server of one instrumented run.
@@ -89,6 +101,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/governor", s.handleGovernor)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -122,11 +135,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap := s.cfg.Collector.Snapshot(s.cfg.Backend)
 	writeMetrics(w, snap, s.cfg.Collector)
+	if s.cfg.Governor != nil {
+		writeGovernorMetrics(w, snap.Backend, s.cfg.Governor.State())
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.cfg.Collector.Snapshot(s.cfg.Backend).WriteJSON(w)
+	snap := s.cfg.Collector.Snapshot(s.cfg.Backend)
+	if s.cfg.Governor != nil {
+		snap.Governor = s.cfg.Governor.State()
+	}
+	_ = snap.WriteJSON(w)
+}
+
+// handleGovernor serves the overhead governor: GET returns its state
+// (budget, window overheads, per-probe strides and the replayable
+// decision log), POST mailboxes a control command — the mutation itself
+// happens at the governor's next pace point, on the run goroutine,
+// where adaptive-probe control is legal.
+func (s *Server) handleGovernor(w http.ResponseWriter, r *http.Request) {
+	g := s.cfg.Governor
+	if g == nil {
+		http.Error(w, "no governor attached (run with a -budget)", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(g.State())
+	case http.MethodPost:
+		var cmd governor.Command
+		if err := json.NewDecoder(r.Body).Decode(&cmd); err != nil {
+			http.Error(w, fmt.Sprintf("bad command: %v", err), http.StatusBadRequest)
+			return
+		}
+		switch cmd.Action {
+		case "rearm", "eject", "stride":
+		default:
+			http.Error(w, fmt.Sprintf("bad action %q (want rearm, eject or stride)", cmd.Action), http.StatusBadRequest)
+			return
+		}
+		g.Enqueue(cmd)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"queued"}`)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {

@@ -145,6 +145,9 @@ type ProbeMeta struct {
 type probeSlot struct {
 	fires  atomic.Uint64
 	cycles atomic.Uint64
+	// skips counts sampled-probe hits the sampling gate swallowed; their
+	// gate cost lands in cycles so attribution still reconciles exactly.
+	skips atomic.Uint64
 }
 
 // BuildStats are instrumentation-time statistics: what each layer did to
@@ -197,6 +200,7 @@ type Collector struct {
 
 	untrackedFires  atomic.Uint64
 	untrackedCycles atomic.Uint64
+	untrackedSkips  atomic.Uint64
 
 	build BuildStats
 	trace *ring
@@ -287,6 +291,25 @@ func (c *Collector) Fire(id ProbeID, cost, pc uint64) {
 			}
 		}
 	}
+}
+
+// Skip records one swallowed hit of a sampled probe: the probe's gate
+// ran (cost cycle units, the decrement-and-branch) but suppressed the
+// firing. Skips attribute to the probe's own slot, preserving the
+// residual-zero invariant under sampling: a probe's cycles equal
+// fires x dispatch cost + skips x gate cost. Hot path, same discipline
+// as Fire (no locks, untracked fallback). Run goroutine only.
+func (c *Collector) Skip(id ProbeID, cost uint64) {
+	if uint32(id)>>probeIndexBits&probeGenMask == c.gen {
+		if i := int(uint32(id) & probeIndexMask); i >= 1 && i <= len(c.slots) {
+			s := &c.slots[i-1]
+			s.skips.Add(1)
+			s.cycles.Add(cost)
+			return
+		}
+	}
+	c.untrackedSkips.Add(1)
+	c.untrackedCycles.Add(cost)
 }
 
 // MutateBuild applies fn to the instrumentation-time counters under the

@@ -14,8 +14,12 @@ type ProbeStats struct {
 	ProbeMeta
 	// Fires is how many times the probe fired.
 	Fires uint64 `json:"fires"`
-	// Cycles is the total instrumentation cost the probe's firings were
-	// charged (Fires × DispatchCost under the deterministic cost model).
+	// Skips is how many hits the probe's sampling gate swallowed (0 for
+	// unsampled probes).
+	Skips uint64 `json:"skips,omitempty"`
+	// Cycles is the total instrumentation cost the probe was charged:
+	// Fires × DispatchCost + Skips × gate cost under the deterministic
+	// cost model.
 	Cycles uint64 `json:"cycles"`
 }
 
@@ -37,8 +41,16 @@ type Stats struct {
 	// the machine).
 	UntrackedFires  uint64 `json:"untracked_fires,omitempty"`
 	UntrackedCycles uint64 `json:"untracked_cycles,omitempty"`
+	// TotalSkips and UntrackedSkips aggregate sampling-gate skips the
+	// same way TotalFires aggregates firings.
+	TotalSkips     uint64 `json:"total_skips,omitempty"`
+	UntrackedSkips uint64 `json:"untracked_skips,omitempty"`
 	// Trace is the bounded firing-event trace (nil unless enabled).
 	Trace *Trace `json:"trace,omitempty"`
+	// Governor carries the overhead governor's state when one is
+	// attached to the run (see internal/governor; typed as any to keep
+	// the dependency arrow pointing at obs).
+	Governor any `json:"governor,omitempty"`
 }
 
 // Snapshot exports the collector's state as a self-contained report.
@@ -60,17 +72,21 @@ func (c *Collector) Snapshot(backendName string) *Stats {
 	for i, m := range metas {
 		slot := &slots[i]
 		fires := slot.fires.Load()
+		skips := slot.skips.Load()
 		cycles := slot.cycles.Load()
 		s.Probes[i] = ProbeStats{
 			ID: ProbeID(i + 1), ProbeMeta: m,
-			Fires: fires, Cycles: cycles,
+			Fires: fires, Skips: skips, Cycles: cycles,
 		}
 		s.TotalFires += fires
+		s.TotalSkips += skips
 		s.ProbeCycles += cycles
 	}
 	s.UntrackedFires = c.untrackedFires.Load()
 	s.UntrackedCycles = c.untrackedCycles.Load()
+	s.UntrackedSkips = c.untrackedSkips.Load()
 	s.TotalFires += s.UntrackedFires
+	s.TotalSkips += s.UntrackedSkips
 	s.ProbeCycles += s.UntrackedCycles
 	if c.trace != nil {
 		events := c.trace.events()
@@ -150,6 +166,7 @@ func (s *Stats) WriteTable(w io.Writer) {
 		key    groupKey
 		probes int
 		fires  uint64
+		skips  uint64
 		cycles uint64
 	}
 	idx := make(map[groupKey]int)
@@ -164,21 +181,22 @@ func (s *Stats) WriteTable(w io.Writer) {
 		}
 		groups[i].probes++
 		groups[i].fires += p.Fires
+		groups[i].skips += p.Skips
 		groups[i].cycles += p.Cycles
 	}
 	sort.SliceStable(groups, func(i, j int) bool { return groups[i].cycles > groups[j].cycles })
 
-	fmt.Fprintf(w, "  %-28s %-12s %-14s %8s %12s %14s\n",
-		"probe", "trigger", "mechanism", "sites", "fires", "cycles")
+	fmt.Fprintf(w, "  %-28s %-12s %-14s %8s %12s %12s %14s\n",
+		"probe", "trigger", "mechanism", "sites", "fires", "skips", "cycles")
 	for _, g := range groups {
-		fmt.Fprintf(w, "  %-28s %-12s %-14s %8d %12d %14d\n",
-			g.key.label, g.key.trigger, g.key.mech, g.probes, g.fires, g.cycles)
+		fmt.Fprintf(w, "  %-28s %-12s %-14s %8d %12d %12d %14d\n",
+			g.key.label, g.key.trigger, g.key.mech, g.probes, g.fires, g.skips, g.cycles)
 	}
-	if s.UntrackedFires > 0 {
-		fmt.Fprintf(w, "  %-28s %-12s %-14s %8s %12d %14d\n",
-			"(untracked)", "-", "-", "-", s.UntrackedFires, s.UntrackedCycles)
+	if s.UntrackedFires > 0 || s.UntrackedSkips > 0 {
+		fmt.Fprintf(w, "  %-28s %-12s %-14s %8s %12d %12d %14d\n",
+			"(untracked)", "-", "-", "-", s.UntrackedFires, s.UntrackedSkips, s.UntrackedCycles)
 	}
-	fmt.Fprintf(w, "  total: %d fires, %d probe cycles\n", s.TotalFires, s.ProbeCycles)
+	fmt.Fprintf(w, "  total: %d fires, %d skips, %d probe cycles\n", s.TotalFires, s.TotalSkips, s.ProbeCycles)
 
 	if s.Trace != nil {
 		fmt.Fprintf(w, "  trace: last %d of %d events (cap %d, dropped %d)\n",

@@ -155,6 +155,11 @@ type Routine struct {
 	// promoted to block-local accumulators by the inline tier.
 	CounterDelta int64
 	CounterFlush func(n int64)
+	// Sample, when > 1, arms each insertion of the routine with a
+	// sampling countdown: the call fires on every Sample-th hit of that
+	// placement; swallowed hits cost only the inlined gate (see
+	// vm.SampleGateCost).
+	Sample uint64
 }
 
 func (r Routine) mechanism() string {
@@ -346,12 +351,23 @@ type Config struct {
 	ExecMode vm.ExecMode
 	// NoInline disables the VM's action-inlining layer (see vm.Config).
 	NoInline bool
+	// Adaptive allocates a control block for every inserted call so
+	// probes can be sampled, ejected and re-armed mid-run (see
+	// vm.Config.Adaptive).
+	Adaptive bool
+	// OnMachine, when non-nil, is called with the session's machine
+	// before any instrumentation is installed — the hook adaptive
+	// controllers (the overhead governor) attach through.
+	OnMachine func(*vm.VM)
 }
 
 // New creates a Pin session for the program.
 func New(prog *cfg.Program, c Config) *Pin {
 	p := &Pin{prog: prog, obs: c.Obs}
-	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline})
+	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline, Adaptive: c.Adaptive})
+	if c.OnMachine != nil {
+		c.OnMachine(p.vm)
+	}
 	return p
 }
 
@@ -461,9 +477,9 @@ func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) er
 	spec := p.routineSpec(r, args)
 	switch point {
 	case IPointBefore:
-		return p.vm.AddBeforeSpec(inst.Addr, cost, p.register(r, obs.TriggerBefore, inst.Addr, cost), fn, spec)
+		return p.vm.AddBeforeSampled(inst.Addr, cost, p.register(r, obs.TriggerBefore, inst.Addr, cost), fn, spec, r.Sample)
 	case IPointAfter:
-		return p.vm.AddAfterSpec(inst.Addr, cost, p.register(r, obs.TriggerAfter, inst.Addr, cost), fn, spec)
+		return p.vm.AddAfterSampled(inst.Addr, cost, p.register(r, obs.TriggerAfter, inst.Addr, cost), fn, spec, r.Sample)
 	}
 	return fmt.Errorf("pin: invalid insertion point %d", point)
 }
@@ -471,7 +487,7 @@ func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) er
 func (p *Pin) insertBlockCall(block *cfg.Block, r Routine, args []Arg) error {
 	cost := r.dispatchCost() + uint64(len(args))*ArgCost
 	id := p.register(r, obs.TriggerBlockEntry, block.Start, cost)
-	return p.vm.AddBlockEntrySpec(block.Start, cost, id, p.analysisCall(r.Fn, args), p.routineSpec(r, args))
+	return p.vm.AddBlockEntrySampled(block.Start, cost, id, p.analysisCall(r.Fn, args), p.routineSpec(r, args), r.Sample)
 }
 
 // Run starts the application under Pin. Image and routine callbacks fire

@@ -139,10 +139,19 @@ func (v *VM) translate(m *modExec, so uint64) *blockProg {
 		if f := m.flags[off]; f&(flagBefore|flagAfter) != 0 {
 			p := m.probes[off]
 			if f&flagBefore != 0 {
-				st.before = p.before
+				st.before = liveProbes(p.before)
 			}
 			if f&flagAfter != 0 {
-				st.after = p.after
+				if st.isCall {
+					// Call after-fires resolve at the fall-through via the
+					// pending mechanism: push the live list, so a probe
+					// re-armed while the callee runs still fires there,
+					// exactly as in the interpreter (the fire-time gate
+					// suppresses disabled ones).
+					st.after = p.after
+				} else {
+					st.after = liveProbes(p.after)
+				}
 			}
 		}
 		if v.inline {
@@ -185,6 +194,30 @@ func allSpecs(ps []probe) bool {
 	return true
 }
 
+// liveProbes filters logically-removed probes out of a list at
+// translation time — the steady-state form of mid-run removal: the
+// ejected probe vanishes from the cached block until re-arming
+// invalidates it back in. Returns the original slice when nothing is
+// disabled, nil when everything is.
+func liveProbes(ps []probe) []probe {
+	for i := range ps {
+		if ct := ps[i].ctl; ct != nil && !ct.enabled {
+			live := append([]probe(nil), ps[:i]...)
+			for j := i + 1; j < len(ps); j++ {
+				if ct := ps[j].ctl; ct != nil && !ct.enabled {
+					continue
+				}
+				live = append(live, ps[j])
+			}
+			if len(live) == 0 {
+				return nil
+			}
+			return live
+		}
+	}
+	return ps
+}
+
 // fusedFire builds the specialized thunk for one spec'd probe firing:
 // trigger constants (instruction, when, attribution PC) and the obs
 // branch are pre-folded at translation time, and counter-shaped probes
@@ -192,7 +225,23 @@ func allSpecs(ps []probe) bool {
 // promoted counters flush — the body may read the cells they cover.
 // The fire sets the ctx trigger fields but does not restore them:
 // every observation of ctx (a fire, a hook) re-establishes them first.
+// Adaptive probes get the sampling gate folded in front of the fire,
+// reading the shared control block live — the same decision sequence
+// the interpreter's fire loop makes.
 func (v *VM) fusedFire(p *probe, in *isa.Inst, when When, pc uint64) func(*VM) {
+	inner := v.fusedFireAlways(p, in, when, pc)
+	if ct := p.ctl; ct != nil {
+		return func(v *VM) {
+			if ct.gate(v) {
+				inner(v)
+			}
+		}
+	}
+	return inner
+}
+
+// fusedFireAlways is the unconditional fire thunk fusedFire gates.
+func (v *VM) fusedFireAlways(p *probe, in *isa.Inst, when When, pc uint64) func(*VM) {
 	sp := p.spec
 	cost, id := p.cost, p.id
 	if sp.Counter {
@@ -340,6 +389,14 @@ func (v *VM) runTranslated() error {
 		off := v.pc - m.base
 		so, idx := off, 0
 		if blk := m.blocks[off]; blk != nil {
+			// The pace hook fires at block-start dispatch, mirroring the
+			// interpreter's check at the same machine state: pending fires
+			// drained, previous block's accounting flushed, code cache not
+			// yet resolved (so anything the hook invalidates retranslates
+			// on this very dispatch).
+			if v.pacer != nil && v.cycles >= v.nextPace {
+				v.pace()
+			}
 			if v.translator != nil && m.flags[off]&flagTranslated == 0 {
 				m.flags[off] |= flagTranslated
 				// The hook is an observation point (it may read tool

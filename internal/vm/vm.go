@@ -103,6 +103,10 @@ type probe struct {
 	id obs.ProbeID
 	// spec, when non-nil, is the probe's inline specialization.
 	spec *ProbeSpec
+	// ctl, when non-nil, is the probe's adaptive control block: the
+	// sampling countdown and the enable bit checked at fire time. Nil for
+	// always-on probes, which pay nothing for the feature.
+	ctl *probeCtl
 }
 
 // TrapError reports a machine fault (invalid code address, division by
@@ -204,6 +208,12 @@ type Config struct {
 	// the flag has no effect on results. Ignored on the interpreted tier,
 	// which never inlines.
 	NoInline bool
+	// Adaptive attaches a control block to every installed probe so all
+	// of them can be downsampled, disabled and re-armed mid-run (see
+	// SetProbeStride/SetProbeEnabled). Without it only probes installed
+	// with an explicit sampling stride carry a control block; everything
+	// else keeps the zero-overhead always-on path.
+	Adaptive bool
 }
 
 // VM is a single-use machine: create, instrument, Run once.
@@ -247,6 +257,21 @@ type VM struct {
 	suppressEdge bool
 	pending      []pendingAfter
 
+	// Adaptive-instrumentation state (see adaptive.go): the control
+	// blocks of sampled/governable probes and the cycle-paced hook the
+	// governor runs from.
+	adaptive bool
+	// anyCtl hoists the per-probe control-block check out of the fire
+	// loop: a machine with no control blocks keeps the original lean
+	// dispatch.
+	anyCtl  bool
+	ctls    []*probeCtl
+	ctlByID map[obs.ProbeID]*probeCtl
+
+	pacer     func()
+	paceEvery uint64
+	nextPace  uint64
+
 	ctx Ctx
 }
 
@@ -285,6 +310,7 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 		obsC:         cfgv.Obs,
 		heapNext:     obj.HeapBase,
 		suppressEdge: true,
+		adaptive:     cfgv.Adaptive,
 	}
 	v.ctx.vm = v
 	for _, m := range prog.Modules {
@@ -359,12 +385,24 @@ func (v *VM) AddBeforeObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) 
 // AddBeforeSpec is AddBeforeObs with an inline specialization (spec may
 // be nil; see ProbeSpec for the contract).
 func (v *VM) AddBeforeSpec(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
+	return v.AddBeforeSampled(addr, cost, id, fn, spec, 0)
+}
+
+// AddBeforeSampled is AddBeforeSpec with a sampling stride: the probe
+// fires on every stride-th hit (0 and 1 mean every hit). A stride above 1
+// — or Config.Adaptive — attaches a control block, making the probe
+// governable (SetProbeStride/SetProbeEnabled).
+func (v *VM) AddBeforeSampled(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec, stride uint64) error {
 	m := v.modFor(addr)
 	if m == nil || m.insts[addr-m.base] == nil {
 		return fmt.Errorf("vm: no instruction at %#x", addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.before = append(p.before, probe{fn: fn, cost: cost, id: id, spec: spec})
+	ct := v.newCtl(id, stride)
+	if ct != nil {
+		ct.sites = append(ct.sites, ctlSite{m: m, off: addr - m.base})
+	}
+	p.before = append(p.before, probe{fn: fn, cost: cost, id: id, spec: spec, ctl: ct})
 	m.flags[addr-m.base] |= flagBefore
 	m.invalidate(addr - m.base)
 	return nil
@@ -387,6 +425,12 @@ func (v *VM) AddAfterObs(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn) e
 // AddAfterSpec is AddAfterObs with an inline specialization (spec may be
 // nil; see ProbeSpec for the contract).
 func (v *VM) AddAfterSpec(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
+	return v.AddAfterSampled(addr, cost, id, fn, spec, 0)
+}
+
+// AddAfterSampled is AddAfterSpec with a sampling stride (see
+// AddBeforeSampled).
+func (v *VM) AddAfterSampled(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec, stride uint64) error {
 	m := v.modFor(addr)
 	if m == nil || m.insts[addr-m.base] == nil {
 		return fmt.Errorf("vm: no instruction at %#x", addr)
@@ -396,7 +440,11 @@ func (v *VM) AddAfterSpec(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, 
 		return fmt.Errorf("vm: after-probe invalid on %s at %#x", m.insts[addr-m.base].Op, addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.after = append(p.after, probe{fn: fn, cost: cost, id: id, spec: spec})
+	ct := v.newCtl(id, stride)
+	if ct != nil {
+		ct.sites = append(ct.sites, ctlSite{m: m, off: addr - m.base})
+	}
+	p.after = append(p.after, probe{fn: fn, cost: cost, id: id, spec: spec, ctl: ct})
 	m.flags[addr-m.base] |= flagAfter
 	m.invalidate(addr - m.base)
 	return nil
@@ -416,12 +464,19 @@ func (v *VM) AddBlockEntryObs(addr uint64, cost uint64, id obs.ProbeID, fn Probe
 // AddBlockEntrySpec is AddBlockEntryObs with an inline specialization
 // (spec may be nil; see ProbeSpec for the contract).
 func (v *VM) AddBlockEntrySpec(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
+	return v.AddBlockEntrySampled(addr, cost, id, fn, spec, 0)
+}
+
+// AddBlockEntrySampled is AddBlockEntrySpec with a sampling stride (see
+// AddBeforeSampled). Entry lists are read live at dispatch, so control
+// changes need no block invalidation.
+func (v *VM) AddBlockEntrySampled(addr uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec, stride uint64) error {
 	m := v.modFor(addr)
 	if m == nil || m.blocks[addr-m.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", addr)
 	}
 	p := m.probesAt(addr - m.base)
-	p.entry = append(p.entry, probe{fn: fn, cost: cost, id: id, spec: spec})
+	p.entry = append(p.entry, probe{fn: fn, cost: cost, id: id, spec: spec, ctl: v.newCtl(id, stride)})
 	m.flags[addr-m.base] |= flagBlockEntry
 	return nil
 }
@@ -440,6 +495,13 @@ func (v *VM) AddEdgeObs(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeFn
 // AddEdgeSpec is AddEdgeObs with an inline specialization (spec may be
 // nil; see ProbeSpec for the contract).
 func (v *VM) AddEdgeSpec(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec) error {
+	return v.AddEdgeSampled(from, to, cost, id, fn, spec, 0)
+}
+
+// AddEdgeSampled is AddEdgeSpec with a sampling stride (see
+// AddBeforeSampled). Edge lists are read live at dispatch, so control
+// changes need no block invalidation.
+func (v *VM) AddEdgeSampled(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeFn, spec *ProbeSpec, stride uint64) error {
 	m := v.modFor(to)
 	if m == nil || m.blocks[to-m.base] == nil {
 		return fmt.Errorf("vm: no basic block starting at %#x", to)
@@ -448,7 +510,7 @@ func (v *VM) AddEdgeSpec(from, to uint64, cost uint64, id obs.ProbeID, fn ProbeF
 		return fmt.Errorf("vm: no basic block starting at %#x", from)
 	}
 	p := m.probesAt(to - m.base)
-	np := probe{fn: fn, cost: cost, id: id, spec: spec}
+	np := probe{fn: fn, cost: cost, id: id, spec: spec, ctl: v.newCtl(id, stride)}
 	for i := range p.edgeIn {
 		if p.edgeIn[i].from == from {
 			p.edgeIn[i].probes = append(p.edgeIn[i].probes, np)
@@ -520,13 +582,36 @@ func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
 	c := &v.ctx
 	saveInst, saveWhen, saveBlock := c.inst, c.when, c.block
 	c.inst, c.when = in, when
-	// One predictable branch decides the whole batch: the disabled path
-	// runs the same loop the VM always ran, with no per-probe overhead.
+	// Two predictable branches decide the whole batch: a machine with no
+	// control blocks and no collector runs the exact loop the VM always
+	// ran, with zero per-probe overhead for either feature.
 	if obsC := v.obsC; obsC != nil {
-		for _, p := range ps {
+		if v.anyCtl {
+			for i := range ps {
+				p := &ps[i]
+				if p.ctl != nil && !p.ctl.gate(v) {
+					continue
+				}
+				v.cycles += p.cost
+				p.fn(c)
+				obsC.Fire(p.id, p.cost, v.pc)
+			}
+		} else {
+			for i := range ps {
+				p := &ps[i]
+				v.cycles += p.cost
+				p.fn(c)
+				obsC.Fire(p.id, p.cost, v.pc)
+			}
+		}
+	} else if v.anyCtl {
+		for i := range ps {
+			p := &ps[i]
+			if p.ctl != nil && !p.ctl.gate(v) {
+				continue
+			}
 			v.cycles += p.cost
 			p.fn(c)
-			obsC.Fire(p.id, p.cost, v.pc)
 		}
 	} else {
 		for _, p := range ps {
@@ -549,8 +634,12 @@ func (v *VM) fireInline(ps []probe, in *isa.Inst, when When) {
 	saveInst, saveWhen, saveBlock := c.inst, c.when, c.block
 	c.inst, c.when = in, when
 	obsC := v.obsC
+	anyCtl := v.anyCtl
 	for i := range ps {
 		p := &ps[i]
+		if anyCtl && p.ctl != nil && !p.ctl.gate(v) {
+			continue
+		}
 		if sp := p.spec; sp != nil {
 			if sp.Counter {
 				if sp.acc == 0 {
@@ -663,6 +752,13 @@ func (v *VM) runInterp() error {
 		}
 
 		if blk := m.blocks[off]; blk != nil {
+			// The pace hook fires at block-start dispatch, the same point
+			// the translated tier checks it, so governor decisions are
+			// driven by an identical (cycles, block) sequence on both
+			// tiers.
+			if v.pacer != nil && v.cycles >= v.nextPace {
+				v.pace()
+			}
 			if v.translator != nil && m.flags[off]&flagTranslated == 0 {
 				m.flags[off] |= flagTranslated
 				v.ctx.block = blk

@@ -10,6 +10,9 @@
 #              reduced workload scale, plus one iteration of every
 #              go-test benchmark in the tree (bench-rot guard)
 #   docs       package-doc + documentation-suite gate (scripts/pkgdoc),
+#              the generated CLI reference (docs/CLI.md must match the
+#              flag registry byte for byte), the doc-example compile
+#              gate (every fenced .cin block in the docs compiles),
 #              one -stats CLI smoke run, and the probe-dispatch perf
 #              gates (non-race; see internal/vm/obs_test.go and
 #              translate_test.go): disabled path vs the
@@ -19,6 +22,9 @@
 #              the action-inlining layer vs the no-inline translated
 #              tier on an action-heavy workload
 #              (internal/bench/inline_test.go)
+#   governor   one reduced-scale run of the overhead-budget experiment
+#              (experiments -exp=governor): the governor must bring
+#              three action-heavy tools under 5% and 1% budgets
 #   monitor    live-monitoring smoke (scripts/monitorsmoke): a looping
 #              victim with -listen, scraped over real HTTP (/healthz,
 #              /metrics, one SSE event), then killed cleanly
@@ -50,6 +56,12 @@ CINNAMON_SCALE=0.1 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 echo "==> docs gate"
 go run ./scripts/pkgdoc .
 
+echo "==> CLI reference gate (docs/CLI.md vs flag registry)"
+go test -run 'TestCLIDocCurrent|TestFlagTableComplete' -count=1 ./cmd/cinnamon/
+
+echo "==> doc-example compile gate (fenced .cin blocks)"
+go test -run TestDocExamplesCompile -count=1 ./cinnamon/
+
 echo "==> observability smoke (-stats -trace)"
 go run ./cmd/cinnamon -backend=janus -target=victim:uaf_bug \
 	-stats -trace=8 @useafterfree >/dev/null 2>&1
@@ -65,6 +77,9 @@ CINNAMON_PERF_GATE=1 go test -run TestTranslatedDispatchSpeedup -count=1 ./inter
 
 echo "==> action-inlining perf gate"
 CINNAMON_PERF_GATE=1 go test -run TestInlinedActionSpeedup -count=1 ./internal/bench/
+
+echo "==> governor bench smoke (budget sweep)"
+go run ./cmd/experiments -exp=governor -benchmark=mcf -scale=0.2 >/dev/null
 
 echo "==> live-monitoring smoke"
 go run ./scripts/monitorsmoke

@@ -40,6 +40,8 @@ func main() {
 		"docs/LANGUAGE.md",
 		"docs/BACKENDS.md",
 		"docs/OBSERVABILITY.md",
+		"docs/ADAPTIVE.md",
+		"docs/CLI.md",
 		"docs/TESTING.md",
 	} {
 		info, err := os.Stat(filepath.Join(root, doc))
