@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cliflags"
+	"repro/internal/fleet"
 )
 
 var updateCLIDoc = flag.Bool("update-cli-doc", false, "rewrite docs/CLI.md from the flag table")
@@ -19,7 +22,8 @@ func cliDocPath(t *testing.T) string {
 	return p
 }
 
-// TestCLIDocCurrent regenerates docs/CLI.md from the flag registry and
+// TestCLIDocCurrent regenerates docs/CLI.md from the flag registries of
+// both binaries (this driver's and cinnamond's, via fleet.CLIFlags) and
 // compares it to the committed copy, so the CLI reference cannot drift
 // from the flags. Refresh with:
 //
@@ -42,43 +46,65 @@ func TestCLIDocCurrent(t *testing.T) {
 	}
 }
 
-// Every flag must belong to a declared group and carry help text, and
-// the grouped usage must mention every flag exactly once.
-func TestFlagTableComplete(t *testing.T) {
+// checkRegistry asserts a flag registry is complete: every flag belongs
+// to a declared group, carries help text, is recorded exactly once, and
+// the registry agrees with the underlying flag set (a flag declared on
+// the set directly would bypass the table and vanish from docs).
+func checkRegistry(t *testing.T, name string, s *cliflags.Set) map[string]bool {
+	t.Helper()
 	groups := map[string]bool{}
-	for _, g := range flagGroups {
+	for _, g := range s.Groups {
 		groups[g] = true
 	}
 	seen := map[string]bool{}
-	for _, d := range flagDefs {
+	for _, d := range s.Defs {
 		if !groups[d.Group] {
-			t.Errorf("flag -%s has undeclared group %q", d.Name, d.Group)
+			t.Errorf("%s: flag -%s has undeclared group %q", name, d.Name, d.Group)
 		}
 		if d.Help == "" {
-			t.Errorf("flag -%s has no help text", d.Name)
+			t.Errorf("%s: flag -%s has no help text", name, d.Name)
 		}
 		if seen[d.Name] {
-			t.Errorf("flag -%s recorded twice", d.Name)
+			t.Errorf("%s: flag -%s recorded twice", name, d.Name)
 		}
 		seen[d.Name] = true
 	}
-	// The registry and the flag set must agree (a flag declared with
-	// cli.String directly would bypass the table and vanish from docs).
 	n := 0
-	cli.VisitAll(func(f *flag.Flag) {
+	s.FS.VisitAll(func(f *flag.Flag) {
 		n++
 		if !seen[f.Name] {
-			t.Errorf("flag -%s is registered but not in the flag table", f.Name)
+			t.Errorf("%s: flag -%s is registered but not in the flag table", name, f.Name)
 		}
 	})
-	if n != len(flagDefs) {
-		t.Errorf("flag set has %d flags, table has %d", n, len(flagDefs))
+	if n != len(s.Defs) {
+		t.Errorf("%s: flag set has %d flags, table has %d", name, n, len(s.Defs))
 	}
+	return seen
+}
+
+// The cinnamon registry must be complete and its grouped usage must
+// mention every flag.
+func TestFlagTableComplete(t *testing.T) {
+	seen := checkRegistry(t, "cinnamon", reg)
 	var b strings.Builder
 	usage(&b)
 	for name := range seen {
 		if !strings.Contains(b.String(), "-"+name) {
 			t.Errorf("usage output does not mention -%s", name)
+		}
+	}
+}
+
+// The cinnamond registry (internal/fleet) rides in the same generated
+// document, so it is held to the same completeness bar.
+func TestDaemonFlagTableComplete(t *testing.T) {
+	dreg, _ := fleet.CLIFlags()
+	seen := checkRegistry(t, "cinnamond", dreg)
+	var b strings.Builder
+	dreg.Usage(&b)
+	for name := range seen {
+		if !strings.Contains(b.String(), "-"+name) {
+			t.Errorf("cinnamond usage output does not mention -%s", name)
 		}
 	}
 }

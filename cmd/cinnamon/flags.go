@@ -1,18 +1,21 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/fleet"
 )
 
-// The flag registry: every flag is declared through one of the typed
-// helpers below, which record (group, name, argument, default, help) in
-// declaration order. The grouped -help output and docs/CLI.md are both
-// rendered from this table, and a test regenerates the document and
-// compares it to the committed copy, so the reference cannot rot.
+// The flag registry (see internal/cliflags): every flag is declared
+// through the typed helpers, which record (group, name, argument,
+// default, help) in declaration order. The grouped -help output and
+// docs/CLI.md are both rendered from the table; the document also
+// carries the cinnamond daemon's flag group (fleet.CLIFlags), so one
+// gate covers both commands.
 
 const (
 	groupExecution     = "Execution"
@@ -21,121 +24,53 @@ const (
 	groupGovernor      = "Governor"
 )
 
-var flagGroups = []string{groupExecution, groupObservability, groupMonitoring, groupGovernor}
-
-type flagDef struct {
-	Group   string
-	Name    string
-	Arg     string // argument placeholder; empty for booleans
-	Default string
-	Help    string
-}
-
-var flagDefs []flagDef
-
-// cli is the driver's flag set. Flags live on a dedicated set (not
+// reg is the driver's flag registry. Flags live on a dedicated set (not
 // flag.CommandLine) and are declared as package variables, so the
 // registry is populated for tests without parsing anything.
-var cli = flag.NewFlagSet("cinnamon", flag.ExitOnError)
+var reg = cliflags.New("cinnamon", groupExecution, groupObservability, groupMonitoring, groupGovernor)
 
-func record(group, name, arg, def, help string) {
-	flagDefs = append(flagDefs, flagDef{Group: group, Name: name, Arg: arg, Default: def, Help: help})
-}
-
-func stringFlag(group, name, def, arg, help string) *string {
-	record(group, name, arg, def, help)
-	return cli.String(name, def, help)
-}
-
-func boolFlag(group, name string, def bool, help string) *bool {
-	d := ""
-	if def {
-		d = "true"
-	}
-	record(group, name, "", d, help)
-	return cli.Bool(name, def, help)
-}
-
-func intFlag(group, name string, def int, arg, help string) *int {
-	d := ""
-	if def != 0 {
-		d = fmt.Sprintf("%d", def)
-	}
-	record(group, name, arg, d, help)
-	return cli.Int(name, def, help)
-}
-
-func float64Flag(group, name string, def float64, arg, help string) *float64 {
-	record(group, name, arg, fmt.Sprintf("%g", def), help)
-	return cli.Float64(name, def, help)
-}
-
-func uint64Flag(group, name string, def uint64, arg, help string) *uint64 {
-	d := ""
-	if def != 0 {
-		d = fmt.Sprintf("%d", def)
-	}
-	record(group, name, arg, d, help)
-	return cli.Uint64(name, def, help)
-}
-
-func durationFlag(group, name string, def time.Duration, arg, help string) *time.Duration {
-	record(group, name, arg, def.String(), help)
-	return cli.Duration(name, def, help)
-}
+// cli is the driver's flag set.
+var cli = reg.FS
 
 // The flags, grouped. Declaration order is presentation order within
 // each group (in -help and docs/CLI.md).
 var (
-	backendName = stringFlag(groupExecution, "backend", "pin", "<name>", "backend: pin, dyninst, janus")
-	target      = stringFlag(groupExecution, "target", "", "<spec>", "victim:<name>, suite:<name>, or an assembly file path")
-	emit        = stringFlag(groupExecution, "emit", "", "<name>", "emit generated C/C++ for this backend instead of running")
-	scale       = float64Flag(groupExecution, "scale", 0.2, "<f>", "workload scale for suite targets")
-	loop        = intFlag(groupExecution, "loop", 0, "<n>", "loop a victim target this many times (long-running session; default 500000 with -listen)")
-	list        = boolFlag(groupExecution, "list-programs", false, "list built-in case-study programs and exit")
-	pinLoops    = boolFlag(groupExecution, "pin-loops", false, "enable the Pin loop-detection extension (paper section VI-E)")
-	vmMode      = stringFlag(groupExecution, "vm-mode", "", "<tier>", "VM execution tier: translated (default) or interpreted; both are bit-identical")
-	vmInline    = boolFlag(groupExecution, "vm-inline", true, "inline compiled actions into translated blocks (bit-identical; disable to measure or bisect)")
+	backendName = reg.String(groupExecution, "backend", "pin", "<name>", "backend: pin, dyninst, janus")
+	target      = reg.String(groupExecution, "target", "", "<spec>", "victim:<name>, suite:<name>, or an assembly file path")
+	emit        = reg.String(groupExecution, "emit", "", "<name>", "emit generated C/C++ for this backend instead of running")
+	scale       = reg.Float64(groupExecution, "scale", 0.2, "<f>", "workload scale for suite targets")
+	loop        = reg.Int(groupExecution, "loop", 0, "<n>", "loop a victim target this many times (long-running session; default 500000 with -listen)")
+	list        = reg.Bool(groupExecution, "list-programs", false, "list built-in case-study programs and exit")
+	pinLoops    = reg.Bool(groupExecution, "pin-loops", false, "enable the Pin loop-detection extension (paper section VI-E)")
+	vmMode      = reg.String(groupExecution, "vm-mode", "", "<tier>", "VM execution tier: translated (default) or interpreted; both are bit-identical")
+	vmInline    = reg.Bool(groupExecution, "vm-inline", true, "inline compiled actions into translated blocks (bit-identical; disable to measure or bisect)")
 
-	stats     = boolFlag(groupObservability, "stats", false, "print the observability report (per-probe firing and cycle attribution) to stderr")
-	statsJSON = boolFlag(groupObservability, "stats-json", false, "print the observability report as JSON to stdout")
-	trace     = intFlag(groupObservability, "trace", 0, "<n>", "record the last N probe firings in the report's trace ring (implies -stats)")
+	stats     = reg.Bool(groupObservability, "stats", false, "print the observability report (per-probe firing and cycle attribution) to stderr")
+	statsJSON = reg.Bool(groupObservability, "stats-json", false, "print the observability report as JSON to stdout")
+	trace     = reg.Int(groupObservability, "trace", 0, "<n>", "record the last N probe firings in the report's trace ring (implies -stats)")
 
-	listen   = stringFlag(groupMonitoring, "listen", "", "<addr>", "serve live monitoring on this address (host:port; :0 picks a port): /metrics, /stats, /series, /trace (SSE), /governor, /healthz")
-	interval = durationFlag(groupMonitoring, "interval", time.Second, "<dur>", "monitor time-series sampling period (with -listen)")
+	listen   = reg.String(groupMonitoring, "listen", "", "<addr>", "serve live monitoring on this address (host:port; :0 picks a port): /metrics, /stats, /series, /trace (SSE), /governor, /healthz")
+	interval = reg.Duration(groupMonitoring, "interval", time.Second, "<dur>", "monitor time-series sampling period (with -listen)")
 
-	budget    = stringFlag(groupGovernor, "budget", "", "<frac>", "attach the overhead governor with this probe-overhead budget (\"5%\" or \"0.05\"); it downsamples and ejects the most expensive probes to stay under it (implies -stats; see docs/ADAPTIVE.md)")
-	govWindow = uint64Flag(groupGovernor, "governor-window", 0, "<cycles>", "governor evaluation cadence in machine cycle units (default: the governor's built-in window; with -budget)")
+	budget    = reg.String(groupGovernor, "budget", "", "<frac>", "attach the overhead governor with this probe-overhead budget (\"5%\" or \"0.05\"); it downsamples and ejects the most expensive probes to stay under it (implies -stats; see docs/ADAPTIVE.md)")
+	govWindow = reg.Uint64(groupGovernor, "governor-window", 0, "<cycles>", "governor evaluation cadence in machine cycle units (default: the governor's built-in window; with -budget)")
 )
 
 // usage prints the grouped flag reference (the custom flag.Usage).
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: cinnamon [flags] <tool.cin | @case-study>")
-	for _, g := range flagGroups {
-		fmt.Fprintf(w, "\n%s:\n", g)
-		for _, d := range flagDefs {
-			if d.Group != g {
-				continue
-			}
-			head := "-" + d.Name
-			if d.Arg != "" {
-				head += " " + d.Arg
-			}
-			fmt.Fprintf(w, "  %-24s %s", head, d.Help)
-			if d.Default != "" {
-				fmt.Fprintf(w, " (default %s)", d.Default)
-			}
-			fmt.Fprintln(w)
-		}
-	}
+	reg.Usage(w)
 }
 
-// renderCLIMD renders docs/CLI.md from the flag registry. The committed
-// document must match byte for byte (TestCLIDocCurrent).
+// renderCLIMD renders docs/CLI.md from the flag registries of both
+// commands — this driver's groups and the cinnamond daemon's (declared
+// in internal/fleet so both binaries and this generator see one table).
+// The committed document must match byte for byte (TestCLIDocCurrent).
 func renderCLIMD() string {
 	var b strings.Builder
-	b.WriteString(`<!-- Generated from the flag table in cmd/cinnamon/flags.go.
-     Do not edit by hand: run go test ./cmd/cinnamon -update-cli-doc. -->
+	b.WriteString(`<!-- Generated from the flag tables in cmd/cinnamon/flags.go and
+     internal/fleet/flags.go. Do not edit by hand: run
+     go test ./cmd/cinnamon -update-cli-doc. -->
 
 # cinnamon CLI reference
 
@@ -152,25 +87,7 @@ Targets (` + "`-target`" + `): ` + "`victim:<name>`" + ` (built-in monitoring vi
 ` + "`suite:<name>`" + ` (synthetic SPEC CPU 2017 benchmark), or a path to an
 assembly file.
 `)
-	for _, g := range flagGroups {
-		fmt.Fprintf(&b, "\n## %s flags\n\n", g)
-		b.WriteString("| Flag | Default | Description |\n|---|---|---|\n")
-		for _, d := range flagDefs {
-			if d.Group != g {
-				continue
-			}
-			head := "`-" + d.Name
-			if d.Arg != "" {
-				head += " " + d.Arg
-			}
-			head += "`"
-			def := d.Default
-			if def != "" {
-				def = "`" + def + "`"
-			}
-			fmt.Fprintf(&b, "| %s | %s | %s |\n", head, def, d.Help)
-		}
-	}
+	reg.Markdown(&b)
 	b.WriteString(`
 ## Examples
 
@@ -182,9 +99,37 @@ cinnamon -backend=janus -target=suite:mcf -stats -budget 5% @instcount_basic
 cinnamon -backend=pin -target=victim:uaf_bug -listen :9090 @useafterfree
 ` + "```" + `
 
+# cinnamond daemon reference
+
+` + "```" + `
+cinnamond [flags]
+` + "```" + `
+
+Long-lived fleet-monitoring daemon: schedules concurrent victim×tool
+sessions over a bounded worker pool and serves the aggregated fleet
+view — per-session-labelled ` + "`/metrics`" + `, merged ` + "`/series`" + `, lifecycle
+` + "`/sessions`" + ` (GET lists, POST submits a job), a multiplexed SSE
+` + "`/trace`" + `, and split ` + "`/healthz/live`" + ` + ` + "`/healthz/ready`" + ` probes.
+SIGTERM drains gracefully: admission stops, running sessions finish or
+are cancelled at the drain deadline, then the listener closes. See
+[FLEET.md](FLEET.md).
+`)
+	dreg, _ := fleet.CLIFlags()
+	dreg.Markdown(&b)
+	b.WriteString(`
+## Examples
+
+` + "```sh" + `
+cinnamond -listen 127.0.0.1:9137 -workers 8
+cinnamond -manifest fleet.json -workers 32 -drain-timeout 10s
+curl -s -X POST localhost:9137/sessions -d '{"tool":"instcount_basic","victim":"spin","backend":"janus","loop":200000}'
+curl -s localhost:9137/metrics | grep cinnamon_fleet_fires_total
+` + "```" + `
+
 See [ADAPTIVE.md](ADAPTIVE.md) for sampling probes and the overhead
 governor, [OBSERVABILITY.md](OBSERVABILITY.md) for the stats/monitoring
-endpoints, and [LANGUAGE.md](LANGUAGE.md) for the Cinnamon language.
+endpoints, [FLEET.md](FLEET.md) for the fleet daemon, and
+[LANGUAGE.md](LANGUAGE.md) for the Cinnamon language.
 `)
 	return b.String()
 }

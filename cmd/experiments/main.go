@@ -11,6 +11,8 @@
 //	experiments -exp=dispatch -json     # ... also write BENCH_dispatch.json
 //	experiments -exp=governor           # overhead budgets on action-heavy tools
 //	experiments -exp=governor -json     # ... also write BENCH_governor.json
+//	experiments -exp=fleet              # fleet daemon load harness
+//	experiments -exp=fleet -json        # ... also write BENCH_fleet.json
 //	experiments -exp=all
 package main
 
@@ -24,10 +26,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, dispatch, governor, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig12, fig13, pintools, attribution, dispatch, governor, fleet, all")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper-equivalent test input)")
 	benchmark := flag.String("benchmark", "leela", "benchmark for -exp=attribution and -exp=dispatch")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results (BENCH_attribution.json, BENCH_dispatch.json) next to the table output")
+	sessions := flag.Int("sessions", 48, "session count for -exp=fleet")
+	workers := flag.Int("workers", 32, "worker pool size for -exp=fleet")
+	loop := flag.Int("loop", 20000, "victim loop count per session for -exp=fleet")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -130,6 +135,27 @@ func main() {
 				return err
 			}
 			fmt.Println("wrote BENCH_governor.json")
+		}
+		return nil
+	})
+	run("fleet", func() error {
+		res, err := bench.Fleet(bench.FleetOptions{Sessions: *sessions, Workers: *workers, Loop: *loop})
+		if err != nil {
+			return err
+		}
+		bench.FormatFleet(os.Stdout, res)
+		if *jsonOut {
+			f, err := os.Create("BENCH_fleet.json")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_fleet.json")
 		}
 		return nil
 	})

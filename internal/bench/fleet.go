@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/monitor"
+)
+
+// Fleet load harness: boots a real scheduler and FleetServer on a
+// loopback listener, floods the pool with concurrent sessions, and
+// scrapes /metrics over actual HTTP in a tight loop while the fleet
+// churns. The result records aggregate probe throughput (fires per
+// wall-clock second across every session) and the latency distribution
+// of a /metrics snapshot under that load — the two numbers the daemon's
+// sizing is judged by. The scrape loop also re-checks rollup exactness
+// on every single scrape, so the benchmark doubles as a consistency
+// soak.
+
+// FleetOptions parameterizes the fleet experiment.
+type FleetOptions struct {
+	// Sessions is how many victim×tool sessions are submitted (default 48).
+	Sessions int
+	// Workers is the bounded pool size (default 32).
+	Workers int
+	// Loop is each session's victim loop count (default 20000).
+	Loop int
+}
+
+// FleetResult is one harness run. The JSON form is what
+// `experiments -exp=fleet -json` writes to BENCH_fleet.json.
+type FleetResult struct {
+	Sessions int `json:"sessions"`
+	Workers  int `json:"workers"`
+	Loop     int `json:"loop"`
+	// WallSec is submission-to-settled wall time; FiresPerSec is
+	// TotalFires normalized by it — the fleet's aggregate probe
+	// throughput.
+	WallSec     float64 `json:"wall_sec"`
+	TotalFires  uint64  `json:"total_fires"`
+	TotalCycles uint64  `json:"total_cycles"`
+	FiresPerSec float64 `json:"fires_per_sec"`
+	// Scrapes counts /metrics requests issued while the fleet churned;
+	// the percentiles are over their end-to-end latencies.
+	Scrapes     int     `json:"scrapes"`
+	ScrapeP50Ms float64 `json:"scrape_p50_ms"`
+	ScrapeP99Ms float64 `json:"scrape_p99_ms"`
+	// RollupConsistent reports that every scrape satisfied
+	// fleet_total == sum(session totals) exactly.
+	RollupConsistent bool `json:"rollup_consistent"`
+	// Done and Failed count terminal session states.
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+}
+
+// fleetTools is the tool mix the harness cycles through: all
+// action-heavy, so the fire rate reflects instrumentation pressure.
+var fleetTools = []string{"instcount_basic", "opcodemix", "loopcoverage"}
+
+// Fleet runs the load harness.
+func Fleet(o FleetOptions) (FleetResult, error) {
+	if o.Sessions <= 0 {
+		o.Sessions = 48
+	}
+	if o.Workers <= 0 {
+		o.Workers = 32
+	}
+	if o.Loop <= 0 {
+		o.Loop = 20000
+	}
+
+	sched := fleet.NewScheduler(fleet.Config{
+		Workers:  o.Workers,
+		Queue:    o.Sessions + 8,
+		Interval: 50 * time.Millisecond,
+	})
+	srv := monitor.NewFleetServer(monitor.FleetConfig{
+		Fleet: sched.Fleet(),
+		Ready: sched.Accepting,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return FleetResult{}, err
+	}
+	url := "http://" + addr + "/metrics"
+
+	start := time.Now()
+	for i := 0; i < o.Sessions; i++ {
+		if _, err := sched.Submit(fleet.JobSpec{
+			Tool:   fleetTools[i%len(fleetTools)],
+			Victim: "spin",
+			Loop:   o.Loop,
+		}); err != nil {
+			return FleetResult{}, err
+		}
+	}
+
+	// Scrape concurrently with the churn, timing each request and
+	// checking rollup exactness on its body.
+	scrapeCtx, stopScrapes := context.WithCancel(context.Background())
+	type scrapeOut struct {
+		latencies []float64
+		ok        bool
+		err       error
+	}
+	scrapeCh := make(chan scrapeOut, 1)
+	go func() {
+		out := scrapeOut{ok: true}
+		client := &http.Client{Timeout: 10 * time.Second}
+		for scrapeCtx.Err() == nil {
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			if err != nil {
+				out.err = err
+				break
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				out.err = err
+				break
+			}
+			out.latencies = append(out.latencies, float64(time.Since(t0).Microseconds())/1000)
+
+			series := monitor.ParseSamples(string(body))
+			var sum float64
+			for _, sess := range sched.Fleet().Sessions() {
+				l := sess.Labels()
+				sum += series[fmt.Sprintf(`cinnamon_session_fires_total{session="%s",tool="%s",victim="%s",backend="%s"}`,
+					l.Session, l.Tool, l.Victim, l.Backend)]
+			}
+			if series["cinnamon_fleet_fires_total"] != sum {
+				out.ok = false
+			}
+		}
+		scrapeCh <- out
+	}()
+
+	waitCtx, cancelWait := context.WithTimeout(context.Background(), 10*time.Minute)
+	waitErr := sched.Wait(waitCtx)
+	cancelWait()
+	wall := time.Since(start).Seconds()
+
+	stopScrapes()
+	scrapes := <-scrapeCh
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = sched.Drain(drainCtx)
+	_ = srv.Shutdown(drainCtx)
+	cancelDrain()
+	if waitErr != nil {
+		return FleetResult{}, fmt.Errorf("bench: fleet sessions did not settle: %w", waitErr)
+	}
+	if scrapes.err != nil {
+		return FleetResult{}, fmt.Errorf("bench: fleet scrape: %w", scrapes.err)
+	}
+
+	res := FleetResult{
+		Sessions:         o.Sessions,
+		Workers:          o.Workers,
+		Loop:             o.Loop,
+		WallSec:          wall,
+		Scrapes:          len(scrapes.latencies),
+		RollupConsistent: scrapes.ok,
+	}
+	for _, sess := range sched.Fleet().Sessions() {
+		info := sess.Info()
+		res.TotalFires += info.Fires
+		res.TotalCycles += info.ProbeCycles
+		switch info.State {
+		case monitor.SessionDone:
+			res.Done++
+		case monitor.SessionFailed:
+			res.Failed++
+		}
+	}
+	if wall > 0 {
+		res.FiresPerSec = float64(res.TotalFires) / wall
+	}
+	res.ScrapeP50Ms = percentile(scrapes.latencies, 0.50)
+	res.ScrapeP99Ms = percentile(scrapes.latencies, 0.99)
+	return res, nil
+}
+
+// percentile returns the p-th percentile of the samples (nearest-rank;
+// 0 when empty).
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+// FormatFleet renders the harness result.
+func FormatFleet(w io.Writer, r FleetResult) {
+	fmt.Fprintf(w, "%-10s %-8s %-8s %12s %14s %9s %10s %10s %7s %7s\n",
+		"sessions", "workers", "loop", "fires", "fires/sec", "scrapes", "p50 ms", "p99 ms", "done", "failed")
+	fmt.Fprintf(w, "%-10d %-8d %-8d %12d %14.0f %9d %10.2f %10.2f %7d %7d\n",
+		r.Sessions, r.Workers, r.Loop, r.TotalFires, r.FiresPerSec,
+		r.Scrapes, r.ScrapeP50Ms, r.ScrapeP99Ms, r.Done, r.Failed)
+	if !r.RollupConsistent {
+		fmt.Fprintln(w, "WARNING: a mid-churn scrape violated fleet rollup exactness")
+	}
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// A small harness run settles every session, reports activity, and
+// never sees an inconsistent rollup.
+func TestFleetHarnessSmall(t *testing.T) {
+	res, err := Fleet(FleetOptions{Sessions: 6, Workers: 3, Loop: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 6 || res.Failed != 0 {
+		t.Fatalf("done=%d failed=%d, want 6/0", res.Done, res.Failed)
+	}
+	if res.TotalFires == 0 || res.FiresPerSec == 0 {
+		t.Fatalf("no activity recorded: %+v", res)
+	}
+	if !res.RollupConsistent {
+		t.Fatal("a scrape violated rollup exactness")
+	}
+	if res.Scrapes == 0 {
+		t.Fatal("no scrapes issued")
+	}
+}
+
+// The fleet perf gate (scripts/ci.sh): with 32 live sessions over a
+// CPU-proportional worker pool the fleet must sustain millions of probe
+// fires per second, every mid-churn scrape must stay rollup-exact, and
+// a /metrics snapshot must stay cheap at the tail. The pool is sized to
+// 2× the machine's cores (capped at 32): worker goroutines are pure
+// CPU, so a pool far beyond the core count measures run-queue depth,
+// not the snapshot path — a daemon is deployed with headroom for its
+// observers. Timing-dependent, so it only runs when CINNAMON_PERF_GATE
+// is set.
+func TestFleetSnapshotLatencyGate(t *testing.T) {
+	if os.Getenv("CINNAMON_PERF_GATE") == "" {
+		t.Skip("set CINNAMON_PERF_GATE=1 to run the fleet perf gate")
+	}
+	workers := 2 * runtime.NumCPU()
+	if workers > 32 {
+		workers = 32
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	res, err := Fleet(FleetOptions{Sessions: 32, Workers: workers, Loop: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fleet gate: %.0f fires/sec over %d sessions (%d workers), %d scrapes, p50 %.2fms p99 %.2fms",
+		res.FiresPerSec, res.Sessions, workers, res.Scrapes, res.ScrapeP50Ms, res.ScrapeP99Ms)
+	if res.Done != 32 {
+		t.Fatalf("done=%d failed=%d, want all 32 done", res.Done, res.Failed)
+	}
+	if !res.RollupConsistent {
+		t.Fatal("a scrape under load violated rollup exactness")
+	}
+	const minFiresPerSec = 1_000_000
+	if res.FiresPerSec < minFiresPerSec {
+		t.Fatalf("aggregate throughput %.0f fires/sec, gate %d", res.FiresPerSec, minFiresPerSec)
+	}
+	const maxP99Ms = 250.0
+	if res.ScrapeP99Ms > maxP99Ms {
+		t.Fatalf("/metrics p99 %.2fms exceeds the %.0fms budget", res.ScrapeP99Ms, maxP99Ms)
+	}
+	if res.Scrapes < 3 {
+		t.Fatalf("only %d scrapes completed under load; the latency sample is meaningless", res.Scrapes)
+	}
+}

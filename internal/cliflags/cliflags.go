@@ -1,0 +1,143 @@
+// Package cliflags is the shared grouped-flag registry of the command
+// line drivers (cmd/cinnamon, cmd/cinnamond). Every flag is declared
+// through one of the typed helpers, which record (group, name, argument,
+// default, help) in declaration order; the grouped -help output and the
+// generated docs/CLI.md sections are both rendered from the recorded
+// table, and a test regenerates the document and compares it to the
+// committed copy, so the CLI reference cannot rot.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Def is one recorded flag: its group, name, argument placeholder
+// (empty for booleans), rendered default and help text.
+type Def struct {
+	Group   string
+	Name    string
+	Arg     string
+	Default string
+	Help    string
+}
+
+// Set is a flag.FlagSet plus the registry of its declared flags. Flags
+// are declared as package variables through the typed helpers, so the
+// registry is populated for tests and doc generation without parsing
+// anything.
+type Set struct {
+	// FS is the underlying flag set.
+	FS *flag.FlagSet
+	// Groups lists the declared groups in presentation order.
+	Groups []string
+	// Defs records every declared flag in declaration order.
+	Defs []Def
+}
+
+// New creates a registry-backed flag set with the given presentation
+// groups.
+func New(name string, groups ...string) *Set {
+	return &Set{FS: flag.NewFlagSet(name, flag.ExitOnError), Groups: groups}
+}
+
+func (s *Set) record(group, name, arg, def, help string) {
+	s.Defs = append(s.Defs, Def{Group: group, Name: name, Arg: arg, Default: def, Help: help})
+}
+
+// String declares a string flag in the group.
+func (s *Set) String(group, name, def, arg, help string) *string {
+	s.record(group, name, arg, def, help)
+	return s.FS.String(name, def, help)
+}
+
+// Bool declares a boolean flag in the group.
+func (s *Set) Bool(group, name string, def bool, help string) *bool {
+	d := ""
+	if def {
+		d = "true"
+	}
+	s.record(group, name, "", d, help)
+	return s.FS.Bool(name, def, help)
+}
+
+// Int declares an integer flag in the group.
+func (s *Set) Int(group, name string, def int, arg, help string) *int {
+	d := ""
+	if def != 0 {
+		d = fmt.Sprintf("%d", def)
+	}
+	s.record(group, name, arg, d, help)
+	return s.FS.Int(name, def, help)
+}
+
+// Float64 declares a float flag in the group.
+func (s *Set) Float64(group, name string, def float64, arg, help string) *float64 {
+	s.record(group, name, arg, fmt.Sprintf("%g", def), help)
+	return s.FS.Float64(name, def, help)
+}
+
+// Uint64 declares a uint64 flag in the group.
+func (s *Set) Uint64(group, name string, def uint64, arg, help string) *uint64 {
+	d := ""
+	if def != 0 {
+		d = fmt.Sprintf("%d", def)
+	}
+	s.record(group, name, arg, d, help)
+	return s.FS.Uint64(name, def, help)
+}
+
+// Duration declares a duration flag in the group.
+func (s *Set) Duration(group, name string, def time.Duration, arg, help string) *time.Duration {
+	s.record(group, name, arg, def.String(), help)
+	return s.FS.Duration(name, def, help)
+}
+
+// Usage writes the grouped flag reference (the body of a custom
+// flag.Usage, below the caller's "usage:" line).
+func (s *Set) Usage(w io.Writer) {
+	for _, g := range s.Groups {
+		fmt.Fprintf(w, "\n%s:\n", g)
+		for _, d := range s.Defs {
+			if d.Group != g {
+				continue
+			}
+			head := "-" + d.Name
+			if d.Arg != "" {
+				head += " " + d.Arg
+			}
+			fmt.Fprintf(w, "  %-24s %s", head, d.Help)
+			if d.Default != "" {
+				fmt.Fprintf(w, " (default %s)", d.Default)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Markdown renders one "## <group> flags" table per group, the
+// building block of the generated docs/CLI.md.
+func (s *Set) Markdown(b *strings.Builder) {
+	for _, g := range s.Groups {
+		fmt.Fprintf(b, "\n## %s flags\n\n", g)
+		b.WriteString("| Flag | Default | Description |\n|---|---|---|\n")
+		for _, d := range s.Defs {
+			if d.Group != g {
+				continue
+			}
+			head := "`-" + d.Name
+			if d.Arg != "" {
+				head += " " + d.Arg
+			}
+			head += "`"
+			def := d.Default
+			if def != "" {
+				def = "`" + def + "`"
+			}
+			fmt.Fprintf(b, "| %s | %s | %s |\n", head, def, d.Help)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/core/engine"
@@ -97,6 +98,11 @@ type Options struct {
 	// machine before execution starts — the attachment point for
 	// adaptive controllers such as internal/governor.
 	OnMachine func(*vm.VM)
+	// Stop, when non-nil, is a cooperative cancellation flag polled by
+	// the machine at block-start dispatch: setting it from any goroutine
+	// makes the run fail with vm.ErrStopped. Session schedulers
+	// (internal/fleet) use it to cancel sessions on drain.
+	Stop *atomic.Bool
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -277,7 +283,7 @@ func (pl *pinPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
 }
 
 func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine})
+	p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine, Stop: opts.Stop})
 	pl := &pinPlacer{
 		p: p, prog: prog,
 		loopDetection: opts.PinLoopDetection,
@@ -458,7 +464,7 @@ func (pl *dyninstPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error 
 }
 
 func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine})
+	be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine, Stop: opts.Stop})
 	if err != nil {
 		return nil, err
 	}
@@ -626,7 +632,7 @@ func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.R
 		},
 		Handlers: pl.handlers,
 	}
-	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine})
+	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine, Stop: opts.Stop})
 	if err != nil {
 		return nil, err
 	}

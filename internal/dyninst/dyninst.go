@@ -21,6 +21,7 @@ package dyninst
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
@@ -391,6 +392,7 @@ type BinaryEdit struct {
 	noInline   bool
 	adaptive   bool
 	onMachine  func(*vm.VM)
+	stop       *atomic.Bool
 	initFns    []func()
 	finiFns    []func()
 }
@@ -418,6 +420,9 @@ type Config struct {
 	// machine before execution starts — the hook adaptive controllers
 	// (the overhead governor) attach through.
 	OnMachine func(*vm.VM)
+	// Stop, when non-nil, is the cooperative cancellation flag handed to
+	// the machine (see vm.Config.Stop).
+	Stop *atomic.Bool
 }
 
 // OpenBinary parses the program's executable for rewriting. It fails,
@@ -433,7 +438,7 @@ func OpenBinary(prog *cfg.Program, c Config) (*BinaryEdit, error) {
 			return nil, fmt.Errorf("dyninst: %s: imprecise control flow in %s", exe.Name(), f.Name)
 		}
 	}
-	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs, execMode: c.ExecMode, noInline: c.NoInline, adaptive: c.Adaptive, onMachine: c.OnMachine}, nil
+	return &BinaryEdit{prog: prog, exe: exe, fuel: c.Fuel, appOut: c.AppOut, obs: c.Obs, execMode: c.ExecMode, noInline: c.NoInline, adaptive: c.Adaptive, onMachine: c.OnMachine, stop: c.Stop}, nil
 }
 
 // Image returns the parsed image.
@@ -529,7 +534,7 @@ func snippetSample(s Snippet) uint64 {
 // are baked in before the first instruction runs, and no translation cost
 // is paid at run time.
 func (be *BinaryEdit) Run() (*vm.Result, error) {
-	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs, ExecMode: be.execMode, NoInline: be.noInline, Adaptive: be.adaptive})
+	machine := vm.New(be.prog, vm.Config{Fuel: be.fuel, AppOut: be.appOut, Obs: be.obs, ExecMode: be.execMode, NoInline: be.noInline, Adaptive: be.adaptive, Stop: be.stop})
 	if be.onMachine != nil {
 		be.onMachine(machine)
 	}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/obs"
@@ -235,6 +236,9 @@ type Config struct {
 	// execution starts — the hook adaptive controllers (the overhead
 	// governor) attach through.
 	OnMachine func(*vm.VM)
+	// Stop, when non-nil, is the cooperative cancellation flag handed to
+	// the machine (see vm.Config.Stop).
+	Stop *atomic.Bool
 }
 
 // Run executes the program under Janus: the tool's static pass runs
@@ -251,7 +255,7 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 		c.Obs.MutateBuild(func(b *obs.BuildStats) { b.RulesEmitted = rt.NumRules() })
 	}
 
-	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline, Adaptive: c.Adaptive})
+	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline, Adaptive: c.Adaptive, Stop: c.Stop})
 	if c.OnMachine != nil {
 		c.OnMachine(machine)
 	}

@@ -1,0 +1,235 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Fleet exposition: the per-probe, untracked, trace and governor
+// families of the single-run writer, re-rendered with session/tool/
+// victim/backend labels for every registered session, plus the
+// cinnamon_fleet_* rollups. The rollups are computed from the very same
+// per-session snapshots the labelled series are rendered from — one
+// snapshot per session per scrape — so the fleet totals are exactly the
+// sum of the per-session series, never an approximation from a second
+// read.
+
+// sessionBase renders the identifying label set of a session.
+func sessionBase(l SessionLabels) string {
+	return fmt.Sprintf(`session="%s",tool="%s",victim="%s",backend="%s"`,
+		escapeLabel(l.Session), escapeLabel(l.Tool), escapeLabel(l.Victim), escapeLabel(l.Backend))
+}
+
+// WriteFleetMetrics renders the whole fleet as one exposition document
+// — the body of the fleet /metrics endpoint, exported so the scheduler's
+// soak tests and the load harness can render scrapes without a listener.
+func WriteFleetMetrics(w io.Writer, f *Fleet) { writeFleetMetrics(w, f) }
+
+// writeFleetMetrics renders the whole fleet as one exposition document.
+func writeFleetMetrics(w io.Writer, f *Fleet) {
+	sessions := f.Sessions()
+
+	// One snapshot per session; every family below reads from these.
+	type sessSnap struct {
+		s    *FleetSession
+		base string
+		snap *obs.Stats
+	}
+	snaps := make([]sessSnap, 0, len(sessions))
+	for _, s := range sessions {
+		l := s.Labels()
+		snaps = append(snaps, sessSnap{s: s, base: sessionBase(l), snap: s.Collector().Snapshot(l.Backend)})
+	}
+
+	fires := family{name: "cinnamon_probe_fires_total",
+		help: "Probe firings, by session, probe label, trigger and dispatch mechanism.", typ: "counter"}
+	skips := family{name: "cinnamon_probe_skips_total",
+		help: "Sampled-probe hits swallowed by the sampling gate.", typ: "counter"}
+	cycles := family{name: "cinnamon_probe_cycles_total",
+		help: "Instrumentation cycle units attributed to probe firings.", typ: "counter"}
+	unFires := family{name: "cinnamon_untracked_fires_total",
+		help: "Firings of probes not registered with the session's collector.", typ: "counter"}
+	unCycles := family{name: "cinnamon_untracked_cycles_total",
+		help: "Cycle units of untracked firings.", typ: "counter"}
+	unSkips := family{name: "cinnamon_untracked_skips_total",
+		help: "Sampling-gate skips of untracked probes.", typ: "counter"}
+	sessFires := family{name: "cinnamon_session_fires_total",
+		help: "All probe firings of the session, untracked included.", typ: "counter"}
+	sessSkips := family{name: "cinnamon_session_skips_total",
+		help: "All sampling-gate skips of the session, untracked included.", typ: "counter"}
+	sessCycles := family{name: "cinnamon_session_cycles_total",
+		help: "All instrumentation cycle units of the session, untracked included.", typ: "counter"}
+	sessAttempts := family{name: "cinnamon_session_attempts_total",
+		help: "Scheduler attempts of the session (restarts count).", typ: "counter"}
+	trDropped := family{name: "cinnamon_trace_dropped_total",
+		help: "Trace-ring events overwritten by wraparound.", typ: "counter"}
+	subs := family{name: "cinnamon_trace_subscribers",
+		help: "Live SSE/trace subscriptions on the session's collector.", typ: "gauge"}
+	subDropped := family{name: "cinnamon_trace_subscriber_dropped_total",
+		help: "Events dropped across the session's trace subscriptions (live and retired).", typ: "counter"}
+
+	// Fleet rollups, accumulated while the labelled families render.
+	var fleetFires, fleetSkips, fleetCycles uint64
+	var fleetProbes int
+
+	for _, ss := range snaps {
+		snap := ss.snap
+
+		type agg struct{ fires, skips, cycles uint64 }
+		byKey := map[probeKey]*agg{}
+		var keys []probeKey
+		for _, p := range snap.Probes {
+			k := probeKey{p.Label, p.Trigger, p.Mechanism}
+			a, ok := byKey[k]
+			if !ok {
+				a = &agg{}
+				byKey[k] = a
+				keys = append(keys, k)
+			}
+			a.fires += p.Fires
+			a.skips += p.Skips
+			a.cycles += p.Cycles
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.label != b.label {
+				return a.label < b.label
+			}
+			if a.trigger != b.trigger {
+				return a.trigger < b.trigger
+			}
+			return a.mech < b.mech
+		})
+		for _, k := range keys {
+			a := byKey[k]
+			labels := fmt.Sprintf(`%s,probe="%s",trigger="%s",mechanism="%s"`,
+				ss.base, escapeLabel(k.label), escapeLabel(k.trigger), escapeLabel(k.mech))
+			fires.add(labels, fmt.Sprintf("%d", a.fires))
+			skips.add(labels, fmt.Sprintf("%d", a.skips))
+			cycles.add(labels, fmt.Sprintf("%d", a.cycles))
+		}
+
+		unFires.add(ss.base, fmt.Sprintf("%d", snap.UntrackedFires))
+		unCycles.add(ss.base, fmt.Sprintf("%d", snap.UntrackedCycles))
+		unSkips.add(ss.base, fmt.Sprintf("%d", snap.UntrackedSkips))
+
+		// Per-session totals from the same snapshot: the series the
+		// fleet rollups must equal the sum of.
+		sessFires.add(ss.base, fmt.Sprintf("%d", snap.TotalFires))
+		sessSkips.add(ss.base, fmt.Sprintf("%d", snap.TotalSkips))
+		sessCycles.add(ss.base, fmt.Sprintf("%d", snap.ProbeCycles))
+
+		info := ss.s.Info()
+		sessAttempts.add(ss.base, fmt.Sprintf("%d", info.Attempts))
+
+		col := ss.s.Collector()
+		trDropped.add(ss.base, fmt.Sprintf("%d", col.TraceDropped()))
+		subs.add(ss.base, fmt.Sprintf("%d", col.Subscribers()))
+		subDropped.add(ss.base, fmt.Sprintf("%d", col.SubscriberDrops()))
+
+		fleetFires += snap.TotalFires
+		fleetSkips += snap.TotalSkips
+		fleetCycles += snap.ProbeCycles
+		fleetProbes += len(snap.Probes)
+	}
+
+	for _, fam := range []*family{
+		&fires, &skips, &cycles,
+		&unFires, &unCycles, &unSkips,
+		&sessFires, &sessSkips, &sessCycles, &sessAttempts,
+		&trDropped, &subs, &subDropped,
+	} {
+		fam.write(w)
+	}
+
+	// Rollups. Emitted even for an empty fleet (zero-valued), so a
+	// scraper always sees the fleet families.
+	for _, g := range []struct {
+		name, help, typ string
+		value           string
+	}{
+		{"cinnamon_fleet_fires_total", "All probe firings across the fleet (sum of cinnamon_session_fires_total).", "counter", fmt.Sprintf("%d", fleetFires)},
+		{"cinnamon_fleet_skips_total", "All sampling-gate skips across the fleet (sum of cinnamon_session_skips_total).", "counter", fmt.Sprintf("%d", fleetSkips)},
+		{"cinnamon_fleet_cycles_total", "All instrumentation cycle units across the fleet (sum of cinnamon_session_cycles_total).", "counter", fmt.Sprintf("%d", fleetCycles)},
+		{"cinnamon_fleet_probes", "Registered probes across the fleet.", "gauge", fmt.Sprintf("%d", fleetProbes)},
+	} {
+		fam := family{name: g.name, help: g.help, typ: g.typ}
+		fam.add("", g.value)
+		fam.write(w)
+	}
+
+	states := family{name: "cinnamon_fleet_sessions",
+		help: "Sessions by lifecycle state.", typ: "gauge"}
+	counts := map[SessionState]int{}
+	for _, ss := range snaps {
+		counts[ss.s.State()]++
+	}
+	for _, st := range SessionStates() {
+		states.add(fmt.Sprintf(`state="%s"`, st), fmt.Sprintf("%d", counts[st]))
+	}
+	states.write(w)
+
+	// Governor families, for governed sessions. The per-session subset
+	// of writeGovernorMetrics: budget, cumulative overhead, ejections
+	// (full decision history stays on the per-run /governor endpoint).
+	budgetF := family{name: "cinnamon_governor_budget",
+		help: "Configured probe-overhead budget (fraction of machine cycles).", typ: "gauge"}
+	overF := family{name: "cinnamon_governor_cum_overhead",
+		help: "Attributed probe overhead of the run so far.", typ: "gauge"}
+	ejF := family{name: "cinnamon_governor_ejected_probes",
+		help: "Probes currently ejected by the governor.", typ: "gauge"}
+	for _, ss := range snaps {
+		g := ss.s.Governor()
+		if g == nil {
+			continue
+		}
+		st := g.State()
+		budgetF.add(ss.base, fmt.Sprintf("%g", st.Budget))
+		overF.add(ss.base, fmt.Sprintf("%g", st.CumOverhead))
+		var ejected int
+		for _, p := range st.Probes {
+			if !p.Enabled {
+				ejected++
+			}
+		}
+		ejF.add(ss.base, fmt.Sprintf("%d", ejected))
+	}
+	budgetF.write(w)
+	overF.write(w)
+	ejF.write(w)
+}
+
+// ParseSamples parses a text-exposition document into a series→value
+// map, keyed by the full sample line head ("name{labels}"). Comment and
+// blank lines are skipped. The load harness (internal/bench) and the
+// fleet smoke script use it to assert rollup consistency against a live
+// /metrics scrape.
+func ParseSamples(text string) map[string]float64 {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the last space outside braces; label values
+		// may themselves contain spaces.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}

@@ -19,7 +19,14 @@
 //	POST /governor a control command ({"probe":N,"action":"rearm"});
 //	               mailboxed and applied at the governor's next pace
 //	               point on the run goroutine
-//	GET /healthz   liveness probe
+//	GET /healthz   liveness probe (alias of /healthz/live)
+//	GET /healthz/live   liveness: the process serves HTTP
+//	GET /healthz/ready  readiness: 200 while serving, 503 once
+//	               shutdown has begun (the drain window)
+//
+// A fleet of such sessions is aggregated by FleetServer (fleet.go,
+// fleetserver.go): per-session-labelled exposition with exact rollups,
+// merged series, session lifecycle, and a multiplexed trace stream.
 package monitor
 
 import (
@@ -103,6 +110,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/governor", s.handleGovernor)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz/live", s.handleHealthz)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	return mux
 }
 
@@ -191,9 +200,25 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	_ = s.series.Dump().WriteJSON(w)
 }
 
+// handleHealthz answers liveness (/healthz and /healthz/live): the
+// process is up and serving HTTP.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady answers readiness: 200 while the server accepts work, 503
+// once shutdown has begun — in-flight requests still drain, but a load
+// balancer should route new ones elsewhere.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	select {
+	case <-s.quit:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 // heartbeat is the SSE keep-alive payload: how many events this client

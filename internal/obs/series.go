@@ -237,6 +237,18 @@ func (s *Series) Points() []Point {
 	return out
 }
 
+// Last returns the most recent point, if any — the cheap current-rate
+// read the fleet /series rollup and the load harness use instead of
+// copying the whole window. Safe from any goroutine.
+func (s *Series) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
 // Dump exports the series. Safe from any goroutine.
 func (s *Series) Dump() *SeriesDump {
 	s.mu.Lock()

@@ -25,6 +25,7 @@ package pin
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
@@ -359,12 +360,15 @@ type Config struct {
 	// before any instrumentation is installed — the hook adaptive
 	// controllers (the overhead governor) attach through.
 	OnMachine func(*vm.VM)
+	// Stop, when non-nil, is the cooperative cancellation flag handed to
+	// the machine (see vm.Config.Stop).
+	Stop *atomic.Bool
 }
 
 // New creates a Pin session for the program.
 func New(prog *cfg.Program, c Config) *Pin {
 	p := &Pin{prog: prog, obs: c.Obs}
-	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline, Adaptive: c.Adaptive})
+	p.vm = vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline, Adaptive: c.Adaptive, Stop: c.Stop})
 	if c.OnMachine != nil {
 		c.OnMachine(p.vm)
 	}

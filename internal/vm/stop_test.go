@@ -1,0 +1,62 @@
+package vm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// loopSrc spins long enough that a concurrent stop lands mid-run.
+const stopLoopSrc = `
+.module a.out
+.executable
+.entry main
+.func main
+  mov r1, 0
+  mov r2, 50000000
+head:
+  add r1, r1, 1
+  blt r1, r2, head
+  halt
+`
+
+// A pre-set stop flag cancels the run at the first block dispatch, on
+// both execution tiers, and the error is the ErrStopped sentinel.
+func TestStopFlagCancelsRun(t *testing.T) {
+	for _, mode := range []ExecMode{ExecTranslated, ExecInterpreted} {
+		prog := build(t, stopLoopSrc)
+		var stop atomic.Bool
+		stop.Store(true)
+		v := New(prog, Config{ExecMode: mode, Stop: &stop})
+		_, err := v.Run()
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("mode %v: err = %v, want ErrStopped", mode, err)
+		}
+	}
+}
+
+// A stop raised from another goroutine lands while the loop is running:
+// the run ends with ErrStopped well before the loop's full cost.
+func TestStopFlagCancelsMidRun(t *testing.T) {
+	prog := build(t, stopLoopSrc)
+	var stop atomic.Bool
+	v := New(prog, Config{Stop: &stop})
+	done := make(chan error, 1)
+	go func() {
+		_, err := v.Run()
+		done <- err
+	}()
+	stop.Store(true)
+	if err := <-done; err != nil && !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want nil (already halted) or ErrStopped", err)
+	}
+}
+
+// A nil Stop leaves runs unaffected.
+func TestStopFlagNilIsNoop(t *testing.T) {
+	prog := build(t, sumSrc)
+	v := New(prog, Config{})
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

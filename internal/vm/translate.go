@@ -394,6 +394,9 @@ func (v *VM) runTranslated() error {
 			// drained, previous block's accounting flushed, code cache not
 			// yet resolved (so anything the hook invalidates retranslates
 			// on this very dispatch).
+			if v.stop != nil && v.stop.Load() {
+				return v.stopErr()
+			}
 			if v.pacer != nil && v.cycles >= v.nextPace {
 				v.pace()
 			}

@@ -30,9 +30,11 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
@@ -214,7 +216,19 @@ type Config struct {
 	// with an explicit sampling stride carry a control block; everything
 	// else keeps the zero-overhead always-on path.
 	Adaptive bool
+	// Stop, when non-nil, is a cooperative cancellation flag: any
+	// goroutine may set it, and the machine checks it at block-start
+	// dispatch (the same observation point the pace hook uses), returning
+	// ErrStopped from Run with promoted counters flushed. Session
+	// schedulers (internal/fleet) use it to cancel long-running sessions
+	// on drain. Nil keeps the dispatch loop free of the check.
+	Stop *atomic.Bool
 }
+
+// ErrStopped is returned by Run when the machine was cancelled through
+// Config.Stop. The machine state behind it is consistent (promoted
+// counters flushed, attribution reconciled up to the stop point).
+var ErrStopped = errors.New("vm: stopped on request")
 
 // VM is a single-use machine: create, instrument, Run once.
 type VM struct {
@@ -271,6 +285,9 @@ type VM struct {
 	pacer     func()
 	paceEvery uint64
 	nextPace  uint64
+	// stop is the cooperative cancellation flag (Config.Stop); checked
+	// at block-start dispatch only when non-nil.
+	stop *atomic.Bool
 
 	ctx Ctx
 }
@@ -311,6 +328,7 @@ func New(prog *cfg.Program, cfgv Config) *VM {
 		heapNext:     obj.HeapBase,
 		suppressEdge: true,
 		adaptive:     cfgv.Adaptive,
+		stop:         cfgv.Stop,
 	}
 	v.ctx.vm = v
 	for _, m := range prog.Modules {
@@ -553,6 +571,16 @@ func (v *VM) Mem() *Memory { return v.mem }
 // Reg returns the current value of a register.
 func (v *VM) Reg(r isa.Reg) uint64 { return v.regs[r] }
 
+// stopErr finalizes a cooperative cancellation: like a trap it is an
+// observation point, so promoted counters flush before the error
+// surfaces.
+func (v *VM) stopErr() error {
+	if len(v.dirty) > 0 {
+		v.flushCounters()
+	}
+	return ErrStopped
+}
+
 func (v *VM) trap(format string, args ...any) error {
 	// Traps are observation points: promoted counters flush so the
 	// machine state behind the error matches the interpreter's exactly.
@@ -756,6 +784,9 @@ func (v *VM) runInterp() error {
 			// the translated tier checks it, so governor decisions are
 			// driven by an identical (cycles, block) sequence on both
 			// tiers.
+			if v.stop != nil && v.stop.Load() {
+				return v.stopErr()
+			}
 			if v.pacer != nil && v.cycles >= v.nextPace {
 				v.pace()
 			}

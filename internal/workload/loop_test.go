@@ -10,7 +10,7 @@ import (
 func TestLoopableVictimsSet(t *testing.T) {
 	names := LoopableVictims()
 	sort.Strings(names)
-	want := []string{"indirect_attack", "indirect_clean", "loopy", "stack_clean", "uaf_bug", "uaf_clean"}
+	want := []string{"indirect_attack", "indirect_clean", "loopy", "spin", "stack_clean", "uaf_bug", "uaf_clean"}
 	if len(names) != len(want) {
 		t.Fatalf("loopable = %v, want %v", names, want)
 	}

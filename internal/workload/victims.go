@@ -195,6 +195,26 @@ cold:
 cells: .space 64
 `
 
+// Spin is the load-harness victim (internal/bench's fleet experiment,
+// cmd/cinnamond soak runs): a bare arithmetic loop with no calls and no
+// memory traffic, so nearly every retired instruction is probe-eligible
+// and a per-instruction tool fires at the victim's full speed. The halt
+// lives in main, so the victim is loopable (LoopedVictim).
+const Spin = `
+.module spin
+.executable
+.entry main
+.func main
+  mov  r1, 0
+  mov  r2, 32
+spin_hot:
+  add  r3, r3, 1
+  add  r4, r4, r3
+  add  r1, r1, 1
+  blt  r1, r2, spin_hot
+  halt
+`
+
 // Victims maps victim names to their assembly sources.
 func Victims() map[string]string {
 	return map[string]string{
@@ -205,6 +225,7 @@ func Victims() map[string]string {
 		"indirect_attack": IndirectAttack,
 		"indirect_clean":  IndirectClean,
 		"loopy":           Loopy,
+		"spin":            Spin,
 	}
 }
 

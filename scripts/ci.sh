@@ -28,6 +28,14 @@
 #   monitor    live-monitoring smoke (scripts/monitorsmoke): a looping
 #              victim with -listen, scraped over real HTTP (/healthz,
 #              /metrics, one SSE event), then killed cleanly
+#   fleet      fleet-daemon smoke (scripts/fleetsmoke): cinnamond booted
+#              on an ephemeral port, 8 sessions submitted over the real
+#              POST /sessions API, /metrics scraped and the
+#              cinnamon_fleet_* rollups asserted exactly equal to the
+#              per-session sums, then SIGTERM and a clean drain; plus
+#              the fleet perf gate (internal/bench/fleet_test.go): 32
+#              live sessions must sustain millions of probe fires/sec
+#              with the /metrics p99 under budget
 #   conform    differential conformance sweep (cmd/conformance): 200
 #              seeded generated (program, victim) pairs cross-checked
 #              over all three backends and both execution tiers; any
@@ -56,8 +64,8 @@ CINNAMON_SCALE=0.1 go test -run '^$' -bench . -benchtime 1x ./... >/dev/null
 echo "==> docs gate"
 go run ./scripts/pkgdoc .
 
-echo "==> CLI reference gate (docs/CLI.md vs flag registry)"
-go test -run 'TestCLIDocCurrent|TestFlagTableComplete' -count=1 ./cmd/cinnamon/
+echo "==> CLI reference gate (docs/CLI.md vs flag registries)"
+go test -run 'TestCLIDocCurrent|TestFlagTableComplete|TestDaemonFlagTableComplete' -count=1 ./cmd/cinnamon/
 
 echo "==> doc-example compile gate (fenced .cin blocks)"
 go test -run TestDocExamplesCompile -count=1 ./cinnamon/
@@ -83,6 +91,12 @@ go run ./cmd/experiments -exp=governor -benchmark=mcf -scale=0.2 >/dev/null
 
 echo "==> live-monitoring smoke"
 go run ./scripts/monitorsmoke
+
+echo "==> fleet-daemon smoke"
+go run ./scripts/fleetsmoke
+
+echo "==> fleet snapshot-latency perf gate"
+CINNAMON_PERF_GATE=1 go test -run TestFleetSnapshotLatencyGate -count=1 ./internal/bench/
 
 echo "==> differential conformance sweep (200 seeds)"
 go run ./cmd/conformance -seeds 200 -budget 30s

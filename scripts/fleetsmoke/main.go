@@ -1,0 +1,275 @@
+// Command fleetsmoke is the CI smoke test for the fleet daemon: it
+// builds cinnamond, boots it on an ephemeral port, submits 8 sessions
+// over the real POST /sessions API, waits for them to settle, scrapes
+// /metrics and asserts the fleet rollups are exactly the sum of the
+// per-session series, checks the lifecycle and readiness endpoints, and
+// finally SIGTERMs the daemon and verifies it drains and exits cleanly.
+// Like monitorsmoke, it exercises the operator path — real binary, real
+// flags, real HTTP — so a wiring regression in cmd/cinnamond fails CI
+// even if every package test passes.
+//
+// Run from the repository root (scripts/ci.sh does):
+//
+//	go run ./scripts/fleetsmoke
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const sessions = 8
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleetsmoke: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "fleetsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "cinnamond")
+
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/cinnamond").CombinedOutput(); err != nil {
+		return fmt.Errorf("build cinnamond: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-listen=127.0.0.1:0", "-workers=4", "-interval=100ms", "-drain-timeout=10s")
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	addr, err := scanAddr(stderr)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	if err := expectStatus(base+"/healthz/live", http.StatusOK); err != nil {
+		return err
+	}
+	if err := expectStatus(base+"/healthz/ready", http.StatusOK); err != nil {
+		return err
+	}
+
+	// Submit the sessions over the real API: a mix of tools, one
+	// governed, all on the load-harness victim.
+	tools := []string{"instcount_basic", "opcodemix", "loopcoverage"}
+	for i := 0; i < sessions; i++ {
+		job := fmt.Sprintf(`{"tool":"%s","victim":"spin","backend":"janus","loop":3000}`, tools[i%len(tools)])
+		if i == sessions-1 {
+			job = `{"tool":"instcount_basic","victim":"spin","loop":3000,"budget":"5%"}`
+		}
+		resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(job))
+		if err != nil {
+			return fmt.Errorf("POST /sessions: %w", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("POST /sessions: status %d: %s", resp.StatusCode, body)
+		}
+	}
+	// A bad job must be rejected with a useful status.
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(`{"tool":"nope","victim":"spin"}`))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("bad job: status %d, want 400", resp.StatusCode)
+	}
+
+	// Wait for every session to settle done.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		infos, err := getSessions(base)
+		if err != nil {
+			return err
+		}
+		done := 0
+		for _, info := range infos {
+			switch info.State {
+			case "done":
+				done++
+			case "failed", "canceled":
+				return fmt.Errorf("session %s settled %s: %s", info.Session, info.State, info.Error)
+			}
+		}
+		if len(infos) == sessions && done == sessions {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sessions never settled: %+v", infos)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Scrape and assert rollup exactness: the fleet counter must equal
+	// the sum of the per-session series, to the digit.
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	series := parseSamples(metrics)
+	var sum float64
+	nSess := 0
+	for key, v := range series {
+		if strings.HasPrefix(key, "cinnamon_session_fires_total{") {
+			sum += v
+			nSess++
+		}
+	}
+	fleetTotal := series["cinnamon_fleet_fires_total"]
+	if nSess != sessions {
+		return fmt.Errorf("/metrics shows %d session series, want %d:\n%s", nSess, sessions, metrics)
+	}
+	if fleetTotal == 0 || math.Abs(fleetTotal-sum) > 0 {
+		return fmt.Errorf("fleet rollup %v != session sum %v", fleetTotal, sum)
+	}
+	if !strings.Contains(metrics, `session="s1"`) || !strings.Contains(metrics, `victim="spin"`) {
+		return fmt.Errorf("/metrics missing session labels:\n%s", metrics)
+	}
+	// The governed session exposes its budget.
+	if series[`cinnamon_governor_budget{session="s8",tool="instcount_basic",victim="spin",backend="janus"}`] != 0.05 {
+		return fmt.Errorf("governed session budget missing from /metrics")
+	}
+
+	// SIGTERM: the daemon must flip readiness, drain and exit cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			return fmt.Errorf("cinnamond exited with: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("cinnamond did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+type sessionInfo struct {
+	Session string `json:"session"`
+	State   string `json:"state"`
+	Error   string `json:"error"`
+}
+
+func getSessions(base string) ([]sessionInfo, error) {
+	body, err := get(base + "/sessions")
+	if err != nil {
+		return nil, err
+	}
+	var infos []sessionInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		return nil, fmt.Errorf("GET /sessions: %v (%s)", err, body)
+	}
+	return infos, nil
+}
+
+// parseSamples extracts series -> value from text exposition (the same
+// shape monitor.ParseSamples implements; duplicated here so the smoke
+// binary stays a pure HTTP client of the daemon).
+func parseSamples(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out
+}
+
+// scanAddr reads the daemon's stderr until it announces its bound
+// address.
+func scanAddr(stderr io.Reader) (string, error) {
+	const marker = "fleet monitor listening on http://"
+	type res struct {
+		addr string
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, marker); i >= 0 {
+				ch <- res{addr: strings.TrimSpace(line[i+len(marker):])}
+				// Keep draining so the daemon never blocks on stderr.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ch <- res{err: fmt.Errorf("fleet address never announced (stderr closed)")}
+	}()
+	select {
+	case r := <-ch:
+		return r.addr, r.err
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for the fleet address")
+	}
+}
+
+func get(url string) (string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func expectStatus(url string, want int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	}
+	return nil
+}

@@ -41,6 +41,7 @@ func main() {
 		"docs/BACKENDS.md",
 		"docs/OBSERVABILITY.md",
 		"docs/ADAPTIVE.md",
+		"docs/FLEET.md",
 		"docs/CLI.md",
 		"docs/TESTING.md",
 	} {
