@@ -158,6 +158,11 @@ type RunOptions struct {
 	// (specialized probe thunks, register-promoted counters, probe+op
 	// superinstructions). Bit-identical either way; escape hatch only.
 	VMNoInline bool
+	// NoIROpt disables the placement-IR optimization passes
+	// (where-clause hoisting, counter promotion, redundant-probe
+	// coalescing) that run over the shared rule table before backend
+	// lowering. Bit-identical either way; escape hatch only.
+	NoIROpt bool
 	// Budget, when non-empty, attaches the live overhead governor: a
 	// maximum fraction of machine cycles the run may spend in probes,
 	// as "5%" or "0.05". The governor watches live cycle attribution
@@ -254,6 +259,7 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 		Obs:              col,
 		VMMode:           mode,
 		VMNoInline:       opts.VMNoInline,
+		NoIROpt:          opts.NoIROpt,
 	}
 	if gov != nil {
 		bopts.Adaptive = true

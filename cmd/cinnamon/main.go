@@ -90,6 +90,7 @@ func main() {
 		Interval:         *interval,
 		VMMode:           *vmMode,
 		VMNoInline:       !*vmInline,
+		NoIROpt:          !*irOpt,
 		Budget:           *budget,
 		GovernorWindow:   *govWindow,
 		OnMonitor: func(addr string) {

@@ -32,6 +32,10 @@ type Cell struct {
 	// NoInline runs the translated tier with the action-inlining layer
 	// (specialized thunks, promoted counters, probe+op fusion) disabled.
 	NoInline bool
+	// NoIROpt runs with the placement-IR optimization passes
+	// (where-clause hoisting, counter promotion, probe coalescing)
+	// disabled.
+	NoIROpt bool
 }
 
 func (c Cell) String() string {
@@ -48,6 +52,9 @@ func (c Cell) String() string {
 	}
 	if c.NoInline {
 		s += "/no-inline"
+	}
+	if c.NoIROpt {
+		s += "/no-ir-opt"
 	}
 	return s
 }
@@ -94,6 +101,10 @@ const (
 	// action-inlining layer disagree. Never legal — inlining must be
 	// invisible in every observable.
 	ClassInline = "inline-mismatch"
+	// ClassIROpt: runs with and without the placement-IR optimization
+	// passes disagree. Never legal — hoisting, counter promotion and
+	// probe coalescing must be invisible in every observable.
+	ClassIROpt = "ir-opt-mismatch"
 	// ClassRef: the reference backend (Janus) itself failed.
 	ClassRef = "reference-failed"
 	// ClassPinLoops: plain Pin refused a loop command. Legal.
@@ -222,14 +233,17 @@ func Cells(t Traits) []Cell {
 		{Backend: backend.Janus, Interpret: true},
 		{Backend: backend.Janus, VMInterp: true},
 		{Backend: backend.Janus, NoInline: true},
+		{Backend: backend.Janus, NoIROpt: true},
 		{Backend: backend.Dyninst},
 		{Backend: backend.Dyninst, Interpret: true},
 		{Backend: backend.Dyninst, VMInterp: true},
 		{Backend: backend.Dyninst, NoInline: true},
+		{Backend: backend.Dyninst, NoIROpt: true},
 		{Backend: backend.Pin},
 		{Backend: backend.Pin, Interpret: true},
 		{Backend: backend.Pin, VMInterp: true},
 		{Backend: backend.Pin, NoInline: true},
+		{Backend: backend.Pin, NoIROpt: true},
 	}
 	if t.UsesLoops {
 		cells = append(cells,
@@ -237,6 +251,7 @@ func Cells(t Traits) []Cell {
 			Cell{Backend: backend.Pin, Interpret: true, LoopDetection: true},
 			Cell{Backend: backend.Pin, LoopDetection: true, VMInterp: true},
 			Cell{Backend: backend.Pin, LoopDetection: true, NoInline: true},
+			Cell{Backend: backend.Pin, LoopDetection: true, NoIROpt: true},
 		)
 	}
 	return cells
@@ -281,6 +296,7 @@ func runCell(tool *engine.CompiledTool, prog *cfg.Program, cell Cell) RunResult 
 		Obs:              col,
 		VMMode:           mode,
 		VMNoInline:       cell.NoInline,
+		NoIROpt:          cell.NoIROpt,
 	})
 	rr := RunResult{Cell: cell, Output: out.String(), Fires: map[string]uint64{}}
 	if err != nil {
@@ -309,17 +325,18 @@ func Compare(results []RunResult, traits Traits) []Divergence {
 
 	// Rule 1: execution tiers are indistinguishable — the action tier
 	// (compiled closures vs tree-walking interpreter), the machine tier
-	// (translated block programs vs the per-instruction loop), and the
-	// translated tier's action-inlining layer. For every backend
-	// configuration, every tier variant present must match its base cell
-	// exactly: error text, cycle totals and per-probe fires
-	// byte-identical.
+	// (translated block programs vs the per-instruction loop), the
+	// translated tier's action-inlining layer, and the placement-IR
+	// optimization passes. For every backend configuration, every tier
+	// variant present must match its base cell exactly: error text,
+	// cycle totals and per-probe fires byte-identical.
 	seen := map[Cell]bool{}
 	for _, r := range results {
 		base := r.Cell
 		base.Interpret = false
 		base.VMInterp = false
 		base.NoInline = false
+		base.NoIROpt = false
 		if seen[base] {
 			continue
 		}
@@ -333,6 +350,7 @@ func Compare(results []RunResult, traits Traits) []Divergence {
 			{Backend: base.Backend, LoopDetection: base.LoopDetection, VMInterp: true},
 			{Backend: base.Backend, LoopDetection: base.LoopDetection, Interpret: true, VMInterp: true},
 			{Backend: base.Backend, LoopDetection: base.LoopDetection, NoInline: true},
+			{Backend: base.Backend, LoopDetection: base.LoopDetection, NoIROpt: true},
 		} {
 			b, okB := byCell[variant]
 			if !okB {
@@ -340,8 +358,11 @@ func Compare(results []RunResult, traits Traits) []Divergence {
 			}
 			if d := diffExact(a, b, true); d != "" {
 				class := ClassTier
-				if variant.NoInline {
+				switch {
+				case variant.NoInline:
 					class = ClassInline
+				case variant.NoIROpt:
+					class = ClassIROpt
 				}
 				divs = append(divs, Divergence{
 					Class: class, Cells: [2]Cell{base, variant}, Detail: d,

@@ -1,9 +1,10 @@
 // Package backend maps compiled Cinnamon tools onto the three
 // instrumentation frameworks — Pin, Dyninst and Janus — implementing the
 // engine.Placer interface for each. This is the code-generator half of
-// the Cinnamon compiler in executable form: each placer realizes actions
-// with the target framework's native mechanism (analysis calls, snippets,
-// rewrite rules + clean calls) and its cost model.
+// the Cinnamon compiler in executable form: each placer lowers the shared
+// placement rule table (internal/core/placement) with the target
+// framework's native mechanism (analysis calls, snippets, rewrite rules +
+// clean calls) and its cost model.
 //
 // The cost asymmetries measured in the paper's Figure 13 live here:
 //
@@ -27,6 +28,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/core/engine"
 	"repro/internal/core/interp"
+	"repro/internal/core/placement"
 	"repro/internal/core/sem"
 	"repro/internal/core/value"
 	"repro/internal/dyninst"
@@ -89,10 +91,18 @@ type Options struct {
 	// translated tier. The layer is bit-identical in every observable;
 	// this is the escape hatch (and the baseline for perf comparisons).
 	VMNoInline bool
+	// NoIROpt disables the placement-IR optimization passes
+	// (where-clause hoisting, counter promotion, probe coalescing; see
+	// internal/core/placement). The passes are bit-identical in every
+	// observable; this is the escape hatch (and the baseline the
+	// differential placement-equivalence tests compare against).
+	NoIROpt bool
 	// Adaptive allocates an adaptive control block for every placed
 	// probe, so probes can be ejected and re-armed mid-run even when no
 	// action carries a `sample` clause (the overhead governor needs
-	// this). Sampled actions get control blocks regardless.
+	// this). Sampled actions get control blocks regardless. Probe
+	// coalescing is skipped under Adaptive: merged probes have no
+	// control block.
 	Adaptive bool
 	// OnMachine, when non-nil, receives the framework's underlying
 	// machine before execution starts — the attachment point for
@@ -103,6 +113,14 @@ type Options struct {
 	// makes the run fail with vm.ErrStopped. Session schedulers
 	// (internal/fleet) use it to cancel sessions on drain.
 	Stop *atomic.Bool
+}
+
+// engineOptions maps the run options onto the instrumentation stage.
+func engineOptions(opts Options) engine.Options {
+	return engine.Options{
+		Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs,
+		NoIROpt: opts.NoIROpt, Adaptive: opts.Adaptive,
+	}
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -122,28 +140,6 @@ func Run(tool *engine.CompiledTool, prog *cfg.Program, backendName string, opts 
 		return runJanus(tool, prog, opts)
 	}
 	return nil, fmt.Errorf("cinnamon: unknown backend %q (have %s)", backendName, strings.Join(Backends(), ", "))
-}
-
-// ResolveDynAttr materializes a dynamic attribute value from the machine
-// context: the framework-independent accessor behind Cinnamon's uniform
-// dot-operator interface.
-func ResolveDynAttr(c *vm.Ctx, attr string) uint64 {
-	switch attr {
-	case "memaddr", "srcaddr", "dstaddr":
-		v, _ := c.MemAddr()
-		return v
-	case "rtnval":
-		return c.RetVal()
-	case "trgaddr":
-		v, _ := c.Target()
-		return v
-	}
-	if strings.HasPrefix(attr, "arg") {
-		if n, err := strconv.Atoi(attr[3:]); err == nil && n >= 1 && n <= isa.MaxArgRegs {
-			return c.CallArg(n)
-		}
-	}
-	return 0
 }
 
 // dynSlots fills the pre-sized attribute slot buffer from raw
@@ -185,8 +181,6 @@ type pinPlacement struct {
 func (pl *pinPlacer) Name() string           { return Pin }
 func (pl *pinPlacer) Modules() []*cfg.Module { return pl.prog.Modules }
 func (pl *pinPlacer) SupportsLoops() bool    { return pl.loopDetection }
-func (pl *pinPlacer) PlaceInit(fn func())    { pl.p.VM().OnStart(func(*vm.Ctx) { fn() }) }
-func (pl *pinPlacer) PlaceFini(fn func())    { pl.p.AddFiniFunction(fn) }
 
 // pinArgs maps the action's dynamic attributes to IARG descriptors — the
 // interface between the static and dynamic contexts for this framework.
@@ -213,72 +207,82 @@ func pinArgs(attrs []sem.DynAttr) ([]pin.Arg, error) {
 	return args, nil
 }
 
-func (pl *pinPlacer) placement(a *engine.Action) (pinPlacement, error) {
-	args, err := pinArgs(a.Info.DynAttrs)
+// pinRoutine lowers one rule onto an analysis routine. The rule's
+// mechanism tier selects which fast surfaces the routine advertises;
+// merged rules carry one pin.Part per constituent so Pin registers and
+// prices each separately.
+func pinRoutine(r *placement.Rule) (pinPlacement, error) {
+	a := r.Action
+	args, err := pinArgs(a.DynAttrs)
 	if err != nil {
 		return pinPlacement{}, err
 	}
-	buf := make([]value.Value, len(a.Info.DynAttrs))
+	buf := make([]value.Value, len(a.DynAttrs))
 	exec := a.Exec
 	routine := pin.Routine{
 		Fn:   func(words []uint64) { exec(dynSlots(buf, words)) },
-		Cost: a.Info.Cost + PinGlue,
+		Cost: a.Cost + PinGlue,
 		// Cinnamon's generated callbacks are generic encapsulations;
 		// Pin's automatic inlining never applies to them.
 		Inlinable: false,
 		Label:     a.Label,
-		Sample:    a.Info.Sample,
+		Sample:    a.Sample,
 	}
-	if il := a.Inline; il != nil {
-		fbuf := make([]value.Value, len(a.Info.DynAttrs))
-		fast := il.Exec
+	switch r.Mechanism {
+	case placement.MechCounter:
+		il := a.Inline
+		routine.CounterDelta, routine.CounterFlush = il.Delta, il.Flush
+	case placement.MechFast:
+		fbuf := make([]value.Value, len(a.DynAttrs))
+		fast := a.Inline.Exec
 		routine.FastFn = func(words []uint64) { fast(dynSlots(fbuf, words)) }
-		if il.Counter && len(a.Info.DynAttrs) == 0 {
-			routine.CounterDelta, routine.CounterFlush = il.Delta, il.Flush
+	}
+	if parts := r.Merged; len(parts) > 0 {
+		routine.Merged = make([]pin.Part, len(parts))
+		for i, p := range parts {
+			routine.Merged[i] = pin.Part{Label: p.Action.Label, Cost: p.Action.Cost + PinGlue}
 		}
 	}
 	return pinPlacement{routine: routine, args: args}, nil
 }
 
-func (pl *pinPlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
-	p, err := pl.placement(a)
-	if err != nil {
-		return err
+// Lower realizes the rule table as Pin placements: the instrumentation
+// callbacks registered by runPin look them up per instruction / trace.
+func (pl *pinPlacer) Lower(rs *placement.RuleSet) error {
+	for _, r := range rs.Rules() {
+		p, err := pinRoutine(r)
+		if err != nil {
+			return err
+		}
+		switch r.Trigger {
+		case placement.Before:
+			pl.before[r.Inst.Addr] = append(pl.before[r.Inst.Addr], p)
+		case placement.After:
+			pl.after[r.Inst.Addr] = append(pl.after[r.Inst.Addr], p)
+		case placement.BlockEntry:
+			pl.blocks[r.Block.Start] = append(pl.blocks[r.Block.Start], p)
+		case placement.Edge:
+			if !pl.loopDetection {
+				return fmt.Errorf("cinnamon: pin backend cannot instrument CFG edges (no loop support)")
+			}
+			// The detection surcharge models the run-time bookkeeping a
+			// dynamic loop detector performs on top of the clean call —
+			// per constituent for merged probes, matching separate
+			// installation row for row.
+			p.routine.Cost += PinLoopDetectCost
+			for i := range p.routine.Merged {
+				p.routine.Merged[i].Cost += PinLoopDetectCost
+			}
+			pl.edges = append(pl.edges, pinEdge{r.From.Start, r.Block.Start, p})
+		}
 	}
-	pl.before[in.Addr] = append(pl.before[in.Addr], p)
-	return nil
-}
-
-func (pl *pinPlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
-	p, err := pl.placement(a)
-	if err != nil {
-		return err
+	for _, fn := range rs.Inits {
+		fn := fn
+		pl.p.VM().OnStart(func(*vm.Ctx) { fn() })
 	}
-	pl.after[in.Addr] = append(pl.after[in.Addr], p)
-	return nil
-}
-
-func (pl *pinPlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
-	p, err := pl.placement(a)
-	if err != nil {
-		return err
+	for _, fn := range rs.Finis {
+		pl.p.AddFiniFunction(fn)
 	}
-	pl.blocks[b.Start] = append(pl.blocks[b.Start], p)
-	return nil
-}
-
-func (pl *pinPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
-	if !pl.loopDetection {
-		return fmt.Errorf("cinnamon: pin backend cannot instrument CFG edges (no loop support)")
-	}
-	p, err := pl.placement(a)
-	if err != nil {
-		return err
-	}
-	// The detection surcharge models the run-time bookkeeping a dynamic
-	// loop detector performs on top of the clean call.
-	p.routine.Cost += PinLoopDetectCost
-	pl.edges = append(pl.edges, pinEdge{from.Start, to.Start, p})
 	return nil
 }
 
@@ -291,7 +295,7 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 		after:         make(map[uint64][]pinPlacement),
 		blocks:        make(map[uint64][]pinPlacement),
 	}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs})
+	inst, err := engine.Instrument(tool, prog, pl, engineOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -323,29 +327,52 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 	// edge instrumentation on the machine underneath Pin.
 	for _, e := range pl.edges {
 		e := e
-		cost := pin.CleanCallCost + e.p.routine.Cost + uint64(len(e.p.args))*pin.ArgCost
+		r := e.p.routine
 		words := make([]uint64, len(e.p.args))
+		var spec *vm.ProbeSpec
+		if r.CounterFlush != nil {
+			spec = &vm.ProbeSpec{Counter: true, Delta: r.CounterDelta, Flush: r.CounterFlush}
+		} else if r.FastFn != nil {
+			fast := r.FastFn
+			spec = &vm.ProbeSpec{Fn: func(c *vm.Ctx) { fast(words) }}
+		}
+		if len(r.Merged) > 0 {
+			shares := make([]vm.Share, len(r.Merged))
+			for i, part := range r.Merged {
+				pc := pin.CleanCallCost + part.Cost
+				id := obs.NoProbe
+				if opts.Obs != nil {
+					opts.Obs.MutateBuild(func(b *obs.BuildStats) { b.CleanCalls++ })
+					id = opts.Obs.RegisterProbe(obs.ProbeMeta{
+						Label:        part.Label,
+						Trigger:      obs.TriggerEdge,
+						Mechanism:    obs.MechCleanCall,
+						Addr:         e.to,
+						DispatchCost: pc,
+					})
+				}
+				shares[i] = vm.Share{ID: id, Cost: pc}
+			}
+			record(p.VM().AddEdgeCoalesced(e.from, e.to, shares, func(c *vm.Ctx) {
+				r.Fn(words)
+			}, spec))
+			continue
+		}
+		cost := pin.CleanCallCost + r.Cost + uint64(len(e.p.args))*pin.ArgCost
 		id := obs.NoProbe
 		if opts.Obs != nil {
 			opts.Obs.MutateBuild(func(b *obs.BuildStats) { b.CleanCalls++ })
 			id = opts.Obs.RegisterProbe(obs.ProbeMeta{
-				Label:        e.p.routine.Label,
+				Label:        r.Label,
 				Trigger:      obs.TriggerEdge,
 				Mechanism:    obs.MechCleanCall,
 				Addr:         e.to,
 				DispatchCost: cost,
 			})
 		}
-		var spec *vm.ProbeSpec
-		if r := e.p.routine; r.CounterFlush != nil {
-			spec = &vm.ProbeSpec{Counter: true, Delta: r.CounterDelta, Flush: r.CounterFlush}
-		} else if r.FastFn != nil {
-			fast := r.FastFn
-			spec = &vm.ProbeSpec{Fn: func(c *vm.Ctx) { fast(words) }}
-		}
 		record(p.VM().AddEdgeSampled(e.from, e.to, cost, id, func(c *vm.Ctx) {
-			e.p.routine.Fn(words)
-		}, spec, e.p.routine.Sample))
+			r.Fn(words)
+		}, spec, r.Sample))
 	}
 	res, err := p.Run()
 	if err != nil {
@@ -370,18 +397,19 @@ type dyninstPlacer struct {
 
 func (pl *dyninstPlacer) Name() string        { return Dyninst }
 func (pl *dyninstPlacer) SupportsLoops() bool { return true }
-func (pl *dyninstPlacer) PlaceInit(fn func()) { pl.be.OnInit(fn) }
-func (pl *dyninstPlacer) PlaceFini(fn func()) { pl.be.OnFini(fn) }
 
 // Modules returns only the executable: the static rewriter does not touch
 // shared libraries.
 func (pl *dyninstPlacer) Modules() []*cfg.Module { return pl.prog.Modules[:1] }
 
-// dyninstSnippet builds the snippet call for an action: dynamic
-// attributes become snippet argument expressions.
-func dyninstSnippet(a *engine.Action) (dyninst.Snippet, error) {
-	args := make([]dyninst.Snippet, 0, len(a.Info.DynAttrs))
-	for _, da := range a.Info.DynAttrs {
+// dyninstSnippet lowers one rule onto a snippet call: dynamic attributes
+// become snippet argument expressions, the rule's mechanism tier selects
+// the fast surfaces, and merged rules carry one dyninst.Part per
+// constituent so the rewriter registers and prices each separately.
+func dyninstSnippet(r *placement.Rule) (dyninst.Snippet, error) {
+	a := r.Action
+	args := make([]dyninst.Snippet, 0, len(a.DynAttrs))
+	for _, da := range a.DynAttrs {
 		switch {
 		case da.Attr == "memaddr" || da.Attr == "srcaddr" || da.Attr == "dstaddr":
 			args = append(args, dyninst.EffectiveAddressExpr{})
@@ -399,68 +427,69 @@ func dyninstSnippet(a *engine.Action) (dyninst.Snippet, error) {
 			return nil, fmt.Errorf("cinnamon: no Dyninst snippet mapping for dynamic attribute %q", da.Attr)
 		}
 	}
-	buf := make([]value.Value, len(a.Info.DynAttrs))
+	buf := make([]value.Value, len(a.DynAttrs))
 	exec := a.Exec
 	call := dyninst.FuncCallExpr{
 		Fn:     func(words []uint64) { exec(dynSlots(buf, words)) },
 		Args:   args,
-		Cost:   a.Info.Cost + DyninstGlue,
+		Cost:   a.Cost + DyninstGlue,
 		Label:  a.Label,
-		Sample: a.Info.Sample,
+		Sample: a.Sample,
 	}
-	if il := a.Inline; il != nil {
-		fbuf := make([]value.Value, len(a.Info.DynAttrs))
-		fast := il.Exec
+	switch r.Mechanism {
+	case placement.MechCounter:
+		il := a.Inline
+		call.CounterDelta, call.CounterFlush = il.Delta, il.Flush
+	case placement.MechFast:
+		fbuf := make([]value.Value, len(a.DynAttrs))
+		fast := a.Inline.Exec
 		call.FastFn = func(words []uint64) { fast(dynSlots(fbuf, words)) }
-		if il.Counter && len(a.Info.DynAttrs) == 0 {
-			call.CounterDelta, call.CounterFlush = il.Delta, il.Flush
+	}
+	if parts := r.Merged; len(parts) > 0 {
+		call.Merged = make([]dyninst.Part, len(parts))
+		for i, p := range parts {
+			call.Merged[i] = dyninst.Part{Label: p.Action.Label, Cost: p.Action.Cost + DyninstGlue}
 		}
 	}
 	return call, nil
 }
 
-func (pl *dyninstPlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
-	return pl.placeInst(in, a, dyninst.CallBefore)
-}
-
-func (pl *dyninstPlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
-	return pl.placeInst(in, a, dyninst.CallAfter)
-}
-
-func (pl *dyninstPlacer) placeInst(in *isa.Inst, a *engine.Action, when dyninst.CallWhen) error {
-	s, err := dyninstSnippet(a)
-	if err != nil {
-		return err
+// Lower realizes the rule table as snippet insertions on the opened
+// binary; BinaryEdit.Run bakes them in before the first instruction.
+func (pl *dyninstPlacer) Lower(rs *placement.RuleSet) error {
+	img := pl.be.Image()
+	for _, r := range rs.Rules() {
+		s, err := dyninstSnippet(r)
+		if err != nil {
+			return err
+		}
+		var pt *dyninst.Point
+		when := dyninst.CallBefore
+		switch r.Trigger {
+		case placement.Before, placement.After:
+			if r.Trigger == placement.After {
+				when = dyninst.CallAfter
+			}
+			pt, err = img.InstPoint(r.Inst.Addr)
+		case placement.BlockEntry:
+			pt, err = img.BlockEntryPoint(r.Block.Start)
+		case placement.Edge:
+			pt, err = img.EdgePoint(r.From.Start, r.Block.Start)
+		}
+		if err != nil {
+			return err
+		}
+		if err := pl.be.InsertSnippet(s, pt, when); err != nil {
+			return err
+		}
 	}
-	pt, err := pl.be.Image().InstPoint(in.Addr)
-	if err != nil {
-		return err
+	for _, fn := range rs.Inits {
+		pl.be.OnInit(fn)
 	}
-	return pl.be.InsertSnippet(s, pt, when)
-}
-
-func (pl *dyninstPlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
-	s, err := dyninstSnippet(a)
-	if err != nil {
-		return err
+	for _, fn := range rs.Finis {
+		pl.be.OnFini(fn)
 	}
-	pt, err := pl.be.Image().BlockEntryPoint(b.Start)
-	if err != nil {
-		return err
-	}
-	return pl.be.InsertSnippet(s, pt, dyninst.CallBefore)
-}
-
-func (pl *dyninstPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
-	s, err := dyninstSnippet(a)
-	if err != nil {
-		return err
-	}
-	pt, err := pl.be.Image().EdgePoint(from.Start, to.Start)
-	if err != nil {
-		return err
-	}
-	return pl.be.InsertSnippet(s, pt, dyninst.CallBefore)
+	return nil
 }
 
 func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
@@ -469,7 +498,7 @@ func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm
 		return nil, err
 	}
 	pl := &dyninstPlacer{be: be, prog: prog}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs})
+	inst, err := engine.Instrument(tool, prog, pl, engineOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -487,152 +516,45 @@ func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm
 // Janus backend
 
 type janusPlacer struct {
-	prog     *cfg.Program
-	rules    []janus.Rule
-	handlers map[janus.HandlerID]janus.Handler
-	next     janus.HandlerID
-	initFns  []func()
-	finiFns  []func()
+	prog *cfg.Program
+	rs   *placement.RuleSet
 }
 
 func (pl *janusPlacer) Name() string        { return Janus }
 func (pl *janusPlacer) SupportsLoops() bool { return true }
-func (pl *janusPlacer) PlaceInit(fn func()) { pl.initFns = append(pl.initFns, fn) }
-func (pl *janusPlacer) PlaceFini(fn func()) { pl.finiFns = append(pl.finiFns, fn) }
 
 // Modules returns only the executable: the Janus static analyzer only
 // annotates the main binary, so shared-library code is never
 // instrumented.
 func (pl *janusPlacer) Modules() []*cfg.Module { return pl.prog.Modules[:1] }
 
-// register encapsulates the action as a dynamic handler and returns its
-// rewrite-rule payload. The payload carries one word per captured
-// analysis value (the data a rewrite rule transports to its handler);
-// dynamic attributes are read from the machine context by the handler
-// itself.
-func (pl *janusPlacer) register(a *engine.Action) (janus.HandlerID, []uint64) {
-	id := pl.next
-	pl.next++
-	attrs := a.Info.DynAttrs
-	buf := make([]value.Value, len(attrs))
-	exec := a.Exec
-	h := janus.Handler{
-		Fn: func(c *vm.Ctx, _ []uint64) {
-			for i, da := range attrs {
-				buf[i] = value.UintVal(ResolveDynAttr(c, da.Attr))
-			}
-			exec(buf)
-		},
-		Cost: a.Info.Cost + JanusGlue,
-		// DynamoRIO inlines clean calls with simple callbacks.
-		Inlinable: a.Info.Simple,
-		Label:     a.Label,
-		Sample:    a.Info.Sample,
-	}
-	if il := a.Inline; il != nil {
-		fbuf := make([]value.Value, len(attrs))
-		fast := il.Exec
-		h.FastFn = func(c *vm.Ctx, _ []uint64) {
-			for i, da := range attrs {
-				fbuf[i] = value.UintVal(ResolveDynAttr(c, da.Attr))
-			}
-			fast(fbuf)
+// Lower hands the rule table to the dynamic instrumenter as-is — Janus
+// consumes the placement IR natively (its rewrite-rule table is the
+// same shape) — after validating trigger points eagerly (Section
+// III-B6: "throw an error if not"); the dynamic side would otherwise
+// silently skip the rule.
+func (pl *janusPlacer) Lower(rs *placement.RuleSet) error {
+	for _, r := range rs.Rules() {
+		if r.Trigger != placement.After {
+			continue
 		}
-		if il.Counter && len(attrs) == 0 {
-			h.CounterDelta, h.CounterFlush = il.Delta, il.Flush
+		switch r.Inst.Op {
+		case isa.Branch, isa.Return, isa.Halt:
+			return fmt.Errorf("cinnamon: after-trigger invalid on %s at %#x", r.Inst.Op, r.Inst.Addr)
 		}
 	}
-	pl.handlers[id] = h
-	return id, make([]uint64, a.NumCaptured)
-}
-
-func (pl *janusPlacer) blockOf(addr uint64) uint64 {
-	if b := pl.prog.BlockContaining(addr); b != nil {
-		return b.Start
-	}
-	return addr
-}
-
-func (pl *janusPlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
-	id, data := pl.register(a)
-	pl.rules = append(pl.rules, janus.Rule{
-		BlockAddr: pl.blockOf(in.Addr), InstAddr: in.Addr,
-		Trigger: janus.TriggerBefore, Handler: id, Data: data,
-	})
-	return nil
-}
-
-func (pl *janusPlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
-	switch in.Op {
-	case isa.Branch, isa.Return, isa.Halt:
-		// The compiler backend validates trigger points eagerly
-		// (Section III-B6: "throw an error if not"); the dynamic side
-		// would otherwise silently skip the rule.
-		return fmt.Errorf("cinnamon: after-trigger invalid on %s at %#x", in.Op, in.Addr)
-	}
-	id, data := pl.register(a)
-	pl.rules = append(pl.rules, janus.Rule{
-		BlockAddr: pl.blockOf(in.Addr), InstAddr: in.Addr,
-		Trigger: janus.TriggerAfter, Handler: id, Data: data,
-	})
-	return nil
-}
-
-func (pl *janusPlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
-	id, data := pl.register(a)
-	pl.rules = append(pl.rules, janus.Rule{
-		BlockAddr: b.Start, Trigger: janus.TriggerBlockEntry, Handler: id, Data: data,
-	})
-	return nil
-}
-
-func (pl *janusPlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
-	id, data := pl.register(a)
-	pl.rules = append(pl.rules, janus.Rule{
-		BlockAddr: to.Start, Aux: from.Start,
-		Trigger: janus.TriggerEdge, Handler: id, Data: data,
-	})
+	pl.rs = rs
 	return nil
 }
 
 func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
-	pl := &janusPlacer{prog: prog, handlers: make(map[janus.HandlerID]janus.Handler), next: 1}
-	inst, err := engine.Instrument(tool, prog, pl, engine.Options{Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs})
+	pl := &janusPlacer{prog: prog}
+	inst, err := engine.Instrument(tool, prog, pl, engineOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	const (
-		hInit janus.HandlerID = 60000 + iota
-		hFini
-	)
-	initFns, finiFns := pl.initFns, pl.finiFns
-	pl.handlers[hInit] = janus.Handler{Fn: func(*vm.Ctx, []uint64) {
-		for _, fn := range initFns {
-			fn()
-		}
-	}}
-	pl.handlers[hFini] = janus.Handler{Fn: func(*vm.Ctx, []uint64) {
-		for _, fn := range finiFns {
-			fn()
-		}
-	}}
-	rules := append([]janus.Rule{}, pl.rules...)
-	if len(initFns) > 0 {
-		rules = append(rules, janus.Rule{Trigger: janus.TriggerInit, Handler: hInit})
-	}
-	if len(finiFns) > 0 {
-		rules = append(rules, janus.Rule{Trigger: janus.TriggerFini, Handler: hFini})
-	}
-	jt := &janus.Tool{
-		Name: "cinnamon",
-		StaticPass: func(sa *janus.StaticAnalyzer) {
-			for _, r := range rules {
-				sa.EmitRule(r)
-			}
-		},
-		Handlers: pl.handlers,
-	}
-	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine, Stop: opts.Stop})
+	jt := &janus.Tool{Name: "cinnamon", Rules: pl.rs}
+	res, err := janus.Run(prog, jt, janus.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, OnMachine: opts.OnMachine, Stop: opts.Stop, Glue: JanusGlue})
 	if err != nil {
 		return nil, err
 	}

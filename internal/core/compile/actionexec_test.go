@@ -15,7 +15,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/core/engine"
-	"repro/internal/isa"
+	"repro/internal/core/placement"
 	"repro/internal/progs"
 )
 
@@ -23,39 +23,30 @@ import (
 // trigger points.
 type capturePlacer struct {
 	prog    *cfg.Program
-	actions []*engine.Action
+	actions []*placement.Action
 }
 
 func (p *capturePlacer) Name() string           { return "capture" }
 func (p *capturePlacer) Modules() []*cfg.Module { return p.prog.Modules }
 func (p *capturePlacer) SupportsLoops() bool    { return true }
-func (p *capturePlacer) PlaceInit(fn func())    {}
-func (p *capturePlacer) PlaceFini(fn func())    {}
 
-func (p *capturePlacer) PlaceInstBefore(in *isa.Inst, a *engine.Action) error {
-	p.actions = append(p.actions, a)
-	return nil
-}
-
-func (p *capturePlacer) PlaceInstAfter(in *isa.Inst, a *engine.Action) error {
-	p.actions = append(p.actions, a)
-	return nil
-}
-
-func (p *capturePlacer) PlaceBlockEntry(b *cfg.Block, a *engine.Action) error {
-	p.actions = append(p.actions, a)
-	return nil
-}
-
-func (p *capturePlacer) PlaceEdge(from, to *cfg.Block, a *engine.Action) error {
-	p.actions = append(p.actions, a)
+func (p *capturePlacer) Lower(rs *placement.RuleSet) error {
+	for _, r := range rs.Rules() {
+		if len(r.Merged) > 0 {
+			for _, c := range r.Merged {
+				p.actions = append(p.actions, c.Action)
+			}
+			continue
+		}
+		p.actions = append(p.actions, r.Action)
+	}
 	return nil
 }
 
 // placeBBAction instruments the loads target with the basic-block
 // counting tool and returns the first placed action plus the instance
 // (to check for recorded runtime errors afterwards).
-func placeBBAction(tb testing.TB, interpret bool) (*engine.Action, *engine.Instance) {
+func placeBBAction(tb testing.TB, interpret bool) (*placement.Action, *engine.Instance) {
 	tb.Helper()
 	tool, err := engine.Compile(progs.MustSource(progs.InstCountBB))
 	if err != nil {

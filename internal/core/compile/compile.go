@@ -217,6 +217,20 @@ func (b *Bound) CounterShape() (delta int64, flush func(n int64), ok bool) {
 	}, true
 }
 
+// CounterCell returns the storage cell a counter-shaped body bumps
+// (nil when CounterShape is false). Global counters resolve to the
+// shared interpreter slot, so two bodies bumping the same global
+// return the same pointer — the identity the placement coalescing
+// pass merges on. Captured locals bind fresh per-placement cells and
+// therefore never alias.
+func (b *Bound) CounterCell() *value.Value {
+	fb := b.body.fast
+	if fb == nil || !fb.counter {
+		return nil
+	}
+	return b.fastFr.cells[fb.counterCell]
+}
+
 // Program is the compiled form of a whole tool: one Body per action and per
 // init/exit block. It is immutable after Compile and safe for concurrent
 // Bind calls from parallel instrumentation runs.

@@ -1,7 +1,9 @@
 // Package engine implements Cinnamon's instrumentation stage: it walks
 // the control-flow-element hierarchy of a loaded binary, executes each
-// command's analysis code and constraints, and hands fully compiled
-// actions to a backend Placer for insertion into the target framework.
+// command's analysis code and constraints, and emits one shared
+// placement rule table (internal/core/placement) that the backend
+// Placer lowers into the target framework after the cross-backend
+// optimization passes run over it.
 //
 // This is the executable equivalent of the paper's generated analysis
 // passes: for every command, the generated code "traverses the list of
@@ -20,6 +22,7 @@ import (
 	"repro/internal/core/compile"
 	"repro/internal/core/interp"
 	"repro/internal/core/parser"
+	"repro/internal/core/placement"
 	"repro/internal/core/sem"
 	"repro/internal/core/value"
 	"repro/internal/isa"
@@ -62,48 +65,8 @@ func Label(ai *sem.ActionInfo, act *ast.Action) string {
 	return fmt.Sprintf("%s %s @%s", ai.Canonical, ai.TargetEType, act.Pos())
 }
 
-// Action is a compiled action ready for placement: an executable closure
-// over the captured analysis data, plus the metadata a backend needs to
-// price and marshal it.
-type Action struct {
-	// Info is the action's semantic analysis result (trigger, dynamic
-	// attributes, cost estimate, inlinability).
-	Info *sem.ActionInfo
-	// Label identifies the action in observability reports: canonical
-	// trigger, target CFE type and source position, e.g. "before inst
-	// @7:3". Stable across backends so attribution tables line up.
-	Label string
-	// Exec runs the action body with the materialized dynamic attribute
-	// values, one slot per Info.DynAttrs entry in that order (nil when
-	// the action reads no dynamic attributes). Runtime failures are
-	// recorded on the Instance.
-	Exec func(dyn []value.Value)
-	// NumCaptured is the number of scalar analysis values captured into
-	// the action's closure (the data a real backend would pass as
-	// callback arguments).
-	NumCaptured int
-	// Inline, when non-nil, describes the specialization surface the
-	// frameworks may hand to the VM's action-inlining layer (nil on the
-	// interpreter path or when the body has no fast lowering).
-	Inline *InlineInfo
-}
-
-// InlineInfo is the backend-facing description of an action's compiled
-// fast path (see internal/core/compile's whole-body fast tier).
-type InlineInfo struct {
-	// Exec is the specialized executor: observably identical to
-	// Action.Exec — same stores, same output, same error recording.
-	Exec func(dyn []value.Value)
-	// Counter marks a pure counter-bump body: each firing is equivalent,
-	// in every observable, to Flush(Delta). Counter actions read no
-	// dynamic attributes and cannot fail.
-	Counter bool
-	Delta   int64
-	Flush   func(n int64)
-}
-
-// Placer is the backend interface: it receives compiled actions at
-// concrete program points and realizes them in a target framework.
+// Placer is the backend interface: it lowers the finished placement
+// rule table (see internal/core/placement) onto a target framework.
 type Placer interface {
 	// Name identifies the backend ("pin", "dyninst", "janus").
 	Name() string
@@ -113,13 +76,10 @@ type Placer interface {
 	// SupportsLoops reports whether loop trigger points exist in this
 	// framework (false for Pin, which has no notion of loops).
 	SupportsLoops() bool
-	PlaceInstBefore(in *isa.Inst, a *Action) error
-	PlaceInstAfter(in *isa.Inst, a *Action) error
-	PlaceBlockEntry(b *cfg.Block, a *Action) error
-	PlaceEdge(from, to *cfg.Block, a *Action) error
-	// PlaceInit and PlaceFini install program start/end code.
-	PlaceInit(fn func())
-	PlaceFini(fn func())
+	// Lower realizes the optimized rule table in the framework:
+	// probes for the rules in table order, start/end code for
+	// Inits/Finis. Called once, after the optimization passes ran.
+	Lower(rs *placement.RuleSet) error
 }
 
 // Options configures an instrumentation run.
@@ -133,8 +93,16 @@ type Options struct {
 	// the reference path the equivalence tests compare against.
 	Interpret bool
 	// Obs, when non-nil, receives instrumentation-time statistics
-	// (actions placed, static-where filtered placements).
+	// (actions placed, static-where filtered placements, pass
+	// effects).
 	Obs *obs.Collector
+	// NoIROpt disables the placement-IR optimization passes
+	// (where-clause hoisting, counter promotion, probe coalescing);
+	// every rule then lowers through the generic mechanism.
+	NoIROpt bool
+	// Adaptive marks a governed run: probe coalescing is skipped so
+	// every placement keeps its own control block.
+	Adaptive bool
 }
 
 // Instance is the instrumented tool: its shared globals and any runtime
@@ -168,12 +136,32 @@ type engineRun struct {
 	inst      *Instance
 	interpret bool
 	obs       *obs.Collector
+	// rs accumulates the placement table the commands emit.
+	rs *placement.RuleSet
+	// optimize gates where-clause deferral (and, downstream, the
+	// rewriting passes).
+	optimize bool
 }
 
-// Instrument runs the analysis stage of the tool over the program and
-// places every action via the placer. The placer's framework must be run
+// Instrument runs the analysis stage of the tool over the program,
+// builds the placement rule table, runs the optimization passes, and
+// lowers the table via the placer. The placer's framework must be run
 // afterwards to execute the instrumented program.
 func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Options) (*Instance, error) {
+	rs, inst, err := BuildRules(tool, prog, placer, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := placer.Lower(rs); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// BuildRules is Instrument up to (but not including) backend lowering:
+// it returns the optimized placement table, ready for Lower. Exposed
+// for the rule-IR golden and differential tests.
+func BuildRules(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Options) (*placement.RuleSet, *Instance, error) {
 	// Preflight: backends without loop support reject loop commands (the
 	// paper's loop-coverage tool "could not be translated to Pin in its
 	// original form").
@@ -197,7 +185,7 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 		}
 		scan(tool.Info.Commands)
 		if loopErr != nil {
-			return nil, loopErr
+			return nil, nil, loopErr
 		}
 	}
 
@@ -205,7 +193,7 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 	glob := interp.NewEnv(nil)
 	for _, d := range tool.Info.Globals {
 		if err := it.DeclareGlobal(glob, d); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	inst := &Instance{interp: it, globals: glob}
@@ -214,6 +202,7 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 		tool: tool, placer: placer, prog: prog,
 		in: it, glob: glob, inst: inst, interpret: interpret,
 		obs: opts.Obs,
+		rs:  &placement.RuleSet{}, optimize: !opts.NoIROpt,
 	}
 
 	// Commands map in program order; within a command, per-module in
@@ -221,7 +210,7 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 	for _, cmd := range tool.Info.Commands {
 		for _, mod := range placer.Modules() {
 			if err := e.runCommand(cmd, domain{module: mod}, glob); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -232,18 +221,25 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 	for i, b := range tool.Info.Inits {
 		fn, err := e.blockExec(b.Body, codeInits, i)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		placer.PlaceInit(fn)
+		e.rs.Inits = append(e.rs.Inits, fn)
 	}
 	for i, b := range tool.Info.Exits {
 		fn, err := e.blockExec(b.Body, codeExits, i)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		placer.PlaceFini(fn)
+		e.rs.Finis = append(e.rs.Finis, fn)
 	}
-	return inst, nil
+	if err := placement.Apply(e.rs, placement.Config{
+		Optimize: e.optimize,
+		Adaptive: opts.Adaptive,
+		Obs:      opts.Obs,
+	}); err != nil {
+		return nil, nil, err
+	}
+	return e.rs, inst, nil
 }
 
 // blockExec builds the runnable form of one init/exit block: the bound
@@ -410,26 +406,39 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 	ref := slot.CFE
 
 	// Static constraints filter at instrumentation time; dynamic ones
-	// compile into a run-time guard.
+	// compile into a run-time guard. With the passes enabled, a
+	// defer-safe static constraint is hoisted instead: its CFE inputs
+	// are snapshotted by value here and the decision moves to the
+	// hoisting pass, with an outcome identical to eager evaluation.
+	var group *placement.WhereGroup
+	var whereExpr ast.Expr
 	if act.Where != nil && !ai.WhereDynamic {
-		v, err := e.in.Eval(env, act.Where)
-		if err != nil {
-			return err
-		}
-		if !v.AsBool() {
-			if e.obs != nil {
-				e.obs.MutateBuild(func(b *obs.BuildStats) { b.StaticFiltered++ })
+		if e.optimize && e.whereDeferSafe(act.Where, env) {
+			group = e.deferWhere(act.Where, env)
+			whereExpr = act.Where
+		} else {
+			v, err := e.in.Eval(env, act.Where)
+			if err != nil {
+				return err
 			}
-			return nil
+			if !v.AsBool() {
+				if e.obs != nil {
+					e.obs.MutateBuild(func(b *obs.BuildStats) { b.StaticFiltered++ })
+				}
+				return nil
+			}
 		}
 	}
-	if e.obs != nil {
+	if group == nil && e.obs != nil {
 		e.obs.MutateBuild(func(b *obs.BuildStats) { b.ActionsPlaced++ })
 	}
 
-	a := &Action{
-		Info:        ai,
+	a := &placement.Action{
 		Label:       Label(ai, act),
+		Cost:        ai.Cost,
+		Simple:      ai.Simple,
+		Sample:      ai.Sample,
+		DynAttrs:    ai.DynAttrs,
 		NumCaptured: env.NumVarsUntil(e.glob),
 	}
 	if e.interpret {
@@ -442,36 +451,43 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 		a.Exec = exec
 		a.Inline = inline
 	}
+	emit := func(r *placement.Rule) {
+		r.Action, r.Group, r.Where = a, group, whereExpr
+		e.rs.Add(r)
+	}
 
 	switch ai.TargetEType {
 	case ast.Inst:
-		if ai.Canonical == ast.Before {
-			return e.placer.PlaceInstBefore(ref.Inst, a)
+		trig := placement.Before
+		if ai.Canonical != ast.Before {
+			trig = placement.After
 		}
-		return e.placer.PlaceInstAfter(ref.Inst, a)
+		emit(&placement.Rule{Trigger: trig, Inst: ref.Inst, Block: ref.Block})
+		return nil
 	case ast.BasicBlock:
 		if ai.Canonical == ast.Entry {
-			return e.placer.PlaceBlockEntry(ref.Block, a)
+			emit(&placement.Rule{Trigger: placement.BlockEntry, Block: ref.Block})
+			return nil
 		}
 		// Block exit: immediately before the block's terminating
 		// instruction.
-		return e.placer.PlaceInstBefore(ref.Block.Last(), a)
+		emit(&placement.Rule{Trigger: placement.Before, Inst: ref.Block.Last(), Block: ref.Block})
+		return nil
 	case ast.Func:
 		f := ref.Func
 		if len(f.Blocks) == 0 {
 			return nil
 		}
 		if ai.Canonical == ast.Entry {
-			return e.placer.PlaceBlockEntry(f.Blocks[0], a)
+			emit(&placement.Rule{Trigger: placement.BlockEntry, Block: f.Blocks[0]})
+			return nil
 		}
 		// Function exit: before every return (and halt, for the program
 		// entry function).
 		for _, b := range f.Blocks {
 			last := b.Last()
 			if last.Op == isa.Return || last.Op == isa.Halt {
-				if err := e.placer.PlaceInstBefore(last, a); err != nil {
-					return err
-				}
+				emit(&placement.Rule{Trigger: placement.Before, Inst: last, Block: b})
 			}
 		}
 		return nil
@@ -487,13 +503,59 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 			edges = l.Backs
 		}
 		for _, ed := range edges {
-			if err := e.placer.PlaceEdge(ed.From, ed.To, a); err != nil {
-				return err
-			}
+			emit(&placement.Rule{Trigger: placement.Edge, From: ed.From, Block: ed.To})
 		}
 		return nil
 	}
 	return fmt.Errorf("cinnamon: internal: unplaceable action at %s", act.Pos())
+}
+
+// whereDeferSafe reports whether a static where clause may be hoisted:
+// its value must be fully determined by the by-value snapshot taken at
+// emission time. That holds when the expression reads only CFE-typed
+// variables (snapshotted), literals, and pure operators over them —
+// calls and indexing (which reach mutable analysis state or the tool
+// file system) force eager evaluation.
+func (e *engineRun) whereDeferSafe(where ast.Expr, env *interp.Env) bool {
+	safe := true
+	ast.Walk(where, func(x ast.Expr) {
+		switch n := x.(type) {
+		case *ast.Ident:
+			slot := env.Lookup(n.Name)
+			if slot == nil || slot.Kind != value.KCFE {
+				safe = false
+			}
+		case *ast.IntLit, *ast.StringLit, *ast.CharLit, *ast.BoolLit,
+			*ast.NullLit, *ast.OpcodeLit:
+		case *ast.BinaryExpr, *ast.UnaryExpr, *ast.FieldExpr, *ast.IsTypeExpr:
+		default:
+			safe = false
+		}
+	})
+	return safe
+}
+
+// deferWhere packages a defer-safe static where clause as a
+// WhereGroup: the referenced CFE variables are copied into an isolated
+// scope now, so the predicate evaluates later to exactly what eager
+// evaluation would have produced, immune to analysis-time mutation.
+func (e *engineRun) deferWhere(where ast.Expr, env *interp.Env) *placement.WhereGroup {
+	weEnv := interp.NewEnv(nil)
+	ast.Walk(where, func(x ast.Expr) {
+		if id, ok := x.(*ast.Ident); ok {
+			if slot := env.Lookup(id.Name); slot != nil {
+				weEnv.Define(id.Name, value.Copy(*slot))
+			}
+		}
+	})
+	in := e.in
+	return &placement.WhereGroup{Eval: func() (bool, error) {
+		v, err := in.Eval(weEnv, where)
+		if err != nil {
+			return false, err
+		}
+		return v.AsBool(), nil
+	}}
 }
 
 // interpExec builds an action executor on the tree-walking path: the
@@ -539,7 +601,7 @@ func (e *engineRun) interpExec(act *ast.Action, ai *sem.ActionInfo, env *interp.
 // the pre-lowered body is bound once per placement — captures copied by
 // value, globals shared — and every firing runs the closure chain on the
 // reused frame.
-func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []value.Value), *InlineInfo, error) {
+func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []value.Value), *placement.InlineInfo, error) {
 	body := e.tool.Code.Actions[act]
 	if body == nil {
 		return nil, nil, fmt.Errorf("cinnamon: internal: uncompiled action at %s", act.Pos())
@@ -561,15 +623,16 @@ func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []v
 		return nil, nil, err
 	}
 	inst := e.inst
-	var inline *InlineInfo
+	var inline *placement.InlineInfo
 	if fast := bound.FastExec(); fast != nil {
-		inline = &InlineInfo{Exec: func(dyn []value.Value) {
+		inline = &placement.InlineInfo{Exec: func(dyn []value.Value) {
 			if err := fast(dyn); err != nil {
 				inst.record(err)
 			}
 		}}
 		if delta, flush, ok := bound.CounterShape(); ok {
 			inline.Counter, inline.Delta, inline.Flush = true, delta, flush
+			inline.Cell = bound.CounterCell()
 		}
 	}
 	return func(dyn []value.Value) {

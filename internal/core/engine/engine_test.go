@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/core/placement"
 	"repro/internal/core/value"
 	"repro/internal/isa"
 	"repro/internal/obj"
@@ -31,35 +32,48 @@ type recordingPlacer struct {
 
 type placed struct {
 	addr   uint64
-	action *Action
+	action *placement.Action
 }
 
 type placedEdge struct {
 	from, to uint64
-	action   *Action
+	action   *placement.Action
 }
 
 func (p *recordingPlacer) Name() string           { return "recording" }
 func (p *recordingPlacer) Modules() []*cfg.Module { return p.modules }
 func (p *recordingPlacer) SupportsLoops() bool    { return p.loops }
-func (p *recordingPlacer) PlaceInstBefore(in *isa.Inst, a *Action) error {
-	p.instBefore = append(p.instBefore, placed{in.Addr, a})
+
+// Lower records the finished rule table instead of instrumenting
+// anything. Merged rules are flattened back to their constituents so
+// assertions see one entry per concrete placement.
+func (p *recordingPlacer) Lower(rs *placement.RuleSet) error {
+	var lower func(r *placement.Rule)
+	lower = func(r *placement.Rule) {
+		if len(r.Merged) > 0 {
+			for _, c := range r.Merged {
+				lower(c)
+			}
+			return
+		}
+		switch r.Trigger {
+		case placement.Before:
+			p.instBefore = append(p.instBefore, placed{r.Inst.Addr, r.Action})
+		case placement.After:
+			p.instAfter = append(p.instAfter, placed{r.Inst.Addr, r.Action})
+		case placement.BlockEntry:
+			p.blockEntry = append(p.blockEntry, placed{r.Block.Start, r.Action})
+		case placement.Edge:
+			p.edges = append(p.edges, placedEdge{r.From.Start, r.Block.Start, r.Action})
+		}
+	}
+	for _, r := range rs.Rules() {
+		lower(r)
+	}
+	p.inits = rs.Inits
+	p.finis = rs.Finis
 	return nil
 }
-func (p *recordingPlacer) PlaceInstAfter(in *isa.Inst, a *Action) error {
-	p.instAfter = append(p.instAfter, placed{in.Addr, a})
-	return nil
-}
-func (p *recordingPlacer) PlaceBlockEntry(b *cfg.Block, a *Action) error {
-	p.blockEntry = append(p.blockEntry, placed{b.Start, a})
-	return nil
-}
-func (p *recordingPlacer) PlaceEdge(from, to *cfg.Block, a *Action) error {
-	p.edges = append(p.edges, placedEdge{from.Start, to.Start, a})
-	return nil
-}
-func (p *recordingPlacer) PlaceInit(fn func()) { p.inits = append(p.inits, fn) }
-func (p *recordingPlacer) PlaceFini(fn func()) { p.finis = append(p.finis, fn) }
 
 const appSrc = `
 .module app
@@ -332,7 +346,7 @@ inst J where (J.opcode == Load) {
 `, prog, true)
 	// Both commands target the same loads; placements must interleave
 	// with the first command's action placed first at each address.
-	byAddr := map[uint64][]*Action{}
+	byAddr := map[uint64][]*placement.Action{}
 	var order []uint64
 	for _, p := range pl.instBefore {
 		if len(byAddr[p.addr]) == 0 {
@@ -431,8 +445,8 @@ inst I where (I.opcode == Load) {
 		t.Fatalf("placements = %d", len(pl.instBefore))
 	}
 	a := pl.instBefore[0].action
-	if len(a.Info.DynAttrs) != 1 {
-		t.Fatalf("dyn attrs = %v", a.Info.DynAttrs)
+	if len(a.DynAttrs) != 1 {
+		t.Fatalf("dyn attrs = %v", a.DynAttrs)
 	}
 	// Guard false: no output. Guard true: output.
 	a.Exec([]value.Value{value.UintVal(50)})

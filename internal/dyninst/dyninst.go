@@ -148,6 +148,22 @@ type FuncCallExpr struct {
 	// every Sample-th hit of that placement; swallowed hits cost only the
 	// inlined gate (see vm.SampleGateCost).
 	Sample uint64
+	// Merged, when non-nil, marks a coalesced call: Fn (and the fast
+	// surfaces) describe the fused execution of the constituent
+	// snippets, while each Part is registered and attributed
+	// separately — one report row per constituent, one trampoline
+	// dispatch per part. Merged calls take no argument snippets and
+	// are never sampled.
+	Merged []Part
+}
+
+// Part is one constituent of a merged function-call snippet.
+type Part struct {
+	// Label identifies the constituent in observability reports.
+	Label string
+	// Cost is the constituent's body cost; its dispatch price is
+	// SnippetCost plus this.
+	Cost uint64
 }
 
 func (e FuncCallExpr) eval(c *vm.Ctx) uint64 {
@@ -555,6 +571,41 @@ func (be *BinaryEdit) Run() (*vm.Result, error) {
 			trigger, addr = obs.TriggerBefore, ins.point.instAddr
 		default:
 			trigger, addr = obs.TriggerAfter, ins.point.instAddr
+		}
+		if e, ok := s.(FuncCallExpr); ok && len(e.Merged) > 0 {
+			// Coalesced call: one trampoline, one attribution row per
+			// constituent part.
+			shares := make([]vm.Share, len(e.Merged))
+			for i, part := range e.Merged {
+				pc := uint64(SnippetCost) + part.Cost
+				pid := obs.NoProbe
+				if be.obs != nil {
+					be.obs.MutateBuild(func(b *obs.BuildStats) { b.Snippets++ })
+					pid = be.obs.RegisterProbe(obs.ProbeMeta{
+						Label:        part.Label,
+						Trigger:      trigger,
+						Mechanism:    obs.MechSnippet,
+						Addr:         addr,
+						DispatchCost: pc,
+					})
+				}
+				shares[i] = vm.Share{ID: pid, Cost: pc}
+			}
+			var err error
+			switch {
+			case ins.point.isEdge:
+				err = machine.AddEdgeCoalesced(ins.point.edge[0], ins.point.edge[1], shares, fn, spec)
+			case ins.point.blockAddr != 0:
+				err = machine.AddBlockEntryCoalesced(ins.point.blockAddr, shares, fn, spec)
+			case ins.when == CallBefore:
+				err = machine.AddBeforeCoalesced(ins.point.instAddr, shares, fn, spec)
+			default:
+				err = machine.AddAfterCoalesced(ins.point.instAddr, shares, fn, spec)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("dyninst: %w", err)
+			}
+			continue
 		}
 		id := obs.NoProbe
 		if be.obs != nil {

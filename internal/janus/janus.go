@@ -29,10 +29,11 @@ package janus
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync/atomic"
 
 	"repro/internal/cfg"
+	"repro/internal/core/placement"
+	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/vm"
 )
@@ -127,35 +128,6 @@ type Handler struct {
 	Sample uint64
 }
 
-// spec builds the vm.ProbeSpec for one rule applying this handler (one
-// spec per installation: the VM owns accumulator state). Returns nil
-// when the handler has no inline surface.
-func (h Handler) spec(data []uint64) *vm.ProbeSpec {
-	if h.CounterFlush != nil {
-		return &vm.ProbeSpec{Counter: true, Delta: h.CounterDelta, Flush: h.CounterFlush}
-	}
-	if h.FastFn == nil {
-		return nil
-	}
-	fast := h.FastFn
-	return &vm.ProbeSpec{Fn: func(c *vm.Ctx) { fast(c, data) }}
-}
-
-func (h Handler) mechanism() string {
-	if h.Inlinable {
-		return obs.MechInlinedCall
-	}
-	return obs.MechCleanCall
-}
-
-func (h Handler) dispatchCost(nargs int) uint64 {
-	base := CleanCallCost
-	if h.Inlinable {
-		base = InlinedCallCost
-	}
-	return uint64(base) + uint64(nargs)*ArgCost + h.Cost
-}
-
 // StaticAnalyzer is the ahead-of-time half of a Janus run. Tools walk the
 // executable's control flow through it and emit rewrite rules.
 type StaticAnalyzer struct {
@@ -173,39 +145,98 @@ func (sa *StaticAnalyzer) Program() *cfg.Program { return sa.prog }
 // EmitRule appends a rewrite rule.
 func (sa *StaticAnalyzer) EmitRule(r Rule) { sa.rules = append(sa.rules, r) }
 
-// RuleTable is the static analyzer's output, indexed by basic block for
-// the dynamic instrumenter.
-type RuleTable struct {
-	byBlock map[uint64][]Rule
-	global  []Rule // init/fini rules
-	n       int
-}
-
-// NumRules returns the total number of rules in the table.
-func (rt *RuleTable) NumRules() int { return rt.n }
-
-// RulesFor returns the rules annotated on the block starting at addr.
-func (rt *RuleTable) RulesFor(addr uint64) []Rule { return rt.byBlock[addr] }
-
-func buildTable(rules []Rule) *RuleTable {
-	rt := &RuleTable{byBlock: make(map[uint64][]Rule), n: len(rules)}
-	for _, r := range rules {
-		switch r.Trigger {
-		case TriggerInit, TriggerFini:
-			rt.global = append(rt.global, r)
-		default:
-			rt.byBlock[r.BlockAddr] = append(rt.byBlock[r.BlockAddr], r)
+// convert resolves native rewrite rules into the shared placement
+// table, keyed by the executable module's recovered blocks. Addresses
+// are resolved against the executable ONLY — the static analyzer
+// never sees other modules, so a same-address block in a shared
+// library must not pick the rule up (the former bare-address
+// RuleTable keyed exactly that collision). Rules naming unknown
+// handlers or unresolvable addresses are skipped, as the dynamic side
+// of real Janus does with stale rules; init/fini rules are returned
+// separately for the machine's start/end hooks.
+func convert(prog *cfg.Program, rules []Rule, handlers map[HandlerID]Handler) (*placement.RuleSet, []globalRule) {
+	exe := prog.Modules[0]
+	blocks := make(map[uint64]*cfg.Block)
+	instBlock := make(map[uint64]*cfg.Block)
+	insts := make(map[uint64]*isa.Inst)
+	for _, f := range exe.Funcs {
+		for _, b := range f.Blocks {
+			blocks[b.Start] = b
+			for _, in := range b.Insts {
+				insts[in.Addr] = in
+				instBlock[in.Addr] = b
+			}
 		}
 	}
-	// Deterministic order within a block: by instruction address, then
-	// emission order (stable sort).
-	for _, rs := range rt.byBlock {
-		sort.SliceStable(rs, func(i, j int) bool { return rs[i].InstAddr < rs[j].InstAddr })
+
+	rs := &placement.RuleSet{}
+	var global []globalRule
+	for _, r := range rules {
+		h, ok := handlers[r.Handler]
+		if !ok {
+			continue
+		}
+		if r.Trigger == TriggerInit || r.Trigger == TriggerFini {
+			global = append(global, globalRule{h: h, data: r.Data, fini: r.Trigger == TriggerFini})
+			continue
+		}
+		a, mech := h.action(r.Data)
+		pr := &placement.Rule{Action: a, Mechanism: mech}
+		switch r.Trigger {
+		case TriggerBefore, TriggerAfter:
+			pr.Inst, pr.Block = insts[r.InstAddr], instBlock[r.InstAddr]
+			if r.Trigger == TriggerAfter {
+				pr.Trigger = placement.After
+			}
+		case TriggerBlockEntry:
+			pr.Trigger, pr.Block = placement.BlockEntry, blocks[r.BlockAddr]
+		case TriggerEdge:
+			pr.Trigger, pr.From, pr.Block = placement.Edge, blocks[r.Aux], blocks[r.BlockAddr]
+		}
+		if pr.Block == nil || ((pr.Trigger == placement.Before || pr.Trigger == placement.After) && pr.Inst == nil) ||
+			(pr.Trigger == placement.Edge && pr.From == nil) {
+			continue
+		}
+		rs.Add(pr)
 	}
-	return rt
+	return rs, global
 }
 
-// Tool is a complete Janus tool: a static pass plus dynamic handlers.
+// globalRule is a resolved init/fini rule awaiting its machine hook.
+type globalRule struct {
+	h    Handler
+	data []uint64
+	fini bool
+}
+
+// action adapts a handler application to the shared placement Action,
+// pre-binding the rule payload. The native fast surfaces map directly
+// onto the IR's mechanism tiers, so the one translator path below
+// serves native and Cinnamon tools alike.
+func (h Handler) action(data []uint64) (*placement.Action, placement.Mechanism) {
+	fn := h.Fn
+	a := &placement.Action{
+		Label:       h.Label,
+		Cost:        h.Cost,
+		Simple:      h.Inlinable,
+		Sample:      h.Sample,
+		NumCaptured: len(data),
+		Raw:         func(c *vm.Ctx) { fn(c, data) },
+	}
+	mech := placement.MechGeneric
+	if h.CounterFlush != nil {
+		a.Inline = &placement.InlineInfo{Counter: true, Delta: h.CounterDelta, Flush: h.CounterFlush}
+		mech = placement.MechCounter
+	} else if h.FastFn != nil {
+		fast := h.FastFn
+		a.Inline = &placement.InlineInfo{RawFast: func(c *vm.Ctx) { fast(c, data) }}
+		mech = placement.MechFast
+	}
+	return a, mech
+}
+
+// Tool is a complete Janus tool: a static pass plus dynamic handlers,
+// or (for the Cinnamon backend) a pre-lowered placement table.
 type Tool struct {
 	// Name identifies the tool.
 	Name string
@@ -213,6 +244,10 @@ type Tool struct {
 	StaticPass func(sa *StaticAnalyzer)
 	// Handlers maps handler IDs to dynamic handlers.
 	Handlers map[HandlerID]Handler
+	// Rules, when non-nil, is a pre-built placement table consumed
+	// directly instead of running StaticPass (the Cinnamon engine
+	// produces it; init/fini code rides in its Inits/Finis).
+	Rules *placement.RuleSet
 }
 
 // Config parameterizes a Janus run.
@@ -239,79 +274,145 @@ type Config struct {
 	// Stop, when non-nil, is the cooperative cancellation flag handed to
 	// the machine (see vm.Config.Stop).
 	Stop *atomic.Bool
+	// Glue is the per-dispatch marshalling surcharge added on top of
+	// the clean-call/inlined base and the handler body cost. Native
+	// tools leave it 0 (their Handler.Cost already prices the whole
+	// body); the Cinnamon backend passes its Janus glue constant.
+	Glue uint64
+}
+
+// dispatchCost prices one dispatch of an action: clean-call or
+// inlined base, one ArgCost per payload word, the body cost, plus the
+// configured glue.
+func dispatchCost(a *placement.Action, glue uint64) uint64 {
+	base := uint64(CleanCallCost)
+	if a.Simple {
+		base = InlinedCallCost
+	}
+	return base + uint64(a.NumCaptured)*ArgCost + a.Cost + glue
+}
+
+func mechanism(a *placement.Action) string {
+	if a.Simple {
+		return obs.MechInlinedCall
+	}
+	return obs.MechCleanCall
+}
+
+func triggerName(t placement.Trigger) string {
+	switch t {
+	case placement.After:
+		return obs.TriggerAfter
+	case placement.BlockEntry:
+		return obs.TriggerBlockEntry
+	case placement.Edge:
+		return obs.TriggerEdge
+	}
+	return obs.TriggerBefore
 }
 
 // Run executes the program under Janus: the tool's static pass runs
-// first, producing the rule table; then the dynamic instrumenter executes
-// the program, translating blocks on first execution and instrumenting
+// first (unless a pre-built placement table is supplied), producing
+// the shared rule table; then the dynamic instrumenter executes the
+// program, translating blocks on first execution and instrumenting
 // them according to their rules.
 func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
-	sa := &StaticAnalyzer{prog: prog}
-	if tool.StaticPass != nil {
-		tool.StaticPass(sa)
+	rs := tool.Rules
+	var global []globalRule
+	emitted := 0
+	if rs == nil {
+		sa := &StaticAnalyzer{prog: prog}
+		if tool.StaticPass != nil {
+			tool.StaticPass(sa)
+		}
+		rs, global = convert(prog, sa.rules, tool.Handlers)
+		emitted = len(sa.rules)
+	} else {
+		emitted = rs.NumPlacements()
+		if len(rs.Inits) > 0 {
+			emitted++
+		}
+		if len(rs.Finis) > 0 {
+			emitted++
+		}
 	}
-	rt := buildTable(sa.rules)
 	if c.Obs != nil {
-		c.Obs.MutateBuild(func(b *obs.BuildStats) { b.RulesEmitted = rt.NumRules() })
+		c.Obs.MutateBuild(func(b *obs.BuildStats) { b.RulesEmitted = emitted })
 	}
 
 	machine := vm.New(prog, vm.Config{Fuel: c.Fuel, AppOut: c.AppOut, Obs: c.Obs, ExecMode: c.ExecMode, NoInline: c.NoInline, Adaptive: c.Adaptive, Stop: c.Stop})
 	if c.OnMachine != nil {
 		c.OnMachine(machine)
 	}
-	// register records one applied rule with the attached collector (cold
-	// path: block-translation time only).
-	register := func(h Handler, r Rule, trigger string, addr, cost uint64) obs.ProbeID {
+	// register records one applied placement with the attached collector
+	// (cold path: block-translation time only).
+	register := func(a *placement.Action, trigger string, addr, cost uint64) obs.ProbeID {
 		if c.Obs == nil {
 			return obs.NoProbe
 		}
 		c.Obs.MutateBuild(func(b *obs.BuildStats) {
-			if h.Inlinable {
+			if a.Simple {
 				b.InlinedCalls++
 			} else {
 				b.CleanCalls++
 			}
 		})
 		return c.Obs.RegisterProbe(obs.ProbeMeta{
-			Label:        h.Label,
+			Label:        a.Label,
 			Trigger:      trigger,
-			Mechanism:    h.mechanism(),
+			Mechanism:    mechanism(a),
 			Addr:         addr,
 			DispatchCost: cost,
 		})
 	}
 	// The dynamic instrumenter: translate one block at a time, decode the
-	// block's rewrite rules, insert clean calls.
+	// block's rewrite rules, insert clean calls. The per-block lookup is
+	// keyed by the block itself — module-qualified by construction — so
+	// a same-address shared-library block never picks up the
+	// executable's rules.
 	err := machine.SetTranslator(func(b *cfg.Block) {
 		machine.Charge(BlockTranslationCost)
 		if c.Obs != nil {
 			c.Obs.NoteTranslation(BlockTranslationCost)
 		}
-		for _, r := range rt.RulesFor(b.Start) {
-			r := r
-			h, ok := tool.Handlers[r.Handler]
-			if !ok {
-				// Unknown handler: rule is ignored (real Janus logs and
-				// skips). Nothing to insert.
-				continue
-			}
-			cost := h.dispatchCost(len(r.Data))
-			fn := func(ctx *vm.Ctx) { h.Fn(ctx, r.Data) }
-			spec := h.spec(r.Data)
+		for _, r := range rs.ByBlock(b) {
+			addr := r.SiteAddr()
+			trig := triggerName(r.Trigger)
+			fn := r.Action.CtxExec()
+			spec := r.Spec()
 			var ierr error
-			switch r.Trigger {
-			case TriggerBefore:
-				ierr = machine.AddBeforeSampled(r.InstAddr, cost,
-					register(h, r, obs.TriggerBefore, r.InstAddr, cost), fn, spec, h.Sample)
-			case TriggerAfter:
-				ierr = machine.AddAfterSampled(r.InstAddr, cost,
-					register(h, r, obs.TriggerAfter, r.InstAddr, cost), fn, spec, h.Sample)
-			case TriggerBlockEntry:
-				ierr = machine.AddBlockEntrySampled(r.BlockAddr, cost,
-					register(h, r, obs.TriggerBlockEntry, r.BlockAddr, cost), fn, spec, h.Sample)
-			case TriggerEdge:
-				ierr = machine.AddEdgeSampled(r.Aux, r.BlockAddr, cost,
-					register(h, r, obs.TriggerEdge, r.BlockAddr, cost), fn, spec, h.Sample)
+			if parts := r.Merged; len(parts) > 0 {
+				// One merged probe, one attribution share per
+				// constituent — the report stays row-for-row identical
+				// to separate installation.
+				shares := make([]vm.Share, len(parts))
+				for i, p := range parts {
+					pc := dispatchCost(p.Action, c.Glue)
+					shares[i] = vm.Share{ID: register(p.Action, trig, addr, pc), Cost: pc}
+				}
+				switch r.Trigger {
+				case placement.Before:
+					ierr = machine.AddBeforeCoalesced(r.Inst.Addr, shares, fn, spec)
+				case placement.After:
+					ierr = machine.AddAfterCoalesced(r.Inst.Addr, shares, fn, spec)
+				case placement.BlockEntry:
+					ierr = machine.AddBlockEntryCoalesced(r.Block.Start, shares, fn, spec)
+				case placement.Edge:
+					ierr = machine.AddEdgeCoalesced(r.From.Start, r.Block.Start, shares, fn, spec)
+				}
+			} else {
+				cost := dispatchCost(r.Action, c.Glue)
+				id := register(r.Action, trig, addr, cost)
+				switch r.Trigger {
+				case placement.Before:
+					ierr = machine.AddBeforeSampled(r.Inst.Addr, cost, id, fn, spec, r.Action.Sample)
+				case placement.After:
+					ierr = machine.AddAfterSampled(r.Inst.Addr, cost, id, fn, spec, r.Action.Sample)
+				case placement.BlockEntry:
+					ierr = machine.AddBlockEntrySampled(r.Block.Start, cost, id, fn, spec, r.Action.Sample)
+				case placement.Edge:
+					ierr = machine.AddEdgeSampled(r.From.Start, r.Block.Start, cost, id, fn, spec, r.Action.Sample)
+				}
 			}
 			if ierr != nil {
 				// Rules that cannot be applied are skipped, as the
@@ -323,17 +424,28 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range rt.global {
-		r := r
-		h, ok := tool.Handlers[r.Handler]
-		if !ok {
-			continue
+	for _, g := range global {
+		g := g
+		if g.fini {
+			machine.OnEnd(func(ctx *vm.Ctx) { g.h.Fn(ctx, g.data) })
+		} else {
+			machine.OnStart(func(ctx *vm.Ctx) { g.h.Fn(ctx, g.data) })
 		}
-		switch r.Trigger {
-		case TriggerInit:
-			machine.OnStart(func(ctx *vm.Ctx) { h.Fn(ctx, r.Data) })
-		case TriggerFini:
-			machine.OnEnd(func(ctx *vm.Ctx) { h.Fn(ctx, r.Data) })
+	}
+	if tool.Rules != nil {
+		if inits := tool.Rules.Inits; len(inits) > 0 {
+			machine.OnStart(func(ctx *vm.Ctx) {
+				for _, fn := range inits {
+					fn()
+				}
+			})
+		}
+		if finis := tool.Rules.Finis; len(finis) > 0 {
+			machine.OnEnd(func(ctx *vm.Ctx) {
+				for _, fn := range finis {
+					fn()
+				}
+			})
 		}
 	}
 	res, err := machine.Run()
@@ -343,12 +455,14 @@ func Run(prog *cfg.Program, tool *Tool, c Config) (*vm.Result, error) {
 	return res, nil
 }
 
-// AnalyzeOnly runs just the static pass and returns the rule table
-// (useful for tests and for inspecting what a tool annotates).
-func AnalyzeOnly(prog *cfg.Program, tool *Tool) *RuleTable {
+// AnalyzeOnly runs just the static pass and returns the resolved
+// placement table (useful for tests and for inspecting what a tool
+// annotates).
+func AnalyzeOnly(prog *cfg.Program, tool *Tool) *placement.RuleSet {
 	sa := &StaticAnalyzer{prog: prog}
 	if tool.StaticPass != nil {
 		tool.StaticPass(sa)
 	}
-	return buildTable(sa.rules)
+	rs, _ := convert(prog, sa.rules, tool.Handlers)
+	return rs
 }

@@ -123,8 +123,8 @@ buf: .quad 1
 	var count uint64
 	tool := loadCounter(&count)
 	rt := AnalyzeOnly(prog, tool)
-	if rt.NumRules() != 1 {
-		t.Errorf("rules = %d, want 1 (main-module load only)", rt.NumRules())
+	if rt.NumPlacements() != 1 {
+		t.Errorf("rules = %d, want 1 (main-module load only)", rt.NumPlacements())
 	}
 	if _, err := Run(prog, tool, Config{}); err != nil {
 		t.Fatal(err)

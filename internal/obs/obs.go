@@ -176,6 +176,16 @@ type BuildStats struct {
 	// Janus/DynamoRIO block builds; 0 for the static rewriter).
 	BlocksTranslated  int    `json:"blocks_translated,omitempty"`
 	TranslationCycles uint64 `json:"translation_cycles,omitempty"`
+	// WheresHoisted, CountersPromoted and ProbesCoalesced count the
+	// effects of the placement-IR optimization passes (see
+	// internal/core/placement): statically-decided where clauses
+	// evaluated at instrumentation time, rules promoted to the pure
+	// counter mechanism, and probes eliminated by same-site merging.
+	// All zero with -ir-opt=false; the attribution rows themselves
+	// are invariant under the passes.
+	WheresHoisted    int `json:"wheres_hoisted,omitempty"`
+	CountersPromoted int `json:"counters_promoted,omitempty"`
+	ProbesCoalesced  int `json:"probes_coalesced,omitempty"`
 }
 
 // Options parameterizes a Collector.

@@ -161,6 +161,22 @@ type Routine struct {
 	// placement; swallowed hits cost only the inlined gate (see
 	// vm.SampleGateCost).
 	Sample uint64
+	// Merged, when non-nil, marks a coalesced routine: Fn (and the
+	// fast surfaces) describe the fused execution of the constituent
+	// analysis calls, while each Part is registered and attributed
+	// separately — one report row per constituent, dispatch priced
+	// per part. Merged routines take no argument descriptors and are
+	// never sampled.
+	Merged []Part
+}
+
+// Part is one constituent of a merged analysis routine.
+type Part struct {
+	// Label identifies the constituent in observability reports.
+	Label string
+	// Cost is the constituent's body cost; its dispatch price is the
+	// routine's clean-call/inlined base plus this.
+	Cost uint64
 }
 
 func (r Routine) mechanism() string {
@@ -475,7 +491,34 @@ func (p *Pin) routineSpec(r Routine, args []Arg) *vm.ProbeSpec {
 	return &vm.ProbeSpec{Fn: p.analysisCall(r.FastFn, args)}
 }
 
+// mergedShares registers each constituent of a merged routine and
+// returns the attribution shares for the one fused probe.
+func (p *Pin) mergedShares(r Routine, trigger string, addr uint64) []vm.Share {
+	base := uint64(CleanCallCost)
+	if r.Inlinable {
+		base = InlinedCallCost
+	}
+	shares := make([]vm.Share, len(r.Merged))
+	for i, part := range r.Merged {
+		pc := base + part.Cost
+		pr := Routine{Label: part.Label, Cost: part.Cost, Inlinable: r.Inlinable}
+		shares[i] = vm.Share{ID: p.register(pr, trigger, addr, pc), Cost: pc}
+	}
+	return shares
+}
+
 func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) error {
+	if len(r.Merged) > 0 {
+		fn := p.analysisCall(r.Fn, args)
+		spec := p.routineSpec(r, args)
+		switch point {
+		case IPointBefore:
+			return p.vm.AddBeforeCoalesced(inst.Addr, p.mergedShares(r, obs.TriggerBefore, inst.Addr), fn, spec)
+		case IPointAfter:
+			return p.vm.AddAfterCoalesced(inst.Addr, p.mergedShares(r, obs.TriggerAfter, inst.Addr), fn, spec)
+		}
+		return fmt.Errorf("pin: invalid insertion point %d", point)
+	}
 	cost := r.dispatchCost() + uint64(len(args))*ArgCost
 	fn := p.analysisCall(r.Fn, args)
 	spec := p.routineSpec(r, args)
@@ -489,6 +532,10 @@ func (p *Pin) insertCall(inst *isa.Inst, point IPoint, r Routine, args []Arg) er
 }
 
 func (p *Pin) insertBlockCall(block *cfg.Block, r Routine, args []Arg) error {
+	if len(r.Merged) > 0 {
+		shares := p.mergedShares(r, obs.TriggerBlockEntry, block.Start)
+		return p.vm.AddBlockEntryCoalesced(block.Start, shares, p.analysisCall(r.Fn, args), p.routineSpec(r, args))
+	}
 	cost := r.dispatchCost() + uint64(len(args))*ArgCost
 	id := p.register(r, obs.TriggerBlockEntry, block.Start, cost)
 	return p.vm.AddBlockEntrySampled(block.Start, cost, id, p.analysisCall(r.Fn, args), p.routineSpec(r, args), r.Sample)

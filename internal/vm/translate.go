@@ -241,11 +241,27 @@ func (v *VM) fusedFire(p *probe, in *isa.Inst, when When, pc uint64) func(*VM) {
 }
 
 // fusedFireAlways is the unconditional fire thunk fusedFire gates.
+// Coalesced probes (p.shares non-nil) branch to share-attributing
+// variants at compile time; uncoalesced probes keep the exact
+// single-row closures.
 func (v *VM) fusedFireAlways(p *probe, in *isa.Inst, when When, pc uint64) func(*VM) {
 	sp := p.spec
 	cost, id := p.cost, p.id
+	shares := p.shares
 	if sp.Counter {
 		if obsC := v.obsC; obsC != nil {
+			if shares != nil {
+				return func(v *VM) {
+					if sp.acc == 0 {
+						v.dirty = append(v.dirty, sp)
+					}
+					sp.acc += sp.Delta
+					v.cycles += cost
+					for _, s := range shares {
+						obsC.Fire(s.ID, s.Cost, pc)
+					}
+				}
+			}
 			return func(v *VM) {
 				if sp.acc == 0 {
 					v.dirty = append(v.dirty, sp)
@@ -265,6 +281,20 @@ func (v *VM) fusedFireAlways(p *probe, in *isa.Inst, when When, pc uint64) func(
 	}
 	fn := sp.Fn
 	if obsC := v.obsC; obsC != nil {
+		if shares != nil {
+			return func(v *VM) {
+				if len(v.dirty) > 0 {
+					v.flushCounters()
+				}
+				c := &v.ctx
+				c.inst, c.when = in, when
+				v.cycles += cost
+				fn(c)
+				for _, s := range shares {
+					obsC.Fire(s.ID, s.Cost, pc)
+				}
+			}
+		}
 		return func(v *VM) {
 			if len(v.dirty) > 0 {
 				v.flushCounters()

@@ -109,6 +109,9 @@ type probe struct {
 	// sampling countdown and the enable bit checked at fire time. Nil for
 	// always-on probes, which pay nothing for the feature.
 	ctl *probeCtl
+	// shares, when non-nil, attribute each firing of this coalesced
+	// probe to its constituent placements (cost is their sum).
+	shares []Share
 }
 
 // TrapError reports a machine fault (invalid code address, division by
@@ -622,14 +625,14 @@ func (v *VM) fire(ps []probe, in *isa.Inst, when When) {
 				}
 				v.cycles += p.cost
 				p.fn(c)
-				obsC.Fire(p.id, p.cost, v.pc)
+				p.fireObs(obsC, v.pc)
 			}
 		} else {
 			for i := range ps {
 				p := &ps[i]
 				v.cycles += p.cost
 				p.fn(c)
-				obsC.Fire(p.id, p.cost, v.pc)
+				p.fireObs(obsC, v.pc)
 			}
 		}
 	} else if v.anyCtl {
@@ -676,7 +679,7 @@ func (v *VM) fireInline(ps []probe, in *isa.Inst, when When) {
 				sp.acc += sp.Delta
 				v.cycles += p.cost
 				if obsC != nil {
-					obsC.Fire(p.id, p.cost, v.pc)
+					p.fireObs(obsC, v.pc)
 				}
 				continue
 			}
@@ -686,7 +689,7 @@ func (v *VM) fireInline(ps []probe, in *isa.Inst, when When) {
 			v.cycles += p.cost
 			sp.Fn(c)
 			if obsC != nil {
-				obsC.Fire(p.id, p.cost, v.pc)
+				p.fireObs(obsC, v.pc)
 			}
 			continue
 		}
@@ -696,7 +699,7 @@ func (v *VM) fireInline(ps []probe, in *isa.Inst, when When) {
 		v.cycles += p.cost
 		p.fn(c)
 		if obsC != nil {
-			obsC.Fire(p.id, p.cost, v.pc)
+			p.fireObs(obsC, v.pc)
 		}
 	}
 	c.inst, c.when, c.block = saveInst, saveWhen, saveBlock

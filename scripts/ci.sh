@@ -86,6 +86,9 @@ CINNAMON_PERF_GATE=1 go test -run TestTranslatedDispatchSpeedup -count=1 ./inter
 echo "==> action-inlining perf gate"
 CINNAMON_PERF_GATE=1 go test -run TestInlinedActionSpeedup -count=1 ./internal/bench/
 
+echo "==> placement-IR perf gate"
+CINNAMON_PERF_GATE=1 go test -run TestIROptDispatchSpeedup -count=1 ./internal/core/placement/
+
 echo "==> governor bench smoke (budget sweep)"
 go run ./cmd/experiments -exp=governor -benchmark=mcf -scale=0.2 >/dev/null
 
