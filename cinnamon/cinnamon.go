@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/core/artifacts"
 	"repro/internal/core/backend"
 	"repro/internal/core/codegen"
 	"repro/internal/core/engine"
@@ -57,9 +58,12 @@ type Tool struct {
 	compiled *engine.CompiledTool
 }
 
-// Compile parses and type-checks Cinnamon source.
+// Compile parses and type-checks Cinnamon source. Byte-identical
+// sources share one compiled form through the process-wide artifact
+// cache (compiled tools are immutable), which in turn lets their runs
+// share instrumentation-build templates.
 func Compile(src string) (*Tool, error) {
-	c, err := engine.Compile(src)
+	c, _, err := artifacts.Shared().Tool(src)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +180,12 @@ type RunOptions struct {
 	// machine cycle units (0 = governor.DefaultWindow; only meaningful
 	// with Budget).
 	GovernorWindow uint64
+	// NoArtifactCache disables the process-wide artifact cache for this
+	// run. By default repeated runs of the same tool against the same
+	// target reuse the recorded instrumentation build (rebinding all
+	// per-run state), which is observably identical to rebuilding —
+	// cycles, output and attribution are bit-equal. Escape hatch only.
+	NoArtifactCache bool
 }
 
 // Stats is the observability report of a run: per-probe firing counters
@@ -260,6 +270,9 @@ func (t *Tool) Run(target *Target, backendName string, opts RunOptions) (*Report
 		VMMode:           mode,
 		VMNoInline:       opts.VMNoInline,
 		NoIROpt:          opts.NoIROpt,
+	}
+	if !opts.NoArtifactCache {
+		bopts.Artifacts = artifacts.Shared()
 	}
 	if gov != nil {
 		bopts.Adaptive = true

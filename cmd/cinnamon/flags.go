@@ -45,6 +45,7 @@ var (
 	vmMode      = reg.String(groupExecution, "vm-mode", "", "<tier>", "VM execution tier: translated (default) or interpreted; both are bit-identical")
 	vmInline    = reg.Bool(groupExecution, "vm-inline", true, "inline compiled actions into translated blocks (bit-identical; disable to measure or bisect)")
 	irOpt       = reg.Bool(groupExecution, "ir-opt", true, "run the placement-IR optimization passes (hoisting, counter promotion, probe coalescing; bit-identical; disable to measure or bisect)")
+	artCache    = reg.Bool(groupExecution, "artifact-cache", true, "reuse compiled tools and instrumentation-build templates across runs in this process (bit-identical; disable to measure or bisect)")
 
 	stats     = reg.Bool(groupObservability, "stats", false, "print the observability report (per-probe firing and cycle attribution) to stderr")
 	statsJSON = reg.Bool(groupObservability, "stats-json", false, "print the observability report as JSON to stdout")

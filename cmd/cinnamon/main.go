@@ -91,6 +91,7 @@ func main() {
 		VMMode:           *vmMode,
 		VMNoInline:       !*vmInline,
 		NoIROpt:          !*irOpt,
+		NoArtifactCache:  !*artCache,
 		Budget:           *budget,
 		GovernorWindow:   *govWindow,
 		OnMonitor: func(addr string) {

@@ -48,17 +48,22 @@ func main() {
 	}
 
 	sched := fleet.NewScheduler(fleet.Config{
-		Workers:     *opts.Workers,
-		Queue:       *opts.Queue,
-		Interval:    *opts.Interval,
-		DefaultLoop: *opts.Loop,
+		Workers:         *opts.Workers,
+		Queue:           *opts.Queue,
+		Interval:        *opts.Interval,
+		DefaultLoop:     *opts.Loop,
+		NoArtifactCache: !*opts.ArtifactCache,
 	})
-	srv := monitor.NewFleetServer(monitor.FleetConfig{
+	fcfg := monitor.FleetConfig{
 		Fleet:    sched.Fleet(),
 		Ready:    sched.Accepting,
 		Submit:   sched.SubmitJSON,
 		TraceBuf: *opts.TraceBuf,
-	})
+	}
+	if sched.Artifacts() != nil {
+		fcfg.Artifacts = sched.ArtifactStats
+	}
+	srv := monitor.NewFleetServer(fcfg)
 	addr, err := srv.Start(*opts.Listen)
 	if err != nil {
 		fail("cinnamond: %v", err)

@@ -8,8 +8,11 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/core/artifacts"
+	"repro/internal/core/backend"
 	"repro/internal/fleet"
 	"repro/internal/monitor"
+	"repro/internal/progs"
 )
 
 // Fleet load harness: boots a real scheduler and FleetServer on a
@@ -56,11 +59,81 @@ type FleetResult struct {
 	// Done and Failed count terminal session states.
 	Done   int `json:"done"`
 	Failed int `json:"failed"`
+	// StartupColdUs and StartupWarmUs are median single-session startup
+	// times — everything a scheduler does before the session's first
+	// instruction (tool compile, victim assemble+build, instrumentation
+	// lowering) — against an empty artifact cache vs a primed one;
+	// StartupSpeedup is their ratio — the warm-start win a session
+	// joining an established fleet sees.
+	StartupColdUs  float64 `json:"startup_cold_us"`
+	StartupWarmUs  float64 `json:"startup_warm_us"`
+	StartupSpeedup float64 `json:"startup_speedup"`
+	// ArtifactHits and ArtifactMisses are the scheduler cache's totals
+	// over the churn (tool, victim and template lookups combined).
+	ArtifactHits   uint64 `json:"artifact_hits"`
+	ArtifactMisses uint64 `json:"artifact_misses"`
 }
 
 // fleetTools is the tool mix the harness cycles through: all
 // action-heavy, so the fire rate reflects instrumentation pressure.
 var fleetTools = []string{"instcount_basic", "opcodemix", "loopcoverage"}
+
+// startupIters is how many cold/warm startup samples the harness takes
+// (the cells report the median, so a stray scheduling hiccup in one
+// iteration cannot skew the speedup).
+const startupIters = 15
+
+// startupOnce performs one full session startup against the given
+// cache — tool lookup/compile, victim lookup/build, instrumentation
+// via backend.Prepare — and returns the elapsed time in microseconds.
+// Execution is deliberately excluded: it is the session's payload, not
+// its startup, and is byte-identical cold or warm.
+func startupOnce(cache *artifacts.Cache, src string) (float64, error) {
+	t0 := time.Now()
+	tool, _, err := cache.Tool(src)
+	if err != nil {
+		return 0, err
+	}
+	v, _, err := cache.Victim("spin", 1)
+	if err != nil {
+		return 0, err
+	}
+	if err := backend.Prepare(tool, v.Prog, backend.Janus, backend.Options{
+		Out: io.Discard, AppOut: io.Discard, Artifacts: cache,
+	}); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(t0).Nanoseconds()) / 1000, nil
+}
+
+// startupCells measures the cold and warm session-startup cells: cold
+// iterations each get a fresh empty cache (every artifact built from
+// scratch), warm iterations share one primed cache (every artifact
+// served). Returns the medians.
+func startupCells() (coldUs, warmUs float64, err error) {
+	src, err := progs.Source(fleetTools[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	warm := artifacts.New(artifacts.Options{})
+	if _, err := startupOnce(warm, src); err != nil { // prime
+		return 0, 0, err
+	}
+	var colds, warms []float64
+	for i := 0; i < startupIters; i++ {
+		c, err := startupOnce(artifacts.New(artifacts.Options{}), src)
+		if err != nil {
+			return 0, 0, err
+		}
+		colds = append(colds, c)
+		w, err := startupOnce(warm, src)
+		if err != nil {
+			return 0, 0, err
+		}
+		warms = append(warms, w)
+	}
+	return percentile(colds, 0.50), percentile(warms, 0.50), nil
+}
 
 // Fleet runs the load harness.
 func Fleet(o FleetOptions) (FleetResult, error) {
@@ -183,6 +256,21 @@ func Fleet(o FleetOptions) (FleetResult, error) {
 	}
 	res.ScrapeP50Ms = percentile(scrapes.latencies, 0.50)
 	res.ScrapeP99Ms = percentile(scrapes.latencies, 0.99)
+	if c := sched.Artifacts(); c != nil {
+		st := c.Stats()
+		res.ArtifactHits = st.Hits()
+		res.ArtifactMisses = st.Misses()
+	}
+
+	// Startup cells, after the churn so they never contend with it.
+	cold, warmed, err := startupCells()
+	if err != nil {
+		return FleetResult{}, fmt.Errorf("bench: startup cells: %w", err)
+	}
+	res.StartupColdUs, res.StartupWarmUs = cold, warmed
+	if warmed > 0 {
+		res.StartupSpeedup = cold / warmed
+	}
 	return res, nil
 }
 
@@ -206,6 +294,8 @@ func FormatFleet(w io.Writer, r FleetResult) {
 	fmt.Fprintf(w, "%-10d %-8d %-8d %12d %14.0f %9d %10.2f %10.2f %7d %7d\n",
 		r.Sessions, r.Workers, r.Loop, r.TotalFires, r.FiresPerSec,
 		r.Scrapes, r.ScrapeP50Ms, r.ScrapeP99Ms, r.Done, r.Failed)
+	fmt.Fprintf(w, "startup: cold %.0fus, warm %.0fus (%.1fx); artifact cache: %d hits, %d misses over the churn\n",
+		r.StartupColdUs, r.StartupWarmUs, r.StartupSpeedup, r.ArtifactHits, r.ArtifactMisses)
 	if !r.RollupConsistent {
 		fmt.Fprintln(w, "WARNING: a mid-churn scrape violated fleet rollup exactness")
 	}

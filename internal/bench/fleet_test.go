@@ -71,3 +71,34 @@ func TestFleetSnapshotLatencyGate(t *testing.T) {
 		t.Fatalf("only %d scrapes completed under load; the latency sample is meaningless", res.Scrapes)
 	}
 }
+
+// The warm-startup perf gate: a session joining an established fleet
+// (primed artifact cache) must start at least 5x faster than one
+// against an empty cache, and the churn itself must actually exercise
+// the cache (hits recorded — 48 identical-victim sessions over 3 tools
+// should rebuild almost nothing). Startup here is everything before
+// the session's first instruction: tool compile, victim assemble+build
+// and instrumentation lowering (backend.Prepare). Timing-dependent, so
+// it only runs when CINNAMON_PERF_GATE is set.
+func TestFleetWarmStartupGate(t *testing.T) {
+	if os.Getenv("CINNAMON_PERF_GATE") == "" {
+		t.Skip("set CINNAMON_PERF_GATE=1 to run the fleet perf gate")
+	}
+	res, err := Fleet(FleetOptions{Sessions: 12, Workers: 4, Loop: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("startup: cold %.1fus warm %.1fus (%.1fx); churn cache: %d hits, %d misses",
+		res.StartupColdUs, res.StartupWarmUs, res.StartupSpeedup, res.ArtifactHits, res.ArtifactMisses)
+	const minSpeedup = 5.0
+	if res.StartupSpeedup < minSpeedup {
+		t.Fatalf("warm startup only %.1fx faster than cold (cold %.1fus, warm %.1fus); gate is %.0fx",
+			res.StartupSpeedup, res.StartupColdUs, res.StartupWarmUs, minSpeedup)
+	}
+	if res.ArtifactHits == 0 {
+		t.Fatal("churn recorded zero artifact-cache hits; the shared cache is not being exercised")
+	}
+	if res.ArtifactMisses == 0 {
+		t.Fatal("churn recorded zero artifact-cache misses; the cold path never ran")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/core/artifacts"
 	"repro/internal/core/ast"
 	"repro/internal/core/backend"
 	"repro/internal/core/engine"
@@ -260,7 +261,10 @@ func Cells(t Traits) []Cell {
 // RunPair executes the pair through the full matrix and classifies
 // every disagreement. It returns an error only when the pair cannot be
 // set up at all (tool fails to compile, victim fails to assemble) —
-// generator invariants, not conformance findings.
+// generator invariants, not conformance findings. The cells share one
+// artifact cache, the production default, so cells that differ only in
+// execution tier replay a cached instrumentation-build template — any
+// state the template failed to rebind would surface as a divergence.
 func RunPair(p *Program, v *Victim) (*PairResult, error) {
 	tool, err := engine.Compile(p.Source)
 	if err != nil {
@@ -272,8 +276,9 @@ func RunPair(p *Program, v *Victim) (*PairResult, error) {
 	}
 	traits := DeriveTraits(tool, prog)
 	pr := &PairResult{Program: p, Victim: v, Traits: traits}
+	cache := artifacts.New(artifacts.Options{})
 	for _, cell := range Cells(traits) {
-		pr.Results = append(pr.Results, runCell(tool, prog, cell))
+		pr.Results = append(pr.Results, runCell(tool, prog, cell, cache))
 	}
 	pr.Divergences = Compare(pr.Results, traits)
 	sdivs, checks := CompareSampling(tool, prog)
@@ -282,7 +287,7 @@ func RunPair(p *Program, v *Victim) (*PairResult, error) {
 	return pr, nil
 }
 
-func runCell(tool *engine.CompiledTool, prog *cfg.Program, cell Cell) RunResult {
+func runCell(tool *engine.CompiledTool, prog *cfg.Program, cell Cell, cache *artifacts.Cache) RunResult {
 	var out bytes.Buffer
 	col := obs.New(obs.Options{})
 	mode := vm.ExecTranslated
@@ -297,6 +302,7 @@ func runCell(tool *engine.CompiledTool, prog *cfg.Program, cell Cell) RunResult 
 		VMMode:           mode,
 		VMNoInline:       cell.NoInline,
 		NoIROpt:          cell.NoIROpt,
+		Artifacts:        cache,
 	})
 	rr := RunResult{Cell: cell, Output: out.String(), Fires: map[string]uint64{}}
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cfg"
+	"repro/internal/core/artifacts"
 	"repro/internal/core/engine"
 	"repro/internal/core/interp"
 	"repro/internal/core/placement"
@@ -113,6 +114,12 @@ type Options struct {
 	// makes the run fail with vm.ErrStopped. Session schedulers
 	// (internal/fleet) use it to cancel sessions on drain.
 	Stop *atomic.Bool
+	// Artifacts, when non-nil, is the shared artifact cache consulted
+	// for the instrumentation rule template: a hit replays the recorded
+	// build (rebinding per-session state) instead of re-walking the CFE
+	// hierarchy. Interpreted runs and runs with a caller-supplied FS
+	// bypass the cache (their builds are not shareable).
+	Artifacts *artifacts.Cache
 }
 
 // engineOptions maps the run options onto the instrumentation stage.
@@ -121,6 +128,54 @@ func engineOptions(opts Options) engine.Options {
 		Out: opts.Out, FS: opts.FS, Interpret: opts.Interpret, Obs: opts.Obs,
 		NoIROpt: opts.NoIROpt, Adaptive: opts.Adaptive,
 	}
+}
+
+// instrument builds the placement rule table and lowers it onto the
+// placer, going through the artifact cache when one is attached. On a
+// template hit the recorded build is replayed (rebinding per-session
+// state: globals, captures, probe registrations) instead of re-walking
+// the victim's CFE hierarchy; on a miss the build runs once in
+// recording mode and the template is published for later sessions.
+func instrument(tool *engine.CompiledTool, prog *cfg.Program, pl engine.Placer, opts Options) (*engine.Instance, error) {
+	eopts := engineOptions(opts)
+	cache := opts.Artifacts
+	if cache == nil || opts.Interpret || opts.FS != nil {
+		return engine.Instrument(tool, prog, pl, eopts)
+	}
+	key := artifacts.TemplateKey{
+		Tool: tool, Prog: prog, Backend: pl.Name(),
+		PinLoopDetection: opts.PinLoopDetection,
+		NoIROpt:          opts.NoIROpt,
+		Adaptive:         opts.Adaptive,
+	}
+	if tmpl, ok := cache.Template(key); ok {
+		rs, inst, err := tmpl.Instantiate(eopts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Obs != nil {
+			opts.Obs.MutateBuild(func(b *obs.BuildStats) { b.ArtifactHits++ })
+		}
+		if err := pl.Lower(rs); err != nil {
+			return nil, err
+		}
+		return inst, nil
+	}
+	tmpl, rs, inst, err := engine.BuildTemplate(tool, prog, pl, eopts)
+	if err != nil {
+		return nil, err
+	}
+	evicted := cache.PutTemplate(key, tmpl)
+	if opts.Obs != nil {
+		opts.Obs.MutateBuild(func(b *obs.BuildStats) {
+			b.ArtifactMisses++
+			b.ArtifactEvictions += evicted
+		})
+	}
+	if err := pl.Lower(rs); err != nil {
+		return nil, err
+	}
+	return inst, nil
 }
 
 // PinLoopDetectCost is the extra per-firing price of the Pin loop
@@ -140,6 +195,40 @@ func Run(tool *engine.CompiledTool, prog *cfg.Program, backendName string, opts 
 		return runJanus(tool, prog, opts)
 	}
 	return nil, fmt.Errorf("cinnamon: unknown backend %q (have %s)", backendName, strings.Join(Backends(), ", "))
+}
+
+// Prepare performs the instrumentation stage for the named backend
+// without executing the program: framework construction, rule-table
+// build (or cached-template instantiation) and lowering — exactly the
+// per-session startup work a scheduler does before a session's first
+// instruction. Also a dry-run validator: a tool that cannot be mapped
+// onto the backend fails here. The fleet benchmark times it to compare
+// cold and warm session startup.
+func Prepare(tool *engine.CompiledTool, prog *cfg.Program, backendName string, opts Options) error {
+	switch backendName {
+	case Pin:
+		p := pin.New(prog, pin.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, Stop: opts.Stop})
+		pl := &pinPlacer{
+			p: p, prog: prog,
+			loopDetection: opts.PinLoopDetection,
+			before:        make(map[uint64][]pinPlacement),
+			after:         make(map[uint64][]pinPlacement),
+			blocks:        make(map[uint64][]pinPlacement),
+		}
+		_, err := instrument(tool, prog, pl, opts)
+		return err
+	case Dyninst:
+		be, err := dyninst.OpenBinary(prog, dyninst.Config{Fuel: opts.Fuel, AppOut: opts.AppOut, Obs: opts.Obs, ExecMode: opts.VMMode, NoInline: opts.VMNoInline, Adaptive: opts.Adaptive, Stop: opts.Stop})
+		if err != nil {
+			return err
+		}
+		_, err = instrument(tool, prog, &dyninstPlacer{be: be, prog: prog}, opts)
+		return err
+	case Janus:
+		_, err := instrument(tool, prog, &janusPlacer{prog: prog}, opts)
+		return err
+	}
+	return fmt.Errorf("cinnamon: unknown backend %q (have %s)", backendName, strings.Join(Backends(), ", "))
 }
 
 // dynSlots fills the pre-sized attribute slot buffer from raw
@@ -295,7 +384,7 @@ func runPin(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Res
 		after:         make(map[uint64][]pinPlacement),
 		blocks:        make(map[uint64][]pinPlacement),
 	}
-	inst, err := engine.Instrument(tool, prog, pl, engineOptions(opts))
+	inst, err := instrument(tool, prog, pl, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -498,7 +587,7 @@ func runDyninst(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm
 		return nil, err
 	}
 	pl := &dyninstPlacer{be: be, prog: prog}
-	inst, err := engine.Instrument(tool, prog, pl, engineOptions(opts))
+	inst, err := instrument(tool, prog, pl, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -549,7 +638,7 @@ func (pl *janusPlacer) Lower(rs *placement.RuleSet) error {
 
 func runJanus(tool *engine.CompiledTool, prog *cfg.Program, opts Options) (*vm.Result, error) {
 	pl := &janusPlacer{prog: prog}
-	inst, err := engine.Instrument(tool, prog, pl, engineOptions(opts))
+	inst, err := instrument(tool, prog, pl, opts)
 	if err != nil {
 		return nil, err
 	}

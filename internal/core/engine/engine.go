@@ -136,6 +136,14 @@ type engineRun struct {
 	inst      *Instance
 	interpret bool
 	obs       *obs.Collector
+	// bindOut is the writer runtime bodies (actions, init/exit blocks)
+	// bind against. It equals the interpreter's analysis-time writer
+	// except under template recording, where analysis output is teed
+	// into the template but runtime output must not be.
+	bindOut io.Writer
+	// rec, when non-nil, records the session-independent build products
+	// for a reusable Template (see template.go).
+	rec *templateRec
 	// rs accumulates the placement table the commands emit.
 	rs *placement.RuleSet
 	// optimize gates where-clause deferral (and, downstream, the
@@ -162,6 +170,14 @@ func Instrument(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 // it returns the optimized placement table, ready for Lower. Exposed
 // for the rule-IR golden and differential tests.
 func BuildRules(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Options) (*placement.RuleSet, *Instance, error) {
+	return buildRules(tool, prog, placer, opts, nil)
+}
+
+// buildRules is BuildRules with an optional template recorder attached:
+// when rec is non-nil the walk additionally captures everything a later
+// Instantiate needs (per-action capture snapshots, analysis output,
+// build-stat deltas), without changing what the build itself produces.
+func buildRules(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Options, rec *templateRec) (*placement.RuleSet, *Instance, error) {
 	// Preflight: backends without loop support reject loop commands (the
 	// paper's loop-coverage tool "could not be translated to Pin in its
 	// original form").
@@ -189,7 +205,21 @@ func BuildRules(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 		}
 	}
 
-	it := interp.New(tool.Info, opts.Out, opts.FS)
+	// Under template recording, analysis-time output (global
+	// initializers, command-body prints) is teed into the template so a
+	// later Instantiate can replay it; runtime bodies bind against the
+	// plain session writer so their output is never recorded.
+	analysisOut := opts.Out
+	buildObs := opts.Obs
+	if rec != nil {
+		if analysisOut == nil {
+			analysisOut = &rec.analysisOut
+		} else {
+			analysisOut = io.MultiWriter(analysisOut, &rec.analysisOut)
+		}
+		buildObs = rec.col
+	}
+	it := interp.New(tool.Info, analysisOut, opts.FS)
 	glob := interp.NewEnv(nil)
 	for _, d := range tool.Info.Globals {
 		if err := it.DeclareGlobal(glob, d); err != nil {
@@ -198,11 +228,18 @@ func BuildRules(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 	}
 	inst := &Instance{interp: it, globals: glob}
 	interpret := opts.Interpret || tool.Code == nil
+	bindOut := io.Writer(it.Out)
+	if rec != nil {
+		bindOut = opts.Out
+		if bindOut == nil {
+			bindOut = io.Discard
+		}
+	}
 	e := &engineRun{
 		tool: tool, placer: placer, prog: prog,
 		in: it, glob: glob, inst: inst, interpret: interpret,
-		obs: opts.Obs,
-		rs:  &placement.RuleSet{}, optimize: !opts.NoIROpt,
+		obs: buildObs, bindOut: bindOut, rec: rec,
+		rs: &placement.RuleSet{}, optimize: !opts.NoIROpt,
 	}
 
 	// Commands map in program order; within a command, per-module in
@@ -235,7 +272,7 @@ func BuildRules(tool *CompiledTool, prog *cfg.Program, placer Placer, opts Optio
 	if err := placement.Apply(e.rs, placement.Config{
 		Optimize: e.optimize,
 		Adaptive: opts.Adaptive,
-		Obs:      opts.Obs,
+		Obs:      buildObs,
 	}); err != nil {
 		return nil, nil, err
 	}
@@ -251,7 +288,7 @@ func (e *engineRun) blockExec(body []ast.Stmt, compiled []*compile.Body, i int) 
 			inst.record(it.ExecStmts(interp.NewEnv(glob), body))
 		}, nil
 	}
-	bound, err := compiled[i].Bind(e.resolveGlobal, it.Out)
+	bound, err := compiled[i].Bind(e.resolveGlobal, e.bindOut)
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +481,7 @@ func (e *engineRun) placeAction(act *ast.Action, env *interp.Env) error {
 	if e.interpret {
 		a.Exec = e.interpExec(act, ai, env)
 	} else {
-		exec, inline, err := e.compiledExec(act, env)
+		exec, inline, err := e.compiledExec(act, env, a)
 		if err != nil {
 			return err
 		}
@@ -600,11 +637,17 @@ func (e *engineRun) interpExec(act *ast.Action, ai *sem.ActionInfo, env *interp.
 // compiledExec builds an action executor on the closure-compiled path:
 // the pre-lowered body is bound once per placement — captures copied by
 // value, globals shared — and every firing runs the closure chain on the
-// reused frame.
-func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []value.Value), *placement.InlineInfo, error) {
+// reused frame. Under template recording, the captured values are
+// additionally snapshotted against the placed Action so Instantiate can
+// rebind the same body with equal captures for another session.
+func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env, a *placement.Action) (func(dyn []value.Value), *placement.InlineInfo, error) {
 	body := e.tool.Code.Actions[act]
 	if body == nil {
 		return nil, nil, fmt.Errorf("cinnamon: internal: uncompiled action at %s", act.Pos())
+	}
+	var caps map[string]value.Value
+	if e.rec != nil {
+		caps = make(map[string]value.Value)
 	}
 	resolve := func(ref compile.CellRef) (*value.Value, error) {
 		if ref.Global {
@@ -616,11 +659,17 @@ func (e *engineRun) compiledExec(act *ast.Action, env *interp.Env) (func(dyn []v
 		}
 		cell := new(value.Value)
 		*cell = value.Copy(*slot)
+		if caps != nil {
+			caps[ref.Name] = value.Copy(*slot)
+		}
 		return cell, nil
 	}
-	bound, err := body.Bind(resolve, e.in.Out)
+	bound, err := body.Bind(resolve, e.bindOut)
 	if err != nil {
 		return nil, nil, err
+	}
+	if e.rec != nil {
+		e.rec.actions[a] = &actionRec{act: act, caps: caps}
 	}
 	inst := e.inst
 	var inline *placement.InlineInfo

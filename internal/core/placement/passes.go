@@ -179,7 +179,7 @@ func coalesce(rs *RuleSet, o *obs.Collector) {
 				drop[idx] = true
 			}
 		}
-		rs.rules[run[0]] = mergeRun(parts)
+		rs.rules[run[0]] = MergeRun(parts)
 		merged += len(run) - 1
 	}
 	kept := rs.rules[:0]
@@ -210,9 +210,11 @@ func coalescable(r *Rule) bool {
 		r.Action.Inline.Flush != nil
 }
 
-// mergeRun fuses a same-site run into one rule whose execution is the
-// constituents' executions in order.
-func mergeRun(parts []*Rule) *Rule {
+// MergeRun fuses a same-site run into one rule whose execution is the
+// constituents' executions in order. Exported for the engine's rule
+// templates, which re-fuse a recorded merged rule after rebinding its
+// constituents to a new session's cells.
+func MergeRun(parts []*Rule) *Rule {
 	first := parts[0]
 	fulls := make([]func(), len(parts))
 	flushes := make([]func(int64), len(parts))

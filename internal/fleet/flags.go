@@ -24,8 +24,9 @@ type CLIOpts struct {
 	TraceBuf     *int
 	Workers      *int
 	Queue        *int
-	Manifest     *string
-	Loop         *int
+	Manifest      *string
+	Loop          *int
+	ArtifactCache *bool
 }
 
 // CLIFlags builds a fresh cinnamond flag registry. Each call returns an
@@ -41,7 +42,8 @@ func CLIFlags() (*cliflags.Set, *CLIOpts) {
 		Workers:      reg.Int(groupScheduler, "workers", 4, "<n>", "bounded worker pool size: how many sessions run concurrently"),
 		Queue:        reg.Int(groupScheduler, "queue", 256, "<n>", "admitted-session queue bound; submissions beyond it are rejected"),
 		Manifest:     reg.String(groupScheduler, "manifest", "", "<file>", "submit this JSON job manifest at boot (an array of job specs, or {\"sessions\":[...]})"),
-		Loop:         reg.Int(groupScheduler, "loop", 50000, "<n>", "default victim loop count for jobs that do not set one"),
+		Loop:          reg.Int(groupScheduler, "loop", 50000, "<n>", "default victim loop count for jobs that do not set one"),
+		ArtifactCache: reg.Bool(groupScheduler, "artifact-cache", true, "share compiled tools, built victims and instrumentation-build templates across sessions (=false rebuilds per session; restart attempts still reuse their own build)"),
 	}
 	return reg, o
 }

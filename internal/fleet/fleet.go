@@ -30,15 +30,14 @@ import (
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/core/artifacts"
 	"repro/internal/core/backend"
 	"repro/internal/core/engine"
 	"repro/internal/governor"
 	"repro/internal/monitor"
-	"repro/internal/obj"
 	"repro/internal/obs"
 	"repro/internal/progs"
 	"repro/internal/vm"
-	"repro/internal/workload"
 )
 
 // JobSpec is one submitted job: which tool to run on which victim under
@@ -107,6 +106,15 @@ type Config struct {
 	// TraceCap is each session's trace-ring capacity (default: the
 	// collector default).
 	TraceCap int
+	// Artifacts overrides the scheduler's shared artifact cache (a
+	// private one is created by default). Sessions share compiled tools,
+	// built victims and instrumentation-build templates through it; see
+	// internal/core/artifacts.
+	Artifacts *artifacts.Cache
+	// NoArtifactCache disables cross-session artifact sharing: every
+	// session builds from scratch. Restart attempts of one session still
+	// reuse that session's own build through a private per-task cache.
+	NoArtifactCache bool
 }
 
 // ErrDraining rejects submissions once Drain has begun.
@@ -119,6 +127,11 @@ type task struct {
 	sess *monitor.FleetSession
 	tool *engine.CompiledTool
 	prog *cfg.Program
+	// cache is the artifact cache the task's attempts run through: the
+	// scheduler's shared cache, or a private per-task cache when sharing
+	// is disabled (so restart attempts still reuse the first attempt's
+	// instrumentation build instead of re-walking the CFE hierarchy).
+	cache *artifacts.Cache
 	// stop is the session's cooperative cancel flag, shared with the VM.
 	stop atomic.Bool
 	// restarts counts failed attempts already re-queued.
@@ -129,6 +142,8 @@ type task struct {
 type Scheduler struct {
 	cfg   Config
 	fleet *monitor.Fleet
+	// artifacts is the cross-session cache (nil when disabled).
+	artifacts *artifacts.Cache
 
 	mu        sync.Mutex
 	accepting bool
@@ -154,8 +169,12 @@ func NewScheduler(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:       cfg,
 		fleet:     monitor.NewFleet(),
+		artifacts: cfg.Artifacts,
 		accepting: true,
 		queue:     make(chan *task, cfg.Queue),
+	}
+	if s.artifacts == nil && !cfg.NoArtifactCache {
+		s.artifacts = artifacts.New(artifacts.Options{})
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -167,6 +186,28 @@ func NewScheduler(cfg Config) *Scheduler {
 // Fleet returns the session registry the scheduler populates (the
 // FleetServer serves it).
 func (s *Scheduler) Fleet() *monitor.Fleet { return s.fleet }
+
+// Artifacts returns the scheduler's cross-session artifact cache (nil
+// when sharing is disabled).
+func (s *Scheduler) Artifacts() *artifacts.Cache { return s.artifacts }
+
+// ArtifactStats adapts the cache counters to the monitor's exposition
+// view — the FleetServer's Artifacts hook. Zero-valued when sharing is
+// disabled (per-task caches are not aggregated).
+func (s *Scheduler) ArtifactStats() monitor.ArtifactStats {
+	if s.artifacts == nil {
+		return monitor.ArtifactStats{}
+	}
+	st := s.artifacts.Stats()
+	return monitor.ArtifactStats{
+		Kinds: []monitor.ArtifactKindStats{
+			{Kind: "tool", Hits: st.ToolHits, Misses: st.ToolMisses, Entries: st.Tools},
+			{Kind: "victim", Hits: st.VictimHits, Misses: st.VictimMisses, Entries: st.Victims},
+			{Kind: "template", Hits: st.TemplateHits, Misses: st.TemplateMisses, Entries: st.Templates},
+		},
+		Evictions: st.Evictions,
+	}
+}
 
 // Accepting reports whether Submit admits new jobs — the readiness
 // probe (false once Drain has begun).
@@ -212,23 +253,39 @@ func (s *Scheduler) Submit(spec JobSpec) (*monitor.FleetSession, error) {
 	default:
 		return nil, fmt.Errorf("fleet: job names no tool")
 	}
-	tool, err := engine.Compile(src)
+	// The session's collector exists before any build so cache
+	// consultations land in its build stats (the per-session cold/warm
+	// provenance on /sessions). The session is not running yet, so
+	// mutating build stats here is race-free.
+	col := obs.New(obs.Options{TraceCap: s.cfg.TraceCap})
+	record := func(lk artifacts.Lookup) {
+		col.MutateBuild(func(b *obs.BuildStats) {
+			if lk.Hit {
+				b.ArtifactHits++
+			} else {
+				b.ArtifactMisses++
+			}
+			b.ArtifactEvictions += lk.Evicted
+		})
+	}
+	cache := s.artifacts
+	if cache == nil {
+		// Sharing disabled: a private per-task cache still lets restart
+		// attempts reuse this session's own build.
+		cache = artifacts.New(artifacts.Options{})
+	}
+
+	tool, lk, err := cache.Tool(src)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: compile tool: %v", err)
 	}
-
-	mod, err := workload.LoopedVictim(spec.Victim, spec.Loop)
+	record(lk)
+	victim, lk, err := cache.Victim(spec.Victim, spec.Loop)
 	if err != nil {
 		return nil, err
 	}
-	p, err := obj.Load([]*obj.Module{mod}, vm.RuntimeExterns())
-	if err != nil {
-		return nil, fmt.Errorf("fleet: load victim: %v", err)
-	}
-	prog, err := cfg.Build(p)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: build victim CFG: %v", err)
-	}
+	record(lk)
+	prog := victim.Prog
 
 	if spec.Budget != "" {
 		if _, err := governor.ParseBudget(spec.Budget); err != nil {
@@ -236,7 +293,6 @@ func (s *Scheduler) Submit(spec JobSpec) (*monitor.FleetSession, error) {
 		}
 	}
 
-	col := obs.New(obs.Options{TraceCap: s.cfg.TraceCap})
 	series := obs.NewSeries(col, spec.Backend, obs.SeriesOptions{
 		Interval: s.cfg.Interval,
 		Cap:      s.cfg.SeriesCap,
@@ -255,7 +311,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*monitor.FleetSession, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
-	t := &task{spec: spec, sess: sess, tool: tool, prog: prog}
+	t := &task{spec: spec, sess: sess, tool: tool, prog: prog, cache: cache}
 	select {
 	case s.queue <- t:
 	default:
@@ -345,11 +401,12 @@ func (s *Scheduler) requeue(t *task, cause error) bool {
 // runOnce performs one attempt of the task's session.
 func (s *Scheduler) runOnce(t *task) (*vm.Result, error) {
 	opts := backend.Options{
-		Out:    io.Discard,
-		AppOut: io.Discard,
-		Obs:    t.sess.Collector(),
-		Fuel:   t.spec.Fuel,
-		Stop:   &t.stop,
+		Out:       io.Discard,
+		AppOut:    io.Discard,
+		Obs:       t.sess.Collector(),
+		Fuel:      t.spec.Fuel,
+		Stop:      &t.stop,
+		Artifacts: t.cache,
 	}
 	if t.spec.Budget != "" {
 		frac, err := governor.ParseBudget(t.spec.Budget)

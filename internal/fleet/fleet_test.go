@@ -75,7 +75,11 @@ func TestSchedulerRunsSessionsIsolated(t *testing.T) {
 }
 
 // A failing session (out of fuel) restarts up to its bound, then
-// settles failed with the attempt count visible.
+// settles failed with the attempt count visible — and the restart
+// attempts replay the already-built artifacts instead of rebuilding:
+// the tool and victim are built once at submit, and every attempt
+// after the first serves its instrumentation build from the template
+// cache.
 func TestSchedulerRestartOnFailure(t *testing.T) {
 	s := NewScheduler(Config{Workers: 1, Interval: 5 * time.Millisecond})
 	defer drain(t, s)
@@ -93,6 +97,34 @@ func TestSchedulerRestartOnFailure(t *testing.T) {
 	}
 	if info.Error == "" {
 		t.Fatal("failed session reports no error")
+	}
+	build := sess.Collector().Snapshot(info.Backend).Build
+	if build.ArtifactHits < 2 {
+		t.Fatalf("restart attempts recorded %d artifact hits, want >= 2 (attempts 2 and 3 must replay the cached template)", build.ArtifactHits)
+	}
+}
+
+// With the shared scheduler cache disabled, a restarting session still
+// reuses its own artifacts across attempts: the per-task private cache
+// keeps restart storms from paying the full build on every attempt.
+func TestRestartReusesArtifactsWithoutSharedCache(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1, Interval: 5 * time.Millisecond, NoArtifactCache: true})
+	defer drain(t, s)
+	if s.Artifacts() != nil {
+		t.Fatal("NoArtifactCache scheduler still exposes a shared cache")
+	}
+	sess, err := s.Submit(JobSpec{Tool: "instcount_basic", Victim: "spin", Loop: 1000, Fuel: 50, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, s, 30*time.Second)
+	info := sess.Info()
+	if info.Attempts != 3 {
+		t.Fatalf("%d attempts, want 3", info.Attempts)
+	}
+	build := sess.Collector().Snapshot(info.Backend).Build
+	if build.ArtifactHits < 2 {
+		t.Fatalf("restart attempts recorded %d artifact hits, want >= 2 from the per-task cache", build.ArtifactHits)
 	}
 }
 
@@ -228,8 +260,12 @@ func TestParseManifest(t *testing.T) {
 // the fleet exposition is scraped mid-flight. Every scrape must be
 // internally consistent (rollup == sum of per-session totals) and the
 // rollup monotone; per-session untracked counters must stay zero (the
-// generation-tagged probe IDs keep foreign fires out). Run with -race
-// this is the cross-session isolation gate of the PR.
+// generation-tagged probe IDs keep foreign fires out). The sessions
+// share the scheduler's artifact cache, so identical jobs replay one
+// cached tool/victim/template concurrently — identical fire counts
+// per job shape prove the shared artifacts carry no mutable state
+// across sessions. Run with -race this is the cross-session isolation
+// gate of the PR.
 func TestManySessionSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short")
@@ -284,7 +320,11 @@ func TestManySessionSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, sess := range s.Fleet().Sessions() {
+	// Identical job shapes (tool × governed) ran from shared cached
+	// artifacts; any cross-session mutation through a shared template
+	// would skew a session's counters away from its twins'.
+	fires := map[string]uint64{}
+	for i, sess := range s.Fleet().Sessions() {
 		info := sess.Info()
 		if info.State != monitor.SessionDone {
 			t.Fatalf("session %s: %s (%s)", info.Session, info.State, info.Error)
@@ -293,5 +333,14 @@ func TestManySessionSoak(t *testing.T) {
 		if snap.UntrackedFires != 0 {
 			t.Fatalf("session %s: %d untracked fires — cross-session probe-ID bleed", info.Session, snap.UntrackedFires)
 		}
+		shape := fmt.Sprintf("%s/governed=%v", tools[i%len(tools)], i%4 == 3)
+		if want, seen := fires[shape]; seen && info.Fires != want {
+			t.Fatalf("session %s (%s): %d fires, twin had %d — shared artifacts leaked state across sessions",
+				info.Session, shape, info.Fires, want)
+		}
+		fires[shape] = info.Fires
+	}
+	if st := s.Artifacts().Stats(); st.Hits() == 0 {
+		t.Fatal("soak recorded zero artifact-cache hits; the shared cache was never exercised")
 	}
 }

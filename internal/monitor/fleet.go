@@ -98,6 +98,10 @@ func SessionStates() []SessionState {
 // exposition path never reads a torn state.
 type FleetSession struct {
 	labels SessionLabels
+	// base is the session's rendered exposition label set, fixed at
+	// registration (labels are immutable) so the scrape hot path never
+	// re-escapes or re-formats it.
+	base   string
 	col    *obs.Collector
 	series *obs.Series
 
@@ -127,6 +131,15 @@ func (s *FleetSession) State() SessionState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state
+}
+
+// Attempts returns how many scheduler attempts the session has made.
+// Unlike Info it takes no collector snapshot, so the scrape hot path
+// can read it per scrape without doubling snapshot work.
+func (s *FleetSession) Attempts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempts
 }
 
 // SetGovernor attaches the session's current overhead governor (a
@@ -184,6 +197,12 @@ type SessionInfo struct {
 	State    SessionState `json:"state"`
 	Attempts int          `json:"attempts"`
 	Error    string       `json:"error,omitempty"`
+	// BuildSource reports where the session's instrumentation build came
+	// from when the scheduler ran it through an artifact cache: "cold"
+	// (at least one cache miss — the session built and published
+	// artifacts) or "warm" (every consulted artifact was served from the
+	// cache). Empty when the session never consulted a cache.
+	BuildSource string `json:"build_source,omitempty"`
 	// Probes, Fires, Skips and ProbeCycles are a live snapshot of the
 	// session's collector.
 	Probes      int    `json:"probes"`
@@ -205,6 +224,13 @@ type SessionInfo struct {
 // snapshot.
 func (s *FleetSession) Info() SessionInfo {
 	snap := s.col.Snapshot(s.labels.Backend)
+	src := ""
+	switch {
+	case snap.Build.ArtifactMisses > 0:
+		src = "cold"
+	case snap.Build.ArtifactHits > 0:
+		src = "warm"
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionInfo{
@@ -212,6 +238,7 @@ func (s *FleetSession) Info() SessionInfo {
 		State:         s.state,
 		Attempts:      s.attempts,
 		Error:         s.errMsg,
+		BuildSource:   src,
 		Probes:        len(snap.Probes),
 		Fires:         snap.TotalFires,
 		Skips:         snap.TotalSkips,
@@ -251,6 +278,7 @@ func (f *Fleet) Add(labels SessionLabels, col *obs.Collector, series *obs.Series
 	}
 	s := &FleetSession{
 		labels:   labels,
+		base:     sessionBase(labels),
 		col:      col,
 		series:   series,
 		state:    SessionQueued,

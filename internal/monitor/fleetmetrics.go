@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
+	"repro/internal/governor"
 	"repro/internal/obs"
 )
 
@@ -19,11 +22,198 @@ import (
 // snapshot per session per scrape — so the fleet totals are exactly the
 // sum of the per-session series, never an approximation from a second
 // read.
+//
+// The scrape path is built for fleets of dozens of sessions at
+// sub-second scrape intervals: per-session snapshot+aggregation work
+// runs concurrently over a bounded worker pool, and all per-scrape
+// allocations (snapshot probe tables, aggregation rows, rendered label
+// strings, the output buffer) are pooled and reused across scrapes, so
+// a steady-state scrape allocates almost nothing.
 
 // sessionBase renders the identifying label set of a session.
 func sessionBase(l SessionLabels) string {
 	return fmt.Sprintf(`session="%s",tool="%s",victim="%s",backend="%s"`,
 		escapeLabel(l.Session), escapeLabel(l.Tool), escapeLabel(l.Victim), escapeLabel(l.Backend))
+}
+
+// scrapeRow is one aggregated probe series of one session: the fully
+// rendered label set plus the summed counters.
+type scrapeRow struct {
+	key    probeKey
+	labels string
+	fires  uint64
+	skips  uint64
+	cycles uint64
+}
+
+// sessScrape is the per-session slot of a scrape: the snapshot (its
+// allocations reused across scrapes via SnapshotInto), the aggregated
+// probe rows, and everything else a scrape reads from the session, all
+// gathered in the parallel prep phase so rendering is a straight
+// sequential walk.
+type sessScrape struct {
+	s    *FleetSession
+	base string
+	snap *obs.Stats
+	rows []scrapeRow
+	// rowLabels caches rendered per-probe label sets. Probe sets only
+	// grow, so entries stay valid for the session's lifetime; the cache
+	// resets when the slot is reused for a different session.
+	rowLabels map[probeKey]string
+	// aggIdx is the scratch aggregation index, cleared and reused every
+	// scrape.
+	aggIdx map[probeKey]int
+
+	attempts   int
+	state      SessionState
+	trDropped  uint64
+	subs       int
+	subDropped uint64
+	gov        *governor.Governor
+	govState   governor.State
+	govEjected int
+}
+
+// scrapeState is the pooled state of one whole scrape: the per-session
+// slots plus the output buffer.
+type scrapeState struct {
+	slots []sessScrape
+	buf   []byte
+}
+
+var scrapePool = sync.Pool{New: func() any { return &scrapeState{} }}
+
+// scrapeWorkers bounds the snapshot/aggregation fan-out of one scrape.
+func scrapeWorkers(sessions int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > sessions {
+		n = sessions
+	}
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// prep fills one session slot: snapshot, probe aggregation, lifecycle
+// and trace counters. Runs concurrently across slots.
+func (ss *sessScrape) prep(s *FleetSession) {
+	if ss.s != s {
+		// Slot reused for a different session: drop the cached labels.
+		ss.s = s
+		ss.rowLabels = nil
+	}
+	l := s.Labels()
+	ss.base = s.base
+	ss.snap = s.Collector().SnapshotInto(l.Backend, ss.snap)
+	if ss.rowLabels == nil {
+		ss.rowLabels = make(map[probeKey]string)
+	}
+
+	// Aggregate per-probe rows the same way Stats.WriteTable groups
+	// them: one series per (label, trigger, mechanism).
+	rows := ss.rows[:0]
+	if ss.aggIdx == nil {
+		ss.aggIdx = make(map[probeKey]int)
+	} else {
+		clear(ss.aggIdx)
+	}
+	idx := ss.aggIdx
+	for _, p := range ss.snap.Probes {
+		k := probeKey{p.Label, p.Trigger, p.Mechanism}
+		i, ok := idx[k]
+		if !ok {
+			i = len(rows)
+			idx[k] = i
+			rows = append(rows, scrapeRow{key: k})
+		}
+		rows[i].fires += p.Fires
+		rows[i].skips += p.Skips
+		rows[i].cycles += p.Cycles
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].key, rows[j].key
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		if a.trigger != b.trigger {
+			return a.trigger < b.trigger
+		}
+		return a.mech < b.mech
+	})
+	for i := range rows {
+		k := rows[i].key
+		lbl, ok := ss.rowLabels[k]
+		if !ok {
+			lbl = fmt.Sprintf(`%s,probe="%s",trigger="%s",mechanism="%s"`,
+				ss.base, escapeLabel(k.label), escapeLabel(k.trigger), escapeLabel(k.mech))
+			ss.rowLabels[k] = lbl
+		}
+		rows[i].labels = lbl
+	}
+	ss.rows = rows
+
+	ss.attempts = s.Attempts()
+	ss.state = s.State()
+	col := s.Collector()
+	ss.trDropped = col.TraceDropped()
+	ss.subs = col.Subscribers()
+	ss.subDropped = col.SubscriberDrops()
+	if ss.gov = s.Governor(); ss.gov != nil {
+		ss.govState = ss.gov.State()
+		ss.govEjected = 0
+		for _, p := range ss.govState.Probes {
+			if !p.Enabled {
+				ss.govEjected++
+			}
+		}
+	}
+}
+
+// Exposition rendering helpers over the pooled byte buffer. They keep
+// the output byte-identical to the previous fmt-based writer while
+// avoiding per-sample formatting allocations.
+
+func appendHeader(b []byte, name, help, typ string) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
+}
+
+func appendSample(b []byte, name, labels string, v uint64) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	b = append(b, '\n')
+	return b
+}
+
+func appendSampleFloat(b []byte, name, labels string, v float64) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	b = append(b, '\n')
+	return b
 }
 
 // WriteFleetMetrics renders the whole fleet as one exposition document
@@ -35,174 +225,216 @@ func WriteFleetMetrics(w io.Writer, f *Fleet) { writeFleetMetrics(w, f) }
 func writeFleetMetrics(w io.Writer, f *Fleet) {
 	sessions := f.Sessions()
 
-	// One snapshot per session; every family below reads from these.
-	type sessSnap struct {
-		s    *FleetSession
-		base string
-		snap *obs.Stats
+	st := scrapePool.Get().(*scrapeState)
+	defer scrapePool.Put(st)
+	if cap(st.slots) < len(sessions) {
+		slots := make([]sessScrape, len(sessions))
+		copy(slots, st.slots)
+		st.slots = slots
 	}
-	snaps := make([]sessSnap, 0, len(sessions))
-	for _, s := range sessions {
-		l := s.Labels()
-		snaps = append(snaps, sessSnap{s: s, base: sessionBase(l), snap: s.Collector().Snapshot(l.Backend)})
+	st.slots = st.slots[:len(sessions)]
+
+	// Prep phase: one snapshot + aggregation per session, fanned out
+	// over a bounded worker pool. Each worker owns disjoint slots, so
+	// the phase shares nothing but the work counter.
+	if workers := scrapeWorkers(len(sessions)); workers <= 1 {
+		for i := range st.slots {
+			st.slots[i].prep(sessions[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(st.slots); i += workers {
+					st.slots[i].prep(sessions[i])
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
 
-	fires := family{name: "cinnamon_probe_fires_total",
-		help: "Probe firings, by session, probe label, trigger and dispatch mechanism.", typ: "counter"}
-	skips := family{name: "cinnamon_probe_skips_total",
-		help: "Sampled-probe hits swallowed by the sampling gate.", typ: "counter"}
-	cycles := family{name: "cinnamon_probe_cycles_total",
-		help: "Instrumentation cycle units attributed to probe firings.", typ: "counter"}
-	unFires := family{name: "cinnamon_untracked_fires_total",
-		help: "Firings of probes not registered with the session's collector.", typ: "counter"}
-	unCycles := family{name: "cinnamon_untracked_cycles_total",
-		help: "Cycle units of untracked firings.", typ: "counter"}
-	unSkips := family{name: "cinnamon_untracked_skips_total",
-		help: "Sampling-gate skips of untracked probes.", typ: "counter"}
-	sessFires := family{name: "cinnamon_session_fires_total",
-		help: "All probe firings of the session, untracked included.", typ: "counter"}
-	sessSkips := family{name: "cinnamon_session_skips_total",
-		help: "All sampling-gate skips of the session, untracked included.", typ: "counter"}
-	sessCycles := family{name: "cinnamon_session_cycles_total",
-		help: "All instrumentation cycle units of the session, untracked included.", typ: "counter"}
-	sessAttempts := family{name: "cinnamon_session_attempts_total",
-		help: "Scheduler attempts of the session (restarts count).", typ: "counter"}
-	trDropped := family{name: "cinnamon_trace_dropped_total",
-		help: "Trace-ring events overwritten by wraparound.", typ: "counter"}
-	subs := family{name: "cinnamon_trace_subscribers",
-		help: "Live SSE/trace subscriptions on the session's collector.", typ: "gauge"}
-	subDropped := family{name: "cinnamon_trace_subscriber_dropped_total",
-		help: "Events dropped across the session's trace subscriptions (live and retired).", typ: "counter"}
+	// Render phase: a straight sequential walk over the prepped slots,
+	// in the fixed family order. Families with no samples are skipped
+	// entirely (no HELP/TYPE), matching the single-run writer.
+	b := st.buf[:0]
+	anyRows := false
+	for i := range st.slots {
+		if len(st.slots[i].rows) > 0 {
+			anyRows = true
+			break
+		}
+	}
+	perProbe := []struct {
+		name, help string
+		get        func(*scrapeRow) uint64
+	}{
+		{"cinnamon_probe_fires_total", "Probe firings, by session, probe label, trigger and dispatch mechanism.", func(r *scrapeRow) uint64 { return r.fires }},
+		{"cinnamon_probe_skips_total", "Sampled-probe hits swallowed by the sampling gate.", func(r *scrapeRow) uint64 { return r.skips }},
+		{"cinnamon_probe_cycles_total", "Instrumentation cycle units attributed to probe firings.", func(r *scrapeRow) uint64 { return r.cycles }},
+	}
+	if anyRows {
+		for _, fam := range perProbe {
+			b = appendHeader(b, fam.name, fam.help, "counter")
+			for i := range st.slots {
+				for j := range st.slots[i].rows {
+					r := &st.slots[i].rows[j]
+					b = appendSample(b, fam.name, r.labels, fam.get(r))
+				}
+			}
+		}
+	}
 
-	// Fleet rollups, accumulated while the labelled families render.
+	perSession := []struct {
+		name, help, typ string
+		get             func(*sessScrape) uint64
+	}{
+		{"cinnamon_untracked_fires_total", "Firings of probes not registered with the session's collector.", "counter", func(s *sessScrape) uint64 { return s.snap.UntrackedFires }},
+		{"cinnamon_untracked_cycles_total", "Cycle units of untracked firings.", "counter", func(s *sessScrape) uint64 { return s.snap.UntrackedCycles }},
+		{"cinnamon_untracked_skips_total", "Sampling-gate skips of untracked probes.", "counter", func(s *sessScrape) uint64 { return s.snap.UntrackedSkips }},
+		{"cinnamon_session_fires_total", "All probe firings of the session, untracked included.", "counter", func(s *sessScrape) uint64 { return s.snap.TotalFires }},
+		{"cinnamon_session_skips_total", "All sampling-gate skips of the session, untracked included.", "counter", func(s *sessScrape) uint64 { return s.snap.TotalSkips }},
+		{"cinnamon_session_cycles_total", "All instrumentation cycle units of the session, untracked included.", "counter", func(s *sessScrape) uint64 { return s.snap.ProbeCycles }},
+		{"cinnamon_session_attempts_total", "Scheduler attempts of the session (restarts count).", "counter", func(s *sessScrape) uint64 { return uint64(s.attempts) }},
+		{"cinnamon_trace_dropped_total", "Trace-ring events overwritten by wraparound.", "counter", func(s *sessScrape) uint64 { return s.trDropped }},
+		{"cinnamon_trace_subscribers", "Live SSE/trace subscriptions on the session's collector.", "gauge", func(s *sessScrape) uint64 { return uint64(s.subs) }},
+		{"cinnamon_trace_subscriber_dropped_total", "Events dropped across the session's trace subscriptions (live and retired).", "counter", func(s *sessScrape) uint64 { return s.subDropped }},
+	}
+	if len(st.slots) > 0 {
+		for _, fam := range perSession {
+			b = appendHeader(b, fam.name, fam.help, fam.typ)
+			for i := range st.slots {
+				b = appendSample(b, fam.name, st.slots[i].base, fam.get(&st.slots[i]))
+			}
+		}
+	}
+
+	// Rollups, from the same snapshots the labelled series rendered
+	// from. Emitted even for an empty fleet (zero-valued), so a scraper
+	// always sees the fleet families.
 	var fleetFires, fleetSkips, fleetCycles uint64
 	var fleetProbes int
-
-	for _, ss := range snaps {
-		snap := ss.snap
-
-		type agg struct{ fires, skips, cycles uint64 }
-		byKey := map[probeKey]*agg{}
-		var keys []probeKey
-		for _, p := range snap.Probes {
-			k := probeKey{p.Label, p.Trigger, p.Mechanism}
-			a, ok := byKey[k]
-			if !ok {
-				a = &agg{}
-				byKey[k] = a
-				keys = append(keys, k)
-			}
-			a.fires += p.Fires
-			a.skips += p.Skips
-			a.cycles += p.Cycles
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			a, b := keys[i], keys[j]
-			if a.label != b.label {
-				return a.label < b.label
-			}
-			if a.trigger != b.trigger {
-				return a.trigger < b.trigger
-			}
-			return a.mech < b.mech
-		})
-		for _, k := range keys {
-			a := byKey[k]
-			labels := fmt.Sprintf(`%s,probe="%s",trigger="%s",mechanism="%s"`,
-				ss.base, escapeLabel(k.label), escapeLabel(k.trigger), escapeLabel(k.mech))
-			fires.add(labels, fmt.Sprintf("%d", a.fires))
-			skips.add(labels, fmt.Sprintf("%d", a.skips))
-			cycles.add(labels, fmt.Sprintf("%d", a.cycles))
-		}
-
-		unFires.add(ss.base, fmt.Sprintf("%d", snap.UntrackedFires))
-		unCycles.add(ss.base, fmt.Sprintf("%d", snap.UntrackedCycles))
-		unSkips.add(ss.base, fmt.Sprintf("%d", snap.UntrackedSkips))
-
-		// Per-session totals from the same snapshot: the series the
-		// fleet rollups must equal the sum of.
-		sessFires.add(ss.base, fmt.Sprintf("%d", snap.TotalFires))
-		sessSkips.add(ss.base, fmt.Sprintf("%d", snap.TotalSkips))
-		sessCycles.add(ss.base, fmt.Sprintf("%d", snap.ProbeCycles))
-
-		info := ss.s.Info()
-		sessAttempts.add(ss.base, fmt.Sprintf("%d", info.Attempts))
-
-		col := ss.s.Collector()
-		trDropped.add(ss.base, fmt.Sprintf("%d", col.TraceDropped()))
-		subs.add(ss.base, fmt.Sprintf("%d", col.Subscribers()))
-		subDropped.add(ss.base, fmt.Sprintf("%d", col.SubscriberDrops()))
-
+	for i := range st.slots {
+		snap := st.slots[i].snap
 		fleetFires += snap.TotalFires
 		fleetSkips += snap.TotalSkips
 		fleetCycles += snap.ProbeCycles
 		fleetProbes += len(snap.Probes)
 	}
-
-	for _, fam := range []*family{
-		&fires, &skips, &cycles,
-		&unFires, &unCycles, &unSkips,
-		&sessFires, &sessSkips, &sessCycles, &sessAttempts,
-		&trDropped, &subs, &subDropped,
-	} {
-		fam.write(w)
-	}
-
-	// Rollups. Emitted even for an empty fleet (zero-valued), so a
-	// scraper always sees the fleet families.
 	for _, g := range []struct {
 		name, help, typ string
-		value           string
+		value           uint64
 	}{
-		{"cinnamon_fleet_fires_total", "All probe firings across the fleet (sum of cinnamon_session_fires_total).", "counter", fmt.Sprintf("%d", fleetFires)},
-		{"cinnamon_fleet_skips_total", "All sampling-gate skips across the fleet (sum of cinnamon_session_skips_total).", "counter", fmt.Sprintf("%d", fleetSkips)},
-		{"cinnamon_fleet_cycles_total", "All instrumentation cycle units across the fleet (sum of cinnamon_session_cycles_total).", "counter", fmt.Sprintf("%d", fleetCycles)},
-		{"cinnamon_fleet_probes", "Registered probes across the fleet.", "gauge", fmt.Sprintf("%d", fleetProbes)},
+		{"cinnamon_fleet_fires_total", "All probe firings across the fleet (sum of cinnamon_session_fires_total).", "counter", fleetFires},
+		{"cinnamon_fleet_skips_total", "All sampling-gate skips across the fleet (sum of cinnamon_session_skips_total).", "counter", fleetSkips},
+		{"cinnamon_fleet_cycles_total", "All instrumentation cycle units across the fleet (sum of cinnamon_session_cycles_total).", "counter", fleetCycles},
+		{"cinnamon_fleet_probes", "Registered probes across the fleet.", "gauge", uint64(fleetProbes)},
 	} {
-		fam := family{name: g.name, help: g.help, typ: g.typ}
-		fam.add("", g.value)
-		fam.write(w)
+		b = appendHeader(b, g.name, g.help, g.typ)
+		b = appendSample(b, g.name, "", g.value)
 	}
 
-	states := family{name: "cinnamon_fleet_sessions",
-		help: "Sessions by lifecycle state.", typ: "gauge"}
-	counts := map[SessionState]int{}
-	for _, ss := range snaps {
-		counts[ss.s.State()]++
+	var counts [5]uint64
+	for i := range st.slots {
+		switch st.slots[i].state {
+		case SessionQueued:
+			counts[0]++
+		case SessionRunning:
+			counts[1]++
+		case SessionDone:
+			counts[2]++
+		case SessionFailed:
+			counts[3]++
+		case SessionCanceled:
+			counts[4]++
+		}
 	}
-	for _, st := range SessionStates() {
-		states.add(fmt.Sprintf(`state="%s"`, st), fmt.Sprintf("%d", counts[st]))
+	b = appendHeader(b, "cinnamon_fleet_sessions", "Sessions by lifecycle state.", "gauge")
+	for i, state := range SessionStates() {
+		b = append(b, `cinnamon_fleet_sessions{state="`...)
+		b = append(b, string(state)...)
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, counts[i], 10)
+		b = append(b, '\n')
 	}
-	states.write(w)
 
 	// Governor families, for governed sessions. The per-session subset
 	// of writeGovernorMetrics: budget, cumulative overhead, ejections
 	// (full decision history stays on the per-run /governor endpoint).
-	budgetF := family{name: "cinnamon_governor_budget",
-		help: "Configured probe-overhead budget (fraction of machine cycles).", typ: "gauge"}
-	overF := family{name: "cinnamon_governor_cum_overhead",
-		help: "Attributed probe overhead of the run so far.", typ: "gauge"}
-	ejF := family{name: "cinnamon_governor_ejected_probes",
-		help: "Probes currently ejected by the governor.", typ: "gauge"}
-	for _, ss := range snaps {
-		g := ss.s.Governor()
-		if g == nil {
-			continue
+	anyGov := false
+	for i := range st.slots {
+		if st.slots[i].gov != nil {
+			anyGov = true
+			break
 		}
-		st := g.State()
-		budgetF.add(ss.base, fmt.Sprintf("%g", st.Budget))
-		overF.add(ss.base, fmt.Sprintf("%g", st.CumOverhead))
-		var ejected int
-		for _, p := range st.Probes {
-			if !p.Enabled {
-				ejected++
+	}
+	if anyGov {
+		govFams := []struct {
+			name, help string
+			float      bool
+			getF       func(*sessScrape) float64
+			getU       func(*sessScrape) uint64
+		}{
+			{"cinnamon_governor_budget", "Configured probe-overhead budget (fraction of machine cycles).", true, func(s *sessScrape) float64 { return s.govState.Budget }, nil},
+			{"cinnamon_governor_cum_overhead", "Attributed probe overhead of the run so far.", true, func(s *sessScrape) float64 { return s.govState.CumOverhead }, nil},
+			{"cinnamon_governor_ejected_probes", "Probes currently ejected by the governor.", false, nil, func(s *sessScrape) uint64 { return uint64(s.govEjected) }},
+		}
+		for _, fam := range govFams {
+			b = appendHeader(b, fam.name, fam.help, "gauge")
+			for i := range st.slots {
+				ss := &st.slots[i]
+				if ss.gov == nil {
+					continue
+				}
+				if fam.float {
+					b = appendSampleFloat(b, fam.name, ss.base, fam.getF(ss))
+				} else {
+					b = appendSample(b, fam.name, ss.base, fam.getU(ss))
+				}
 			}
 		}
-		ejF.add(ss.base, fmt.Sprintf("%d", ejected))
 	}
-	budgetF.write(w)
-	overF.write(w)
-	ejF.write(w)
+
+	st.buf = b
+	_, _ = w.Write(b)
+}
+
+// ArtifactKindStats is one artifact kind's cache counters in the fleet
+// /metrics artifact families.
+type ArtifactKindStats struct {
+	// Kind names the artifact kind ("tool", "victim", "template").
+	Kind string
+	// Hits and Misses count cache consultations, Entries live entries.
+	Hits, Misses uint64
+	Entries      int
+}
+
+// ArtifactStats is the scheduler-supplied artifact-cache view for fleet
+// exposition (monitor stays decoupled from the cache implementation).
+type ArtifactStats struct {
+	Kinds     []ArtifactKindStats
+	Evictions uint64
+}
+
+// writeArtifactMetrics appends the cinnamon_artifact_* families.
+func writeArtifactMetrics(w io.Writer, st ArtifactStats) {
+	var b []byte
+	b = appendHeader(b, "cinnamon_artifact_hits_total", "Artifact-cache hits, by artifact kind.", "counter")
+	for _, k := range st.Kinds {
+		b = appendSample(b, "cinnamon_artifact_hits_total", `kind="`+escapeLabel(k.Kind)+`"`, k.Hits)
+	}
+	b = appendHeader(b, "cinnamon_artifact_misses_total", "Artifact-cache misses, by artifact kind.", "counter")
+	for _, k := range st.Kinds {
+		b = appendSample(b, "cinnamon_artifact_misses_total", `kind="`+escapeLabel(k.Kind)+`"`, k.Misses)
+	}
+	b = appendHeader(b, "cinnamon_artifact_entries", "Live artifact-cache entries, by artifact kind.", "gauge")
+	for _, k := range st.Kinds {
+		b = appendSample(b, "cinnamon_artifact_entries", `kind="`+escapeLabel(k.Kind)+`"`, uint64(k.Entries))
+	}
+	b = appendHeader(b, "cinnamon_artifact_evictions_total", "Artifact-cache entries evicted by capacity bounds.", "counter")
+	b = appendSample(b, "cinnamon_artifact_evictions_total", "", st.Evictions)
+	_, _ = w.Write(b)
 }
 
 // ParseSamples parses a text-exposition document into a series→value

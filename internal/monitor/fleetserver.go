@@ -32,6 +32,10 @@ type FleetConfig struct {
 	// TraceBuf is the per-tap and merged-stream channel depth (default
 	// 256). Events beyond a slow consumer are dropped and accounted.
 	TraceBuf int
+	// Artifacts, when non-nil, supplies the scheduler's artifact-cache
+	// counters; /metrics then appends the cinnamon_artifact_* families
+	// after the fleet document. nil omits them.
+	Artifacts func() ArtifactStats
 }
 
 // FleetServer serves the aggregated fleet view over HTTP:
@@ -100,6 +104,9 @@ func (s *FleetServer) Shutdown(ctx context.Context) error {
 func (s *FleetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	writeFleetMetrics(w, s.cfg.Fleet)
+	if s.cfg.Artifacts != nil {
+		writeArtifactMetrics(w, s.cfg.Artifacts())
+	}
 }
 
 // SessionSeries is one session's interval series in the fleet /series

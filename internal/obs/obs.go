@@ -186,6 +186,14 @@ type BuildStats struct {
 	WheresHoisted    int `json:"wheres_hoisted,omitempty"`
 	CountersPromoted int `json:"counters_promoted,omitempty"`
 	ProbesCoalesced  int `json:"probes_coalesced,omitempty"`
+	// ArtifactHits and ArtifactMisses count this session's lookups in
+	// the shared artifact cache (compiled tool, built victim, rule
+	// template; see internal/core/artifacts). ArtifactEvictions counts
+	// cache entries this session's inserts displaced. All zero when the
+	// cache is disabled or the run never consulted it.
+	ArtifactHits      int `json:"artifact_hits,omitempty"`
+	ArtifactMisses    int `json:"artifact_misses,omitempty"`
+	ArtifactEvictions int `json:"artifact_evictions,omitempty"`
 }
 
 // Options parameterizes a Collector.

@@ -61,14 +61,33 @@ type Stats struct {
 // across consecutive snapshots. Probe IDs in the report are plain slot
 // indexes (1..n), matching TraceEvent.Probe.
 func (c *Collector) Snapshot(backendName string) *Stats {
+	return c.SnapshotInto(backendName, nil)
+}
+
+// SnapshotInto is Snapshot reusing a previous report's allocations:
+// when reuse is non-nil its Probes slice backs the new report (grown if
+// needed) and every other field is overwritten. The fleet scrape path
+// calls it with pooled reports so steady-state scrapes stop allocating
+// one probe table per session per scrape. Callers must not retain the
+// previous contents of reuse.
+func (c *Collector) SnapshotInto(backendName string, reuse *Stats) *Stats {
 	c.mu.Lock()
 	metas := c.metas
 	slots := c.slots
 	build := c.build
 	c.mu.Unlock()
 
-	s := &Stats{Backend: backendName, Build: build}
-	s.Probes = make([]ProbeStats, len(metas))
+	s := reuse
+	if s == nil {
+		s = &Stats{}
+	}
+	probes := s.Probes
+	*s = Stats{Backend: backendName, Build: build}
+	if cap(probes) >= len(metas) {
+		s.Probes = probes[:len(metas)]
+	} else {
+		s.Probes = make([]ProbeStats, len(metas))
+	}
 	for i, m := range metas {
 		slot := &slots[i]
 		fires := slot.fires.Load()

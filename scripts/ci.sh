@@ -33,9 +33,11 @@
 #              POST /sessions API, /metrics scraped and the
 #              cinnamon_fleet_* rollups asserted exactly equal to the
 #              per-session sums, then SIGTERM and a clean drain; plus
-#              the fleet perf gate (internal/bench/fleet_test.go): 32
+#              the fleet perf gates (internal/bench/fleet_test.go): 32
 #              live sessions must sustain millions of probe fires/sec
-#              with the /metrics p99 under budget
+#              with the /metrics p99 under budget, and a session
+#              joining a warm fleet (primed artifact cache) must start
+#              >=5x faster than a cold one
 #   conform    differential conformance sweep (cmd/conformance): 200
 #              seeded generated (program, victim) pairs cross-checked
 #              over all three backends and both execution tiers; any
@@ -100,6 +102,9 @@ go run ./scripts/fleetsmoke
 
 echo "==> fleet snapshot-latency perf gate"
 CINNAMON_PERF_GATE=1 go test -run TestFleetSnapshotLatencyGate -count=1 ./internal/bench/
+
+echo "==> fleet warm-startup perf gate"
+CINNAMON_PERF_GATE=1 go test -run TestFleetWarmStartupGate -count=1 ./internal/bench/
 
 echo "==> differential conformance sweep (200 seeds)"
 go run ./cmd/conformance -seeds 200 -budget 30s

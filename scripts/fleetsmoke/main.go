@@ -2,8 +2,10 @@
 // builds cinnamond, boots it on an ephemeral port, submits 8 sessions
 // over the real POST /sessions API, waits for them to settle, scrapes
 // /metrics and asserts the fleet rollups are exactly the sum of the
-// per-session series, checks the lifecycle and readiness endpoints, and
-// finally SIGTERMs the daemon and verifies it drains and exits cleanly.
+// per-session series, checks the lifecycle and readiness endpoints,
+// asserts the shared artifact cache surfaced hits/misses in /metrics
+// and cold/warm build sources in /sessions, and finally SIGTERMs the
+// daemon and verifies it drains and exits cleanly.
 // Like monitorsmoke, it exercises the operator path — real binary, real
 // flags, real HTTP — so a wiring regression in cmd/cinnamond fails CI
 // even if every package test passes.
@@ -157,6 +159,63 @@ func run() error {
 	if series[`cinnamon_governor_budget{session="s8",tool="instcount_basic",victim="spin",backend="janus"}`] != 0.05 {
 		return fmt.Errorf("governed session budget missing from /metrics")
 	}
+	// The shared artifact cache exposes its counters: the 8-session mix
+	// over 3 tools must have recorded both misses (first builds) and
+	// hits (reuse), and the cache must hold the tools it compiled.
+	if series[`cinnamon_artifact_misses_total{kind="tool"}`] == 0 {
+		return fmt.Errorf("cinnamon_artifact_misses_total{kind=\"tool\"} is zero after the churn:\n%s", metrics)
+	}
+	if series[`cinnamon_artifact_hits_total{kind="tool"}`] == 0 || series[`cinnamon_artifact_hits_total{kind="victim"}`] == 0 {
+		return fmt.Errorf("cinnamon_artifact_hits_total shows no reuse after the churn:\n%s", metrics)
+	}
+	if series[`cinnamon_artifact_entries{kind="tool"}`] < 1 || series[`cinnamon_artifact_entries{kind="victim"}`] < 1 {
+		return fmt.Errorf("cinnamon_artifact_entries families missing from /metrics:\n%s", metrics)
+	}
+
+	// Warm-start lifecycle: with every artifact now cached, a duplicate
+	// of session s1 must report build_source "warm" in /sessions, while
+	// s1 itself (first to build its tool) stays "cold".
+	resp, err = http.Post(base+"/sessions", "application/json",
+		strings.NewReader(`{"tool":"instcount_basic","victim":"spin","backend":"janus","loop":3000}`))
+	if err != nil {
+		return fmt.Errorf("POST /sessions (warm duplicate): %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("warm duplicate: status %d, want 202", resp.StatusCode)
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		infos, err := getSessions(base)
+		if err != nil {
+			return err
+		}
+		var s1, dup *sessionInfo
+		for i := range infos {
+			switch infos[i].Session {
+			case "s1":
+				s1 = &infos[i]
+			case fmt.Sprintf("s%d", sessions+1):
+				dup = &infos[i]
+			}
+		}
+		if dup != nil && dup.State == "done" {
+			if dup.BuildSource != "warm" {
+				return fmt.Errorf("duplicate session build_source = %q, want \"warm\"", dup.BuildSource)
+			}
+			if s1 == nil || s1.BuildSource != "cold" {
+				return fmt.Errorf("session s1 build_source = %+v, want \"cold\"", s1)
+			}
+			break
+		}
+		if dup != nil && (dup.State == "failed" || dup.State == "canceled") {
+			return fmt.Errorf("duplicate session settled %s: %s", dup.State, dup.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("duplicate session never settled")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 
 	// SIGTERM: the daemon must flip readiness, drain and exit cleanly.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -176,9 +235,10 @@ func run() error {
 }
 
 type sessionInfo struct {
-	Session string `json:"session"`
-	State   string `json:"state"`
-	Error   string `json:"error"`
+	Session     string `json:"session"`
+	State       string `json:"state"`
+	Error       string `json:"error"`
+	BuildSource string `json:"build_source"`
 }
 
 func getSessions(base string) ([]sessionInfo, error) {
